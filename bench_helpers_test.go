@@ -1,0 +1,17 @@
+package nwids_test
+
+import "nwids/internal/packet"
+
+// newBenchPacketGen returns a generator of realistic packets spanning many
+// classes for the shim-throughput benchmark.
+func newBenchPacketGen() func(n int) []packet.Packet {
+	gen := packet.NewGenerator(packet.GeneratorConfig{PacketsPerSession: 2, PayloadBytes: 64}, 1)
+	return func(n int) []packet.Packet {
+		var out []packet.Packet
+		for len(out) < n {
+			s := gen.Session(0, 1+len(out)%10)
+			out = append(out, s.Packets...)
+		}
+		return out[:n]
+	}
+}

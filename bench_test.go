@@ -1,0 +1,245 @@
+// Benchmarks regenerating the paper's tables and figures (§8). Each
+// Benchmark* corresponds to one table or figure; the rows/series themselves
+// are printed by `cmd/experiments` and recorded in EXPERIMENTS.md. To keep
+// `go test -bench=.` tractable on one core, the figure benchmarks run the
+// experiments at reduced sweep density over the two smallest topologies;
+// BenchmarkTable1/* runs the actual optimization at full scale for every
+// evaluation topology (the quantity Table 1 reports).
+package nwids_test
+
+import (
+	"testing"
+
+	"nwids"
+	"nwids/internal/core"
+	"nwids/internal/experiments"
+	"nwids/internal/topology"
+	"nwids/internal/traffic"
+)
+
+func benchOpts() experiments.Options {
+	return experiments.Options{Quick: true, Topologies: []string{"Internet2", "Geant"}}
+}
+
+// BenchmarkTable1 measures the replication-LP solve time per topology at
+// full evaluation scale — the quantity reported in Table 1.
+func BenchmarkTable1(b *testing.B) {
+	for _, name := range topology.EvaluationNames() {
+		b.Run(name+"/replication", func(b *testing.B) {
+			g := topology.ByName(name)
+			s := core.NewScenario(g, traffic.GravityDefault(g), core.ScenarioOptions{})
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := core.SolveReplication(s, core.ReplicationConfig{
+					Mirror: core.MirrorDCOnly, MaxLinkLoad: 0.4, DCCapacity: 10,
+				}); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+		b.Run(name+"/aggregation", func(b *testing.B) {
+			g := topology.ByName(name)
+			s := core.NewScenario(g, traffic.GravityDefault(g), core.ScenarioOptions{})
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := core.SolveAggregation(s, core.AggregationConfig{Beta: 1}); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkFig10 runs the Emulab-style emulation comparison (per-node work
+// with and without replication).
+func BenchmarkFig10(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r, err := experiments.Fig10(experiments.Options{Quick: true})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if r.MaxReduction < 1.2 {
+			b.Fatalf("fig10 reduction %.2f", r.MaxReduction)
+		}
+	}
+}
+
+// BenchmarkFig11 sweeps MaxLinkLoad (max compute load vs allowed link load).
+func BenchmarkFig11(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.Fig11(benchOpts()); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkFig12 compares DC load to interior NIDS load across configs.
+func BenchmarkFig12(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.Fig12(benchOpts()); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkFig13 compares the four NIDS architectures.
+func BenchmarkFig13(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.Fig13(benchOpts()); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkFig14 compares local one-/two-hop replication to on-path.
+func BenchmarkFig14(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.Fig14(benchOpts()); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkFig15 re-optimizes the architectures across varying traffic
+// matrices (peak-load distribution).
+func BenchmarkFig15(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.Fig15(experiments.Options{Quick: true}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkFig16 and BenchmarkFig17 share the asymmetric-routing sweep
+// (miss rate and max load vs overlap factor).
+func BenchmarkFig16(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.Fig1617(experiments.Options{Quick: true}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkFig17 is the load half of the shared sweep; kept separate so the
+// benchmark list maps one-to-one onto the paper's figures.
+func BenchmarkFig17(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r, err := experiments.Fig1617(experiments.Options{Quick: true})
+		if err != nil {
+			b.Fatal(err)
+		}
+		_ = r.RenderLoad()
+	}
+}
+
+// BenchmarkFig18 sweeps β (compute/communication tradeoff of aggregation).
+func BenchmarkFig18(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.Fig18(benchOpts()); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkFig19 compares load imbalance with and without aggregation.
+func BenchmarkFig19(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.Fig19(benchOpts()); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkPlacement compares the four DC placement strategies (§8.2).
+func BenchmarkPlacement(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.Placement(experiments.Options{Topologies: []string{"Internet2"}}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkShimThroughput measures the shim's per-packet decision rate —
+// the §8.1 "shim overhead" microbenchmark. The paper reports no added drops
+// up to 1 Gbps; the analogous criterion here is decisions far faster than
+// packet inter-arrival at that rate (~80k packets/s for 1500B packets).
+func BenchmarkShimThroughput(b *testing.B) {
+	sc := nwids.DefaultScenario(nwids.Internet2())
+	a, err := nwids.SolveReplication(sc, nwids.ReplicationConfig{
+		Mirror: nwids.MirrorDCOnly, MaxLinkLoad: 0.4, DCCapacity: 10,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	cfgs := nwids.CompileShimConfigs(a, 1)
+	sh := nwids.NewShim(cfgs[0])
+	gen := newBenchPacketGen()
+	pkts := gen(4096)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		sh.Decide(pkts[i%len(pkts)])
+	}
+}
+
+// BenchmarkEmulation measures end-to-end emulation throughput.
+func BenchmarkEmulation(b *testing.B) {
+	sc := nwids.DefaultScenario(nwids.Internet2())
+	a, err := nwids.SolveReplication(sc, nwids.ReplicationConfig{
+		Mirror: nwids.MirrorDCOnly, MaxLinkLoad: 0.4, DCCapacity: 8,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res, err := nwids.Emulate(nwids.EmulationConfig{Assignment: a, TotalSessions: 500})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if res.OwnershipErrors != 0 {
+			b.Fatal("ownership errors")
+		}
+	}
+}
+
+// BenchmarkAblation exercises the solver design-choice comparison from
+// DESIGN.md (crash basis, λ start, refactorization interval, presolve).
+func BenchmarkAblation(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rows, err := experiments.Ablation(experiments.Options{Topologies: []string{"Internet2"}})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(rows) == 0 {
+			b.Fatal("no rows")
+		}
+	}
+}
+
+// BenchmarkRobustness exercises the §9 slack-provisioning comparison.
+func BenchmarkRobustness(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.Robustness(experiments.Options{Quick: true}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkScanAggregation runs end-to-end distributed scan detection.
+func BenchmarkScanAggregation(b *testing.B) {
+	sc := nwids.DefaultScenario(nwids.Internet2())
+	agg, err := nwids.SolveAggregation(sc, nwids.AggregationConfig{Beta: 1})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res, err := nwids.EmulateScan(nwids.ScanEmulationConfig{Assignment: agg.Assignment, K: 15})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if !res.Equivalent {
+			b.Fatal("distributed scan diverged from oracle")
+		}
+	}
+}

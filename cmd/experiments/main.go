@@ -1,0 +1,158 @@
+// Command experiments regenerates the paper's tables and figures.
+//
+// Usage:
+//
+//	experiments [-quick] [-topologies a,b,c] [-seed N] <experiment>
+//
+// where <experiment> is one of: table1, fig10, fig11, fig12, fig13, fig14,
+// fig15, fig16, fig17, fig18, fig19, placement, all.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"nwids/internal/experiments"
+)
+
+func main() {
+	quick := flag.Bool("quick", false, "reduced sweep densities for a fast pass")
+	topos := flag.String("topologies", "", "comma-separated topology subset (default: all eight)")
+	seed := flag.Int64("seed", 1, "random seed")
+	verbose := flag.Bool("v", false, "log progress")
+	flag.Parse()
+	if flag.NArg() != 1 {
+		fmt.Fprintln(os.Stderr, "usage: experiments [flags] <table1|fig10|...|fig19|placement|robustness|all>")
+		flag.PrintDefaults()
+		os.Exit(2)
+	}
+
+	opts := experiments.Options{Quick: *quick, Seed: *seed}
+	if *topos != "" {
+		opts.Topologies = strings.Split(*topos, ",")
+	}
+	if *verbose {
+		opts.Logf = func(f string, a ...any) { fmt.Fprintf(os.Stderr, f+"\n", a...) }
+	}
+
+	which := flag.Arg(0)
+	names := []string{which}
+	if which == "all" {
+		names = []string{"table1", "fig10", "fig11", "fig12", "fig13", "fig14", "fig15", "fig16", "fig17", "fig18", "fig19", "placement", "robustness"}
+	}
+	for _, name := range names {
+		start := time.Now()
+		out, err := run(name, opts)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "%s: %v\n", name, err)
+			os.Exit(1)
+		}
+		fmt.Printf("== %s (%v) ==\n%s\n", name, time.Since(start).Round(time.Millisecond), out)
+	}
+}
+
+func run(name string, opts experiments.Options) (string, error) {
+	switch name {
+	case "table1":
+		rows, err := experiments.Table1(opts)
+		if err != nil {
+			return "", err
+		}
+		return experiments.RenderTable1(rows), nil
+	case "fig10":
+		r, err := experiments.Fig10(opts)
+		if err != nil {
+			return "", err
+		}
+		return r.Render(), nil
+	case "fig11":
+		r, err := experiments.Fig11(opts)
+		if err != nil {
+			return "", err
+		}
+		return r.Render(), nil
+	case "fig12":
+		r, err := experiments.Fig12(opts)
+		if err != nil {
+			return "", err
+		}
+		return r.Render(), nil
+	case "fig13":
+		r, err := experiments.Fig13(opts)
+		if err != nil {
+			return "", err
+		}
+		return r.Render(), nil
+	case "fig14":
+		r, err := experiments.Fig14(opts)
+		if err != nil {
+			return "", err
+		}
+		return r.Render(), nil
+	case "fig15":
+		r, err := experiments.Fig15(opts)
+		if err != nil {
+			return "", err
+		}
+		return r.Render(), nil
+	case "fig16":
+		r, err := experiments.Fig1617(opts)
+		if err != nil {
+			return "", err
+		}
+		return r.RenderMiss(), nil
+	case "fig17":
+		r, err := experiments.Fig1617(opts)
+		if err != nil {
+			return "", err
+		}
+		return r.RenderLoad(), nil
+	case "fig18":
+		r, err := experiments.Fig18(opts)
+		if err != nil {
+			return "", err
+		}
+		return r.Render(), nil
+	case "fig19":
+		rows, err := experiments.Fig19(opts)
+		if err != nil {
+			return "", err
+		}
+		return experiments.RenderFig19(rows), nil
+	case "placement":
+		rows, err := experiments.Placement(opts)
+		if err != nil {
+			return "", err
+		}
+		return experiments.RenderPlacement(rows), nil
+	case "robustness":
+		r, err := experiments.Robustness(opts)
+		if err != nil {
+			return "", err
+		}
+		return r.Render(), nil
+	case "ablation":
+		rows, err := experiments.Ablation(opts)
+		if err != nil {
+			return "", err
+		}
+		return experiments.RenderAblation(rows), nil
+	case "sigmasweep":
+		r, err := experiments.SigmaSweep(opts)
+		if err != nil {
+			return "", err
+		}
+		return r.Render(), nil
+	case "footprint":
+		r, err := experiments.FootprintSensitivity(opts)
+		if err != nil {
+			return "", err
+		}
+		return r.Render(), nil
+	default:
+		return "", fmt.Errorf("unknown experiment %q", name)
+	}
+}

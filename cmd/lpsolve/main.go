@@ -1,0 +1,66 @@
+// Command lpsolve solves a linear program in free-format MPS using the
+// repository's sparse revised simplex — handy for inspecting the LP
+// instances the controller generates (nidsctl can be extended to dump them
+// via lp.WriteMPS) or for using the solver standalone.
+//
+// Usage:
+//
+//	lpsolve [-v] [-maxiter N] problem.mps
+//	cat problem.mps | lpsolve -
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"nwids/internal/lp"
+)
+
+func main() {
+	verbose := flag.Bool("v", false, "log solver progress")
+	maxIter := flag.Int("maxiter", 0, "iteration limit (0: automatic)")
+	printSol := flag.Bool("x", false, "print nonzero variable values")
+	flag.Parse()
+	if flag.NArg() != 1 {
+		fmt.Fprintln(os.Stderr, "usage: lpsolve [flags] <file.mps | ->")
+		os.Exit(2)
+	}
+	var r io.Reader = os.Stdin
+	if name := flag.Arg(0); name != "-" {
+		f, err := os.Open(name)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		r = f
+	}
+	p, err := lp.ReadMPS(r)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	fmt.Fprintf(os.Stderr, "%s\n", p.Stats())
+	opts := lp.Options{MaxIterations: *maxIter}
+	if *verbose {
+		opts.Logf = func(f string, a ...any) { fmt.Fprintf(os.Stderr, f+"\n", a...) }
+	}
+	sol := lp.Solve(p, opts)
+	fmt.Printf("status:     %v\n", sol.Status)
+	if sol.Status == lp.Optimal {
+		fmt.Printf("objective:  %.10g\n", sol.Objective)
+	}
+	fmt.Printf("iterations: %d (refactorizations: %d) in %v\n", sol.Iterations, sol.Refactorizations, sol.SolveTime)
+	if *printSol && sol.Status == lp.Optimal {
+		for j := 0; j < p.NumVars(); j++ {
+			if v := sol.X[j]; v != 0 {
+				fmt.Printf("%s = %.10g\n", p.VarName(lp.Var(j)), v)
+			}
+		}
+	}
+	if sol.Status != lp.Optimal {
+		os.Exit(1)
+	}
+}

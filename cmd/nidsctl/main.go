@@ -1,0 +1,177 @@
+// Command nidsctl is the network-wide NIDS controller CLI: it builds the
+// evaluation scenario for a topology, solves the selected architecture's
+// optimization, and prints the resulting load picture and (optionally) the
+// per-node hash-range shim configurations.
+//
+// Usage:
+//
+//	nidsctl -topology Internet2 -arch replicate -mll 0.4 -dc 10 [-ranges]
+//
+// Architectures: ingress, onpath, replicate, onehop, twohop, dc+onehop,
+// augmented.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"nwids"
+	"nwids/internal/core"
+	"nwids/internal/lp"
+	"nwids/internal/metrics"
+	"nwids/internal/shim"
+	"nwids/internal/topology"
+)
+
+func main() {
+	topo := flag.String("topology", "Internet2", "evaluation topology name (Internet2, Geant, Enterprise, TiNet, Telstra, Sprint, Level3, NTT)")
+	arch := flag.String("arch", "replicate", "architecture: ingress | onpath | replicate | onehop | twohop | dc+onehop | augmented")
+	mll := flag.Float64("mll", 0.4, "maximum allowed link load for replication")
+	dcCap := flag.Float64("dc", 10, "datacenter capacity as a multiple of one NIDS node")
+	ranges := flag.Bool("ranges", false, "print per-node hash-range shim configurations")
+	mpsOut := flag.String("mps", "", "dump the LP instance to this file in MPS format instead of solving")
+	verbose := flag.Bool("v", false, "log solver progress")
+	flag.Parse()
+
+	g := topology.ByName(*topo)
+	if g == nil {
+		fmt.Fprintf(os.Stderr, "unknown topology %q; choose from %v\n", *topo, topology.EvaluationNames())
+		os.Exit(2)
+	}
+	sc := nwids.DefaultScenario(g)
+
+	cfg := core.ReplicationConfig{MaxLinkLoad: *mll, DCCapacity: *dcCap}
+	if *verbose {
+		cfg.LP.Logf = func(f string, a ...any) { fmt.Fprintf(os.Stderr, f+"\n", a...) }
+	}
+	if *mpsOut != "" {
+		dumpMPS(sc, *arch, cfg, *mpsOut)
+		return
+	}
+	var (
+		a   *core.Assignment
+		err error
+	)
+	switch *arch {
+	case "ingress":
+		a = core.Ingress(sc)
+	case "onpath":
+		cfg.Mirror = core.MirrorNone
+		a, err = core.SolveReplication(sc, cfg)
+	case "replicate":
+		cfg.Mirror = core.MirrorDCOnly
+		a, err = core.SolveReplication(sc, cfg)
+	case "onehop":
+		cfg.Mirror = core.MirrorOneHop
+		a, err = core.SolveReplication(sc, cfg)
+	case "twohop":
+		cfg.Mirror = core.MirrorTwoHop
+		a, err = core.SolveReplication(sc, cfg)
+	case "dc+onehop":
+		cfg.Mirror = core.MirrorDCPlusOneHop
+		a, err = core.SolveReplication(sc, cfg)
+	case "augmented":
+		cfg.Mirror = core.MirrorNone
+		cfg.ExtraNodeCapacity = *dcCap / float64(g.NumNodes())
+		a, err = core.SolveReplication(sc, cfg)
+	default:
+		fmt.Fprintf(os.Stderr, "unknown architecture %q\n", *arch)
+		os.Exit(2)
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+
+	fmt.Printf("%s / %s: %d PoPs, %d classes\n", g.Name(), *arch, g.NumNodes(), len(sc.Classes))
+	if a.HasDC {
+		fmt.Printf("datacenter attached at PoP %d (%s), capacity %gx\n", a.DCAttach, g.Node(a.DCAttach).Name, *dcCap)
+	}
+	fmt.Printf("max compute load:          %.4f (ingress-only baseline: 1.0000)\n", a.MaxLoad())
+	fmt.Printf("max compute load (ex DC):  %.4f\n", a.MaxLoadExDC())
+	fmt.Printf("max link load (incl. BG):  %.4f\n", a.MaxLinkLoad())
+	fmt.Printf("coverage error:            %.2g\n", a.CoverageError())
+	if a.Iterations > 0 {
+		fmt.Printf("LP: %d iterations in %v\n", a.Iterations, a.SolveTime)
+	}
+
+	t := metrics.NewTable("Node", "Name", "Load")
+	for j, row := range a.NodeLoad {
+		name := "DC"
+		if j < g.NumNodes() {
+			name = g.Node(j).Name
+		}
+		t.AddRowf(j, name, row[0])
+	}
+	fmt.Println()
+	fmt.Print(t.String())
+
+	if *ranges {
+		fmt.Println("\nper-node hash-range configurations (class → ranges):")
+		cfgs := shim.CompileConfigs(a, 1)
+		for j := 0; j < a.NumNIDS(); j++ {
+			c := cfgs[j]
+			if len(c.Rules) == 0 {
+				continue
+			}
+			fmt.Printf("node %d: %d classes with local rules\n", j, len(c.Rules))
+			n := 0
+			for key, rules := range c.Rules {
+				if n >= 5 {
+					fmt.Printf("  ... (%d more classes)\n", len(c.Rules)-n)
+					break
+				}
+				fmt.Printf("  class %d→%d:", key.SrcPoP, key.DstPoP)
+				for _, r := range rules {
+					fmt.Printf(" [%.3f,%.3f)%s", r.Lo, r.Hi, suffix(r))
+				}
+				fmt.Println()
+				n++
+			}
+		}
+	}
+}
+
+func suffix(r shim.RangeRule) string {
+	if r.Act == shim.Replicate {
+		return fmt.Sprintf("→%d", r.Mirror)
+	}
+	return ""
+}
+
+// dumpMPS writes the selected architecture's LP instance in MPS format so
+// it can be inspected or solved standalone (see cmd/lpsolve).
+func dumpMPS(sc *core.Scenario, arch string, cfg core.ReplicationConfig, path string) {
+	switch arch {
+	case "onpath":
+		cfg.Mirror = core.MirrorNone
+	case "replicate":
+		cfg.Mirror = core.MirrorDCOnly
+	case "onehop":
+		cfg.Mirror = core.MirrorOneHop
+	case "twohop":
+		cfg.Mirror = core.MirrorTwoHop
+	case "dc+onehop":
+		cfg.Mirror = core.MirrorDCPlusOneHop
+	default:
+		fmt.Fprintf(os.Stderr, "-mps supports LP-backed architectures only, not %q\n", arch)
+		os.Exit(2)
+	}
+	prob, _, _, err := core.BuildReplicationProblem(sc, cfg)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	defer f.Close()
+	if err := lp.WriteMPS(f, prob); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	fmt.Printf("wrote %s (%s)\n", path, prob.Stats())
+}

@@ -1,0 +1,112 @@
+// Command topogen inspects the built-in evaluation topologies and generates
+// synthetic Rocketfuel-like ISP maps, printing nodes, links, routing
+// statistics and the gravity traffic matrix summary.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"nwids/internal/metrics"
+	"nwids/internal/topology"
+	"nwids/internal/traffic"
+)
+
+func main() {
+	name := flag.String("topology", "", "built-in topology to inspect (empty: list all)")
+	gen := flag.Int("generate", 0, "generate a synthetic topology with N PoPs instead")
+	seed := flag.Int64("seed", 1, "generator seed")
+	links := flag.Bool("links", false, "print the link list")
+	load := flag.String("load", "", "load a topology from a file in the plain-text format")
+	save := flag.String("save", "", "write the selected topology to a file in the plain-text format")
+	flag.Parse()
+
+	if *load != "" {
+		f, err := os.Open(*load)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		g, err := topology.Parse(f)
+		f.Close()
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		maybeSave(g, *save)
+		dump(g, *links)
+		return
+	}
+	if *gen > 0 {
+		g := topology.RocketfuelLike("synthetic", *gen, *seed)
+		maybeSave(g, *save)
+		dump(g, *links)
+		return
+	}
+	if *name == "" {
+		t := metrics.NewTable("Topology", "PoPs", "Links", "AvgDeg", "Diameter", "Sessions")
+		for _, g := range topology.Evaluation() {
+			r := g.ShortestPaths()
+			diam := 0
+			for a := 0; a < g.NumNodes(); a++ {
+				for b := 0; b < g.NumNodes(); b++ {
+					if d := r.Dist(a, b); d > diam {
+						diam = d
+					}
+				}
+			}
+			t.AddRowf(g.Name(), g.NumNodes(), g.NumLinks(),
+				float64(2*g.NumLinks())/float64(g.NumNodes()), diam,
+				traffic.TotalSessionsFor(g.NumNodes()))
+		}
+		fmt.Print(t.String())
+		return
+	}
+	g := topology.ByName(*name)
+	if g == nil {
+		fmt.Fprintf(os.Stderr, "unknown topology %q\n", *name)
+		os.Exit(2)
+	}
+	maybeSave(g, *save)
+	dump(g, *links)
+}
+
+// maybeSave writes g in the plain-text topology format when path is set.
+func maybeSave(g *topology.Graph, path string) {
+	if path == "" {
+		return
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	defer f.Close()
+	if err := topology.Format(f, g); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	fmt.Printf("wrote %s\n", path)
+}
+
+func dump(g *topology.Graph, links bool) {
+	fmt.Printf("%s: %d PoPs, %d links, connected=%v\n", g.Name(), g.NumNodes(), g.NumLinks(), g.Connected())
+	tm := traffic.GravityDefault(g)
+	fmt.Printf("gravity traffic: %.4g sessions total\n\n", tm.Total())
+	t := metrics.NewTable("ID", "Name", "Population(M)", "Degree", "Originates")
+	for _, n := range g.Nodes() {
+		var orig float64
+		for b := 0; b < g.NumNodes(); b++ {
+			orig += tm.Volume(n.ID, b)
+		}
+		t.AddRowf(n.ID, n.Name, n.Population, g.Degree(n.ID), orig)
+	}
+	fmt.Print(t.String())
+	if links {
+		fmt.Println()
+		for _, l := range g.Links() {
+			fmt.Printf("link %d: %s — %s\n", l.ID, g.Node(l.A).Name, g.Node(l.B).Name)
+		}
+	}
+}

@@ -1,0 +1,3 @@
+module nwids
+
+go 1.22

@@ -1,0 +1,249 @@
+package aggregation
+
+import (
+	"math/rand"
+	"testing"
+
+	"nwids/internal/nids"
+	"nwids/internal/packet"
+)
+
+// fig8Workload reproduces the worked example of Figure 8: two sources
+// contacting four destinations, two flows per src-dst pair. Destinations
+// d1, d2 route over path N1-N2-N3 (monitors N2, N3) and d3, d4 over path
+// N1-N4-N5 (monitors N4, N5); N1 is the aggregation point.
+type fig8Contact struct {
+	src, dst uint32
+	pathIdx  int // 0: N2/N3, 1: N4/N5
+}
+
+func fig8Workload() []fig8Contact {
+	var out []fig8Contact
+	srcs := []uint32{101, 102}
+	dsts := []struct {
+		ip   uint32
+		path int
+	}{{201, 0}, {202, 0}, {203, 1}, {204, 1}}
+	for _, s := range srcs {
+		for _, d := range dsts {
+			for flow := 0; flow < 2; flow++ {
+				out = append(out, fig8Contact{src: s, dst: d.ip, pathIdx: d.path})
+			}
+		}
+	}
+	return out
+}
+
+// fig8Dist is the hop distance to the aggregation point N1: N2 and N4 are
+// one hop away, N3 and N5 two hops.
+func fig8Dist(node int) int {
+	switch node {
+	case 2, 4:
+		return 1
+	case 3, 5:
+		return 2
+	}
+	return 0
+}
+
+// TestFig8SourceVsDestinationCost reproduces the paper's 12-vs-6-unit
+// comparison (measured in report rows × hops, one row = one unit).
+func TestFig8SourceVsDestinationCost(t *testing.T) {
+	run := func(s Strategy, owner0, owner1 OwnerFunc) (rowHops int, alerts []nids.SourceCount) {
+		paths := []*PathMonitors{
+			NewPathMonitors(s, []int{2, 3}, owner0),
+			NewPathMonitors(s, []int{4, 5}, owner1),
+		}
+		for _, c := range fig8Workload() {
+			tuple := packet.FiveTuple{Proto: 6, SrcIP: c.src, DstIP: c.dst, SrcPort: 1234, DstPort: 80}
+			paths[c.pathIdx].Observe(tuple)
+		}
+		ag := NewAggregator(0)
+		for _, pm := range paths {
+			for _, r := range pm.CounterReports() {
+				rowHops += len(r.Counts) * fig8Dist(r.Node)
+				ag.AddCounts(r.Counts)
+			}
+		}
+		return rowHops, ag.Alerts()
+	}
+
+	// Destination-level split: N2 owns d1, N3 owns d2, N4 owns d3, N5 owns
+	// d4 → every node sees both sources → 2 rows per node → 2+4+2+4 = 12.
+	dstOwner := func(dsts [2]uint32) OwnerFunc {
+		return func(src, dst uint32, _ packet.FiveTuple) int {
+			if dst == dsts[0] {
+				return 0
+			}
+			return 1
+		}
+	}
+	cost, alerts := run(DestinationLevel, dstOwner([2]uint32{201, 202}), dstOwner([2]uint32{203, 204}))
+	if cost != 12 {
+		t.Fatalf("destination-level cost = %d row-hops, want 12", cost)
+	}
+	if len(alerts) != 2 || alerts[0].Count != 4 || alerts[1].Count != 4 {
+		t.Fatalf("destination-level result wrong: %v", alerts)
+	}
+
+	// Source-level split: N2/N4 own s1, N3/N5 own s2 → 1 row per node →
+	// 1+2+1+2 = 6, and the result is still exact.
+	srcOwner := func(src, dst uint32, _ packet.FiveTuple) int {
+		if src == 101 {
+			return 0
+		}
+		return 1
+	}
+	cost, alerts = run(SourceLevel, srcOwner, srcOwner)
+	if cost != 6 {
+		t.Fatalf("source-level cost = %d row-hops, want 6", cost)
+	}
+	if len(alerts) != 2 || alerts[0].Count != 4 || alerts[1].Count != 4 {
+		t.Fatalf("source-level result wrong: %v", alerts)
+	}
+}
+
+// TestFig8FlowLevelOvercounts shows the paper's flow-level pitfall: with
+// per-source counters, the two flows of a src-dst pair can land on
+// different monitors, double-counting the destination.
+func TestFig8FlowLevelOvercounts(t *testing.T) {
+	// Owner alternates flows between the two monitors of each path.
+	i := 0
+	flowOwner := func(src, dst uint32, _ packet.FiveTuple) int {
+		i++
+		return i % 2
+	}
+	paths := []*PathMonitors{
+		NewPathMonitors(FlowLevel, []int{2, 3}, flowOwner),
+		NewPathMonitors(FlowLevel, []int{4, 5}, flowOwner),
+	}
+	for _, c := range fig8Workload() {
+		tuple := packet.FiveTuple{Proto: 6, SrcIP: c.src, DstIP: c.dst, SrcPort: 1234, DstPort: 80}
+		paths[c.pathIdx].Observe(tuple)
+	}
+	// Unsound: counter reports double-count.
+	agBad := NewAggregator(0)
+	for _, pm := range paths {
+		for _, r := range pm.CounterReports() {
+			agBad.AddCounts(r.Counts)
+		}
+	}
+	for _, al := range agBad.Alerts() {
+		if al.Count <= 4 {
+			t.Fatalf("expected over-count > 4 with flow split + counters, got %d", al.Count)
+		}
+	}
+	// Sound: tuple reports union away the duplicates at higher cost.
+	agGood := NewAggregator(0)
+	costTuples := 0
+	for _, pm := range paths {
+		for _, r := range pm.TupleReports() {
+			costTuples += r.Bytes * fig8Dist(r.Node)
+			agGood.AddTuples(r.Tuples)
+		}
+	}
+	for _, al := range agGood.Alerts() {
+		if al.Count != 4 {
+			t.Fatalf("tuple union should be exact: %v", al)
+		}
+	}
+	if costTuples == 0 {
+		t.Fatal("tuple reports must cost something")
+	}
+}
+
+// TestAggregationMatchesCentralizedOracle is the semantic-equivalence
+// property (§2.1): for random workloads, source-level aggregation must
+// produce exactly the alerts of a centralized scan detector.
+func TestAggregationMatchesCentralizedOracle(t *testing.T) {
+	rng := rand.New(rand.NewSource(31))
+	for trial := 0; trial < 50; trial++ {
+		k := rng.Intn(5)
+		nNodes := 1 + rng.Intn(5)
+		nodes := make([]int, nNodes)
+		for i := range nodes {
+			nodes[i] = i + 1
+		}
+		pm := NewPathMonitors(SourceLevel, nodes, nil)
+		oracle := nids.NewScanDetector(k)
+		for i := 0; i < 300; i++ {
+			src := uint32(1 + rng.Intn(8))
+			dst := uint32(100 + rng.Intn(30))
+			tuple := packet.FiveTuple{Proto: 6, SrcIP: src, DstIP: dst, SrcPort: uint16(rng.Intn(1000)), DstPort: 80}
+			pm.Observe(tuple)
+			oracle.Observe(src, dst)
+		}
+		ag := NewAggregator(k)
+		for _, r := range pm.CounterReports() {
+			ag.AddCounts(r.Counts)
+		}
+		got := ag.Alerts()
+		want := oracle.Report()
+		if len(got) != len(want) {
+			t.Fatalf("trial %d (k=%d): %v vs oracle %v", trial, k, got, want)
+		}
+		for i := range got {
+			if got[i] != want[i] {
+				t.Fatalf("trial %d (k=%d): %v vs oracle %v", trial, k, got, want)
+			}
+		}
+	}
+}
+
+// Destination-level splits are also exact with counter reports.
+func TestDestinationLevelMatchesOracle(t *testing.T) {
+	rng := rand.New(rand.NewSource(37))
+	pm := NewPathMonitors(DestinationLevel, []int{1, 2, 3}, nil)
+	oracle := nids.NewScanDetector(2)
+	for i := 0; i < 500; i++ {
+		src := uint32(1 + rng.Intn(5))
+		dst := uint32(100 + rng.Intn(40))
+		// Multiple flows per pair on purpose.
+		for f := 0; f < 1+rng.Intn(3); f++ {
+			tuple := packet.FiveTuple{Proto: 6, SrcIP: src, DstIP: dst, SrcPort: uint16(rng.Intn(100)), DstPort: 80}
+			pm.Observe(tuple)
+		}
+		oracle.Observe(src, dst)
+	}
+	ag := NewAggregator(2)
+	for _, r := range pm.CounterReports() {
+		ag.AddCounts(r.Counts)
+	}
+	got, want := ag.Alerts(), oracle.Report()
+	if len(got) != len(want) {
+		t.Fatalf("%v vs %v", got, want)
+	}
+	for i := range got {
+		if got[i] != want[i] {
+			t.Fatalf("%v vs %v", got, want)
+		}
+	}
+}
+
+func TestCommCostHelper(t *testing.T) {
+	reports := []Report{{Node: 1, Bytes: 10}, {Node: 2, Bytes: 5}}
+	got := CommCost(reports, func(n int) int { return n * 2 })
+	if got != 10*2+5*4 {
+		t.Fatalf("CommCost = %d", got)
+	}
+}
+
+func TestStrategyString(t *testing.T) {
+	for s, want := range map[Strategy]string{
+		FlowLevel: "flow-level", DestinationLevel: "destination-level",
+		SourceLevel: "source-level", Strategy(9): "unknown-strategy",
+	} {
+		if s.String() != want {
+			t.Fatalf("%d = %q", s, s.String())
+		}
+	}
+}
+
+func TestNewPathMonitorsPanicsOnEmpty(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("want panic")
+		}
+	}()
+	NewPathMonitors(SourceLevel, nil, nil)
+}

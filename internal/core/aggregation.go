@@ -1,0 +1,145 @@
+package core
+
+import (
+	"fmt"
+
+	"nwids/internal/lp"
+)
+
+// AggregationConfig parameterizes the aggregation formulation (§6, Fig 9).
+type AggregationConfig struct {
+	// Beta weighs the (normalized) communication cost against the compute
+	// load in the objective. The experiments sweep it (Fig 18); 1 balances
+	// the two terms at the same order of magnitude.
+	Beta float64
+	// LP passes through solver options.
+	LP lp.Options
+}
+
+// AggregationResult carries the aggregation LP's outcome.
+type AggregationResult struct {
+	// Assignment holds the per-class local-processing fractions p[c,j]
+	// (aggregation has no offload actions).
+	Assignment *Assignment
+	// CommCost is the total intermediate-report footprint in byte-hops
+	// (Eq 13).
+	CommCost float64
+	// NormCommCost is CommCost divided by the scenario's normalization
+	// constant (total sessions × Rec × mean path length), giving a
+	// topology-comparable value in [0, ~1].
+	NormCommCost float64
+	// LoadCost is the max node-resource utilization λ.
+	LoadCost float64
+	// Objective is λ + β·NormCommCost as optimized.
+	Objective float64
+}
+
+// commScale returns the normalization constant for communication costs:
+// the byte-hops incurred if every session's report traveled the mean path
+// length. Dividing by it makes β dimensionless and comparable across
+// topologies.
+func commScale(s *Scenario) float64 {
+	var hops, vol float64
+	for _, c := range s.Classes {
+		hops += c.Sessions * float64(c.Path.Len())
+		vol += c.Sessions * c.Rec
+	}
+	if vol == 0 {
+		return 1
+	}
+	meanLen := hops / s.TotalSessions()
+	if meanLen == 0 {
+		meanLen = 1
+	}
+	return vol * meanLen
+}
+
+// SolveAggregation solves the aggregation LP (§6, Figure 9): distribute a
+// topologically-constrained analysis (scan detection) across on-path nodes,
+// paying for intermediate reports sent back to each class's aggregation
+// point (its ingress) in byte-hops. Reports are assumed small relative to
+// link capacities, so no MaxLinkLoad constraint applies (§6).
+func SolveAggregation(s *Scenario, cfg AggregationConfig) (*AggregationResult, error) {
+	s.validateFinite()
+	nR := s.NumResources()
+	caps := effCaps(s, false, ReplicationConfig{}.withDefaults())
+	scale := commScale(s)
+
+	prob := lp.NewProblem("aggregation/" + s.Graph.Name())
+	lamUB := s.MaxIngressLoad()*1.0000001 + 1e-9
+	lam := prob.AddVar(0, lamUB, 1, "lambda")
+
+	covRow := make([]lp.Row, len(s.Classes))
+	for c := range s.Classes {
+		covRow[c] = prob.AddRow(1, 1, fmt.Sprintf("cov[%d]", c))
+	}
+	loadRow := make([][]lp.Row, s.Graph.NumNodes())
+	for j := range loadRow {
+		loadRow[j] = make([]lp.Row, nR)
+		for r := 0; r < nR; r++ {
+			loadRow[j][r] = prob.AddRow(-lp.Inf, 0, fmt.Sprintf("load[%d,%d]", j, r))
+			prob.SetCoef(loadRow[j][r], lam, -1)
+		}
+	}
+
+	type pKey struct{ c, j int }
+	pVar := make(map[pKey]lp.Var)
+	var crash []lp.Var
+	for c := range s.Classes {
+		cl := &s.Classes[c]
+		agg := cl.Path.Ingress() // reports go back to the ingress (§6)
+		for _, j := range cl.Path.Nodes {
+			// Objective carries the communication term β·|Tc|·Rec·D(c,j)/scale.
+			d := float64(s.Routing.Dist(j, agg))
+			v := prob.AddVar(0, 1, cfg.Beta*cl.Sessions*cl.Rec*d/scale, fmt.Sprintf("p[%d,%d]", c, j))
+			pVar[pKey{c, j}] = v
+			prob.SetCoef(covRow[c], v, 1)
+			for r := 0; r < nR; r++ {
+				prob.SetCoef(loadRow[j][r], v, cl.Foot[r]*cl.Sessions/caps[j][r])
+			}
+			if j == agg {
+				crash = append(crash, v)
+			}
+		}
+	}
+
+	opts := cfg.LP
+	opts.CrashBasis = crash
+	opts.AtUpper = append(opts.AtUpper, lam)
+	sol := lp.Solve(prob, opts)
+	if err := sol.Err(); err != nil {
+		return nil, fmt.Errorf("aggregation LP on %s: %w", s.Graph.Name(), err)
+	}
+
+	a := newAssignment(s, false, -1, ReplicationConfig{}.withDefaults())
+	a.Objective = sol.Objective
+	a.Iterations = sol.Iterations
+	a.SolveTime = sol.SolveTime
+	res := &AggregationResult{Assignment: a, Objective: sol.Objective}
+	for c := range s.Classes {
+		cl := &s.Classes[c]
+		agg := cl.Path.Ingress()
+		for _, j := range cl.Path.Nodes {
+			f := sol.Value(pVar[pKey{c, j}])
+			a.addAction(c, ActionFrac{Node: j, Via: -1, Frac: f})
+			if f > 1e-9 {
+				res.CommCost += cl.Sessions * f * cl.Rec * float64(s.Routing.Dist(j, agg))
+			}
+		}
+	}
+	res.NormCommCost = res.CommCost / scale
+	res.LoadCost = a.MaxLoad()
+	return res, nil
+}
+
+// IngressAggregation is the "No Aggregation" baseline for Fig 19: without
+// intermediate-result aggregation the scan analysis is topologically
+// constrained to each class's ingress (§2.1), i.e. the ingress-only
+// deployment with zero communication cost.
+func IngressAggregation(s *Scenario) *AggregationResult {
+	a := Ingress(s)
+	return &AggregationResult{
+		Assignment: a,
+		LoadCost:   a.MaxLoad(),
+	}
+}

@@ -1,0 +1,264 @@
+package core
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"nwids/internal/topology"
+	"nwids/internal/traffic"
+)
+
+func TestFortzThorupCostShape(t *testing.T) {
+	f := FortzThorupCost()
+	// Convex and increasing on [0, 1.2].
+	prev := f.Eval(0)
+	prevSlope := 0.0
+	for u := 0.05; u <= 1.2; u += 0.05 {
+		v := f.Eval(u)
+		if v < prev-1e-12 {
+			t.Fatalf("cost not increasing at u=%.2f", u)
+		}
+		slope := (v - prev) / 0.05
+		if slope < prevSlope-1e-6 {
+			t.Fatalf("cost not convex at u=%.2f", u)
+		}
+		prev, prevSlope = v, slope
+	}
+	// Below 1/3 the cost is the identity segment.
+	if got := f.Eval(0.2); math.Abs(got-0.2) > 1e-12 {
+		t.Fatalf("Eval(0.2) = %g", got)
+	}
+	// At the knee points the published values hold: Φ(1) = 32/3 and past
+	// capacity the 5000-slope segment takes over.
+	if got := f.Eval(1); math.Abs(got-32.0/3) > 1e-9 {
+		t.Fatalf("Eval(1) = %g, want 32/3", got)
+	}
+	if f.Eval(1.2) < 500 {
+		t.Fatalf("Eval(1.2) = %g, want steep penalty", f.Eval(1.2))
+	}
+	if (LinkCostFunction{}).Eval(0.5) != 0 {
+		t.Fatal("empty cost function should be 0")
+	}
+}
+
+func TestSoftLinkReplication(t *testing.T) {
+	s := internet2Scenario(t)
+	soft, err := SolveReplicationSoftLink(s, SoftLinkConfig{Mirror: MirrorDCOnly, Weight: 0.1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := soft.Assignment.CoverageError(); err > 1e-6 {
+		t.Fatalf("coverage error %g", err)
+	}
+	hard, err := SolveReplication(s, ReplicationConfig{Mirror: MirrorDCOnly, MaxLinkLoad: 0.4, DCCapacity: 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ing := Ingress(s)
+	// The soft-cost variant must still beat ingress-only substantially and
+	// land in the neighborhood of the hard-cap optimum.
+	if soft.LoadCost > 0.6*ing.MaxLoad() {
+		t.Fatalf("soft-link load %.4f too high", soft.LoadCost)
+	}
+	if soft.LoadCost < hard.MaxLoad()-1e-6 {
+		// More freedom (no hard cap) can only help the load.
+		t.Logf("soft beats hard cap: %.4f < %.4f (expected: soft has no cap)", soft.LoadCost, hard.MaxLoad())
+	}
+	// A huge weight should suppress replication-induced link load: the
+	// optimum approaches pure on-path distribution.
+	expensive, err := SolveReplicationSoftLink(s, SoftLinkConfig{Mirror: MirrorDCOnly, Weight: 1e6})
+	if err != nil {
+		t.Fatal(err)
+	}
+	noRep, err := SolveReplication(s, ReplicationConfig{Mirror: MirrorNone})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Offload from the attachment PoP itself stays free of link cost, so
+	// "expensive" sits between full replication and pure on-path.
+	if expensive.LoadCost > noRep.MaxLoad()+1e-6 {
+		t.Fatalf("expensive soft-link %.4f worse than on-path %.4f", expensive.LoadCost, noRep.MaxLoad())
+	}
+	// Link utilization above background should be ~nil under the huge weight.
+	for l, v := range expensive.Assignment.LinkLoad {
+		if v > s.BG[l]+1e-6 {
+			t.Fatalf("link %d carries replication (%.4f > BG %.4f) despite prohibitive cost", l, v, s.BG[l])
+		}
+	}
+	// Cheap weight should pay more link cost and get a lower load than the
+	// expensive weight.
+	if soft.LoadCost > expensive.LoadCost+1e-9 {
+		t.Fatalf("cheap weight load %.4f should be ≤ expensive weight load %.4f", soft.LoadCost, expensive.LoadCost)
+	}
+	if soft.LinkCost < expensive.LinkCost-1e-9 {
+		t.Fatalf("cheap weight link cost %.4f should be ≥ expensive %.4f", soft.LinkCost, expensive.LinkCost)
+	}
+}
+
+func TestWeightedNodeLoads(t *testing.T) {
+	s := twoNodeScenario(t)
+	// Unweighted on-path split is 50/50 (see TestOnPathTwoNodes). Weighting
+	// node 0 twice as heavily shifts work to node 1: at the optimum
+	// 2·load0 = load1 → load0 = 1/3, load1 = 2/3.
+	a, err := SolveReplication(s, ReplicationConfig{
+		Mirror: MirrorNone, NodeWeights: []float64{2, 1},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(a.NodeLoad[0][0]-1.0/3) > 1e-6 || math.Abs(a.NodeLoad[1][0]-2.0/3) > 1e-6 {
+		t.Fatalf("weighted loads = %.4f, %.4f; want 1/3, 2/3", a.NodeLoad[0][0], a.NodeLoad[1][0])
+	}
+	// Weights ≤ 0 and missing entries behave as 1.
+	b, err := SolveReplication(s, ReplicationConfig{Mirror: MirrorNone, NodeWeights: []float64{-5}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(b.MaxLoad()-0.5) > 1e-6 {
+		t.Fatalf("defaulted weights: max load %.4f, want 0.5", b.MaxLoad())
+	}
+}
+
+func TestSplitMaxMissObjective(t *testing.T) {
+	s := internet2Scenario(t)
+	rng := rand.New(rand.NewSource(19))
+	pool := topology.NewPathPool(s.Routing)
+	ar := topology.GenerateAsymmetric(s.Routing, pool, 0.1, rng)
+	classes := BuildSplitClasses(s, ar)
+
+	avg, err := SolveSplit(s, classes, SplitConfig{UseDC: true, MaxLinkLoad: 0.2, DCCapacity: 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	mm, err := SolveSplit(s, classes, SplitConfig{UseDC: true, MaxLinkLoad: 0.2, DCCapacity: 10, MaxMiss: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The max-miss objective can only improve (or match) the worst class.
+	if mm.MaxClassMiss > avg.MaxClassMiss+1e-6 {
+		t.Fatalf("max-miss objective worsened the worst class: %.4f vs %.4f", mm.MaxClassMiss, avg.MaxClassMiss)
+	}
+	if mm.MaxClassMiss < 0 || mm.MaxClassMiss > 1 {
+		t.Fatalf("MaxClassMiss out of range: %g", mm.MaxClassMiss)
+	}
+}
+
+func TestSplitClassWeights(t *testing.T) {
+	// Two classes whose reverse flow traverses a fully disjoint path
+	// (coverable only via the DC) under a link budget that cannot tunnel
+	// both reverse directions completely: the weighted class must win.
+	g := topology.New("w")
+	a := g.AddNode("a", 1)
+	c1 := g.AddNode("c1", 1)
+	b := g.AddNode("b", 1)
+	d1 := g.AddNode("d1", 1)
+	d2 := g.AddNode("d2", 1)
+	g.AddLink(a, c1)  // 0
+	g.AddLink(c1, b)  // 1
+	g.AddLink(b, d1)  // 2
+	g.AddLink(d1, d2) // 3
+	g.AddLink(d2, a)  // 4
+	tm := traffic.NewMatrix(5)
+	tm.Sessions[a][b] = 100
+	tm.Sessions[b][a] = 100
+	s := NewScenario(g, tm, ScenarioOptions{})
+	rev := topology.Path{Nodes: []int{d1, d2}, Links: []int{3}} // disjoint from a-c1-b
+	ar := &topology.AsymmetricRoutes{
+		Pairs: [][2]int{{a, b}, {b, a}},
+		Fwd:   []topology.Path{s.Routing.Path(a, b), s.Routing.Path(b, a)},
+		Rev:   []topology.Path{rev, rev.Reverse()},
+	}
+	classes := BuildSplitClasses(s, ar)
+	if len(classes[0].Common) != 0 {
+		t.Fatalf("reverse path must be disjoint, common = %v", classes[0].Common)
+	}
+	// Find a budget under which unweighted coverage is partial.
+	base := SplitConfig{UseDC: true, DCCapacity: 10, DCAttachFixed: true, DCAttach: c1}
+	var budget float64
+	for _, cand := range []float64{0.34, 0.36, 0.4, 0.45} {
+		cfg := base
+		cfg.MaxLinkLoad = cand
+		res, err := SolveSplit(s, classes, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.MissRate > 0.05 && res.MissRate < 0.95 {
+			budget = cand
+			break
+		}
+	}
+	if budget == 0 {
+		t.Fatal("no budget produced partial coverage; test topology miscalibrated")
+	}
+	cfg := base
+	cfg.MaxLinkLoad = budget
+	cfg.ClassWeights = []float64{100, 1}
+	weighted, err := SolveSplit(s, classes, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if weighted.Coverage[0] < weighted.Coverage[1]+1e-6 {
+		t.Fatalf("priority class should get coverage first: %v", weighted.Coverage)
+	}
+}
+
+func TestMultiClassTemplates(t *testing.T) {
+	g := topology.Internet2()
+	tm := traffic.GravityDefault(g)
+	s := NewScenario(g, tm, ScenarioOptions{ClassTemplates: DefaultClassTemplates()})
+	if len(s.Classes) != 3*110 {
+		t.Fatalf("classes = %d, want 330", len(s.Classes))
+	}
+	// Volume is preserved across the split.
+	if math.Abs(s.TotalSessions()-tm.Total()) > 1 {
+		t.Fatalf("total sessions %g vs matrix %g", s.TotalSessions(), tm.Total())
+	}
+	// Calibration still holds: ingress-only max load is 1.
+	if got := s.MaxIngressLoad(); math.Abs(got-1) > 1e-9 {
+		t.Fatalf("ingress max load = %g", got)
+	}
+	// Apps are distinct classes with their template footprints.
+	apps := map[string]int{}
+	for _, c := range s.Classes {
+		apps[c.App]++
+		switch c.App {
+		case "http":
+			if c.Foot[0] != 1.5 {
+				t.Fatalf("http footprint %g", c.Foot[0])
+			}
+		case "bulk":
+			if c.Size != 2.5 {
+				t.Fatalf("bulk size %g", c.Size)
+			}
+		}
+	}
+	if apps["http"] != 110 || apps["irc"] != 110 || apps["bulk"] != 110 {
+		t.Fatalf("app distribution %v", apps)
+	}
+	// The replication LP handles the 3x class count and still beats ingress.
+	a, err := SolveReplication(s, ReplicationConfig{Mirror: MirrorDCOnly, MaxLinkLoad: 0.4, DCCapacity: 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.MaxLoad() >= 0.5 {
+		t.Fatalf("multi-class replication max load %.4f", a.MaxLoad())
+	}
+	if cov := a.CoverageError(); cov > 1e-6 {
+		t.Fatalf("coverage error %g", cov)
+	}
+}
+
+func TestMultiClassBadTemplatePanics(t *testing.T) {
+	g := topology.Internet2()
+	tm := traffic.GravityDefault(g)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("want panic for footprint/resource mismatch")
+		}
+	}()
+	NewScenario(g, tm, ScenarioOptions{
+		Resources:      []Resource{CPU, Memory},
+		ClassTemplates: []ClassTemplate{{Name: "x", VolumeShare: 1, Footprints: []float64{1}}},
+	})
+}

@@ -1,0 +1,256 @@
+package core
+
+import (
+	"fmt"
+
+	"nwids/internal/lp"
+	"nwids/internal/topology"
+)
+
+// This file implements the §4 "Extensions": instead of the hard
+// MaxLinkLoad cap, model an aggregate link-utilization cost with a convex
+// piecewise-linear penalty (the Fortz-Thorup traffic-engineering cost the
+// paper cites [10]), and allow weighted node-load objectives.
+
+// LinkCostFunction is a convex piecewise-linear penalty on link utilization
+// u: cost(u) = max_i (Slope[i]·u + Intercept[i]). Segments must be ordered
+// by increasing slope for the function to be convex.
+type LinkCostFunction struct {
+	Slopes     []float64
+	Intercepts []float64
+}
+
+// FortzThorupCost returns the classic traffic-engineering link cost: almost
+// linear below 1/3 utilization, then increasingly steep penalties as the
+// link approaches and exceeds its capacity.
+func FortzThorupCost() LinkCostFunction {
+	// Breakpoints at u = 1/3, 2/3, 9/10, 1, 11/10 with slopes 1, 3, 10, 70,
+	// 500, 5000 (Fortz & Thorup 2002).
+	return LinkCostFunction{
+		Slopes:     []float64{1, 3, 10, 70, 500, 5000},
+		Intercepts: []float64{0, -2.0 / 3, -16.0 / 3, -178.0 / 3, -1468.0 / 3, -16318.0 / 3},
+	}
+}
+
+// Eval evaluates the cost function at utilization u.
+func (f LinkCostFunction) Eval(u float64) float64 {
+	if len(f.Slopes) == 0 {
+		return 0
+	}
+	best := f.Slopes[0]*u + f.Intercepts[0]
+	for i := 1; i < len(f.Slopes); i++ {
+		if v := f.Slopes[i]*u + f.Intercepts[i]; v > best {
+			best = v
+		}
+	}
+	return best
+}
+
+// SoftLinkConfig parameterizes the soft-link-cost replication variant: the
+// objective becomes LoadCost + Weight·Σ_l cost(LinkLoad_l)/numLinks, giving
+// a graceful tradeoff instead of a hard utilization cap (§4 Extensions).
+type SoftLinkConfig struct {
+	// Mirror and DC parameters as in ReplicationConfig.
+	Mirror        MirrorPolicy
+	DCCapacity    float64
+	DCAttach      int
+	DCAttachFixed bool
+	// Cost is the convex penalty (default FortzThorupCost).
+	Cost LinkCostFunction
+	// Weight scales the link-cost term against LoadCost (default 0.1).
+	Weight float64
+	// LP passes through solver options.
+	LP lp.Options
+}
+
+func (c SoftLinkConfig) withDefaults() SoftLinkConfig {
+	if c.DCCapacity == 0 {
+		c.DCCapacity = 10
+	}
+	if len(c.Cost.Slopes) == 0 {
+		c.Cost = FortzThorupCost()
+	}
+	if c.Weight == 0 {
+		c.Weight = 0.1
+	}
+	return c
+}
+
+// SoftLinkResult carries the soft-cost solve outcome.
+type SoftLinkResult struct {
+	Assignment *Assignment
+	// LinkCost is Σ_l cost(LinkLoad_l)/numLinks at the optimum.
+	LinkCost float64
+	// LoadCost is the max node-resource utilization λ.
+	LoadCost float64
+}
+
+// SolveReplicationSoftLink solves the replication formulation with the
+// piecewise-linear aggregate link cost replacing the MaxLinkLoad cap. Each
+// link gets an epigraph variable z_l ≥ Slope_i·LinkLoad_l + Intercept_i for
+// every segment, and Σ z_l /L joins the objective with the given weight.
+func SolveReplicationSoftLink(s *Scenario, cfg SoftLinkConfig) (*SoftLinkResult, error) {
+	cfg = cfg.withDefaults()
+	s.validateFinite()
+	n := s.Graph.NumNodes()
+	nR := s.NumResources()
+	hasDC := cfg.Mirror.usesDC()
+	attach := -1
+	if hasDC {
+		if cfg.DCAttachFixed {
+			attach = cfg.DCAttach
+		} else {
+			attach = DCPlacement(s)
+		}
+	}
+	dcIdx := n
+	repCfg := ReplicationConfig{Mirror: cfg.Mirror, DCCapacity: cfg.DCCapacity}.withDefaults()
+	caps := effCaps(s, hasDC, repCfg)
+
+	mirrors := make([][]int, n)
+	for j := 0; j < n; j++ {
+		switch cfg.Mirror {
+		case MirrorDCOnly:
+			mirrors[j] = []int{dcIdx}
+		case MirrorOneHop:
+			mirrors[j] = topology.KHopNeighborhood(s.Graph, j, 1)
+		case MirrorTwoHop:
+			mirrors[j] = topology.KHopNeighborhood(s.Graph, j, 2)
+		case MirrorDCPlusOneHop:
+			mirrors[j] = append(topology.KHopNeighborhood(s.Graph, j, 1), dcIdx)
+		}
+	}
+
+	prob := lp.NewProblem("replication-soft/" + s.Graph.Name())
+	lamUB := s.MaxIngressLoad()*1.0000001 + 1e-9
+	lam := prob.AddVar(0, lamUB, 1, "lambda")
+
+	covRow := make([]lp.Row, len(s.Classes))
+	for c := range s.Classes {
+		covRow[c] = prob.AddRow(1, 1, fmt.Sprintf("cov[%d]", c))
+	}
+	nNIDS := n
+	if hasDC {
+		nNIDS++
+	}
+	loadRow := make([][]lp.Row, nNIDS)
+	for j := 0; j < nNIDS; j++ {
+		loadRow[j] = make([]lp.Row, nR)
+		for r := 0; r < nR; r++ {
+			loadRow[j][r] = prob.AddRow(-lp.Inf, 0, fmt.Sprintf("load[%d,%d]", j, r))
+			prob.SetCoef(loadRow[j][r], lam, -1)
+		}
+	}
+
+	// Per-link: a load accumulator row LinkLoad_l − Σ terms = BG_l and an
+	// epigraph variable z_l with one row per cost segment.
+	L := s.Graph.NumLinks()
+	linkVar := make([]lp.Var, L) // LinkLoad_l as an explicit variable
+	zVar := make([]lp.Var, L)    // epigraph of cost(LinkLoad_l)
+	linkDef := make([]lp.Row, L) // definition row
+	linkUsed := make([]bool, L)
+	zWeight := cfg.Weight / float64(L)
+	initLink := func(l int) {
+		if linkUsed[l] {
+			return
+		}
+		linkUsed[l] = true
+		linkVar[l] = prob.AddVar(s.BG[l], lp.Inf, 0, fmt.Sprintf("u[%d]", l))
+		// u_l − Σ replication terms = BG_l
+		linkDef[l] = prob.AddRow(s.BG[l], s.BG[l], fmt.Sprintf("udef[%d]", l))
+		prob.SetCoef(linkDef[l], linkVar[l], 1)
+		zlo := cfg.Cost.Eval(s.BG[l])
+		zVar[l] = prob.AddVar(zlo, lp.Inf, zWeight, fmt.Sprintf("z[%d]", l))
+		for i := range cfg.Cost.Slopes {
+			// z ≥ slope·u + intercept  →  slope·u − z ≤ −intercept
+			row := prob.AddRow(-lp.Inf, -cfg.Cost.Intercepts[i], fmt.Sprintf("seg[%d,%d]", l, i))
+			prob.SetCoef(row, linkVar[l], cfg.Cost.Slopes[i])
+			prob.SetCoef(row, zVar[l], -1)
+		}
+	}
+
+	type pKey struct{ c, j int }
+	type oKey struct{ c, j, jp int }
+	pVar := make(map[pKey]lp.Var)
+	oVar := make(map[oKey]lp.Var)
+	var crash []lp.Var
+
+	for c := range s.Classes {
+		cl := &s.Classes[c]
+		onPath := cl.Path.NodeSet()
+		for _, j := range cl.Path.Nodes {
+			v := prob.AddVar(0, 1, 0, fmt.Sprintf("p[%d,%d]", c, j))
+			pVar[pKey{c, j}] = v
+			prob.SetCoef(covRow[c], v, 1)
+			for r := 0; r < nR; r++ {
+				prob.SetCoef(loadRow[j][r], v, cl.Foot[r]*cl.Sessions/caps[j][r])
+			}
+			if j == cl.Path.Ingress() {
+				crash = append(crash, v)
+			}
+		}
+		if cfg.Mirror == MirrorNone {
+			continue
+		}
+		for _, j := range cl.Path.Nodes {
+			for _, jp := range mirrors[j] {
+				if jp != dcIdx && onPath[jp] {
+					continue
+				}
+				v := prob.AddVar(0, 1, 0, fmt.Sprintf("o[%d,%d,%d]", c, j, jp))
+				oVar[oKey{c, j, jp}] = v
+				prob.SetCoef(covRow[c], v, 1)
+				for r := 0; r < nR; r++ {
+					prob.SetCoef(loadRow[jp][r], v, cl.Foot[r]*cl.Sessions/caps[jp][r])
+				}
+				dst := jp
+				if jp == dcIdx {
+					dst = attach
+				}
+				for _, l := range s.Routing.Path(j, dst).Links {
+					initLink(l)
+					prob.SetCoef(linkDef[l], v, -cl.Sessions*cl.Size/s.LinkCap[l])
+				}
+			}
+		}
+	}
+
+	opts := cfg.LP
+	opts.CrashBasis = crash
+	opts.AtUpper = append(opts.AtUpper, lam)
+	sol := lp.Solve(prob, opts)
+	if err := sol.Err(); err != nil {
+		return nil, fmt.Errorf("soft-link replication LP on %s: %w", s.Graph.Name(), err)
+	}
+
+	repOut := ReplicationConfig{Mirror: cfg.Mirror, DCCapacity: cfg.DCCapacity}.withDefaults()
+	a := newAssignment(s, hasDC, attach, repOut)
+	a.Objective = sol.Objective
+	a.Iterations = sol.Iterations
+	a.SolveTime = sol.SolveTime
+	for c := range s.Classes {
+		cl := &s.Classes[c]
+		onPath := cl.Path.NodeSet()
+		for _, j := range cl.Path.Nodes {
+			a.addAction(c, ActionFrac{Node: j, Via: -1, Frac: sol.Value(pVar[pKey{c, j}])})
+		}
+		if cfg.Mirror == MirrorNone {
+			continue
+		}
+		for _, j := range cl.Path.Nodes {
+			for _, jp := range mirrors[j] {
+				if jp != dcIdx && onPath[jp] {
+					continue
+				}
+				if v, ok := oVar[oKey{c, j, jp}]; ok {
+					a.addAction(c, ActionFrac{Node: jp, Via: j, Frac: sol.Value(v)})
+				}
+			}
+		}
+	}
+	res := &SoftLinkResult{Assignment: a, LoadCost: a.MaxLoad()}
+	for l := 0; l < L; l++ {
+		res.LinkCost += cfg.Cost.Eval(a.LinkLoad[l]) / float64(L)
+	}
+	return res, nil
+}

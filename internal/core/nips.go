@@ -1,0 +1,250 @@
+package core
+
+import (
+	"fmt"
+
+	"nwids/internal/lp"
+	"nwids/internal/topology"
+)
+
+// This file implements the §9 "Extending to NIPS" direction. Intrusion
+// *prevention* systems sit on the forwarding path, so traffic sent to an
+// off-path box is rerouted rather than copied, which raises the paper's two
+// issues: (1) background link loads would change if traffic left its
+// original path, and (2) legitimate traffic pays a latency penalty.
+//
+// The model used here resolves (1) with a hairpin detour: traffic diverted
+// at on-path node j travels to the NIPS node j', is processed, and returns
+// to j to continue on its original path. Background loads on original
+// paths then stay constant, while every link on the detour carries the
+// diverted volume twice (out and back). Issue (2) becomes an explicit
+// per-class latency budget: the expected extra hops per session,
+// Σ 2·dist(j,j')·o[c,j,j'], is capped.
+
+// NIPSConfig parameterizes the rerouting formulation.
+type NIPSConfig struct {
+	// Mirror selects candidate NIPS offload targets, as in §4.
+	Mirror        MirrorPolicy
+	DCCapacity    float64
+	DCAttach      int
+	DCAttachFixed bool
+	// MaxLinkLoad caps total utilization (background + detours) per link
+	// (default 0.4).
+	MaxLinkLoad float64
+	// LatencyBudget caps the expected extra hops per session for each
+	// class (default 2). A zero-latency budget forces pure on-path
+	// processing.
+	LatencyBudget float64
+	// LP passes through solver options.
+	LP lp.Options
+}
+
+func (c NIPSConfig) withDefaults() NIPSConfig {
+	if c.MaxLinkLoad == 0 {
+		c.MaxLinkLoad = 0.4
+	}
+	if c.DCCapacity == 0 {
+		c.DCCapacity = 10
+	}
+	return c
+}
+
+// NIPSResult is the rerouting solve outcome.
+type NIPSResult struct {
+	Assignment *Assignment
+	// ExtraHops[c] is the expected extra hops per session of class c.
+	ExtraHops []float64
+	// MeanExtraHops is the traffic-weighted average latency penalty.
+	MeanExtraHops float64
+}
+
+// SolveNIPS solves the rerouting variant: minimize the maximum NIPS load
+// subject to coverage, hairpin-detour link capacity, and per-class latency
+// budgets.
+func SolveNIPS(s *Scenario, cfg NIPSConfig) (*NIPSResult, error) {
+	cfg = cfg.withDefaults()
+	s.validateFinite()
+	n := s.Graph.NumNodes()
+	nR := s.NumResources()
+	hasDC := cfg.Mirror.usesDC()
+	attach := -1
+	if hasDC {
+		if cfg.DCAttachFixed {
+			attach = cfg.DCAttach
+		} else {
+			attach = DCPlacement(s)
+		}
+	}
+	dcIdx := n
+	repCfg := ReplicationConfig{Mirror: cfg.Mirror, DCCapacity: cfg.DCCapacity}.withDefaults()
+	caps := effCaps(s, hasDC, repCfg)
+
+	mirrors := make([][]int, n)
+	for j := 0; j < n; j++ {
+		switch cfg.Mirror {
+		case MirrorDCOnly:
+			mirrors[j] = []int{dcIdx}
+		case MirrorOneHop:
+			mirrors[j] = topology.KHopNeighborhood(s.Graph, j, 1)
+		case MirrorTwoHop:
+			mirrors[j] = topology.KHopNeighborhood(s.Graph, j, 2)
+		case MirrorDCPlusOneHop:
+			mirrors[j] = append(topology.KHopNeighborhood(s.Graph, j, 1), dcIdx)
+		}
+	}
+
+	prob := lp.NewProblem("nips/" + s.Graph.Name())
+	lamUB := s.MaxIngressLoad()*1.0000001 + 1e-9
+	lam := prob.AddVar(0, lamUB, 1, "lambda")
+
+	covRow := make([]lp.Row, len(s.Classes))
+	for c := range s.Classes {
+		covRow[c] = prob.AddRow(1, 1, fmt.Sprintf("cov[%d]", c))
+	}
+	nNIDS := n
+	if hasDC {
+		nNIDS++
+	}
+	loadRow := make([][]lp.Row, nNIDS)
+	for j := 0; j < nNIDS; j++ {
+		loadRow[j] = make([]lp.Row, nR)
+		for r := 0; r < nR; r++ {
+			loadRow[j][r] = prob.AddRow(-lp.Inf, 0, fmt.Sprintf("load[%d,%d]", j, r))
+			prob.SetCoef(loadRow[j][r], lam, -1)
+		}
+	}
+	linkRow := make([]lp.Row, s.Graph.NumLinks())
+	for l := range linkRow {
+		linkRow[l] = -1
+	}
+	getLinkRow := func(l int) lp.Row {
+		if linkRow[l] >= 0 {
+			return linkRow[l]
+		}
+		budget := cfg.MaxLinkLoad - s.BG[l]
+		if budget < 0 {
+			budget = 0
+		}
+		linkRow[l] = prob.AddRow(-lp.Inf, budget, fmt.Sprintf("link[%d]", l))
+		return linkRow[l]
+	}
+	// Latency rows: Σ 2·dist·o ≤ LatencyBudget per class (created lazily —
+	// classes with no offload variables need none).
+	latRow := make([]lp.Row, len(s.Classes))
+	for c := range latRow {
+		latRow[c] = -1
+	}
+	getLatRow := func(c int) lp.Row {
+		if latRow[c] >= 0 {
+			return latRow[c]
+		}
+		latRow[c] = prob.AddRow(-lp.Inf, cfg.LatencyBudget, fmt.Sprintf("lat[%d]", c))
+		return latRow[c]
+	}
+
+	type pKey struct{ c, j int }
+	type oKey struct{ c, j, jp int }
+	pVar := make(map[pKey]lp.Var)
+	oVar := make(map[oKey]lp.Var)
+	var crash []lp.Var
+
+	for c := range s.Classes {
+		cl := &s.Classes[c]
+		onPath := cl.Path.NodeSet()
+		for _, j := range cl.Path.Nodes {
+			v := prob.AddVar(0, 1, 0, fmt.Sprintf("p[%d,%d]", c, j))
+			pVar[pKey{c, j}] = v
+			prob.SetCoef(covRow[c], v, 1)
+			for r := 0; r < nR; r++ {
+				prob.SetCoef(loadRow[j][r], v, cl.Foot[r]*cl.Sessions/caps[j][r])
+			}
+			if j == cl.Path.Ingress() {
+				crash = append(crash, v)
+			}
+		}
+		if cfg.Mirror == MirrorNone {
+			continue
+		}
+		for _, j := range cl.Path.Nodes {
+			for _, jp := range mirrors[j] {
+				if jp != dcIdx && onPath[jp] {
+					continue
+				}
+				dst := jp
+				if jp == dcIdx {
+					dst = attach
+				}
+				detour := s.Routing.Path(j, dst)
+				v := prob.AddVar(0, 1, 0, fmt.Sprintf("o[%d,%d,%d]", c, j, jp))
+				oVar[oKey{c, j, jp}] = v
+				prob.SetCoef(covRow[c], v, 1)
+				for r := 0; r < nR; r++ {
+					prob.SetCoef(loadRow[jp][r], v, cl.Foot[r]*cl.Sessions/caps[jp][r])
+				}
+				// Hairpin: each detour link is traversed twice.
+				for _, l := range detour.Links {
+					prob.SetCoef(getLinkRow(l), v, 2*cl.Sessions*cl.Size/s.LinkCap[l])
+				}
+				if hops := float64(detour.Len()); hops > 0 {
+					prob.SetCoef(getLatRow(c), v, 2*hops)
+				}
+			}
+		}
+	}
+
+	opts := cfg.LP
+	opts.CrashBasis = crash
+	opts.AtUpper = append(opts.AtUpper, lam)
+	sol := lp.Solve(prob, opts)
+	if err := sol.Err(); err != nil {
+		return nil, fmt.Errorf("NIPS LP on %s: %w", s.Graph.Name(), err)
+	}
+
+	a := newAssignment(s, hasDC, attach, repCfg)
+	a.Objective = sol.Objective
+	a.Iterations = sol.Iterations
+	a.SolveTime = sol.SolveTime
+	res := &NIPSResult{Assignment: a, ExtraHops: make([]float64, len(s.Classes))}
+	var weighted, total float64
+	for c := range s.Classes {
+		cl := &s.Classes[c]
+		onPath := cl.Path.NodeSet()
+		for _, j := range cl.Path.Nodes {
+			a.addAction(c, ActionFrac{Node: j, Via: -1, Frac: sol.Value(pVar[pKey{c, j}])})
+		}
+		if cfg.Mirror != MirrorNone {
+			for _, j := range cl.Path.Nodes {
+				for _, jp := range mirrors[j] {
+					if jp != dcIdx && onPath[jp] {
+						continue
+					}
+					v, ok := oVar[oKey{c, j, jp}]
+					if !ok {
+						continue
+					}
+					f := sol.Value(v)
+					if f <= 1e-9 {
+						continue
+					}
+					dst := jp
+					if jp == dcIdx {
+						dst = attach
+					}
+					res.ExtraHops[c] += 2 * float64(s.Routing.Dist(j, dst)) * f
+					// Account the detour's second traversal on top of what
+					// addAction records for the outbound copy.
+					a.addAction(c, ActionFrac{Node: jp, Via: j, Frac: f})
+					for _, l := range s.Routing.Path(j, dst).Links {
+						a.LinkLoad[l] += cl.Sessions * cl.Size * f / s.LinkCap[l]
+					}
+				}
+			}
+		}
+		weighted += res.ExtraHops[c] * cl.Sessions
+		total += cl.Sessions
+	}
+	if total > 0 {
+		res.MeanExtraHops = weighted / total
+	}
+	return res, nil
+}

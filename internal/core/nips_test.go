@@ -1,0 +1,93 @@
+package core
+
+import (
+	"math"
+	"testing"
+)
+
+func TestNIPSZeroLatencyEqualsOnPath(t *testing.T) {
+	s := internet2Scenario(t)
+	nips, err := SolveNIPS(s, NIPSConfig{Mirror: MirrorDCOnly, LatencyBudget: 0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A zero budget forbids all detours with hops > 0, but offload from the
+	// attachment PoP to its co-located NIPS cluster is latency-free, so the
+	// optimum sits at-or-below pure on-path.
+	onPath, err := SolveReplication(s, ReplicationConfig{Mirror: MirrorNone})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if nips.Assignment.MaxLoad() > onPath.MaxLoad()+1e-6 {
+		t.Fatalf("NIPS with zero latency %.4f worse than on-path %.4f",
+			nips.Assignment.MaxLoad(), onPath.MaxLoad())
+	}
+	if nips.MeanExtraHops > 1e-9 {
+		t.Fatalf("zero budget but %.4g mean extra hops", nips.MeanExtraHops)
+	}
+	for c, h := range nips.ExtraHops {
+		if h > 1e-9 {
+			t.Fatalf("class %d pays %.4g extra hops under zero budget", c, h)
+		}
+	}
+}
+
+func TestNIPSLatencyBudgetMonotone(t *testing.T) {
+	s := internet2Scenario(t)
+	prev := math.Inf(1)
+	for _, budget := range []float64{0, 0.5, 1, 2, 6} {
+		r, err := SolveNIPS(s, NIPSConfig{Mirror: MirrorDCOnly, LatencyBudget: budget, MaxLinkLoad: 0.4})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if r.Assignment.MaxLoad() > prev+1e-6 {
+			t.Fatalf("load increased with latency budget at %.1f", budget)
+		}
+		prev = r.Assignment.MaxLoad()
+		// Budgets are honored per class.
+		for c, h := range r.ExtraHops {
+			if h > budget+1e-6 {
+				t.Fatalf("class %d extra hops %.4f exceed budget %.1f", c, h, budget)
+			}
+		}
+	}
+}
+
+func TestNIPSLooseBudgetNearReplication(t *testing.T) {
+	s := internet2Scenario(t)
+	nips, err := SolveNIPS(s, NIPSConfig{Mirror: MirrorDCOnly, LatencyBudget: 20, MaxLinkLoad: 0.4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := SolveReplication(s, ReplicationConfig{Mirror: MirrorDCOnly, MaxLinkLoad: 0.4, DCCapacity: 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The hairpin consumes twice the link bandwidth of a replication copy,
+	// so NIPS can't beat NIDS replication — but with a loose latency budget
+	// it should land within 2×.
+	if nips.Assignment.MaxLoad() < rep.MaxLoad()-1e-6 {
+		t.Fatalf("NIPS %.4f beat replication %.4f: impossible", nips.Assignment.MaxLoad(), rep.MaxLoad())
+	}
+	if nips.Assignment.MaxLoad() > 2*rep.MaxLoad() {
+		t.Fatalf("NIPS %.4f too far from replication %.4f", nips.Assignment.MaxLoad(), rep.MaxLoad())
+	}
+	if err := nips.Assignment.CoverageError(); err > 1e-6 {
+		t.Fatalf("coverage error %g", err)
+	}
+}
+
+func TestNIPSHairpinLinkAccounting(t *testing.T) {
+	s := internet2Scenario(t)
+	r, err := SolveNIPS(s, NIPSConfig{Mirror: MirrorDCOnly, LatencyBudget: 6, MaxLinkLoad: 0.4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Total link load (background + both detour directions) must respect
+	// the cap on every link that carries detours.
+	for l, v := range r.Assignment.LinkLoad {
+		if v > math.Max(0.4, s.BG[l])+1e-6 {
+			t.Fatalf("link %d at %.4f exceeds the NIPS cap", l, v)
+		}
+	}
+}

@@ -1,0 +1,77 @@
+package core
+
+import "nwids/internal/topology"
+
+// PlacementStrategy names the four datacenter placement heuristics the
+// paper studies in §8.2.
+type PlacementStrategy int
+
+// Placement strategies.
+const (
+	// PlaceMostOriginating puts the DC at the PoP from which the most
+	// traffic originates.
+	PlaceMostOriginating PlacementStrategy = iota
+	// PlaceMostObserving puts the DC at the PoP that observes the most
+	// traffic including transit — the paper's recommended choice.
+	PlaceMostObserving
+	// PlaceMostPaths puts the DC on the PoP lying on the most end-to-end
+	// shortest paths.
+	PlaceMostPaths
+	// PlaceMedoid puts the DC at the PoP with the smallest average
+	// distance to every other PoP.
+	PlaceMedoid
+)
+
+// String implements fmt.Stringer.
+func (p PlacementStrategy) String() string {
+	switch p {
+	case PlaceMostOriginating:
+		return "most-originating"
+	case PlaceMostObserving:
+		return "most-observing"
+	case PlaceMostPaths:
+		return "most-paths"
+	case PlaceMedoid:
+		return "medoid"
+	default:
+		return "unknown-placement"
+	}
+}
+
+// PlacementStrategies lists all four strategies in §8.2 order.
+func PlacementStrategies() []PlacementStrategy {
+	return []PlacementStrategy{PlaceMostOriginating, PlaceMostObserving, PlaceMostPaths, PlaceMedoid}
+}
+
+// volumeLookup builds the traffic-volume function for placement heuristics
+// from the scenario's classes.
+func (s *Scenario) volumeLookup() func(a, b int) float64 {
+	n := s.Graph.NumNodes()
+	vol := make([]float64, n*n)
+	for _, c := range s.Classes {
+		vol[c.Src*n+c.Dst] += c.Sessions
+	}
+	return func(a, b int) float64 { return vol[a*n+b] }
+}
+
+// Place returns the PoP chosen by the given strategy for this scenario.
+func Place(s *Scenario, strategy PlacementStrategy) int {
+	switch strategy {
+	case PlaceMostOriginating:
+		return topology.MostOriginatingNode(s.Graph, s.volumeLookup())
+	case PlaceMostObserving:
+		return topology.MostObservingNode(s.Routing, s.volumeLookup())
+	case PlaceMostPaths:
+		return topology.MostPathsNode(s.Routing)
+	case PlaceMedoid:
+		return topology.MedoidNode(s.Routing)
+	default:
+		panic("core: unknown placement strategy")
+	}
+}
+
+// DCPlacement returns the paper's default datacenter location for the
+// scenario: the PoP observing the most traffic including transit.
+func DCPlacement(s *Scenario) int {
+	return Place(s, PlaceMostObserving)
+}

@@ -1,0 +1,36 @@
+package core
+
+import (
+	"testing"
+	"time"
+
+	"nwids/internal/topology"
+	"nwids/internal/traffic"
+)
+
+// TestScaleTiming exercises the replication LP at evaluation scale and logs
+// solve times (Table 1's subject). The two largest topologies are skipped
+// in -short mode.
+func TestScaleTiming(t *testing.T) {
+	names := []string{"Geant", "TiNet"}
+	if !testing.Short() {
+		names = append(names, "Sprint", "NTT")
+	}
+	for _, name := range names {
+		g := topology.ByName(name)
+		s := NewScenario(g, traffic.GravityDefault(g), ScenarioOptions{})
+		start := time.Now()
+		a, err := SolveReplication(s, ReplicationConfig{Mirror: MirrorDCOnly, MaxLinkLoad: 0.4, DCCapacity: 10})
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if a.MaxLoad() >= 1 {
+			t.Fatalf("%s: replication should beat ingress-only, got %.4f", name, a.MaxLoad())
+		}
+		if cov := a.CoverageError(); cov > 1e-6 {
+			t.Fatalf("%s: coverage error %g", name, cov)
+		}
+		t.Logf("%s: %d classes, solve=%v iters=%d maxload=%.4f",
+			name, len(s.Classes), time.Since(start), a.Iterations, a.MaxLoad())
+	}
+}

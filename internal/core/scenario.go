@@ -1,0 +1,392 @@
+// Package core implements the paper's contribution: the network-wide NIDS
+// controller. It builds and solves the three LP formulations — replication
+// (§4), split-traffic analysis under routing asymmetry (§5) and aggregation
+// (§6) — over a Scenario (topology + traffic + provisioning), supports the
+// baseline architectures the evaluation compares against, and compiles LP
+// solutions into the per-node hash-range configurations executed by the
+// shim layer (§7.1).
+package core
+
+import (
+	"fmt"
+	"math"
+
+	"nwids/internal/topology"
+	"nwids/internal/traffic"
+)
+
+// Resource identifies a NIDS hardware resource dimension (§3: CPU cycles,
+// resident memory, ...).
+type Resource int
+
+// Default resources.
+const (
+	CPU Resource = iota
+	Memory
+)
+
+// resourceNames maps resources to display names.
+var resourceNames = [...]string{"cpu", "memory"}
+
+// String implements fmt.Stringer.
+func (r Resource) String() string {
+	if int(r) < len(resourceNames) {
+		return resourceNames[r]
+	}
+	return fmt.Sprintf("resource(%d)", int(r))
+}
+
+// Class is one traffic class (§3): an aggregate of end-to-end sessions
+// between an ingress-egress PoP pair sharing a routing path.
+type Class struct {
+	ID       int
+	Src, Dst int
+	// App names the application class ("aggregate" for the default
+	// single-class evaluation setup).
+	App string
+	// Path is the symmetric routing path Pc.
+	Path topology.Path
+	// Sessions is |Tc|, the session volume of the class.
+	Sessions float64
+	// Size is the mean per-session size in relative byte units (Size_c),
+	// used for replication link loads.
+	Size float64
+	// Foot[r] is the per-session footprint F_c^r on resource r.
+	Foot []float64
+	// Rec is the per-session intermediate-report size in bytes (Rec_c),
+	// used by the aggregation formulation.
+	Rec float64
+}
+
+// ClassTemplate describes one application-level traffic class sharing a
+// PoP pair's path (§3: "the classes corresponding to HTTP and IRC between
+// the same pair of prefixes are distinct logical classes but still traverse
+// the same path"). VolumeShare values are normalized over the template set.
+type ClassTemplate struct {
+	// Name labels the application class (e.g. "http").
+	Name string
+	// VolumeShare is the fraction of each pair's sessions in this class.
+	VolumeShare float64
+	// Footprints[r] is the per-session cost on each modeled resource
+	// (e.g. HTTP payload inspection is pricier than bulk transfer).
+	Footprints []float64
+	// Size is the per-session byte volume in relative units.
+	Size float64
+	// Rec is the per-session aggregation report size in bytes.
+	Rec float64
+}
+
+// ScenarioOptions configure scenario construction.
+type ScenarioOptions struct {
+	// Resources lists the resource dimensions to model; nil means {CPU}.
+	Resources []Resource
+	// Footprints[r] is the per-session footprint on Resources[r]; nil means
+	// 1.0 for every resource. Ignored when ClassTemplates is set.
+	Footprints []float64
+	// SessionSize is Size_c in relative units (default 1). Ignored when
+	// ClassTemplates is set.
+	SessionSize float64
+	// RecBytes is the per-session aggregation report size (default 8).
+	RecBytes float64
+	// LinkCapHeadroom sets LinkCap to headroom × the most congested link's
+	// background volume (default 3, giving max BG load ≈ 0.33 as in §8.2).
+	LinkCapHeadroom float64
+	// ClassTemplates, when non-empty, splits every PoP pair's volume into
+	// one class per template with per-application footprints and sizes,
+	// instead of the single aggregate class the evaluation defaults to.
+	ClassTemplates []ClassTemplate
+}
+
+// DefaultClassTemplates returns a three-application mix with footprints in
+// the spirit of Dreger et al.'s per-analysis cost measurements the paper
+// cites [8]: payload-heavy HTTP, chatty IRC, and bulk transfer.
+func DefaultClassTemplates() []ClassTemplate {
+	return []ClassTemplate{
+		{Name: "http", VolumeShare: 0.6, Footprints: []float64{1.5}, Size: 1.0, Rec: 8},
+		{Name: "irc", VolumeShare: 0.1, Footprints: []float64{0.8}, Size: 0.2, Rec: 8},
+		{Name: "bulk", VolumeShare: 0.3, Footprints: []float64{0.4}, Size: 2.5, Rec: 8},
+	}
+}
+
+func (o ScenarioOptions) withDefaults() ScenarioOptions {
+	if o.Resources == nil {
+		o.Resources = []Resource{CPU}
+	}
+	if o.Footprints == nil {
+		o.Footprints = make([]float64, len(o.Resources))
+		for i := range o.Footprints {
+			o.Footprints[i] = 1
+		}
+	}
+	if o.SessionSize == 0 {
+		o.SessionSize = 1
+	}
+	if o.RecBytes == 0 {
+		o.RecBytes = 8
+	}
+	if o.LinkCapHeadroom == 0 {
+		o.LinkCapHeadroom = 3
+	}
+	return o
+}
+
+// Scenario is the controller's view of the network (§3): traffic classes
+// with routing paths, per-class resource footprints, NIDS hardware
+// capacities and link capacities. Node capacities are calibrated so that
+// today's ingress-only deployment has a maximum compute load of exactly 1
+// (§8.2), and link capacities give the most congested link a background
+// load of 1/headroom.
+type Scenario struct {
+	Graph   *topology.Graph
+	Routing *topology.Routing
+	Classes []Class
+
+	Resources []Resource
+	// NodeCap[j][r] is Cap_j^r for PoP NIDS node j.
+	NodeCap [][]float64
+	// LinkCap[l] is the capacity of link l in Size units per epoch.
+	LinkCap []float64
+	// BG[l] is the background utilization of link l in [0, ...] under the
+	// scenario's traffic (can exceed typical targets under variability).
+	BG []float64
+
+	opts ScenarioOptions
+}
+
+// NewScenario builds a scenario for graph g and traffic matrix tm,
+// calibrating node and link capacities per §8.2.
+func NewScenario(g *topology.Graph, tm *traffic.Matrix, opts ScenarioOptions) *Scenario {
+	if g.NumNodes() != tm.N {
+		panic(fmt.Sprintf("core: matrix is %d×%d but topology has %d nodes", tm.N, tm.N, g.NumNodes()))
+	}
+	if !g.Connected() {
+		panic(fmt.Sprintf("core: topology %q is disconnected", g.Name()))
+	}
+	opts = opts.withDefaults()
+	s := &Scenario{
+		Graph:     g,
+		Routing:   g.ShortestPaths(),
+		Resources: opts.Resources,
+		opts:      opts,
+	}
+	s.buildClasses(tm)
+
+	// Link capacities: headroom × the most congested link's volume.
+	vol := s.linkVolumes()
+	maxVol := 0.0
+	for _, v := range vol {
+		if v > maxVol {
+			maxVol = v
+		}
+	}
+	if maxVol == 0 {
+		maxVol = 1
+	}
+	s.LinkCap = make([]float64, g.NumLinks())
+	for l := range s.LinkCap {
+		s.LinkCap[l] = opts.LinkCapHeadroom * maxVol
+	}
+	s.computeBG()
+
+	// Node capacities: the maximum ingress-only requirement, per resource,
+	// provisioned identically at every node.
+	nR := len(opts.Resources)
+	maxReq := make([]float64, nR)
+	req := make([][]float64, g.NumNodes())
+	for j := range req {
+		req[j] = make([]float64, nR)
+	}
+	for _, c := range s.Classes {
+		for r := 0; r < nR; r++ {
+			req[c.Path.Ingress()][r] += c.Foot[r] * c.Sessions
+		}
+	}
+	for j := range req {
+		for r := 0; r < nR; r++ {
+			if req[j][r] > maxReq[r] {
+				maxReq[r] = req[j][r]
+			}
+		}
+	}
+	for r := 0; r < nR; r++ {
+		if maxReq[r] == 0 {
+			maxReq[r] = 1
+		}
+	}
+	s.NodeCap = make([][]float64, g.NumNodes())
+	for j := range s.NodeCap {
+		s.NodeCap[j] = append([]float64(nil), maxReq...)
+	}
+	return s
+}
+
+// buildClasses creates the traffic classes: one aggregate class per
+// ordered PoP pair by default, or one class per (pair, application
+// template) when ClassTemplates is configured.
+func (s *Scenario) buildClasses(tm *traffic.Matrix) {
+	s.Classes = s.Classes[:0]
+	n := s.Graph.NumNodes()
+	templates := s.opts.ClassTemplates
+	if len(templates) == 0 {
+		templates = []ClassTemplate{{
+			Name:        "aggregate",
+			VolumeShare: 1,
+			Footprints:  s.opts.Footprints,
+			Size:        s.opts.SessionSize,
+			Rec:         s.opts.RecBytes,
+		}}
+	}
+	var shareTotal float64
+	for _, t := range templates {
+		shareTotal += t.VolumeShare
+	}
+	if shareTotal <= 0 {
+		panic("core: class templates have no volume")
+	}
+	for a := 0; a < n; a++ {
+		for b := 0; b < n; b++ {
+			if a == b || tm.Volume(a, b) == 0 {
+				continue
+			}
+			for _, t := range templates {
+				if t.VolumeShare <= 0 {
+					continue
+				}
+				foot := t.Footprints
+				if foot == nil {
+					foot = s.opts.Footprints
+				}
+				if len(foot) != len(s.opts.Resources) {
+					panic(fmt.Sprintf("core: template %q has %d footprints for %d resources",
+						t.Name, len(foot), len(s.opts.Resources)))
+				}
+				size := t.Size
+				if size == 0 {
+					size = s.opts.SessionSize
+				}
+				rec := t.Rec
+				if rec == 0 {
+					rec = s.opts.RecBytes
+				}
+				s.Classes = append(s.Classes, Class{
+					ID:       len(s.Classes),
+					Src:      a,
+					Dst:      b,
+					App:      t.Name,
+					Path:     s.Routing.Path(a, b),
+					Sessions: tm.Volume(a, b) * t.VolumeShare / shareTotal,
+					Size:     size,
+					Foot:     append([]float64(nil), foot...),
+					Rec:      rec,
+				})
+			}
+		}
+	}
+}
+
+// linkVolumes returns the background traffic volume on each link in Size
+// units per epoch under the current classes.
+func (s *Scenario) linkVolumes() []float64 {
+	vol := make([]float64, s.Graph.NumLinks())
+	for _, c := range s.Classes {
+		for _, l := range c.Path.Links {
+			vol[l] += c.Sessions * c.Size
+		}
+	}
+	return vol
+}
+
+func (s *Scenario) computeBG() {
+	vol := s.linkVolumes()
+	s.BG = make([]float64, len(vol))
+	for l, v := range vol {
+		s.BG[l] = v / s.LinkCap[l]
+	}
+}
+
+// WithMatrix returns a scenario with classes and background loads rebuilt
+// for a new traffic matrix while keeping the provisioned node and link
+// capacities, modeling traffic variability against fixed hardware (§8.2).
+func (s *Scenario) WithMatrix(tm *traffic.Matrix) *Scenario {
+	if tm.N != s.Graph.NumNodes() {
+		panic("core: WithMatrix dimension mismatch")
+	}
+	c := &Scenario{
+		Graph:     s.Graph,
+		Routing:   s.Routing,
+		Resources: s.Resources,
+		NodeCap:   s.NodeCap,
+		LinkCap:   s.LinkCap,
+		opts:      s.opts,
+	}
+	c.buildClasses(tm)
+	c.computeBG()
+	return c
+}
+
+// TotalSessions returns Σ|Tc|.
+func (s *Scenario) TotalSessions() float64 {
+	var t float64
+	for _, c := range s.Classes {
+		t += c.Sessions
+	}
+	return t
+}
+
+// NumResources returns the number of modeled resource dimensions.
+func (s *Scenario) NumResources() int { return len(s.Resources) }
+
+// IngressLoads returns the per-node, per-resource load fractions of
+// today's ingress-only deployment (Figure 1): every class processed
+// entirely at its path ingress.
+func (s *Scenario) IngressLoads() [][]float64 {
+	n := s.Graph.NumNodes()
+	loads := make([][]float64, n)
+	for j := range loads {
+		loads[j] = make([]float64, s.NumResources())
+	}
+	for _, c := range s.Classes {
+		j := c.Path.Ingress()
+		for r := range c.Foot {
+			loads[j][r] += c.Foot[r] * c.Sessions / s.NodeCap[j][r]
+		}
+	}
+	return loads
+}
+
+// MaxIngressLoad returns the maximum ingress-only load fraction over all
+// node-resource pairs; 1.0 by construction for the calibrating matrix.
+func (s *Scenario) MaxIngressLoad() float64 {
+	var worst float64
+	for _, row := range s.IngressLoads() {
+		for _, v := range row {
+			if v > worst {
+				worst = v
+			}
+		}
+	}
+	return worst
+}
+
+// MaxBG returns the highest background link utilization.
+func (s *Scenario) MaxBG() float64 {
+	var worst float64
+	for _, v := range s.BG {
+		if v > worst {
+			worst = v
+		}
+	}
+	return worst
+}
+
+// validateFinite panics on NaN/Inf capacities, catching bad calibrations
+// early rather than deep inside the simplex.
+func (s *Scenario) validateFinite() {
+	for j, row := range s.NodeCap {
+		for r, v := range row {
+			if v <= 0 || math.IsNaN(v) || math.IsInf(v, 0) {
+				panic(fmt.Sprintf("core: node %d resource %d has capacity %g", j, r, v))
+			}
+		}
+	}
+}

@@ -1,0 +1,366 @@
+package core
+
+import (
+	"fmt"
+	"time"
+
+	"nwids/internal/lp"
+	"nwids/internal/topology"
+)
+
+// SplitClass is a traffic class under routing asymmetry (§5): the forward
+// and reverse directions of its sessions may traverse different paths, and
+// stateful analysis only counts when both directions are observed together.
+type SplitClass struct {
+	ID  int
+	Src int
+	Dst int
+	// Fwd and Rev are the directional paths; Common lists the nodes on both.
+	Fwd, Rev topology.Path
+	Common   []int
+	Sessions float64
+	Size     float64
+	Foot     []float64
+}
+
+// BuildSplitClasses derives split classes from a scenario's class volumes
+// and an emulated asymmetric-routing configuration.
+func BuildSplitClasses(s *Scenario, ar *topology.AsymmetricRoutes) []SplitClass {
+	vol := s.volumeLookup()
+	var out []SplitClass
+	for i, pr := range ar.Pairs {
+		v := vol(pr[0], pr[1])
+		if v == 0 {
+			continue
+		}
+		out = append(out, SplitClass{
+			ID:       len(out),
+			Src:      pr[0],
+			Dst:      pr[1],
+			Fwd:      ar.Fwd[i],
+			Rev:      ar.Rev[i],
+			Common:   topology.Intersect(ar.Fwd[i], ar.Rev[i]),
+			Sessions: v,
+			Size:     s.opts.SessionSize,
+			Foot:     append([]float64(nil), s.opts.Footprints...),
+		})
+	}
+	return out
+}
+
+// SplitConfig parameterizes the split-traffic formulation (§5).
+type SplitConfig struct {
+	// UseDC enables replication of either direction to a single datacenter
+	// mirror ("DC-0.4" in Fig 16/17); without it only common nodes can
+	// provide coverage ("Path").
+	UseDC bool
+	// MaxLinkLoad bounds replication-induced link utilization (default 0.4).
+	MaxLinkLoad float64
+	// DCCapacity is the DC capacity multiple (default 10).
+	DCCapacity float64
+	// DCAttach / DCAttachFixed as in ReplicationConfig.
+	DCAttach      int
+	DCAttachFixed bool
+	// Gamma is the miss-rate penalty weight γ (default 100): large enough
+	// that the optimizer prioritizes coverage over load.
+	Gamma float64
+	// MaxMiss switches the objective to penalize the worst class instead of
+	// the traffic-weighted average (§5 Extensions: MissRate =
+	// max_c (1 − cov_c)), equalizing coverage across classes.
+	MaxMiss bool
+	// ClassWeights optionally scales each class's miss penalty (§5
+	// Extensions: priority traffic). Indexed by SplitClass.ID; missing or
+	// nonpositive entries default to 1. Ignored when MaxMiss is set.
+	ClassWeights []float64
+	// LP passes through solver options.
+	LP lp.Options
+}
+
+func (c SplitConfig) withDefaults() SplitConfig {
+	if c.MaxLinkLoad == 0 {
+		c.MaxLinkLoad = 0.4
+	}
+	if c.DCCapacity == 0 {
+		c.DCCapacity = 10
+	}
+	if c.Gamma == 0 {
+		c.Gamma = 100
+	}
+	return c
+}
+
+// SplitResult is the outcome of a split-traffic solve.
+type SplitResult struct {
+	// MissRate is the traffic-weighted fraction with effective coverage < 1
+	// (Eq 11).
+	MissRate float64
+	// MaxClassMiss is the worst per-class miss, max_c (1 − cov_c) (§5
+	// Extensions).
+	MaxClassMiss float64
+	// Coverage[c] is the effective coverage min(covFwd, covRev, 1).
+	Coverage []float64
+	// NodeLoad[j][r] includes the DC (last row) when UseDC.
+	NodeLoad [][]float64
+	// MaxLoad is the maximum node-resource utilization.
+	MaxLoad float64
+	// LinkLoad is total link utilization including background.
+	LinkLoad   []float64
+	HasDC      bool
+	DCAttach   int
+	Objective  float64
+	Iterations int
+	SolveTime  time.Duration
+}
+
+// IngressSplit evaluates today's ingress-only deployment under routing
+// asymmetry without an LP: the forward ingress can run the stateful
+// analysis only when the reverse path also passes through it; otherwise the
+// session cannot be analyzed anywhere and is missed.
+func IngressSplit(s *Scenario, classes []SplitClass) *SplitResult {
+	nR := s.NumResources()
+	res := &SplitResult{
+		Coverage: make([]float64, len(classes)),
+		NodeLoad: make([][]float64, s.Graph.NumNodes()),
+		LinkLoad: append([]float64(nil), s.BG...),
+	}
+	for j := range res.NodeLoad {
+		res.NodeLoad[j] = make([]float64, nR)
+	}
+	var missed, total float64
+	for i, cl := range classes {
+		total += cl.Sessions
+		ing := cl.Fwd.Ingress()
+		if cl.Rev.Contains(ing) {
+			res.Coverage[i] = 1
+			for r := 0; r < nR; r++ {
+				res.NodeLoad[ing][r] += cl.Foot[r] * cl.Sessions / s.NodeCap[ing][r]
+			}
+		} else {
+			missed += cl.Sessions
+		}
+	}
+	if total > 0 {
+		res.MissRate = missed / total
+	}
+	res.MaxLoad = maxOver(res.NodeLoad)
+	return res
+}
+
+// SolveSplit solves the split-traffic LP (§5): minimize LoadCost + γ·MissRate
+// where coverage of each class is the minimum of its forward and reverse
+// coverage. Common nodes process sessions locally; with UseDC, any forward
+// (reverse) path node may replicate its direction to the datacenter, whose
+// observation of both directions restores stateful coverage.
+func SolveSplit(s *Scenario, classes []SplitClass, cfg SplitConfig) (*SplitResult, error) {
+	cfg = cfg.withDefaults()
+	s.validateFinite()
+	n := s.Graph.NumNodes()
+	nR := s.NumResources()
+	attach := -1
+	if cfg.UseDC {
+		if cfg.DCAttachFixed {
+			attach = cfg.DCAttach
+		} else {
+			attach = DCPlacement(s)
+		}
+	}
+	repCfg := ReplicationConfig{DCCapacity: cfg.DCCapacity}.withDefaults()
+	caps := effCaps(s, cfg.UseDC, repCfg)
+	nNIDS := n
+	if cfg.UseDC {
+		nNIDS++
+	}
+
+	total := 0.0
+	for _, cl := range classes {
+		total += cl.Sessions
+	}
+	if total == 0 {
+		return nil, fmt.Errorf("split LP on %s: no traffic", s.Graph.Name())
+	}
+
+	prob := lp.NewProblem("split/" + s.Graph.Name())
+	lam := prob.AddVar(0, lp.Inf, 1, "lambda")
+	// With the MaxMiss extension, a single variable mm ≥ 1 − cov_c for all
+	// classes carries the γ penalty instead of the per-class terms.
+	var maxMiss lp.Var = -1
+	if cfg.MaxMiss {
+		maxMiss = prob.AddVar(0, 1, cfg.Gamma, "maxmiss")
+	}
+	classWeight := func(ci int) float64 {
+		if ci < len(cfg.ClassWeights) && cfg.ClassWeights[ci] > 0 {
+			return cfg.ClassWeights[ci]
+		}
+		return 1
+	}
+
+	loadRow := make([][]lp.Row, nNIDS)
+	for j := 0; j < nNIDS; j++ {
+		loadRow[j] = make([]lp.Row, nR)
+		for r := 0; r < nR; r++ {
+			loadRow[j][r] = prob.AddRow(-lp.Inf, 0, fmt.Sprintf("load[%d,%d]", j, r))
+			prob.SetCoef(loadRow[j][r], lam, -1)
+		}
+	}
+	linkRow := make([]lp.Row, s.Graph.NumLinks())
+	for l := range linkRow {
+		linkRow[l] = -1
+	}
+	getLinkRow := func(l int) lp.Row {
+		if linkRow[l] >= 0 {
+			return linkRow[l]
+		}
+		budget := cfg.MaxLinkLoad - s.BG[l]
+		if budget < 0 {
+			budget = 0
+		}
+		linkRow[l] = prob.AddRow(-lp.Inf, budget, fmt.Sprintf("link[%d]", l))
+		return linkRow[l]
+	}
+
+	covVar := make([]lp.Var, len(classes))
+	type pk struct{ c, j int }
+	pVar := make(map[pk]lp.Var)
+
+	for ci := range classes {
+		cl := &classes[ci]
+		// cov, with objective weight −γ·w_c·|Tc|/total (minimizing misses);
+		// under MaxMiss the per-class weight moves to the shared epigraph.
+		covObj := -cfg.Gamma * classWeight(ci) * cl.Sessions / total
+		if cfg.MaxMiss {
+			covObj = 0
+		}
+		cov := prob.AddVar(0, 1, covObj, fmt.Sprintf("cov[%d]", ci))
+		covVar[ci] = cov
+		if cfg.MaxMiss {
+			// mm ≥ 1 − cov → cov + mm ≥ 1.
+			row := prob.AddRow(1, lp.Inf, fmt.Sprintf("mm[%d]", ci))
+			prob.SetCoef(row, cov, 1)
+			prob.SetCoef(row, maxMiss, 1)
+		}
+		// covFwd/covRev defined by equality rows; cov ≤ each.
+		covF := prob.AddVar(0, lp.Inf, 0, fmt.Sprintf("covF[%d]", ci))
+		covR := prob.AddVar(0, lp.Inf, 0, fmt.Sprintf("covR[%d]", ci))
+		defF := prob.AddRow(0, 0, fmt.Sprintf("defF[%d]", ci))
+		prob.SetCoef(defF, covF, -1)
+		defR := prob.AddRow(0, 0, fmt.Sprintf("defR[%d]", ci))
+		prob.SetCoef(defR, covR, -1)
+		minF := prob.AddRow(-lp.Inf, 0, fmt.Sprintf("minF[%d]", ci)) // cov − covF ≤ 0
+		prob.SetCoef(minF, cov, 1)
+		prob.SetCoef(minF, covF, -1)
+		minR := prob.AddRow(-lp.Inf, 0, fmt.Sprintf("minR[%d]", ci))
+		prob.SetCoef(minR, cov, 1)
+		prob.SetCoef(minR, covR, -1)
+
+		// Local processing at common nodes covers both directions.
+		for _, j := range cl.Common {
+			v := prob.AddVar(0, 1, 0, fmt.Sprintf("p[%d,%d]", ci, j))
+			pVar[pk{ci, j}] = v
+			prob.SetCoef(defF, v, 1)
+			prob.SetCoef(defR, v, 1)
+			for r := 0; r < nR; r++ {
+				prob.SetCoef(loadRow[j][r], v, cl.Foot[r]*cl.Sessions/caps[j][r])
+			}
+		}
+		if !cfg.UseDC {
+			continue
+		}
+		// Directional offload to the DC: each direction carries half the
+		// session's footprint and half its bytes.
+		addDir := func(path topology.Path, defRow lp.Row, tag string) {
+			for _, j := range path.Nodes {
+				v := prob.AddVar(0, 1, 0, fmt.Sprintf("o%s[%d,%d]", tag, ci, j))
+				pVar[pk{ci, encodeDir(tag, j)}] = v
+				prob.SetCoef(defRow, v, 1)
+				for r := 0; r < nR; r++ {
+					prob.SetCoef(loadRow[n][r], v, 0.5*cl.Foot[r]*cl.Sessions/caps[n][r])
+				}
+				for _, l := range s.Routing.Path(j, attach).Links {
+					prob.SetCoef(getLinkRow(l), v, 0.5*cl.Sessions*cl.Size/s.LinkCap[l])
+				}
+			}
+		}
+		addDir(cl.Fwd, defF, "f")
+		addDir(cl.Rev, defR, "r")
+	}
+
+	sol := lp.Solve(prob, cfg.LP)
+	if err := sol.Err(); err != nil {
+		return nil, fmt.Errorf("split LP on %s: %w", s.Graph.Name(), err)
+	}
+
+	res := &SplitResult{
+		Coverage:   make([]float64, len(classes)),
+		NodeLoad:   make([][]float64, nNIDS),
+		LinkLoad:   append([]float64(nil), s.BG...),
+		HasDC:      cfg.UseDC,
+		DCAttach:   attach,
+		Objective:  sol.Objective,
+		Iterations: sol.Iterations,
+		SolveTime:  sol.SolveTime,
+	}
+	for j := range res.NodeLoad {
+		res.NodeLoad[j] = make([]float64, nR)
+	}
+	var missed float64
+	for ci := range classes {
+		cl := &classes[ci]
+		res.Coverage[ci] = sol.Value(covVar[ci])
+		missed += (1 - res.Coverage[ci]) * cl.Sessions
+		if m := 1 - res.Coverage[ci]; m > res.MaxClassMiss {
+			res.MaxClassMiss = m
+		}
+		for _, j := range cl.Common {
+			f := sol.Value(pVar[pk{ci, j}])
+			if f <= 1e-9 {
+				continue
+			}
+			for r := 0; r < nR; r++ {
+				res.NodeLoad[j][r] += cl.Foot[r] * cl.Sessions * f / caps[j][r]
+			}
+		}
+		if !cfg.UseDC {
+			continue
+		}
+		acctDir := func(path topology.Path, tag string) {
+			for _, j := range path.Nodes {
+				f := sol.Value(pVar[pk{ci, encodeDir(tag, j)}])
+				if f <= 1e-9 {
+					continue
+				}
+				for r := 0; r < nR; r++ {
+					res.NodeLoad[n][r] += 0.5 * cl.Foot[r] * cl.Sessions * f / caps[n][r]
+				}
+				for _, l := range s.Routing.Path(j, attach).Links {
+					res.LinkLoad[l] += 0.5 * cl.Sessions * cl.Size * f / s.LinkCap[l]
+				}
+			}
+		}
+		acctDir(cl.Fwd, "f")
+		acctDir(cl.Rev, "r")
+	}
+	res.MissRate = missed / total
+	res.MaxLoad = maxOver(res.NodeLoad)
+	return res, nil
+}
+
+// encodeDir packs a directional offload key so directional variables do not
+// collide with common-node p variables in the shared map.
+func encodeDir(tag string, j int) int {
+	if tag == "f" {
+		return 1_000_000 + j
+	}
+	return 2_000_000 + j
+}
+
+func maxOver(load [][]float64) float64 {
+	var worst float64
+	for _, row := range load {
+		for _, v := range row {
+			if v > worst {
+				worst = v
+			}
+		}
+	}
+	return worst
+}

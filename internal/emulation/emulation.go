@@ -1,0 +1,372 @@
+// Package emulation is the repository's Emulab stand-in (§8.1): it
+// instantiates one shim + NIDS engine per node of a scenario, compiles the
+// controller's assignment into shim configurations, and replays generated
+// session traces through the network with a stateful "supernode" that
+// injects each session's packets in order at the correct ingress. Per-node
+// work is measured in deterministic engine work units (bytes scanned plus
+// per-packet overhead), the reproduction's analog of the paper's PAPI CPU
+// instruction counts. Replication can run in-process or over real TCP
+// tunnels (§7.2's persistent tunnels).
+package emulation
+
+import (
+	"fmt"
+	"math"
+	"os"
+	"sync"
+
+	"nwids/internal/core"
+	"nwids/internal/nids"
+	"nwids/internal/packet"
+	"nwids/internal/shim"
+)
+
+// Config parameterizes an emulation run.
+type Config struct {
+	// Assignment is the controller output to execute.
+	Assignment *core.Assignment
+	// Rules is the signature ruleset (default nids.DefaultRules()).
+	Rules []nids.Rule
+	// ScanK is the scan-detection threshold (default 20).
+	ScanK int
+	// HashSeed seeds the shim hash (default 1).
+	HashSeed uint32
+	// GenSeed seeds trace generation (default 1).
+	GenSeed int64
+	// TotalSessions scales the scenario's traffic matrix down to an
+	// emulable trace size, preserving proportions (default 5000).
+	TotalSessions int
+	// PacketsPerSession / PayloadBytes / MaliciousFraction configure the
+	// generator (defaults 6 / 256 / 0.02).
+	PacketsPerSession int
+	PayloadBytes      int
+	MaliciousFraction float64
+	// Live replicates over real TCP tunnels on the loopback interface
+	// instead of direct in-process delivery.
+	Live bool
+}
+
+func (c Config) withDefaults() Config {
+	if c.Rules == nil {
+		c.Rules = nids.DefaultRules()
+	}
+	if c.ScanK == 0 {
+		c.ScanK = 20
+	}
+	if c.HashSeed == 0 {
+		c.HashSeed = 1
+	}
+	if c.GenSeed == 0 {
+		c.GenSeed = 1
+	}
+	if c.TotalSessions == 0 {
+		c.TotalSessions = 5000
+	}
+	if c.PacketsPerSession == 0 {
+		c.PacketsPerSession = 6
+	}
+	if c.PayloadBytes == 0 {
+		c.PayloadBytes = 256
+	}
+	if c.MaliciousFraction == 0 {
+		c.MaliciousFraction = 0.02
+	}
+	return c
+}
+
+// NodeStats reports one NIDS node's activity after a run.
+type NodeStats struct {
+	Node          int
+	IsDC          bool
+	WorkUnits     uint64
+	Packets       uint64
+	Processed     uint64
+	Replicated    uint64
+	TunnelBytes   uint64
+	Alerts        int
+	FlowsBoth     uint64
+	FlowsOneSided uint64
+}
+
+// Result summarizes an emulation run.
+type Result struct {
+	Nodes []NodeStats
+	// Sessions is the number of sessions injected.
+	Sessions int
+	// MaliciousSessions and DetectedSessions validate end-to-end detection:
+	// every planted signature should be caught by whichever node owns the
+	// session.
+	MaliciousSessions int
+	DetectedSessions  int
+	// OwnershipErrors counts sessions processed by != 1 node (must be 0).
+	OwnershipErrors int
+}
+
+// MaxWorkExDC returns the highest per-node work units excluding the DC.
+func (r *Result) MaxWorkExDC() uint64 {
+	var worst uint64
+	for _, n := range r.Nodes {
+		if !n.IsDC && n.WorkUnits > worst {
+			worst = n.WorkUnits
+		}
+	}
+	return worst
+}
+
+// TotalWork sums work units over all nodes.
+func (r *Result) TotalWork() uint64 {
+	var t uint64
+	for _, n := range r.Nodes {
+		t += n.WorkUnits
+	}
+	return t
+}
+
+// Run executes the emulation and returns per-node statistics.
+func Run(cfg Config) (*Result, error) {
+	cfg = cfg.withDefaults()
+	a := cfg.Assignment
+	if a == nil {
+		return nil, fmt.Errorf("emulation: nil assignment")
+	}
+	sc := a.Scenario
+	nNIDS := a.NumNIDS()
+
+	cfgs := shim.CompileConfigs(a, cfg.HashSeed)
+	shims := make([]*shim.Shim, nNIDS)
+	engines := make([]*nids.Engine, nNIDS)
+	var engMu []sync.Mutex
+	for j := 0; j < nNIDS; j++ {
+		shims[j] = shim.New(cfgs[j])
+		engines[j] = nids.NewEngine(cfg.Rules, cfg.ScanK)
+	}
+	engMu = make([]sync.Mutex, nNIDS)
+
+	// Optional live tunnels: one server per node, one dialed tunnel per
+	// (replicator, mirror) pair, created lazily.
+	var servers []*shim.Server
+	var tunnels map[[2]int]*shim.Tunnel
+	tunnelBytes := make([]uint64, nNIDS)
+	if cfg.Live {
+		servers = make([]*shim.Server, nNIDS)
+		tunnels = make(map[[2]int]*shim.Tunnel)
+		for j := 0; j < nNIDS; j++ {
+			j := j
+			srv, err := shim.Serve("127.0.0.1:0", func(p packet.Packet) {
+				engMu[j].Lock()
+				engines[j].ProcessPacket(p)
+				engMu[j].Unlock()
+			})
+			if err != nil {
+				return nil, fmt.Errorf("emulation: tunnel server for node %d: %w", j, err)
+			}
+			servers[j] = srv
+		}
+		defer func() {
+			for _, t := range tunnels {
+				t.Close()
+			}
+			for _, s := range servers {
+				s.Close()
+			}
+		}()
+	}
+
+	deliver := func(from, to int, p packet.Packet) error {
+		tunnelBytes[from] += uint64(len(p.Payload))
+		if !cfg.Live {
+			engines[to].ProcessPacket(p)
+			return nil
+		}
+		key := [2]int{from, to}
+		t, ok := tunnels[key]
+		if !ok {
+			var err error
+			t, err = shim.Dial(servers[to].Addr())
+			if err != nil {
+				return err
+			}
+			tunnels[key] = t
+		}
+		return t.Send(p)
+	}
+
+	sessions := GenerateWorkload(cfg)
+
+	res := &Result{Sessions: len(sessions)}
+	preAlerts := make([]int, nNIDS)
+
+	for _, sess := range sessions {
+		if sess.Malicious {
+			res.MaliciousSessions++
+		}
+		owner := make(map[int]bool)
+		for _, p := range sess.Packets {
+			path := sc.Routing.Path(sess.SrcPoP, sess.DstPoP)
+			if p.Dir == packet.Reverse {
+				path = path.Reverse()
+			}
+			for _, node := range path.Nodes {
+				switch d := shims[node].Decide(p); d.Act {
+				case shim.Process:
+					engMu[node].Lock()
+					engines[node].ProcessPacket(p)
+					engMu[node].Unlock()
+					owner[node] = true
+				case shim.Replicate:
+					if err := deliver(node, d.Mirror, p); err != nil {
+						return nil, err
+					}
+					owner[d.Mirror] = true
+				}
+			}
+		}
+		if len(owner) != 1 {
+			res.OwnershipErrors++
+		}
+		// Detection check: the owning node's alert count must grow for a
+		// malicious session. In live mode this is checked after draining.
+		if !cfg.Live && sess.Malicious {
+			for node := range owner {
+				engMu[node].Lock()
+				n := len(engines[node].Alerts())
+				engMu[node].Unlock()
+				if n > preAlerts[node] {
+					res.DetectedSessions++
+				}
+				preAlerts[node] = n
+			}
+		}
+	}
+
+	if cfg.Live {
+		for _, t := range tunnels {
+			if err := t.Flush(); err != nil {
+				return nil, err
+			}
+		}
+		// Drain: wait for tunnel servers to deliver all sent packets.
+		var sent uint64
+		for _, t := range tunnels {
+			sent += t.Sent()
+		}
+		waitFor(func() bool {
+			var got uint64
+			for j := range engines {
+				engMu[j].Lock()
+				got += engines[j].Stats().Packets
+				engMu[j].Unlock()
+			}
+			var local uint64
+			for j := range shims {
+				local += shims[j].Counters.Processed
+			}
+			return got >= local+sent
+		})
+		// Count detected malicious sessions post-hoc by matching alert
+		// tuples against the generated sessions (the supernode knows which
+		// sessions were malicious).
+		detected := make(map[packet.FiveTuple]bool)
+		for j := range engines {
+			engMu[j].Lock()
+			for _, al := range engines[j].Alerts() {
+				detected[al.Tuple.Canonical()] = true
+			}
+			engMu[j].Unlock()
+		}
+		for _, sess := range sessions {
+			if sess.Malicious && detected[sess.Tuple.Canonical()] {
+				res.DetectedSessions++
+			}
+		}
+	}
+
+	res.Nodes = make([]NodeStats, nNIDS)
+	for j := 0; j < nNIDS; j++ {
+		engMu[j].Lock()
+		st := engines[j].Stats()
+		alerts := len(engines[j].Alerts())
+		engMu[j].Unlock()
+		res.Nodes[j] = NodeStats{
+			Node:          j,
+			IsDC:          a.HasDC && j == sc.Graph.NumNodes(),
+			WorkUnits:     st.WorkUnits(),
+			Packets:       st.Packets,
+			Processed:     shims[j].Counters.Processed,
+			Replicated:    shims[j].Counters.Replicated,
+			TunnelBytes:   tunnelBytes[j],
+			Alerts:        alerts,
+			FlowsBoth:     st.FlowsBothDirs,
+			FlowsOneSided: st.FlowsOneSided,
+		}
+	}
+	return res, nil
+}
+
+// GenerateWorkload produces the deterministic session trace Run would
+// replay for this configuration (same seed → byte-identical sessions).
+func GenerateWorkload(cfg Config) []packet.Session {
+	cfg = cfg.withDefaults()
+	counts := sessionCounts(cfg.Assignment.Scenario, cfg.TotalSessions)
+	gen := packet.NewGenerator(packet.GeneratorConfig{
+		PacketsPerSession: cfg.PacketsPerSession,
+		PayloadBytes:      cfg.PayloadBytes,
+		MaliciousFraction: cfg.MaliciousFraction,
+		Signatures:        sigsOf(cfg.Rules),
+	}, cfg.GenSeed)
+	return gen.Matrix(counts)
+}
+
+// SaveTrace writes the workload Run(assignment, totalSessions, seed) would
+// replay to a trace file (packet.WriteTrace format).
+func SaveTrace(path string, a *core.Assignment, totalSessions int, seed int64) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	sessions := GenerateWorkload(Config{Assignment: a, TotalSessions: totalSessions, GenSeed: seed})
+	return packet.WriteTrace(f, sessions)
+}
+
+// sessionCounts scales the scenario's class volumes to the target total,
+// guaranteeing at least one session per class.
+func sessionCounts(sc *core.Scenario, total int) [][]int {
+	n := sc.Graph.NumNodes()
+	counts := make([][]int, n)
+	for i := range counts {
+		counts[i] = make([]int, n)
+	}
+	tot := sc.TotalSessions()
+	if tot == 0 {
+		return counts
+	}
+	for _, cl := range sc.Classes {
+		c := int(math.Round(cl.Sessions / tot * float64(total)))
+		if c < 1 {
+			c = 1
+		}
+		counts[cl.Src][cl.Dst] = c
+	}
+	return counts
+}
+
+func sigsOf(rules []nids.Rule) [][]byte {
+	// Plant only textual signatures long enough to be unambiguous.
+	var out [][]byte
+	for _, r := range rules {
+		if len(r.Pattern) >= 6 {
+			out = append(out, r.Pattern)
+		}
+	}
+	return out
+}
+
+func waitFor(cond func() bool) {
+	for i := 0; i < 1000; i++ {
+		if cond() {
+			return
+		}
+		sleepMs(5)
+	}
+}

@@ -1,0 +1,188 @@
+package emulation
+
+import (
+	"os"
+	"testing"
+
+	"nwids/internal/core"
+	"nwids/internal/packet"
+	"nwids/internal/topology"
+	"nwids/internal/traffic"
+)
+
+func internet2Assignments(t testing.TB) (noRep, rep *core.Assignment) {
+	t.Helper()
+	g := topology.Internet2()
+	s := core.NewScenario(g, traffic.GravityDefault(g), core.ScenarioOptions{})
+	var err error
+	noRep, err = core.SolveReplication(s, core.ReplicationConfig{Mirror: core.MirrorNone})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Fig 10's setup: a single DC with 8× capacity, MaxLinkLoad 0.4.
+	rep, err = core.SolveReplication(s, core.ReplicationConfig{
+		Mirror: core.MirrorDCOnly, DCCapacity: 8, MaxLinkLoad: 0.4,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return noRep, rep
+}
+
+func TestEmulationOwnershipAndDetection(t *testing.T) {
+	_, rep := internet2Assignments(t)
+	res, err := Run(Config{Assignment: rep, TotalSessions: 800})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.OwnershipErrors != 0 {
+		t.Fatalf("%d sessions had != 1 owner", res.OwnershipErrors)
+	}
+	if res.Sessions < 800 {
+		t.Fatalf("sessions = %d", res.Sessions)
+	}
+	if res.MaliciousSessions == 0 {
+		t.Fatal("workload should include malicious sessions")
+	}
+	if res.DetectedSessions < res.MaliciousSessions {
+		t.Fatalf("detected %d of %d malicious sessions — replication must not lose detections",
+			res.DetectedSessions, res.MaliciousSessions)
+	}
+	// Stateful integrity: every flow must be seen in both directions at its
+	// owner (bidirectional pinning).
+	for _, n := range res.Nodes {
+		if n.FlowsOneSided != 0 {
+			t.Fatalf("node %d has %d one-sided flows; hashing must pin both directions together", n.Node, n.FlowsOneSided)
+		}
+	}
+}
+
+// TestEmulationFig10Shape reproduces Figure 10's qualitative result: with
+// replication to an 8× DC, the most loaded non-DC node does roughly half
+// the work it does under pure on-path distribution, at (almost) unchanged
+// total work.
+func TestEmulationFig10Shape(t *testing.T) {
+	noRep, rep := internet2Assignments(t)
+	base, err := Run(Config{Assignment: noRep, TotalSessions: 1500})
+	if err != nil {
+		t.Fatal(err)
+	}
+	with, err := Run(Config{Assignment: rep, TotalSessions: 1500})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if base.MaxWorkExDC() == 0 || with.MaxWorkExDC() == 0 {
+		t.Fatal("zero work recorded")
+	}
+	ratio := float64(base.MaxWorkExDC()) / float64(with.MaxWorkExDC())
+	if ratio < 1.3 {
+		t.Fatalf("replication should significantly cut the max non-DC work; ratio = %.2f", ratio)
+	}
+	// Total work is conserved up to boundary effects: replication moves
+	// work, it does not create or destroy it.
+	tb, tw := float64(base.TotalWork()), float64(with.TotalWork())
+	if tw < 0.95*tb || tw > 1.05*tb {
+		t.Fatalf("total work changed: %.0f vs %.0f", tb, tw)
+	}
+	// The DC must absorb real work in the replicated configuration.
+	dc := with.Nodes[len(with.Nodes)-1]
+	if !dc.IsDC || dc.WorkUnits == 0 {
+		t.Fatalf("DC stats wrong: %+v", dc)
+	}
+}
+
+func TestEmulationDeterminism(t *testing.T) {
+	_, rep := internet2Assignments(t)
+	a, err := Run(Config{Assignment: rep, TotalSessions: 300, GenSeed: 9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Run(Config{Assignment: rep, TotalSessions: 300, GenSeed: 9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for j := range a.Nodes {
+		if a.Nodes[j].WorkUnits != b.Nodes[j].WorkUnits {
+			t.Fatalf("node %d work differs between identical runs", j)
+		}
+	}
+}
+
+// TestEmulationLiveTunnels runs the replicated configuration with real TCP
+// tunnels on loopback and checks that detection results match the
+// in-process run.
+func TestEmulationLiveTunnels(t *testing.T) {
+	_, rep := internet2Assignments(t)
+	inproc, err := Run(Config{Assignment: rep, TotalSessions: 300, GenSeed: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	live, err := Run(Config{Assignment: rep, TotalSessions: 300, GenSeed: 4, Live: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if live.OwnershipErrors != 0 {
+		t.Fatalf("live ownership errors: %d", live.OwnershipErrors)
+	}
+	if live.DetectedSessions < live.MaliciousSessions {
+		t.Fatalf("live mode lost detections: %d of %d", live.DetectedSessions, live.MaliciousSessions)
+	}
+	// Same trace, same assignment: per-node packet counts must agree.
+	for j := range inproc.Nodes {
+		if inproc.Nodes[j].Packets != live.Nodes[j].Packets {
+			t.Fatalf("node %d: in-process %d packets vs live %d", j,
+				inproc.Nodes[j].Packets, live.Nodes[j].Packets)
+		}
+	}
+	// Tunnel bytes must flow in the live run.
+	var tb uint64
+	for _, n := range live.Nodes {
+		tb += n.TunnelBytes
+	}
+	if tb == 0 {
+		t.Fatal("no tunnel traffic in live mode")
+	}
+}
+
+func TestEmulationNilAssignment(t *testing.T) {
+	if _, err := Run(Config{}); err == nil {
+		t.Fatal("want error for nil assignment")
+	}
+}
+
+func TestSessionCountsMinimumOne(t *testing.T) {
+	g := topology.Internet2()
+	s := core.NewScenario(g, traffic.GravityDefault(g), core.ScenarioOptions{})
+	counts := sessionCounts(s, 50) // far fewer than classes
+	for _, cl := range s.Classes {
+		if counts[cl.Src][cl.Dst] < 1 {
+			t.Fatal("every class must get at least one session")
+		}
+	}
+}
+
+func TestSaveTraceRoundTrip(t *testing.T) {
+	_, rep := internet2Assignments(t)
+	path := t.TempDir() + "/trace.nwt"
+	if err := SaveTrace(path, rep, 200, 7); err != nil {
+		t.Fatal(err)
+	}
+	f, err := os.Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	sessions, err := packet.ReadTrace(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := GenerateWorkload(Config{Assignment: rep, TotalSessions: 200, GenSeed: 7})
+	if len(sessions) != len(want) {
+		t.Fatalf("trace has %d sessions, generator produced %d", len(sessions), len(want))
+	}
+	for i := range sessions {
+		if sessions[i].Tuple != want[i].Tuple {
+			t.Fatalf("session %d differs from regenerated workload", i)
+		}
+	}
+}

@@ -1,0 +1,213 @@
+package emulation
+
+import (
+	"fmt"
+
+	"nwids/internal/aggregation"
+	"nwids/internal/core"
+	"nwids/internal/nids"
+	"nwids/internal/packet"
+	"nwids/internal/shim"
+	"nwids/internal/topology"
+)
+
+// ScanConfig parameterizes an end-to-end distributed scan-detection run
+// (§6 + §7.3): scan work is split per source across each path's nodes
+// according to the aggregation LP's fractions, per-node detectors run with
+// reporting threshold 0, and the per-class aggregation point (the ingress)
+// applies the real threshold K.
+type ScanConfig struct {
+	// Assignment is the aggregation LP output (p fractions only).
+	Assignment *core.Assignment
+	// K is the aggregator's scan threshold (default 20).
+	K int
+	// HashSeed seeds the per-source ownership hash (default 1).
+	HashSeed uint32
+	// Scanners configures synthetic scanners: each contacts Contacts
+	// distinct destinations spread across the network (default 3 scanners
+	// × 3·K contacts).
+	Scanners int
+	Contacts int
+	// BackgroundSessions adds benign single-contact sessions (default
+	// 2000).
+	BackgroundSessions int
+	// GenSeed seeds trace generation (default 1).
+	GenSeed int64
+}
+
+func (c ScanConfig) withDefaults() ScanConfig {
+	if c.K == 0 {
+		c.K = 20
+	}
+	if c.HashSeed == 0 {
+		c.HashSeed = 1
+	}
+	if c.Scanners == 0 {
+		c.Scanners = 3
+	}
+	if c.Contacts == 0 {
+		c.Contacts = 3 * c.K
+	}
+	if c.BackgroundSessions == 0 {
+		c.BackgroundSessions = 2000
+	}
+	if c.GenSeed == 0 {
+		c.GenSeed = 1
+	}
+	return c
+}
+
+// ScanResult reports the outcome of a distributed scan-detection run.
+type ScanResult struct {
+	// Alerts are the aggregator's verdicts (sources over threshold).
+	Alerts []nids.SourceCount
+	// OracleAlerts is what a single centralized detector would report.
+	OracleAlerts []nids.SourceCount
+	// Equivalent is true when both agree exactly (§2.1's semantic
+	// equivalence requirement).
+	Equivalent bool
+	// CommCostByteHops is the total report footprint.
+	CommCostByteHops int
+	// NodeObservations counts contacts observed per NIDS node.
+	NodeObservations map[int]uint64
+	// Sessions is the number of injected sessions.
+	Sessions int
+}
+
+// RunScan executes distributed scan detection over the assignment's
+// fractional splits. For each class, the nodes with nonzero p fractions
+// monitor disjoint source-hash ranges (the shim's per-source hashing,
+// §7.2); every node ships its per-source counters to the class ingress.
+func RunScan(cfg ScanConfig) (*ScanResult, error) {
+	cfg = cfg.withDefaults()
+	a := cfg.Assignment
+	if a == nil {
+		return nil, fmt.Errorf("emulation: nil assignment")
+	}
+	sc := a.Scenario
+	n := sc.Graph.NumNodes()
+
+	// Per-class source-hash ranges from the LP fractions (§7.1 applied to
+	// the per-source split), and per-node detectors with k = 0 (§7.3).
+	type rng struct {
+		lo, hi float64
+		node   int
+	}
+	classRanges := make(map[shim.ClassKey][]rng)
+	for c := range a.Actions {
+		cl := &sc.Classes[c]
+		key := shim.ClassKey{SrcPoP: uint8(cl.Src), DstPoP: uint8(cl.Dst)}
+		var rs []rng
+		for _, r := range shim.PartitionClass(a.Actions[c]) {
+			if r.Via >= 0 {
+				return nil, fmt.Errorf("emulation: scan aggregation expects p-only assignments, class %d has offloads", c)
+			}
+			rs = append(rs, rng{lo: r.Lo, hi: r.Hi, node: r.Node})
+		}
+		classRanges[key] = rs
+	}
+	detectors := make([]*nids.ScanDetector, n)
+	for j := range detectors {
+		detectors[j] = nids.NewScanDetector(0)
+	}
+	oracle := nids.NewScanDetector(cfg.K)
+
+	// Workload: scanners plus benign background.
+	gen := packet.NewGenerator(packet.GeneratorConfig{PacketsPerSession: 1, PayloadBytes: 40}, cfg.GenSeed)
+	var sessions []packet.Session
+	dsts := make([]int, 0, n)
+	for j := 0; j < n; j++ {
+		dsts = append(dsts, j)
+	}
+	for i := 0; i < cfg.Scanners; i++ {
+		sessions = append(sessions, gen.ScanSessions(i%n, dsts, cfg.Contacts)...)
+	}
+	for i := 0; i < cfg.BackgroundSessions; i++ {
+		sessions = append(sessions, gen.Session(i%n, (i+1+i/n)%n))
+	}
+
+	res := &ScanResult{NodeObservations: map[int]uint64{}, Sessions: len(sessions)}
+	for _, sess := range sessions {
+		if sess.SrcPoP == sess.DstPoP {
+			continue
+		}
+		key := shim.ClassKey{SrcPoP: uint8(sess.SrcPoP), DstPoP: uint8(sess.DstPoP)}
+		rs, ok := classRanges[key]
+		if !ok {
+			continue // class had no volume in the scenario
+		}
+		// Per-source hash decides the owning monitor (§7.2: "the hash is
+		// over the appropriate field used for splitting the task").
+		h := sourceHashFraction(sess.Tuple.SrcIP, cfg.HashSeed)
+		owner := -1
+		for _, r := range rs {
+			if h >= r.lo && h < r.hi {
+				owner = r.node
+				break
+			}
+		}
+		if owner < 0 {
+			return nil, fmt.Errorf("emulation: source hash %.6f unowned for class %d→%d", h, sess.SrcPoP, sess.DstPoP)
+		}
+		detectors[owner].Observe(sess.Tuple.SrcIP, sess.Tuple.DstIP)
+		res.NodeObservations[owner]++
+		oracle.Observe(sess.Tuple.SrcIP, sess.Tuple.DstIP)
+	}
+
+	// Reports flow to each class's ingress; since the per-node detector is
+	// global (one process per node), we cost its report against the node's
+	// mean distance to the ingresses it serves — here simply the distance
+	// to the closest class ingress the node monitors for, using hop counts.
+	agg := aggregation.NewAggregator(cfg.K)
+	for j := 0; j < n; j++ {
+		counts := detectors[j].Report()
+		if len(counts) == 0 {
+			continue
+		}
+		agg.AddCounts(counts)
+		res.CommCostByteHops += aggregation.CounterRowBytes * len(counts) * nearestIngressDist(sc.Routing, a, j)
+	}
+	res.Alerts = agg.Alerts()
+	res.OracleAlerts = oracle.Report()
+	res.Equivalent = sameCounts(res.Alerts, res.OracleAlerts)
+	return res, nil
+}
+
+// sourceHashFraction maps a source address into [0,1) with the shim's hash.
+func sourceHashFraction(src uint32, seed uint32) float64 {
+	t := packet.FiveTuple{SrcIP: src, DstIP: src}
+	return shim.HashFraction(t, seed)
+}
+
+// nearestIngressDist returns node j's hop distance to the nearest ingress
+// of a class it monitors (0 when it is itself an ingress).
+func nearestIngressDist(r *topology.Routing, a *core.Assignment, j int) int {
+	best := -1
+	for c := range a.Actions {
+		for _, act := range a.Actions[c] {
+			if act.Node != j {
+				continue
+			}
+			d := r.Dist(j, a.Scenario.Classes[c].Path.Ingress())
+			if best < 0 || d < best {
+				best = d
+			}
+		}
+	}
+	if best < 0 {
+		return 0
+	}
+	return best
+}
+
+func sameCounts(a, b []nids.SourceCount) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}

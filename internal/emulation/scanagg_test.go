@@ -1,0 +1,98 @@
+package emulation
+
+import (
+	"testing"
+
+	"nwids/internal/core"
+	"nwids/internal/topology"
+	"nwids/internal/traffic"
+)
+
+func aggregationAssignment(t testing.TB, beta float64) *core.Assignment {
+	t.Helper()
+	g := topology.Internet2()
+	s := core.NewScenario(g, traffic.GravityDefault(g), core.ScenarioOptions{})
+	r, err := core.SolveAggregation(s, core.AggregationConfig{Beta: beta})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return r.Assignment
+}
+
+// TestRunScanSemanticEquivalence is the end-to-end §7.3 check: distributed
+// scan detection driven by the aggregation LP's fractions must produce
+// exactly the centralized detector's alerts.
+func TestRunScanSemanticEquivalence(t *testing.T) {
+	for _, beta := range []float64{0.3, 1, 10} {
+		a := aggregationAssignment(t, beta)
+		res, err := RunScan(ScanConfig{Assignment: a, K: 15, Scanners: 4, Contacts: 50})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !res.Equivalent {
+			t.Fatalf("β=%g: distributed %v vs oracle %v", beta, res.Alerts, res.OracleAlerts)
+		}
+		if len(res.Alerts) != 4 {
+			t.Fatalf("β=%g: %d alerts, want 4 scanners", beta, len(res.Alerts))
+		}
+		for _, al := range res.Alerts {
+			if al.Count < 40 {
+				t.Fatalf("β=%g: scanner count %d too low", beta, al.Count)
+			}
+		}
+		if res.CommCostByteHops < 0 {
+			t.Fatal("negative comm cost")
+		}
+	}
+}
+
+// TestRunScanDistributesWork: at low β the LP spreads scan monitoring
+// across many nodes; the observations must actually land on several nodes.
+func TestRunScanDistributesWork(t *testing.T) {
+	a := aggregationAssignment(t, 0.1)
+	res, err := RunScan(ScanConfig{Assignment: a, K: 10, BackgroundSessions: 5000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.NodeObservations) < 4 {
+		t.Fatalf("only %d nodes observed traffic; aggregation should spread work", len(res.NodeObservations))
+	}
+}
+
+// TestRunScanIngressOnlyZeroCommCost: with everything at the ingress the
+// report distance is zero, so the byte-hop cost must be zero.
+func TestRunScanIngressOnlyZeroCommCost(t *testing.T) {
+	g := topology.Internet2()
+	s := core.NewScenario(g, traffic.GravityDefault(g), core.ScenarioOptions{})
+	a := core.Ingress(s)
+	res, err := RunScan(ScanConfig{Assignment: a, K: 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.CommCostByteHops != 0 {
+		t.Fatalf("ingress-only comm cost = %d, want 0", res.CommCostByteHops)
+	}
+	if !res.Equivalent {
+		t.Fatal("ingress-only must also match the oracle")
+	}
+}
+
+// TestRunScanRejectsOffloadAssignments: the scan splitter only understands
+// local p fractions; replication assignments must be rejected loudly.
+func TestRunScanRejectsOffloadAssignments(t *testing.T) {
+	g := topology.Internet2()
+	s := core.NewScenario(g, traffic.GravityDefault(g), core.ScenarioOptions{})
+	rep, err := core.SolveReplication(s, core.ReplicationConfig{Mirror: core.MirrorDCOnly})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := RunScan(ScanConfig{Assignment: rep}); err == nil {
+		t.Fatal("want error for assignments with offload actions")
+	}
+}
+
+func TestRunScanNilAssignment(t *testing.T) {
+	if _, err := RunScan(ScanConfig{}); err == nil {
+		t.Fatal("want error")
+	}
+}

@@ -1,0 +1,5 @@
+package emulation
+
+import "time"
+
+func sleepMs(ms int) { time.Sleep(time.Duration(ms) * time.Millisecond) }

@@ -1,0 +1,157 @@
+package experiments
+
+import (
+	"time"
+
+	"nwids/internal/core"
+	"nwids/internal/lp"
+	"nwids/internal/metrics"
+	"nwids/internal/traffic"
+)
+
+// AblationRow records one solver configuration's performance on the
+// replication LP, isolating the effect of a design choice called out in
+// DESIGN.md: the ingress crash basis, the starting position of λ, the eta
+// refactorization interval, and presolve.
+type AblationRow struct {
+	Topology   string
+	Variant    string
+	Iterations int
+	Refactors  int
+	Time       time.Duration
+	Objective  float64
+}
+
+// Ablation builds each topology's replication LP once and solves it under
+// several solver configurations, verifying they agree on the optimum.
+func Ablation(opts Options) ([]AblationRow, error) {
+	opts = opts.withDefaults()
+	var rows []AblationRow
+	for _, name := range opts.Topologies {
+		s, err := scenarioFor(name)
+		if err != nil {
+			return nil, err
+		}
+		prob, crash, atUpper, err := core.BuildReplicationProblem(s, core.ReplicationConfig{
+			Mirror: core.MirrorDCOnly, MaxLinkLoad: 0.4, DCCapacity: 10,
+		})
+		if err != nil {
+			return nil, err
+		}
+		type variant struct {
+			name string
+			run  func() *lp.Solution
+		}
+		variants := []variant{
+			{"crash+atUpper (default)", func() *lp.Solution {
+				return lp.Solve(prob, lp.Options{CrashBasis: crash, AtUpper: atUpper})
+			}},
+			{"no crash basis", func() *lp.Solution {
+				return lp.Solve(prob, lp.Options{AtUpper: atUpper})
+			}},
+			{"cold start", func() *lp.Solution {
+				return lp.Solve(prob, lp.Options{})
+			}},
+			{"refactor every 16", func() *lp.Solution {
+				return lp.Solve(prob, lp.Options{CrashBasis: crash, AtUpper: atUpper, RefactorEvery: 16})
+			}},
+			{"refactor every 512", func() *lp.Solution {
+				return lp.Solve(prob, lp.Options{CrashBasis: crash, AtUpper: atUpper, RefactorEvery: 512})
+			}},
+			{"presolve", func() *lp.Solution {
+				return lp.SolveWithPresolve(prob, lp.Options{CrashBasis: crash, AtUpper: atUpper})
+			}},
+		}
+		var reference float64
+		for vi, v := range variants {
+			start := time.Now()
+			sol := v.run()
+			if err := sol.Err(); err != nil {
+				return nil, err
+			}
+			if vi == 0 {
+				reference = sol.Objective
+			} else if d := sol.Objective - reference; d > 1e-5 || d < -1e-5 {
+				opts.logf("ablation: %s %s objective drift %.3g", name, v.name, d)
+			}
+			rows = append(rows, AblationRow{
+				Topology:   name,
+				Variant:    v.name,
+				Iterations: sol.Iterations,
+				Refactors:  sol.Refactorizations,
+				Time:       time.Since(start),
+				Objective:  sol.Objective,
+			})
+			opts.logf("ablation: %s %-24s iters=%d time=%v", name, v.name, sol.Iterations, rows[len(rows)-1].Time)
+		}
+	}
+	return rows, nil
+}
+
+// RenderAblation formats the comparison.
+func RenderAblation(rows []AblationRow) string {
+	t := metrics.NewTable("Topology", "Variant", "Iterations", "Refactors", "Time(ms)", "Objective")
+	for _, r := range rows {
+		t.AddRowf(r.Topology, r.Variant, r.Iterations, r.Refactors,
+			float64(r.Time.Microseconds())/1000, r.Objective)
+	}
+	return t.String()
+}
+
+// VariabilitySigmaSweep is a second ablation: how the Fig 15 conclusions
+// depend on the assumed traffic-variability magnitude (our substitution for
+// the Internet2 TM archive).
+type VariabilitySigmaSweep struct {
+	Sigmas []float64
+	// WorstIngress and WorstReplicate are the max peak loads at each σ.
+	WorstIngress   []float64
+	WorstReplicate []float64
+}
+
+// SigmaSweep re-runs a reduced Fig 15 across variability magnitudes.
+func SigmaSweep(opts Options) (*VariabilitySigmaSweep, error) {
+	opts = opts.withDefaults()
+	s, err := scenarioFor("Internet2")
+	if err != nil {
+		return nil, err
+	}
+	runs := 40
+	if opts.Quick {
+		runs = 10
+	}
+	out := &VariabilitySigmaSweep{Sigmas: []float64{0.25, 0.5, 0.75, 1.0}}
+	for _, sigma := range out.Sigmas {
+		rng := newSeededRand(opts.Seed)
+		tms := traffic.VariabilityModel{Sigma: sigma}.Generate(rng, traffic.GravityDefault(s.Graph), runs)
+		worstIng, worstRep := 0.0, 0.0
+		for _, tm := range tms {
+			sv := s.WithMatrix(tm)
+			ing := core.Ingress(sv)
+			if v := ing.MaxLoad(); v > worstIng {
+				worstIng = v
+			}
+			rep, err := core.SolveReplication(sv, core.ReplicationConfig{
+				Mirror: core.MirrorDCOnly, MaxLinkLoad: 0.4, DCCapacity: 10,
+			})
+			if err != nil {
+				return nil, err
+			}
+			if v := rep.MaxLoad(); v > worstRep {
+				worstRep = v
+			}
+		}
+		out.WorstIngress = append(out.WorstIngress, worstIng)
+		out.WorstReplicate = append(out.WorstReplicate, worstRep)
+		opts.logf("sigma-sweep: σ=%.2f ingress=%.3f replicate=%.3f", sigma, worstIng, worstRep)
+	}
+	return out, nil
+}
+
+// Render formats the sigma sweep.
+func (v *VariabilitySigmaSweep) Render() string {
+	t := metrics.NewTable("σ", "Worst Ingress", "Worst Replicate", "Ratio")
+	for i, s := range v.Sigmas {
+		t.AddRowf(s, v.WorstIngress[i], v.WorstReplicate[i], v.WorstIngress[i]/v.WorstReplicate[i])
+	}
+	return t.String()
+}

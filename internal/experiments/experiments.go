@@ -1,0 +1,102 @@
+// Package experiments reproduces every table and figure of the paper's
+// evaluation (§8): Table 1 (optimization time), Figure 10 (emulated
+// per-node work), Figures 11-15 (replication sensitivity and variability),
+// Figures 16-17 (routing asymmetry), Figures 18-19 (aggregation tradeoffs),
+// plus the datacenter-placement comparison discussed in §8.2. Each
+// experiment returns structured results and renders the same rows/series
+// the paper reports.
+package experiments
+
+import (
+	"fmt"
+
+	"nwids/internal/core"
+	"nwids/internal/topology"
+	"nwids/internal/traffic"
+)
+
+// Options configure an experiment run.
+type Options struct {
+	// Topologies selects evaluation topologies by name; nil means all eight
+	// in Table 1 order.
+	Topologies []string
+	// Seed drives all randomized inputs (default 1).
+	Seed int64
+	// Quick trims sweep densities and repetition counts for smoke runs and
+	// unit tests; headline shapes are preserved.
+	Quick bool
+	// Logf, when non-nil, receives progress lines.
+	Logf func(format string, args ...any)
+}
+
+func (o Options) withDefaults() Options {
+	if o.Topologies == nil {
+		o.Topologies = topology.EvaluationNames()
+	}
+	if o.Seed == 0 {
+		o.Seed = 1
+	}
+	return o
+}
+
+func (o Options) logf(format string, args ...any) {
+	if o.Logf != nil {
+		o.Logf(format, args...)
+	}
+}
+
+// scenarioFor builds the default evaluation scenario for a named topology:
+// gravity traffic at the paper's scale, calibrated capacities (§8.2).
+func scenarioFor(name string) (*core.Scenario, error) {
+	g := topology.ByName(name)
+	if g == nil {
+		return nil, fmt.Errorf("experiments: unknown topology %q", name)
+	}
+	return core.NewScenario(g, traffic.GravityDefault(g), core.ScenarioOptions{}), nil
+}
+
+// Architecture names used across figures.
+const (
+	ArchIngress       = "Ingress"
+	ArchPathNoRep     = "Path, No Replicate"
+	ArchPathAugmented = "Path, Augmented"
+	ArchPathReplicate = "Path, Replicate"
+	ArchDCOnly        = "DC Only"
+	ArchDCOneHop      = "DC + One-hop"
+	ArchOneHop        = "One-hop"
+	ArchTwoHop        = "Two-hop"
+)
+
+// solveArch evaluates a named architecture on a scenario with the default
+// parameters (MaxLinkLoad 0.4, DC 10× unless overridden by the figure).
+func solveArch(s *core.Scenario, arch string, mll, dcCap float64) (*core.Assignment, error) {
+	switch arch {
+	case ArchIngress:
+		return core.Ingress(s), nil
+	case ArchPathNoRep:
+		return core.SolveReplication(s, core.ReplicationConfig{Mirror: core.MirrorNone})
+	case ArchPathAugmented:
+		n := float64(s.Graph.NumNodes())
+		return core.SolveReplication(s, core.ReplicationConfig{
+			Mirror: core.MirrorNone, ExtraNodeCapacity: dcCap / n,
+		})
+	case ArchPathReplicate, ArchDCOnly:
+		return core.SolveReplication(s, core.ReplicationConfig{
+			Mirror: core.MirrorDCOnly, MaxLinkLoad: mll, DCCapacity: dcCap,
+		})
+	case ArchDCOneHop:
+		return core.SolveReplication(s, core.ReplicationConfig{
+			Mirror: core.MirrorDCPlusOneHop, MaxLinkLoad: mll, DCCapacity: dcCap,
+		})
+	case ArchOneHop:
+		return core.SolveReplication(s, core.ReplicationConfig{
+			Mirror: core.MirrorOneHop, MaxLinkLoad: mll,
+		})
+	case ArchTwoHop:
+		return core.SolveReplication(s, core.ReplicationConfig{
+			Mirror: core.MirrorTwoHop, MaxLinkLoad: mll,
+		})
+	default:
+		return nil, fmt.Errorf("experiments: unknown architecture %q", arch)
+	}
+}

@@ -1,0 +1,246 @@
+package experiments
+
+import (
+	"fmt"
+
+	"nwids/internal/core"
+	"nwids/internal/metrics"
+)
+
+// Fig11Point is one point of Figure 11's curves: maximum compute load as a
+// function of the allowed link load, with DC capacity 10×.
+type Fig11Point struct {
+	MaxLinkLoad float64
+	MaxLoad     float64
+}
+
+// Fig11Result maps topology name → curve.
+type Fig11Result struct {
+	Sweep  []float64
+	Series map[string][]Fig11Point
+}
+
+// Fig11 sweeps MaxLinkLoad for every topology (§8.2: diminishing returns
+// beyond ≈ 0.4).
+func Fig11(opts Options) (*Fig11Result, error) {
+	opts = opts.withDefaults()
+	sweep := []float64{0.1, 0.2, 0.3, 0.4, 0.6, 0.8, 1.0}
+	if opts.Quick {
+		sweep = []float64{0.1, 0.4, 1.0}
+	}
+	res := &Fig11Result{Sweep: sweep, Series: map[string][]Fig11Point{}}
+	for _, name := range opts.Topologies {
+		s, err := scenarioFor(name)
+		if err != nil {
+			return nil, err
+		}
+		for _, mll := range sweep {
+			a, err := core.SolveReplication(s, core.ReplicationConfig{
+				Mirror: core.MirrorDCOnly, MaxLinkLoad: mll, DCCapacity: 10,
+			})
+			if err != nil {
+				return nil, err
+			}
+			res.Series[name] = append(res.Series[name], Fig11Point{MaxLinkLoad: mll, MaxLoad: a.MaxLoad()})
+			opts.logf("fig11: %s MLL=%.2f → %.4f", name, mll, a.MaxLoad())
+		}
+	}
+	return res, nil
+}
+
+// Render formats Fig 11 as one row per topology across the sweep.
+func (r *Fig11Result) Render() string {
+	header := []string{"Topology"}
+	for _, m := range r.Sweep {
+		header = append(header, fmt.Sprintf("MLL=%.1f", m))
+	}
+	t := metrics.NewTable(header...)
+	for _, name := range orderedKeys(r.Series) {
+		row := []string{name}
+		for _, p := range r.Series[name] {
+			row = append(row, fmt.Sprintf("%.4f", p.MaxLoad))
+		}
+		t.AddRow(row...)
+	}
+	return t.String()
+}
+
+// Fig12Config is one of Figure 12's four configurations.
+type Fig12Config struct {
+	MaxLinkLoad float64
+	DCCapacity  float64
+}
+
+// Fig12Cell is DCLoad − MaxNIDSLoad for one (topology, config).
+type Fig12Cell struct {
+	Config Fig12Config
+	// Gap is DCLoad − MaxNIDSLoad: ≈ 0 when the DC is as stressed as the
+	// interior, negative when the DC is under-utilized.
+	Gap float64
+}
+
+// Fig12Result maps topology → the four configuration cells.
+type Fig12Result struct {
+	Configs []Fig12Config
+	Cells   map[string][]Fig12Cell
+}
+
+// Fig12 compares the DC's load to the maximum interior NIDS load for
+// MaxLinkLoad ∈ {0.1, 0.4} × DC capacity ∈ {2×, 10×}.
+func Fig12(opts Options) (*Fig12Result, error) {
+	opts = opts.withDefaults()
+	configs := []Fig12Config{{0.1, 2}, {0.1, 10}, {0.4, 2}, {0.4, 10}}
+	res := &Fig12Result{Configs: configs, Cells: map[string][]Fig12Cell{}}
+	for _, name := range opts.Topologies {
+		s, err := scenarioFor(name)
+		if err != nil {
+			return nil, err
+		}
+		for _, cfg := range configs {
+			a, err := core.SolveReplication(s, core.ReplicationConfig{
+				Mirror: core.MirrorDCOnly, MaxLinkLoad: cfg.MaxLinkLoad, DCCapacity: cfg.DCCapacity,
+			})
+			if err != nil {
+				return nil, err
+			}
+			res.Cells[name] = append(res.Cells[name], Fig12Cell{Config: cfg, Gap: a.DCLoad() - a.MaxLoadExDC()})
+			opts.logf("fig12: %s MLL=%.1f DC=%gx → gap %.4f", name, cfg.MaxLinkLoad, cfg.DCCapacity, a.DCLoad()-a.MaxLoadExDC())
+		}
+	}
+	return res, nil
+}
+
+// Render formats Fig 12.
+func (r *Fig12Result) Render() string {
+	header := []string{"Topology"}
+	for _, c := range r.Configs {
+		header = append(header, fmt.Sprintf("MLL=%.1f,DC=%gx", c.MaxLinkLoad, c.DCCapacity))
+	}
+	t := metrics.NewTable(header...)
+	for _, name := range orderedKeys(r.Cells) {
+		row := []string{name}
+		for _, c := range r.Cells[name] {
+			row = append(row, fmt.Sprintf("%+.4f", c.Gap))
+		}
+		t.AddRow(row...)
+	}
+	return t.String()
+}
+
+// Fig13Result holds Figure 13: maximum compute load per topology for the
+// four NIDS architectures (DC 10×, MaxLinkLoad 0.4).
+type Fig13Result struct {
+	Archs []string
+	Loads map[string][]float64 // topology → loads in Archs order
+}
+
+// Fig13 compares Ingress, Path-NoReplicate, Path-Augmented and
+// Path-Replicate.
+func Fig13(opts Options) (*Fig13Result, error) {
+	opts = opts.withDefaults()
+	archs := []string{ArchIngress, ArchPathNoRep, ArchPathAugmented, ArchPathReplicate}
+	res := &Fig13Result{Archs: archs, Loads: map[string][]float64{}}
+	for _, name := range opts.Topologies {
+		s, err := scenarioFor(name)
+		if err != nil {
+			return nil, err
+		}
+		for _, arch := range archs {
+			a, err := solveArch(s, arch, 0.4, 10)
+			if err != nil {
+				return nil, err
+			}
+			res.Loads[name] = append(res.Loads[name], a.MaxLoad())
+			opts.logf("fig13: %s %s → %.4f", name, arch, a.MaxLoad())
+		}
+	}
+	return res, nil
+}
+
+// Render formats Fig 13.
+func (r *Fig13Result) Render() string {
+	t := metrics.NewTable(append([]string{"Topology"}, r.Archs...)...)
+	for _, name := range orderedKeys(r.Loads) {
+		row := []string{name}
+		for _, v := range r.Loads[name] {
+			row = append(row, fmt.Sprintf("%.4f", v))
+		}
+		t.AddRow(row...)
+	}
+	return t.String()
+}
+
+// Fig14Result holds Figure 14: local one- and two-hop replication vs pure
+// on-path distribution (MaxLinkLoad 0.4, no DC).
+type Fig14Result struct {
+	Archs []string
+	Loads map[string][]float64
+}
+
+// Fig14 compares Path-NoReplicate against one- and two-hop mirror sets.
+func Fig14(opts Options) (*Fig14Result, error) {
+	opts = opts.withDefaults()
+	archs := []string{ArchPathNoRep, ArchOneHop, ArchTwoHop}
+	res := &Fig14Result{Archs: archs, Loads: map[string][]float64{}}
+	for _, name := range opts.Topologies {
+		s, err := scenarioFor(name)
+		if err != nil {
+			return nil, err
+		}
+		for _, arch := range archs {
+			a, err := solveArch(s, arch, 0.4, 0)
+			if err != nil {
+				return nil, err
+			}
+			res.Loads[name] = append(res.Loads[name], a.MaxLoad())
+			opts.logf("fig14: %s %s → %.4f", name, arch, a.MaxLoad())
+		}
+	}
+	return res, nil
+}
+
+// Render formats Fig 14.
+func (r *Fig14Result) Render() string {
+	t := metrics.NewTable(append([]string{"Topology"}, r.Archs...)...)
+	for _, name := range orderedKeys(r.Loads) {
+		row := []string{name}
+		for _, v := range r.Loads[name] {
+			row = append(row, fmt.Sprintf("%.4f", v))
+		}
+		t.AddRow(row...)
+	}
+	return t.String()
+}
+
+// orderedKeys returns map keys in Table-1 topology order, then any extras
+// alphabetically (deterministic rendering).
+func orderedKeys[V any](m map[string]V) []string {
+	var out []string
+	for _, name := range evaluationOrder {
+		if _, ok := m[name]; ok {
+			out = append(out, name)
+		}
+	}
+	seen := map[string]bool{}
+	for _, n := range out {
+		seen[n] = true
+	}
+	var extra []string
+	for k := range m {
+		if !seen[k] {
+			extra = append(extra, k)
+		}
+	}
+	sortStrings(extra)
+	return append(out, extra...)
+}
+
+var evaluationOrder = []string{"Internet2", "Geant", "Enterprise", "TiNet", "Telstra", "Sprint", "Level3", "NTT"}
+
+func sortStrings(s []string) {
+	for i := 1; i < len(s); i++ {
+		for j := i; j > 0 && s[j] < s[j-1]; j-- {
+			s[j], s[j-1] = s[j-1], s[j]
+		}
+	}
+}

@@ -1,0 +1,75 @@
+package experiments
+
+import (
+	"math/rand"
+
+	"nwids/internal/metrics"
+	"nwids/internal/traffic"
+)
+
+// Fig15Result holds Figure 15: the distribution of the peak compute load
+// across time-varying traffic matrices for four NIDS architectures on
+// Internet2-style variability.
+type Fig15Result struct {
+	Topology string
+	Runs     int
+	Archs    []string
+	Boxes    map[string]metrics.BoxStats
+	Loads    map[string][]float64
+}
+
+// Fig15 generates time-varying traffic matrices from the base gravity
+// matrix (the stand-in for the Internet2 TM archive; see DESIGN.md),
+// re-optimizes each architecture per matrix against the fixed provisioned
+// capacities, and summarizes the peak loads.
+func Fig15(opts Options) (*Fig15Result, error) {
+	opts = opts.withDefaults()
+	name := "Internet2"
+	if len(opts.Topologies) == 1 {
+		name = opts.Topologies[0]
+	}
+	s, err := scenarioFor(name)
+	if err != nil {
+		return nil, err
+	}
+	runs := 100
+	if opts.Quick {
+		runs = 15
+	}
+	rng := rand.New(rand.NewSource(opts.Seed))
+	tms := traffic.VariabilityModel{Sigma: 0.5}.Generate(rng, traffic.GravityDefault(s.Graph), runs)
+
+	archs := []string{ArchIngress, ArchPathNoRep, ArchDCOnly, ArchDCOneHop}
+	res := &Fig15Result{
+		Topology: name, Runs: runs, Archs: archs,
+		Boxes: map[string]metrics.BoxStats{},
+		Loads: map[string][]float64{},
+	}
+	for i, tm := range tms {
+		sv := s.WithMatrix(tm)
+		for _, arch := range archs {
+			a, err := solveArch(sv, arch, 0.4, 10)
+			if err != nil {
+				return nil, err
+			}
+			res.Loads[arch] = append(res.Loads[arch], a.MaxLoad())
+		}
+		if (i+1)%10 == 0 {
+			opts.logf("fig15: %d/%d matrices", i+1, runs)
+		}
+	}
+	for _, arch := range archs {
+		res.Boxes[arch] = metrics.Box(res.Loads[arch])
+	}
+	return res, nil
+}
+
+// Render formats Fig 15 as a box-and-whisker table.
+func (r *Fig15Result) Render() string {
+	t := metrics.NewTable("Architecture", "Min", "Q25", "Median", "Q75", "Max")
+	for _, arch := range r.Archs {
+		b := r.Boxes[arch]
+		t.AddRowf(arch, b.Min, b.Q25, b.Median, b.Q75, b.Max)
+	}
+	return t.String()
+}

@@ -1,0 +1,127 @@
+package experiments
+
+import (
+	"fmt"
+	"math/rand"
+
+	"nwids/internal/core"
+	"nwids/internal/metrics"
+	"nwids/internal/topology"
+)
+
+// Fig16Point is one (θ, metric) sample: the median over the random
+// asymmetric-routing configurations at that target overlap.
+type Fig16Point struct {
+	Theta       float64
+	MeanOverlap float64
+	MissRate    float64
+	MaxLoad     float64
+}
+
+// Fig1617Result holds Figures 16 and 17 together (they share the sweep):
+// detection miss rate and maximum load vs the expected overlap factor for
+// the Ingress, Path and DC-0.4 architectures.
+type Fig1617Result struct {
+	Topology string
+	Configs  int
+	Thetas   []float64
+	// Series maps architecture → per-θ medians.
+	Series map[string][]Fig16Point
+}
+
+// Architecture labels for the asymmetry experiment.
+const (
+	AsymIngress = "Ingress"
+	AsymPath    = "Path"
+	AsymDC      = "DC-0.4"
+)
+
+// Fig1617 emulates routing asymmetry (§8.3): forward paths are shortest
+// paths; reverse paths are drawn from the all-pairs path pool to match
+// θ' ~ N(θ, θ/5). For each θ it reports the median miss rate (Fig 16) and
+// median maximum load (Fig 17) over the random configurations.
+func Fig1617(opts Options) (*Fig1617Result, error) {
+	opts = opts.withDefaults()
+	name := "Internet2"
+	if len(opts.Topologies) == 1 {
+		name = opts.Topologies[0]
+	}
+	s, err := scenarioFor(name)
+	if err != nil {
+		return nil, err
+	}
+	thetas := []float64{0.1, 0.2, 0.3, 0.4, 0.5, 0.6, 0.7, 0.8, 0.9}
+	configs := 50
+	if opts.Quick {
+		thetas = []float64{0.1, 0.5, 0.9}
+		configs = 6
+	}
+	pool := topology.NewPathPool(s.Routing)
+	rng := rand.New(rand.NewSource(opts.Seed))
+
+	res := &Fig1617Result{Topology: name, Configs: configs, Thetas: thetas, Series: map[string][]Fig16Point{}}
+	for _, theta := range thetas {
+		miss := map[string][]float64{}
+		load := map[string][]float64{}
+		var overlaps []float64
+		for c := 0; c < configs; c++ {
+			ar := topology.GenerateAsymmetric(s.Routing, pool, theta, rng)
+			overlaps = append(overlaps, ar.MeanOverlap)
+			classes := core.BuildSplitClasses(s, ar)
+
+			ing := core.IngressSplit(s, classes)
+			miss[AsymIngress] = append(miss[AsymIngress], ing.MissRate)
+			load[AsymIngress] = append(load[AsymIngress], ing.MaxLoad)
+
+			path, err := core.SolveSplit(s, classes, core.SplitConfig{UseDC: false})
+			if err != nil {
+				return nil, err
+			}
+			miss[AsymPath] = append(miss[AsymPath], path.MissRate)
+			load[AsymPath] = append(load[AsymPath], path.MaxLoad)
+
+			dc, err := core.SolveSplit(s, classes, core.SplitConfig{UseDC: true, MaxLinkLoad: 0.4, DCCapacity: 10})
+			if err != nil {
+				return nil, err
+			}
+			miss[AsymDC] = append(miss[AsymDC], dc.MissRate)
+			load[AsymDC] = append(load[AsymDC], dc.MaxLoad)
+		}
+		for _, arch := range []string{AsymIngress, AsymPath, AsymDC} {
+			res.Series[arch] = append(res.Series[arch], Fig16Point{
+				Theta:       theta,
+				MeanOverlap: metrics.Mean(overlaps),
+				MissRate:    metrics.Median(miss[arch]),
+				MaxLoad:     metrics.Median(load[arch]),
+			})
+		}
+		opts.logf("fig16/17: θ=%.1f done (mean achieved overlap %.2f)", theta, metrics.Mean(overlaps))
+	}
+	return res, nil
+}
+
+// RenderMiss formats Figure 16 (median miss rate vs θ).
+func (r *Fig1617Result) RenderMiss() string {
+	return r.render(func(p Fig16Point) float64 { return p.MissRate })
+}
+
+// RenderLoad formats Figure 17 (median max load vs θ).
+func (r *Fig1617Result) RenderLoad() string {
+	return r.render(func(p Fig16Point) float64 { return p.MaxLoad })
+}
+
+func (r *Fig1617Result) render(metric func(Fig16Point) float64) string {
+	header := []string{"Arch"}
+	for _, th := range r.Thetas {
+		header = append(header, fmt.Sprintf("θ=%.1f", th))
+	}
+	t := metrics.NewTable(header...)
+	for _, arch := range []string{AsymIngress, AsymPath, AsymDC} {
+		row := []string{arch}
+		for _, p := range r.Series[arch] {
+			row = append(row, fmt.Sprintf("%.4f", metric(p)))
+		}
+		t.AddRow(row...)
+	}
+	return t.String()
+}

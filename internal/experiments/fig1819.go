@@ -1,0 +1,158 @@
+package experiments
+
+import (
+	"fmt"
+	"math"
+
+	"nwids/internal/core"
+	"nwids/internal/metrics"
+)
+
+// Fig18Point is one β sample of Figure 18's tradeoff curve.
+type Fig18Point struct {
+	Beta     float64
+	LoadCost float64
+	CommCost float64 // raw byte-hops
+	// NormLoad and NormComm are normalized by the per-topology maxima over
+	// the sweep, as in the paper's axes.
+	NormLoad float64
+	NormComm float64
+}
+
+// Fig18Result maps topology → β sweep curve.
+type Fig18Result struct {
+	Betas  []float64
+	Series map[string][]Fig18Point
+}
+
+// Fig18 sweeps the communication weight β in the aggregation formulation
+// and reports the (normalized) compute-load / communication-cost tradeoff.
+func Fig18(opts Options) (*Fig18Result, error) {
+	opts = opts.withDefaults()
+	betas := []float64{0.01, 0.03, 0.1, 0.3, 1, 3, 10, 30, 100}
+	if opts.Quick {
+		betas = []float64{0.01, 0.3, 1, 10, 100}
+	}
+	res := &Fig18Result{Betas: betas, Series: map[string][]Fig18Point{}}
+	for _, name := range opts.Topologies {
+		s, err := scenarioFor(name)
+		if err != nil {
+			return nil, err
+		}
+		var pts []Fig18Point
+		for _, beta := range betas {
+			r, err := core.SolveAggregation(s, core.AggregationConfig{Beta: beta})
+			if err != nil {
+				return nil, err
+			}
+			pts = append(pts, Fig18Point{Beta: beta, LoadCost: r.LoadCost, CommCost: r.CommCost})
+			opts.logf("fig18: %s β=%g → load %.4f comm %.4g", name, beta, r.LoadCost, r.CommCost)
+		}
+		maxLoad, maxComm := 0.0, 0.0
+		for _, p := range pts {
+			maxLoad = math.Max(maxLoad, p.LoadCost)
+			maxComm = math.Max(maxComm, p.CommCost)
+		}
+		for i := range pts {
+			if maxLoad > 0 {
+				pts[i].NormLoad = pts[i].LoadCost / maxLoad
+			}
+			if maxComm > 0 {
+				pts[i].NormComm = pts[i].CommCost / maxComm
+			}
+		}
+		res.Series[name] = pts
+	}
+	return res, nil
+}
+
+// BestBeta returns the sweep's β whose normalized point lies closest to the
+// origin for a topology (the paper's per-topology operating point).
+func (r *Fig18Result) BestBeta(topology string) (float64, Fig18Point) {
+	best := -1
+	bestD := math.Inf(1)
+	pts := r.Series[topology]
+	for i, p := range pts {
+		d := math.Hypot(p.NormLoad, p.NormComm)
+		if d < bestD {
+			best, bestD = i, d
+		}
+	}
+	if best < 0 {
+		return 0, Fig18Point{}
+	}
+	return pts[best].Beta, pts[best]
+}
+
+// Render formats Fig 18 as normalized (load, comm) pairs per β.
+func (r *Fig18Result) Render() string {
+	header := []string{"Topology"}
+	for _, b := range r.Betas {
+		header = append(header, fmt.Sprintf("β=%g", b))
+	}
+	t := metrics.NewTable(header...)
+	for _, name := range orderedKeys(r.Series) {
+		row := []string{name}
+		for _, p := range r.Series[name] {
+			row = append(row, fmt.Sprintf("(%.2f,%.2f)", p.NormLoad, p.NormComm))
+		}
+		t.AddRow(row...)
+	}
+	return t.String() + "cells are (normalized LoadCost, normalized CommCost)\n"
+}
+
+// Fig19Row compares load imbalance (max/avg compute load) with and without
+// aggregation for one topology, at the topology's best-β operating point.
+type Fig19Row struct {
+	Topology         string
+	BestBeta         float64
+	RatioWith        float64
+	RatioWithout     float64
+	ImprovementRatio float64 // RatioWithout / RatioWith
+}
+
+// Fig19 reports the max/average compute-load ratio with aggregation
+// (β chosen nearest the origin of Fig 18) vs without aggregation
+// (scan pinned at each ingress).
+func Fig19(opts Options) ([]Fig19Row, error) {
+	opts = opts.withDefaults()
+	f18, err := Fig18(opts)
+	if err != nil {
+		return nil, err
+	}
+	var rows []Fig19Row
+	for _, name := range opts.Topologies {
+		s, err := scenarioFor(name)
+		if err != nil {
+			return nil, err
+		}
+		beta, _ := f18.BestBeta(name)
+		with, err := core.SolveAggregation(s, core.AggregationConfig{Beta: beta})
+		if err != nil {
+			return nil, err
+		}
+		without := core.IngressAggregation(s)
+		row := Fig19Row{
+			Topology:     name,
+			BestBeta:     beta,
+			RatioWith:    with.Assignment.MaxLoad() / with.Assignment.AvgLoad(),
+			RatioWithout: without.Assignment.MaxLoad() / without.Assignment.AvgLoad(),
+		}
+		if row.RatioWith > 0 {
+			row.ImprovementRatio = row.RatioWithout / row.RatioWith
+		}
+		rows = append(rows, row)
+		opts.logf("fig19: %s β*=%g ratio %.2f → %.2f", name, beta, row.RatioWithout, row.RatioWith)
+	}
+	return rows, nil
+}
+
+// RenderFig19 formats the imbalance comparison.
+func RenderFig19(rows []Fig19Row) string {
+	t := metrics.NewTable("Topology", "β*", "Max/Avg (No Aggregation)", "Max/Avg (With Aggregation)", "Improvement")
+	for _, r := range rows {
+		t.AddRowf(r.Topology, r.BestBeta, r.RatioWithout, r.RatioWith,
+			fmt.Sprintf("%.2fx", r.ImprovementRatio))
+	}
+	return t.String()
+}

@@ -1,0 +1,6 @@
+package experiments
+
+import "math/rand"
+
+// newSeededRand centralizes RNG construction for experiments.
+func newSeededRand(seed int64) *rand.Rand { return rand.New(rand.NewSource(seed)) }

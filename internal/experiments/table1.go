@@ -1,0 +1,67 @@
+package experiments
+
+import (
+	"time"
+
+	"nwids/internal/core"
+	"nwids/internal/metrics"
+)
+
+// Table1Row is one row of Table 1: optimization time for the replication
+// and aggregation formulations on a topology.
+type Table1Row struct {
+	Topology        string
+	PoPs            int
+	Classes         int
+	ReplicationTime time.Duration
+	ReplicationIter int
+	AggregationTime time.Duration
+	AggregationIter int
+}
+
+// Table1 measures the time to compute the optimal solution for the
+// replication and aggregation formulations on each topology (§8.1). The
+// paper's absolute numbers come from CPLEX; ours come from the in-repo
+// simplex — the shape to check is growth with topology size and
+// replication ≫ aggregation.
+func Table1(opts Options) ([]Table1Row, error) {
+	opts = opts.withDefaults()
+	var rows []Table1Row
+	for _, name := range opts.Topologies {
+		s, err := scenarioFor(name)
+		if err != nil {
+			return nil, err
+		}
+		opts.logf("table1: %s (%d classes)", name, len(s.Classes))
+		rep, err := core.SolveReplication(s, core.ReplicationConfig{
+			Mirror: core.MirrorDCOnly, MaxLinkLoad: 0.4, DCCapacity: 10,
+		})
+		if err != nil {
+			return nil, err
+		}
+		agg, err := core.SolveAggregation(s, core.AggregationConfig{Beta: 1})
+		if err != nil {
+			return nil, err
+		}
+		rows = append(rows, Table1Row{
+			Topology:        name,
+			PoPs:            s.Graph.NumNodes(),
+			Classes:         len(s.Classes),
+			ReplicationTime: rep.SolveTime,
+			ReplicationIter: rep.Iterations,
+			AggregationTime: agg.Assignment.SolveTime,
+			AggregationIter: agg.Assignment.Iterations,
+		})
+	}
+	return rows, nil
+}
+
+// RenderTable1 formats the rows like the paper's Table 1.
+func RenderTable1(rows []Table1Row) string {
+	t := metrics.NewTable("Topology", "#PoPs", "#Classes", "Replication(s)", "Aggregation(s)")
+	for _, r := range rows {
+		t.AddRowf(r.Topology, r.PoPs, r.Classes,
+			r.ReplicationTime.Seconds(), r.AggregationTime.Seconds())
+	}
+	return t.String()
+}

@@ -1,0 +1,337 @@
+package lp
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"sort"
+)
+
+// Factor is an LU factorization of a square sparse basis matrix, augmented
+// with a product-form eta file so that the represented matrix can track
+// simplex basis changes between refactorizations.
+//
+// The factorization is a simplified Gilbert-Peierls left-looking LU with
+// partial pivoting and a static column ordering by ascending column count.
+// Solves use dense work vectors, which is the right tradeoff for the basis
+// sizes appearing in this repository (hundreds to a few thousand rows).
+type Factor struct {
+	m int
+
+	// L: unit lower triangular, subdiagonal entries only, column storage,
+	// row/column indices in pivot coordinates.
+	lPtr  []int32
+	lRow  []int32
+	lVal  []float64
+	ldiag []float64 // unused (unit diagonal); kept nil
+
+	// U: upper triangular including diagonal, column storage, pivot coords.
+	uPtr  []int32
+	uRow  []int32
+	uVal  []float64
+	udiag []float64
+
+	// prow[k] = original row index pivoted at position k.
+	// pinv[i]  = pivot position of original row i.
+	// cq[k]    = position-in-basis of the column processed at position k.
+	prow, pinv, cq []int32
+
+	// eta file: each eta records a basis change replacing basis position r
+	// with a column whose FTRAN image was w.
+	etas []eta
+
+	// scratch
+	work  []float64
+	work2 []float64
+}
+
+type eta struct {
+	r    int32
+	rows []int32
+	vals []float64
+	wr   float64 // pivot element w[r]
+}
+
+// ErrSingular reports a structurally or numerically singular basis. The
+// simplex driver repairs the basis (swapping in logicals) and retries.
+var ErrSingular = errors.New("lp: singular basis")
+
+// SingularError carries the detail needed to repair a singular basis.
+type SingularError struct {
+	// FailedPositions lists basis positions whose columns could not be
+	// pivoted.
+	FailedPositions []int
+	// UnpivotedRows lists original row indices left without a pivot.
+	UnpivotedRows []int
+}
+
+// Error implements error.
+func (e *SingularError) Error() string {
+	return fmt.Sprintf("lp: singular basis (%d deficient columns)", len(e.FailedPositions))
+}
+
+// Unwrap lets errors.Is(err, ErrSingular) succeed.
+func (e *SingularError) Unwrap() error { return ErrSingular }
+
+// basisColumn is the callback used by Factorize to fetch the sparse column
+// occupying basis position k.
+type basisColumn func(k int) (rows []int32, vals []float64)
+
+// Factorize (re)computes the LU factors of the m×m matrix whose k-th column
+// is col(k), discarding any accumulated etas. pivotTol rejects pivots with
+// magnitude below it.
+func (f *Factor) Factorize(m int, col basisColumn, pivotTol float64) error {
+	f.m = m
+	f.etas = f.etas[:0]
+	f.lPtr = append(f.lPtr[:0], 0)
+	f.lRow = f.lRow[:0]
+	f.lVal = f.lVal[:0]
+	f.uPtr = append(f.uPtr[:0], 0)
+	f.uRow = f.uRow[:0]
+	f.uVal = f.uVal[:0]
+	f.udiag = f.udiag[:0]
+	if cap(f.prow) < m {
+		f.prow = make([]int32, m)
+		f.pinv = make([]int32, m)
+		f.cq = make([]int32, m)
+		f.work = make([]float64, m)
+		f.work2 = make([]float64, m)
+	}
+	f.prow = f.prow[:m]
+	f.pinv = f.pinv[:m]
+	f.cq = f.cq[:m]
+	f.work = f.work[:m]
+	f.work2 = f.work2[:m]
+	for i := range f.pinv {
+		f.pinv[i] = -1
+		f.work[i] = 0
+	}
+
+	// Static column order: ascending nonzero count, stable on index, so the
+	// near-triangular bases produced by the NIDS formulations factorize with
+	// minimal fill.
+	order := make([]int32, m)
+	counts := make([]int32, m)
+	for k := 0; k < m; k++ {
+		order[k] = int32(k)
+		rows, _ := col(k)
+		counts[k] = int32(len(rows))
+	}
+	sort.SliceStable(order, func(a, b int) bool { return counts[order[a]] < counts[order[b]] })
+
+	x := f.work // dense accumulator, kept zeroed between columns
+	var failed []int
+	npiv := 0
+	for _, kc := range order {
+		rows, vals := col(int(kc))
+		// Scatter the column and play back L (columns already pivoted):
+		// a standard left-looking update using the dense accumulator.
+		for i, r := range rows {
+			x[r] = vals[i]
+		}
+		// Forward eliminate in pivot order: for each pivot position t in
+		// increasing order, if x at that pivot row is nonzero, apply L column t.
+		for t := 0; t < npiv; t++ {
+			pr := f.prow[t]
+			xv := x[pr]
+			if xv == 0 {
+				continue
+			}
+			s, e := f.lPtr[t], f.lPtr[t+1]
+			for q := s; q < e; q++ {
+				// During factorization lRow still holds original row
+				// indices; they are remapped to pivot coordinates once all
+				// pivots are known.
+				x[f.lRow[q]] -= f.lVal[q] * xv
+			}
+		}
+		// Partition into U part (pivoted rows) and candidate pivot rows.
+		var best int32 = -1
+		bestAbs := 0.0
+		for i := 0; i < m; i++ {
+			if x[i] == 0 {
+				continue
+			}
+			if f.pinv[i] < 0 {
+				if a := math.Abs(x[i]); a > bestAbs {
+					bestAbs = a
+					best = int32(i)
+				}
+			}
+		}
+		if best < 0 || bestAbs < pivotTol {
+			// Deficient column: clear and record.
+			for i := 0; i < m; i++ {
+				x[i] = 0
+			}
+			failed = append(failed, int(kc))
+			continue
+		}
+		k := npiv
+		// Emit U column k: entries at already-pivoted rows.
+		for t := 0; t < k; t++ {
+			pr := f.prow[t]
+			if v := x[pr]; v != 0 {
+				f.uRow = append(f.uRow, int32(t))
+				f.uVal = append(f.uVal, v)
+				x[pr] = 0
+			}
+		}
+		f.uPtr = append(f.uPtr, int32(len(f.uRow)))
+		piv := x[best]
+		f.udiag = append(f.udiag, piv)
+		x[best] = 0
+		// Emit L column k: remaining unpivoted rows, scaled by pivot.
+		for i := 0; i < m; i++ {
+			if x[i] == 0 {
+				continue
+			}
+			// pivot coordinate of row i is not yet assigned; store the
+			// original row for now and fix up below using a parallel list.
+			f.lRow = append(f.lRow, int32(i)) // original row, remapped later
+			f.lVal = append(f.lVal, x[i]/piv)
+			x[i] = 0
+		}
+		f.lPtr = append(f.lPtr, int32(len(f.lRow)))
+		f.prow[k] = best
+		f.pinv[best] = int32(k)
+		f.cq[k] = kc
+		npiv++
+	}
+	if npiv < m {
+		var unp []int
+		for i := 0; i < m; i++ {
+			if f.pinv[i] < 0 {
+				unp = append(unp, i)
+			}
+		}
+		return &SingularError{FailedPositions: failed, UnpivotedRows: unp}
+	}
+	// Remap L row indices from original rows to pivot coordinates. Entries
+	// were appended while their rows were still unpivoted, so they hold
+	// original indices; every row has a pivot position now.
+	for q := range f.lRow {
+		f.lRow[q] = f.pinv[f.lRow[q]]
+	}
+	return nil
+}
+
+// NumEtas returns the number of basis updates accumulated since the last
+// Factorize.
+func (f *Factor) NumEtas() int { return len(f.etas) }
+
+// M returns the dimension of the factorized matrix.
+func (f *Factor) M() int { return f.m }
+
+// Update appends a product-form eta recording that basis position r was
+// replaced by a column whose FTRAN image (B⁻¹ a) is the dense vector w.
+// It returns an error if the pivot element w[r] is too small to be stable.
+func (f *Factor) Update(r int, w []float64, pivotTol float64) error {
+	wr := w[r]
+	if math.Abs(wr) < pivotTol {
+		return fmt.Errorf("lp: eta pivot %.3e below tolerance at position %d", wr, r)
+	}
+	var rows []int32
+	var vals []float64
+	for i, v := range w {
+		if i != r && v != 0 {
+			rows = append(rows, int32(i))
+			vals = append(vals, v)
+		}
+	}
+	f.etas = append(f.etas, eta{r: int32(r), rows: rows, vals: vals, wr: wr})
+	return nil
+}
+
+// Ftran solves B x = b in place: on entry b holds the right-hand side, on
+// exit it holds x. b must have length M().
+func (f *Factor) Ftran(b []float64) {
+	m := f.m
+	z := f.work2
+	// z = P b
+	for k := 0; k < m; k++ {
+		z[k] = b[f.prow[k]]
+	}
+	// L z = z (unit diagonal, column-oriented forward substitution)
+	for k := 0; k < m; k++ {
+		zk := z[k]
+		if zk == 0 {
+			continue
+		}
+		s, e := f.lPtr[k], f.lPtr[k+1]
+		for q := s; q < e; q++ {
+			z[f.lRow[q]] -= f.lVal[q] * zk
+		}
+	}
+	// U w = z (column-oriented backward substitution)
+	for k := m - 1; k >= 0; k-- {
+		wk := z[k] / f.udiag[k]
+		z[k] = wk
+		if wk == 0 {
+			continue
+		}
+		s, e := f.uPtr[k], f.uPtr[k+1]
+		for q := s; q < e; q++ {
+			z[f.uRow[q]] -= f.uVal[q] * wk
+		}
+	}
+	// x[cq[k]] = w[k]
+	for k := 0; k < m; k++ {
+		b[f.cq[k]] = z[k]
+	}
+	// Apply etas in order: x ← E x with (Ex)_r = x_r/wr, (Ex)_i = x_i − w_i·x_r/wr.
+	for idx := range f.etas {
+		et := &f.etas[idx]
+		xr := b[et.r]
+		if xr == 0 {
+			continue
+		}
+		t := xr / et.wr
+		b[et.r] = t
+		for q, row := range et.rows {
+			b[row] -= et.vals[q] * t
+		}
+	}
+}
+
+// Btran solves Bᵀ y = c in place: on entry c holds the right-hand side, on
+// exit it holds y. c must have length M().
+func (f *Factor) Btran(c []float64) {
+	m := f.m
+	// Apply eta transposes in reverse: y_r ← (y_r − Σ_{i≠r} w_i y_i)/wr.
+	for idx := len(f.etas) - 1; idx >= 0; idx-- {
+		et := &f.etas[idx]
+		acc := 0.0
+		for q, row := range et.rows {
+			acc += et.vals[q] * c[row]
+		}
+		c[et.r] = (c[et.r] - acc) / et.wr
+	}
+	z := f.work2
+	// c' = Qᵀ c: c'[k] = c[cq[k]]
+	for k := 0; k < m; k++ {
+		z[k] = c[f.cq[k]]
+	}
+	// Uᵀ z = c' (forward, gather over U columns)
+	for k := 0; k < m; k++ {
+		acc := z[k]
+		s, e := f.uPtr[k], f.uPtr[k+1]
+		for q := s; q < e; q++ {
+			acc -= f.uVal[q] * z[f.uRow[q]]
+		}
+		z[k] = acc / f.udiag[k]
+	}
+	// Lᵀ w = z (backward, gather over L columns; unit diagonal)
+	for k := m - 1; k >= 0; k-- {
+		acc := z[k]
+		s, e := f.lPtr[k], f.lPtr[k+1]
+		for q := s; q < e; q++ {
+			acc -= f.lVal[q] * z[f.lRow[q]]
+		}
+		z[k] = acc
+	}
+	// P y = w → y[prow[k]] = w[k]
+	for k := 0; k < m; k++ {
+		c[f.prow[k]] = z[k]
+	}
+}

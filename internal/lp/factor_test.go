@@ -1,0 +1,256 @@
+package lp
+
+import (
+	"errors"
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// denseSolve solves A x = b by Gaussian elimination with partial pivoting,
+// used as an oracle for Factor.
+func denseSolve(a [][]float64, b []float64) []float64 {
+	m := len(a)
+	A := make([][]float64, m)
+	for i := range A {
+		A[i] = append([]float64(nil), a[i]...)
+		A[i] = append(A[i], b[i])
+	}
+	for c := 0; c < m; c++ {
+		p := c
+		for r := c + 1; r < m; r++ {
+			if math.Abs(A[r][c]) > math.Abs(A[p][c]) {
+				p = r
+			}
+		}
+		A[c], A[p] = A[p], A[c]
+		for r := c + 1; r < m; r++ {
+			f := A[r][c] / A[c][c]
+			if f == 0 {
+				continue
+			}
+			for k := c; k <= m; k++ {
+				A[r][k] -= f * A[c][k]
+			}
+		}
+	}
+	x := make([]float64, m)
+	for i := m - 1; i >= 0; i-- {
+		s := A[i][m]
+		for k := i + 1; k < m; k++ {
+			s -= A[i][k] * x[k]
+		}
+		x[i] = s / A[i][i]
+	}
+	return x
+}
+
+// randomSparseMatrix builds an m×m matrix that is nonsingular with high
+// probability: a permuted diagonal plus random off-diagonal entries.
+func randomSparseMatrix(rng *rand.Rand, m int) [][]float64 {
+	a := make([][]float64, m)
+	for i := range a {
+		a[i] = make([]float64, m)
+	}
+	perm := rng.Perm(m)
+	for i := 0; i < m; i++ {
+		a[i][perm[i]] = 1 + rng.Float64()*4
+	}
+	extra := m * 2
+	for k := 0; k < extra; k++ {
+		a[rng.Intn(m)][rng.Intn(m)] += rng.NormFloat64()
+	}
+	return a
+}
+
+func columnsOf(a [][]float64) basisColumn {
+	m := len(a)
+	return func(k int) ([]int32, []float64) {
+		var rows []int32
+		var vals []float64
+		for i := 0; i < m; i++ {
+			if a[i][k] != 0 {
+				rows = append(rows, int32(i))
+				vals = append(vals, a[i][k])
+			}
+		}
+		return rows, vals
+	}
+}
+
+func maxAbsDiff(a, b []float64) float64 {
+	var worst float64
+	for i := range a {
+		if d := math.Abs(a[i] - b[i]); d > worst {
+			worst = d
+		}
+	}
+	return worst
+}
+
+func TestFactorFtranBtranRandom(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for trial := 0; trial < 200; trial++ {
+		m := 1 + rng.Intn(25)
+		a := randomSparseMatrix(rng, m)
+		var f Factor
+		if err := f.Factorize(m, columnsOf(a), 1e-10); err != nil {
+			t.Fatalf("trial %d: factorize: %v", trial, err)
+		}
+		b := make([]float64, m)
+		for i := range b {
+			b[i] = rng.NormFloat64()
+		}
+		want := denseSolve(a, b)
+		got := append([]float64(nil), b...)
+		f.Ftran(got)
+		if d := maxAbsDiff(got, want); d > 1e-6 {
+			t.Fatalf("trial %d (m=%d): Ftran diff %g", trial, m, d)
+		}
+		// Bᵀy = c: oracle solves with transposed matrix.
+		at := make([][]float64, m)
+		for i := range at {
+			at[i] = make([]float64, m)
+			for j := 0; j < m; j++ {
+				at[i][j] = a[j][i]
+			}
+		}
+		wantY := denseSolve(at, b)
+		gotY := append([]float64(nil), b...)
+		f.Btran(gotY)
+		if d := maxAbsDiff(gotY, wantY); d > 1e-6 {
+			t.Fatalf("trial %d (m=%d): Btran diff %g", trial, m, d)
+		}
+	}
+}
+
+func TestFactorSingular(t *testing.T) {
+	// Two identical columns.
+	a := [][]float64{
+		{1, 1, 0},
+		{2, 2, 1},
+		{0, 0, 3},
+	}
+	var f Factor
+	err := f.Factorize(3, columnsOf(a), 1e-10)
+	if !errors.Is(err, ErrSingular) {
+		t.Fatalf("want ErrSingular, got %v", err)
+	}
+	var se *SingularError
+	if !errors.As(err, &se) {
+		t.Fatalf("want *SingularError, got %T", err)
+	}
+	if len(se.FailedPositions) != 1 || len(se.UnpivotedRows) != 1 {
+		t.Fatalf("unexpected deficiency detail: %+v", se)
+	}
+}
+
+func TestFactorZeroMatrix(t *testing.T) {
+	a := [][]float64{{0, 0}, {0, 0}}
+	var f Factor
+	if err := f.Factorize(2, columnsOf(a), 1e-10); !errors.Is(err, ErrSingular) {
+		t.Fatalf("want ErrSingular, got %v", err)
+	}
+}
+
+func TestFactorUpdateMatchesRefactorization(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 100; trial++ {
+		m := 2 + rng.Intn(20)
+		a := randomSparseMatrix(rng, m)
+		var f Factor
+		if err := f.Factorize(m, columnsOf(a), 1e-10); err != nil {
+			t.Fatalf("factorize: %v", err)
+		}
+		// Replace a few columns one at a time via eta updates.
+		for upd := 0; upd < 3; upd++ {
+			// Retry column generation until B⁻¹a has a healthy pivot at r:
+			// a zero there means the replacement would be singular, which
+			// the simplex never attempts.
+			var r int
+			var newCol, w []float64
+			for {
+				r = rng.Intn(m)
+				newCol = make([]float64, m)
+				for i := range newCol {
+					if rng.Intn(3) == 0 {
+						newCol[i] = rng.NormFloat64()
+					}
+				}
+				newCol[r] += 2 + rng.Float64()
+				w = append([]float64(nil), newCol...)
+				f.Ftran(w)
+				if math.Abs(w[r]) > 1e-3 {
+					break
+				}
+			}
+			if err := f.Update(r, w, 1e-10); err != nil {
+				t.Fatalf("update: %v", err)
+			}
+			for i := 0; i < m; i++ {
+				a[i][r] = newCol[i]
+			}
+			// Check Ftran and Btran against a dense solve of the updated matrix.
+			b := make([]float64, m)
+			for i := range b {
+				b[i] = rng.NormFloat64()
+			}
+			want := denseSolve(a, b)
+			got := append([]float64(nil), b...)
+			f.Ftran(got)
+			if d := maxAbsDiff(got, want); d > 1e-5 {
+				t.Fatalf("trial %d upd %d: Ftran after update diff %g", trial, upd, d)
+			}
+			at := make([][]float64, m)
+			for i := range at {
+				at[i] = make([]float64, m)
+				for j := 0; j < m; j++ {
+					at[i][j] = a[j][i]
+				}
+			}
+			wantY := denseSolve(at, b)
+			gotY := append([]float64(nil), b...)
+			f.Btran(gotY)
+			if d := maxAbsDiff(gotY, wantY); d > 1e-5 {
+				t.Fatalf("trial %d upd %d: Btran after update diff %g", trial, upd, d)
+			}
+		}
+		if f.NumEtas() != 3 {
+			t.Fatalf("want 3 etas, got %d", f.NumEtas())
+		}
+	}
+}
+
+func TestFactorUpdateRejectsTinyPivot(t *testing.T) {
+	a := [][]float64{{1, 0}, {0, 1}}
+	var f Factor
+	if err := f.Factorize(2, columnsOf(a), 1e-10); err != nil {
+		t.Fatal(err)
+	}
+	w := []float64{0, 1e-12}
+	if err := f.Update(1, w, 1e-8); err == nil {
+		t.Fatal("want error for tiny eta pivot")
+	}
+}
+
+func BenchmarkFactorize500(b *testing.B) {
+	rng := rand.New(rand.NewSource(3))
+	m := 500
+	a := randomSparseMatrix(rng, m)
+	col := columnsOf(a)
+	// Pre-extract columns so the benchmark measures factorization only.
+	rows := make([][]int32, m)
+	vals := make([][]float64, m)
+	for k := 0; k < m; k++ {
+		r, v := col(k)
+		rows[k] = r
+		vals[k] = v
+	}
+	var f Factor
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := f.Factorize(m, func(k int) ([]int32, []float64) { return rows[k], vals[k] }, 1e-10); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,188 @@
+package lp
+
+import (
+	"bytes"
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// buildKnownOptimumLP constructs a random LP whose optimal objective is
+// known by construction via strong duality: pick a primal point x*, random
+// constraint matrix A, and duals y*; set each row's bound so it is binding
+// at x* when y*_i ≠ 0 (with the inequality direction implied by the dual's
+// sign) and slack otherwise; set c = Aᵀy* + r where the reduced costs r are
+// sign-consistent with x*'s position in its box. Then x* is optimal with
+// objective cᵀx*.
+func buildKnownOptimumLP(rng *rand.Rand, n, m int) (*Problem, []float64, float64) {
+	xstar := make([]float64, n)
+	lo := make([]float64, n)
+	hi := make([]float64, n)
+	pos := make([]int, n) // 0: at lower, 1: at upper, 2: interior
+	for j := 0; j < n; j++ {
+		lo[j] = float64(rng.Intn(7) - 3)
+		hi[j] = lo[j] + float64(1+rng.Intn(5))
+		switch pos[j] = rng.Intn(3); pos[j] {
+		case 0:
+			xstar[j] = lo[j]
+		case 1:
+			xstar[j] = hi[j]
+		default:
+			xstar[j] = lo[j] + (hi[j]-lo[j])*rng.Float64()
+		}
+	}
+	A := make([][]float64, m)
+	ystar := make([]float64, m)
+	for i := 0; i < m; i++ {
+		A[i] = make([]float64, n)
+		for j := 0; j < n; j++ {
+			if rng.Intn(2) == 0 {
+				A[i][j] = float64(rng.Intn(9) - 4)
+			}
+		}
+		switch rng.Intn(3) {
+		case 0:
+			ystar[i] = 1 + rng.Float64()*3 // binding ≥ row
+		case 1:
+			ystar[i] = -1 - rng.Float64()*3 // binding ≤ row
+		default:
+			ystar[i] = 0 // slack row
+		}
+	}
+	// Interior variables must have zero reduced cost: c_j = Σ A_ij y_i.
+	// At-lower variables need r_j ≥ 0; at-upper need r_j ≤ 0.
+	c := make([]float64, n)
+	for j := 0; j < n; j++ {
+		for i := 0; i < m; i++ {
+			c[j] += A[i][j] * ystar[i]
+		}
+		switch pos[j] {
+		case 0:
+			c[j] += rng.Float64() * 3
+		case 1:
+			c[j] -= rng.Float64() * 3
+		}
+	}
+	p := NewProblem("known-opt")
+	for j := 0; j < n; j++ {
+		p.AddVar(lo[j], hi[j], c[j], "x")
+	}
+	for i := 0; i < m; i++ {
+		act := 0.0
+		for j := 0; j < n; j++ {
+			act += A[i][j] * xstar[j]
+		}
+		var rlo, rhi float64
+		switch {
+		case ystar[i] > 0: // binding ≥: activity ≥ act, tight at x*
+			rlo, rhi = act, Inf
+		case ystar[i] < 0: // binding ≤
+			rlo, rhi = math.Inf(-1), act
+		default: // slack: bounds strictly containing act
+			rlo, rhi = act-1-rng.Float64()*3, act+1+rng.Float64()*3
+		}
+		r := p.AddRow(rlo, rhi, "r")
+		for j := 0; j < n; j++ {
+			if A[i][j] != 0 {
+				p.SetCoef(r, Var(j), A[i][j])
+			}
+		}
+	}
+	obj := 0.0
+	for j := 0; j < n; j++ {
+		obj += c[j] * xstar[j]
+	}
+	return p, xstar, obj
+}
+
+// TestSimplexKnownOptima validates the solver against LPs with optima known
+// by construction — including sizes well beyond what the dense oracle can
+// cross-check.
+func TestSimplexKnownOptima(t *testing.T) {
+	rng := rand.New(rand.NewSource(51))
+	sizes := [][2]int{{5, 3}, {12, 8}, {30, 20}, {80, 50}, {200, 120}}
+	for _, sz := range sizes {
+		for trial := 0; trial < 8; trial++ {
+			p, _, want := buildKnownOptimumLP(rng, sz[0], sz[1])
+			sol := Solve(p, Options{})
+			if sol.Status != Optimal {
+				t.Fatalf("n=%d m=%d trial %d: status %v", sz[0], sz[1], trial, sol.Status)
+			}
+			if d := math.Abs(sol.Objective - want); d > 1e-6*(1+math.Abs(want)) {
+				t.Fatalf("n=%d m=%d trial %d: objective %.9g, want %.9g", sz[0], sz[1], trial, sol.Objective, want)
+			}
+			if viol := p.MaxViolation(sol.X); viol > 1e-6 {
+				t.Fatalf("n=%d m=%d trial %d: violation %g", sz[0], sz[1], trial, viol)
+			}
+		}
+	}
+}
+
+// TestPresolveKnownOptima runs the same construction through presolve.
+func TestPresolveKnownOptima(t *testing.T) {
+	rng := rand.New(rand.NewSource(53))
+	for trial := 0; trial < 30; trial++ {
+		p, _, want := buildKnownOptimumLP(rng, 20, 12)
+		sol := SolveWithPresolve(p, Options{})
+		if sol.Status != Optimal {
+			t.Fatalf("trial %d: status %v", trial, sol.Status)
+		}
+		if d := math.Abs(sol.Objective - want); d > 1e-6*(1+math.Abs(want)) {
+			t.Fatalf("trial %d: objective %.9g, want %.9g", trial, sol.Objective, want)
+		}
+	}
+}
+
+// TestMPSKnownOptima round-trips constructed LPs through MPS.
+func TestMPSKnownOptima(t *testing.T) {
+	rng := rand.New(rand.NewSource(57))
+	for trial := 0; trial < 20; trial++ {
+		p, _, want := buildKnownOptimumLP(rng, 15, 10)
+		var buf bytes.Buffer
+		if err := WriteMPS(&buf, p); err != nil {
+			t.Fatal(err)
+		}
+		q, err := ReadMPS(&buf)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sol := Solve(q, Options{})
+		if sol.Status != Optimal || math.Abs(sol.Objective-want) > 1e-6*(1+math.Abs(want)) {
+			t.Fatalf("trial %d: %v %.9g want %.9g", trial, sol.Status, sol.Objective, want)
+		}
+	}
+}
+
+// TestReadMPSNeverPanics feeds random garbage into the parser.
+func TestReadMPSNeverPanics(t *testing.T) {
+	rng := rand.New(rand.NewSource(59))
+	sections := []string{"NAME x", "ROWS", " N obj", " L r1", "COLUMNS", " x r1 1", "RHS", "BOUNDS", "ENDATA", " UP BND x 1", "garbage line"}
+	for trial := 0; trial < 500; trial++ {
+		var buf bytes.Buffer
+		lines := rng.Intn(12)
+		for i := 0; i < lines; i++ {
+			if rng.Intn(4) == 0 {
+				// Random bytes.
+				raw := make([]byte, rng.Intn(30))
+				rng.Read(raw)
+				buf.Write(raw)
+				buf.WriteByte('\n')
+			} else {
+				buf.WriteString(sections[rng.Intn(len(sections))])
+				buf.WriteByte('\n')
+			}
+		}
+		// Must not panic; errors are fine.
+		func() {
+			defer func() {
+				if r := recover(); r != nil {
+					t.Fatalf("trial %d: ReadMPS panicked: %v\ninput:\n%s", trial, r, buf.String())
+				}
+			}()
+			p, err := ReadMPS(bytes.NewReader(buf.Bytes()))
+			if err == nil && p != nil {
+				Solve(p, Options{MaxIterations: 100})
+			}
+		}()
+	}
+}

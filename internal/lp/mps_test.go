@@ -1,0 +1,139 @@
+package lp
+
+import (
+	"bytes"
+	"math"
+	"math/rand"
+	"strings"
+	"testing"
+)
+
+func TestMPSRoundTripSmall(t *testing.T) {
+	p := NewProblem("demo")
+	x := p.AddVar(0, 3, -1, "x")
+	y := p.AddVar(-2, 2, -2, "y")
+	z := p.AddVar(-Inf, Inf, 0.5, "z")
+	w := p.AddVar(1, 1, 4, "w")
+	r1 := p.AddRow(-Inf, 4, "le")
+	p.SetCoef(r1, x, 1)
+	p.SetCoef(r1, y, 1)
+	r2 := p.AddRow(1, 5, "rng")
+	p.SetCoef(r2, x, 2)
+	p.SetCoef(r2, z, 1)
+	r3 := p.AddRow(2, 2, "eq")
+	p.SetCoef(r3, y, 1)
+	p.SetCoef(r3, w, 1)
+
+	var buf bytes.Buffer
+	if err := WriteMPS(&buf, p); err != nil {
+		t.Fatal(err)
+	}
+	q, err := ReadMPS(&buf)
+	if err != nil {
+		t.Fatalf("ReadMPS: %v\n%s", err, buf.String())
+	}
+	if q.NumVars() != p.NumVars() || q.NumRows() != p.NumRows() {
+		t.Fatalf("shape mismatch: %s vs %s", q.Stats(), p.Stats())
+	}
+	a := Solve(p, Options{})
+	b := Solve(q, Options{})
+	if a.Status != b.Status {
+		t.Fatalf("status %v vs %v", a.Status, b.Status)
+	}
+	if a.Status == Optimal && math.Abs(a.Objective-b.Objective) > 1e-7 {
+		t.Fatalf("objective %g vs %g", a.Objective, b.Objective)
+	}
+}
+
+// TestMPSRoundTripRandom: any random problem must round-trip to the same
+// optimum (or the same status).
+func TestMPSRoundTripRandom(t *testing.T) {
+	rng := rand.New(rand.NewSource(17))
+	for trial := 0; trial < 150; trial++ {
+		p := randomProblem(rng)
+		var buf bytes.Buffer
+		if err := WriteMPS(&buf, p); err != nil {
+			t.Fatal(err)
+		}
+		q, err := ReadMPS(bytes.NewReader(buf.Bytes()))
+		if err != nil {
+			t.Fatalf("trial %d: %v\n%s", trial, err, buf.String())
+		}
+		a := Solve(p, Options{})
+		b := Solve(q, Options{})
+		if a.Status != b.Status {
+			t.Fatalf("trial %d: status %v vs %v\n%s", trial, a.Status, b.Status, buf.String())
+		}
+		if a.Status == Optimal && math.Abs(a.Objective-b.Objective) > 1e-6*(1+math.Abs(a.Objective)) {
+			t.Fatalf("trial %d: objective %g vs %g", trial, a.Objective, b.Objective)
+		}
+	}
+}
+
+func TestReadMPSHandwritten(t *testing.T) {
+	src := `
+* a classic two-variable problem
+NAME tiny
+ROWS
+ N obj
+ L c1
+ G c2
+COLUMNS
+ x obj -1 c1 1
+ x c2 1
+ y obj -2
+ y c1 1 c2 -1
+RHS
+ RHS c1 4 c2 -1
+BOUNDS
+ UP BND x 3
+ UP BND y 2
+ENDATA
+`
+	p, err := ReadMPS(strings.NewReader(src))
+	if err != nil {
+		t.Fatal(err)
+	}
+	sol := Solve(p, Options{})
+	// min -x-2y s.t. x+y≤4, x−y≥−1, 0≤x≤3, 0≤y≤2 → x=2,y=2 → -6.
+	requireOptimal(t, sol, -6, 1e-7)
+}
+
+func TestReadMPSErrors(t *testing.T) {
+	cases := map[string]string{
+		"missing endata":   "NAME x\nROWS\n N obj\n",
+		"bad row type":     "ROWS\n Q r1\nENDATA\n",
+		"unknown row":      "ROWS\n N obj\nCOLUMNS\n x zz 1\nENDATA\n",
+		"bad number":       "ROWS\n N obj\n L r1\nCOLUMNS\n x r1 abc\nENDATA\n",
+		"data pre-section": " x r1 1\nENDATA\n",
+		"objsense max":     "OBJSENSE\n MAX\nENDATA\n",
+		"bad bound kind":   "ROWS\n N obj\nBOUNDS\n XX BND x 1\nENDATA\n",
+	}
+	for name, src := range cases {
+		if _, err := ReadMPS(strings.NewReader(src)); err == nil {
+			t.Fatalf("%s: expected error", name)
+		}
+	}
+}
+
+func TestWriteMPSFreeRow(t *testing.T) {
+	p := NewProblem("freerow")
+	x := p.AddVar(0, 1, 1, "x")
+	r := p.AddRow(-Inf, Inf, "free")
+	p.SetCoef(r, x, 1)
+	var buf bytes.Buffer
+	if err := WriteMPS(&buf, p); err != nil {
+		t.Fatal(err)
+	}
+	q, err := ReadMPS(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if q.NumRows() != 1 {
+		t.Fatalf("free row lost: %d rows", q.NumRows())
+	}
+	lo, hi := q.RowBounds(0)
+	if !math.IsInf(lo, -1) || !math.IsInf(hi, 1) {
+		t.Fatalf("free row bounds %g %g", lo, hi)
+	}
+}

@@ -1,0 +1,288 @@
+package lp
+
+import "math"
+
+// Presolve simplifies a problem before the simplex sees it: fixed variables
+// are substituted out, empty rows are checked and dropped, singleton rows
+// become variable-bound tightenings, and empty columns are pinned to their
+// best bound. Reductions cascade to a fixpoint. Postsolve restores the
+// eliminated variables' values exactly; duals of eliminated rows are
+// reported as zero (they are non-binding or folded into bounds).
+//
+// The reductions preserve optimality: every transformation maps feasible
+// points of the original one-to-one onto feasible points of the reduced
+// problem with the same objective up to the accumulated constant.
+type Presolved struct {
+	// Reduced is the simplified problem (nil when presolve already decided
+	// the outcome).
+	Reduced *Problem
+	// Decided is Optimal when the reduced problem must still be solved;
+	// Infeasible or Unbounded when presolve settled the status alone.
+	Decided Status
+
+	objConst float64
+	origVars int
+	origRows int
+	fixedVal []float64 // value of eliminated variables, NaN if kept
+	varMap   []int     // original var -> reduced var index, -1 if eliminated
+	rowMap   []int     // original row -> reduced row index, -1 if eliminated
+}
+
+type workRow struct {
+	lo, hi  float64
+	cols    map[int]float64
+	deleted bool
+}
+
+type workCol struct {
+	lo, hi, obj float64
+	rows        map[int]float64
+	deleted     bool
+	value       float64 // valid when deleted
+}
+
+// Presolve runs the reductions. The input problem is not modified.
+func Presolve(p *Problem) *Presolved {
+	p.compile()
+	n, m := p.NumVars(), p.NumRows()
+	ps := &Presolved{origVars: n, origRows: m, Decided: Optimal,
+		fixedVal: make([]float64, n), varMap: make([]int, n), rowMap: make([]int, m)}
+	for j := range ps.fixedVal {
+		ps.fixedVal[j] = math.NaN()
+	}
+
+	rows := make([]workRow, m)
+	for i := 0; i < m; i++ {
+		rows[i] = workRow{lo: p.rowLo[i], hi: p.rowHi[i], cols: map[int]float64{}}
+	}
+	cols := make([]workCol, n)
+	for j := 0; j < n; j++ {
+		cols[j] = workCol{lo: p.colLo[j], hi: p.colHi[j], obj: p.obj[j], rows: map[int]float64{}}
+		rr, vv := p.column(j)
+		for k, r := range rr {
+			cols[j].rows[int(r)] = vv[k]
+			rows[r].cols[j] = vv[k]
+		}
+	}
+
+	feasTol := 1e-9
+	fixColumn := func(j int, v float64) bool {
+		c := &cols[j]
+		if v < c.lo-feasTol || v > c.hi+feasTol {
+			return false
+		}
+		c.deleted = true
+		c.value = v
+		ps.objConst += c.obj * v
+		for r, coef := range c.rows {
+			row := &rows[r]
+			if row.deleted {
+				continue
+			}
+			delete(row.cols, j)
+			if v != 0 {
+				if !math.IsInf(row.lo, -1) {
+					row.lo -= coef * v
+				}
+				if !math.IsInf(row.hi, 1) {
+					row.hi -= coef * v
+				}
+			}
+		}
+		return true
+	}
+
+	changed := true
+	for changed {
+		changed = false
+		// Bound sanity and fixed variables.
+		for j := range cols {
+			c := &cols[j]
+			if c.deleted {
+				continue
+			}
+			if c.lo > c.hi+feasTol {
+				ps.Decided = Infeasible
+				return ps
+			}
+			if c.lo == c.hi {
+				if !fixColumn(j, c.lo) {
+					ps.Decided = Infeasible
+					return ps
+				}
+				changed = true
+				continue
+			}
+			// Empty column: pin to the best finite bound; keep unbounded
+			// favorable directions for the solver to diagnose properly.
+			if len(c.rows) == 0 || allDeleted(rows, c.rows) {
+				var v float64
+				switch {
+				case c.obj > 0 && !math.IsInf(c.lo, -1):
+					v = c.lo
+				case c.obj < 0 && !math.IsInf(c.hi, 1):
+					v = c.hi
+				case c.obj == 0:
+					switch {
+					case !math.IsInf(c.lo, -1) && c.lo > 0:
+						v = c.lo
+					case !math.IsInf(c.hi, 1) && c.hi < 0:
+						v = c.hi
+					default:
+						v = 0
+					}
+				default:
+					continue // favorable infinite ray: leave for the solver
+				}
+				if !fixColumn(j, v) {
+					ps.Decided = Infeasible
+					return ps
+				}
+				changed = true
+			}
+		}
+		// Rows.
+		for i := range rows {
+			row := &rows[i]
+			if row.deleted {
+				continue
+			}
+			switch len(row.cols) {
+			case 0:
+				if row.lo > feasTol || row.hi < -feasTol {
+					ps.Decided = Infeasible
+					return ps
+				}
+				row.deleted = true
+				changed = true
+			case 1:
+				var j int
+				var a float64
+				for jj, aa := range row.cols {
+					j, a = jj, aa
+				}
+				lo, hi := row.lo/a, row.hi/a
+				if a < 0 {
+					lo, hi = hi, lo
+				}
+				c := &cols[j]
+				if lo > c.lo {
+					c.lo = lo
+				}
+				if hi < c.hi {
+					c.hi = hi
+				}
+				delete(c.rows, i)
+				row.deleted = true
+				changed = true
+			}
+		}
+	}
+
+	// Assemble the reduced problem.
+	red := NewProblem(p.name + "/presolved")
+	for j := range cols {
+		if cols[j].deleted {
+			ps.varMap[j] = -1
+			ps.fixedVal[j] = cols[j].value
+			continue
+		}
+		ps.varMap[j] = int(red.AddVar(cols[j].lo, cols[j].hi, cols[j].obj, p.colName[j]))
+	}
+	for i := range rows {
+		if rows[i].deleted {
+			ps.rowMap[i] = -1
+			continue
+		}
+		r := red.AddRow(rows[i].lo, rows[i].hi, p.rowName[i])
+		ps.rowMap[i] = int(r)
+		for j, coef := range rows[i].cols {
+			red.SetCoef(r, Var(ps.varMap[j]), coef)
+		}
+	}
+	ps.Reduced = red
+	return ps
+}
+
+func allDeleted(rows []workRow, in map[int]float64) bool {
+	for r := range in {
+		if !rows[r].deleted {
+			return false
+		}
+	}
+	return true
+}
+
+// ObjConstant returns the objective contribution of eliminated variables.
+func (ps *Presolved) ObjConstant() float64 { return ps.objConst }
+
+// remapVars translates original-space variable hints into the reduced
+// space, dropping eliminated variables.
+func (ps *Presolved) remapVars(vs []Var) []Var {
+	var out []Var
+	for _, v := range vs {
+		if int(v) >= 0 && int(v) < len(ps.varMap) && ps.varMap[v] >= 0 {
+			out = append(out, Var(ps.varMap[v]))
+		}
+	}
+	return out
+}
+
+// Postsolve maps a solution of the reduced problem back to the original
+// variable and row spaces.
+func (ps *Presolved) Postsolve(sol *Solution) *Solution {
+	out := &Solution{
+		Status:           sol.Status,
+		Objective:        sol.Objective + ps.objConst,
+		Iterations:       sol.Iterations,
+		Refactorizations: sol.Refactorizations,
+		SolveTime:        sol.SolveTime,
+		X:                make([]float64, ps.origVars),
+		Dual:             make([]float64, ps.origRows),
+	}
+	for j := 0; j < ps.origVars; j++ {
+		if ps.varMap[j] >= 0 {
+			out.X[j] = sol.X[ps.varMap[j]]
+		} else {
+			out.X[j] = ps.fixedVal[j]
+		}
+	}
+	for i := 0; i < ps.origRows; i++ {
+		if ps.rowMap[i] >= 0 && sol.Dual != nil {
+			out.Dual[i] = sol.Dual[ps.rowMap[i]]
+		}
+	}
+	return out
+}
+
+// SolveWithPresolve presolves, solves the reduction, and postsolves,
+// returning a solution in the original problem's spaces. RowActivity is
+// recomputed against the original problem.
+func SolveWithPresolve(p *Problem, opts Options) *Solution {
+	ps := Presolve(p)
+	if ps.Decided != Optimal {
+		return &Solution{Status: ps.Decided}
+	}
+	if ps.Reduced.NumVars() == 0 {
+		// Fully decided by presolve: constant problem.
+		out := ps.Postsolve(&Solution{Status: Optimal, X: nil})
+		// Rows must still be satisfiable by the fixed point; MaxViolation
+		// over the original problem is the caller-visible check.
+		if p.MaxViolation(out.X) > 1e-7 {
+			out.Status = Infeasible
+			return out
+		}
+		out.RowActivity = p.Activity(out.X)
+		return out
+	}
+	// Variable hints reference the original space; remap them.
+	opts.CrashBasis = ps.remapVars(opts.CrashBasis)
+	opts.AtUpper = ps.remapVars(opts.AtUpper)
+	sol := Solve(ps.Reduced, opts)
+	if sol.Status != Optimal {
+		return &Solution{Status: sol.Status, Iterations: sol.Iterations}
+	}
+	out := ps.Postsolve(sol)
+	out.RowActivity = p.Activity(out.X)
+	return out
+}

@@ -1,0 +1,178 @@
+package lp
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func TestPresolveFixedVariable(t *testing.T) {
+	p := NewProblem("fix")
+	x := p.AddVar(2, 2, 3, "x")
+	y := p.AddVar(0, 10, 1, "y")
+	r := p.AddRow(5, Inf, "r") // x + y ≥ 5 → y ≥ 3
+	p.SetCoef(r, x, 1)
+	p.SetCoef(r, y, 1)
+	ps := Presolve(p)
+	if ps.Decided != Optimal {
+		t.Fatalf("decided %v", ps.Decided)
+	}
+	// The cascade solves the whole problem: x is fixed, the row becomes a
+	// singleton that tightens y ≥ 3, and y is then pinned at its best bound.
+	if ps.Reduced.NumVars() != 0 || ps.Reduced.NumRows() != 0 {
+		t.Fatalf("cascade incomplete: %s", ps.Reduced.Stats())
+	}
+	sol := SolveWithPresolve(p, Options{})
+	requireOptimal(t, sol, 9, 1e-7) // 3·2 + 3
+	if sol.X[0] != 2 || math.Abs(sol.X[1]-3) > 1e-7 {
+		t.Fatalf("postsolved X = %v", sol.X)
+	}
+}
+
+func TestPresolveSingletonRowTightensBounds(t *testing.T) {
+	p := NewProblem("singleton")
+	x := p.AddVar(0, 100, 1, "x")
+	r := p.AddRow(3, 7, "rng") // 2x ∈ [3,7] → x ∈ [1.5, 3.5]
+	p.SetCoef(r, x, 2)
+	ps := Presolve(p)
+	if ps.Reduced.NumRows() != 0 {
+		t.Fatalf("singleton row not removed: %d rows", ps.Reduced.NumRows())
+	}
+	// The cascade then pins x at the tightened lower bound 1.5.
+	sol := SolveWithPresolve(p, Options{})
+	requireOptimal(t, sol, 1.5, 1e-9)
+	if sol.X[0] != 1.5 {
+		t.Fatalf("x = %g, want 1.5 (tightened bound)", sol.X[0])
+	}
+}
+
+func TestPresolveSingletonNegativeCoef(t *testing.T) {
+	p := NewProblem("neg")
+	x := p.AddVar(-10, 10, -1, "x")
+	r := p.AddRow(-4, 6, "rng") // -2x ∈ [-4,6] → x ∈ [-3, 2]
+	p.SetCoef(r, x, -2)
+	sol := SolveWithPresolve(p, Options{})
+	requireOptimal(t, sol, -2, 1e-9)
+	if sol.X[0] != 2 {
+		t.Fatalf("x = %g", sol.X[0])
+	}
+}
+
+func TestPresolveInfeasibleSingleton(t *testing.T) {
+	p := NewProblem("infeas")
+	x := p.AddVar(0, 1, 0, "x")
+	r := p.AddRow(5, Inf, "r")
+	p.SetCoef(r, x, 1)
+	ps := Presolve(p)
+	if ps.Decided != Infeasible {
+		t.Fatalf("decided %v, want infeasible", ps.Decided)
+	}
+}
+
+func TestPresolveEmptyRow(t *testing.T) {
+	good := NewProblem("er")
+	good.AddRow(-1, 1, "ok")
+	if Presolve(good).Decided != Optimal {
+		t.Fatal("empty row straddling 0 should presolve away")
+	}
+	bad := NewProblem("er2")
+	bad.AddRow(1, 2, "bad")
+	if Presolve(bad).Decided != Infeasible {
+		t.Fatal("empty row excluding 0 should be infeasible")
+	}
+}
+
+func TestPresolveEmptyColumn(t *testing.T) {
+	p := NewProblem("ec")
+	p.AddVar(1, 5, 2, "pinLo")   // obj > 0 → pin at 1
+	p.AddVar(-4, 3, -1, "pinHi") // obj < 0 → pin at 3
+	p.AddVar(-2, 7, 0, "zero")   // obj 0, 0 in range → 0
+	sol := SolveWithPresolve(p, Options{})
+	requireOptimal(t, sol, 2*1-1*3, 1e-9)
+	if sol.X[0] != 1 || sol.X[1] != 3 || sol.X[2] != 0 {
+		t.Fatalf("X = %v", sol.X)
+	}
+}
+
+func TestPresolveKeepsUnboundedRay(t *testing.T) {
+	p := NewProblem("ray")
+	p.AddVar(0, Inf, -1, "x") // empty column, favorable infinite direction
+	sol := SolveWithPresolve(p, Options{})
+	if sol.Status != Unbounded {
+		t.Fatalf("status %v, want unbounded", sol.Status)
+	}
+}
+
+func TestPresolveCascade(t *testing.T) {
+	// Fixing x collapses the row to a singleton on y, which fixes y's
+	// bounds; everything presolves away.
+	p := NewProblem("cascade")
+	x := p.AddVar(4, 4, 0, "x")
+	y := p.AddVar(0, 100, 1, "y")
+	r := p.AddRow(10, 10, "eq") // x + 2y = 10 → y = 3
+	p.SetCoef(r, x, 1)
+	p.SetCoef(r, y, 2)
+	ps := Presolve(p)
+	if ps.Reduced.NumVars() != 0 || ps.Reduced.NumRows() != 0 {
+		t.Fatalf("cascade incomplete: %s", ps.Reduced.Stats())
+	}
+	sol := SolveWithPresolve(p, Options{})
+	requireOptimal(t, sol, 3, 1e-9)
+	if sol.X[1] != 3 {
+		t.Fatalf("y = %g", sol.X[1])
+	}
+}
+
+// TestPresolveAgainstDirectSolve is the main property: presolved and direct
+// solves agree on status and objective for random problems.
+func TestPresolveAgainstDirectSolve(t *testing.T) {
+	rng := rand.New(rand.NewSource(23))
+	for trial := 0; trial < 300; trial++ {
+		p := randomProblem(rng)
+		direct := Solve(p, Options{})
+		pre := SolveWithPresolve(p, Options{})
+		if direct.Status != pre.Status {
+			t.Fatalf("trial %d: direct %v vs presolved %v (%s)", trial, direct.Status, pre.Status, p.Stats())
+		}
+		if direct.Status != Optimal {
+			continue
+		}
+		if math.Abs(direct.Objective-pre.Objective) > 1e-6*(1+math.Abs(direct.Objective)) {
+			t.Fatalf("trial %d: obj %g vs %g", trial, direct.Objective, pre.Objective)
+		}
+		if viol := p.MaxViolation(pre.X); viol > 1e-6 {
+			t.Fatalf("trial %d: postsolved point violates constraints by %g", trial, viol)
+		}
+	}
+}
+
+func TestPresolveReducesReplicationLikeStructure(t *testing.T) {
+	// A formulation-shaped problem with fixed vars and singleton rows mixed
+	// in: presolve must shrink it without changing the optimum.
+	p := NewProblem("shaped")
+	lam := p.AddVar(0, 10, 1, "lambda")
+	fixed := p.AddVar(0.25, 0.25, 0, "pinned")
+	a := p.AddVar(0, 1, 0, "a")
+	b := p.AddVar(0, 1, 0, "b")
+	cov := p.AddRow(0.75, 0.75, "cov") // a + b = 0.75 (after the pin)
+	p.SetCoef(cov, a, 1)
+	p.SetCoef(cov, b, 1)
+	l1 := p.AddRow(-Inf, 0, "l1")
+	p.SetCoef(l1, a, 1)
+	p.SetCoef(l1, fixed, 1)
+	p.SetCoef(l1, lam, -1)
+	l2 := p.AddRow(-Inf, 0, "l2")
+	p.SetCoef(l2, b, 1)
+	p.SetCoef(l2, lam, -1)
+	cap := p.AddRow(-Inf, 0.9, "cap") // singleton: lam ≤ 0.9
+	p.SetCoef(cap, lam, 1)
+	ps := Presolve(p)
+	if ps.Reduced.NumVars() >= p.NumVars() || ps.Reduced.NumRows() >= p.NumRows() {
+		t.Fatalf("no reduction: %s vs %s", ps.Reduced.Stats(), p.Stats())
+	}
+	direct := Solve(p, Options{})
+	pre := SolveWithPresolve(p, Options{})
+	requireOptimal(t, direct, pre.Objective, 1e-7)
+	// Optimum: balance (a+0.25) and b with a+b = 0.75 → λ = 0.5.
+	requireOptimal(t, pre, 0.5, 1e-7)
+}

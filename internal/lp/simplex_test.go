@@ -1,0 +1,422 @@
+package lp
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func requireOptimal(t *testing.T, sol *Solution, wantObj float64, tol float64) {
+	t.Helper()
+	if sol.Status != Optimal {
+		t.Fatalf("status = %v, want optimal (iters=%d)", sol.Status, sol.Iterations)
+	}
+	if math.Abs(sol.Objective-wantObj) > tol {
+		t.Fatalf("objective = %.9g, want %.9g", sol.Objective, wantObj)
+	}
+}
+
+func TestSimplexTwoVar(t *testing.T) {
+	// min -x - 2y s.t. x + y ≤ 4, x ≤ 3, y ≤ 2, x,y ≥ 0 → x=2, y=2, obj=-6.
+	p := NewProblem("twovar")
+	x := p.AddVar(0, 3, -1, "x")
+	y := p.AddVar(0, 2, -2, "y")
+	r := p.AddRow(-Inf, 4, "cap")
+	p.SetCoef(r, x, 1)
+	p.SetCoef(r, y, 1)
+	sol := Solve(p, Options{})
+	requireOptimal(t, sol, -6, 1e-7)
+	if math.Abs(sol.Value(x)-2) > 1e-7 || math.Abs(sol.Value(y)-2) > 1e-7 {
+		t.Fatalf("x=%g y=%g, want 2,2", sol.Value(x), sol.Value(y))
+	}
+}
+
+func TestSimplexEquality(t *testing.T) {
+	// min x + y s.t. x + 2y = 3, 0 ≤ x,y ≤ 10 → y=1.5, x=0, obj=1.5.
+	p := NewProblem("eq")
+	x := p.AddVar(0, 10, 1, "x")
+	y := p.AddVar(0, 10, 1, "y")
+	r := p.AddRow(3, 3, "eq")
+	p.SetCoef(r, x, 1)
+	p.SetCoef(r, y, 2)
+	sol := Solve(p, Options{})
+	requireOptimal(t, sol, 1.5, 1e-7)
+}
+
+func TestSimplexRangedRow(t *testing.T) {
+	// min x s.t. 2 ≤ x + y ≤ 5, y ≤ 1, x,y ≥ 0 → x=1, y=1.
+	p := NewProblem("ranged")
+	x := p.AddVar(0, Inf, 1, "x")
+	y := p.AddVar(0, 1, 0, "y")
+	r := p.AddRow(2, 5, "rng")
+	p.SetCoef(r, x, 1)
+	p.SetCoef(r, y, 1)
+	sol := Solve(p, Options{})
+	requireOptimal(t, sol, 1, 1e-7)
+}
+
+func TestSimplexFreeVariable(t *testing.T) {
+	// min y s.t. y ≥ x − 2, y ≥ −x, x free, y free → min at x=1, y=−1.
+	p := NewProblem("free")
+	x := p.AddVar(-Inf, Inf, 0, "x")
+	y := p.AddVar(-Inf, Inf, 1, "y")
+	r1 := p.AddRow(-2, Inf, "r1") // y - x ≥ -2
+	p.SetCoef(r1, y, 1)
+	p.SetCoef(r1, x, -1)
+	r2 := p.AddRow(0, Inf, "r2") // y + x ≥ 0
+	p.SetCoef(r2, y, 1)
+	p.SetCoef(r2, x, 1)
+	sol := Solve(p, Options{})
+	requireOptimal(t, sol, -1, 1e-7)
+}
+
+func TestSimplexInfeasible(t *testing.T) {
+	p := NewProblem("infeas")
+	x := p.AddVar(0, 1, 1, "x")
+	r := p.AddRow(5, Inf, "big") // x ≥ 5 but x ≤ 1
+	p.SetCoef(r, x, 1)
+	sol := Solve(p, Options{})
+	if sol.Status != Infeasible {
+		t.Fatalf("status = %v, want infeasible", sol.Status)
+	}
+}
+
+func TestSimplexInfeasibleBounds(t *testing.T) {
+	p := NewProblem("badbounds")
+	p.AddVar(2, 1, 1, "x")
+	sol := Solve(p, Options{})
+	if sol.Status != Infeasible {
+		t.Fatalf("status = %v, want infeasible", sol.Status)
+	}
+}
+
+func TestSimplexUnbounded(t *testing.T) {
+	p := NewProblem("unbounded")
+	x := p.AddVar(0, Inf, -1, "x")
+	r := p.AddRow(-Inf, Inf, "slack")
+	p.SetCoef(r, x, 1)
+	sol := Solve(p, Options{})
+	if sol.Status != Unbounded {
+		t.Fatalf("status = %v, want unbounded", sol.Status)
+	}
+}
+
+func TestSimplexFixedVariable(t *testing.T) {
+	// Fixed variable participates as a constant.
+	p := NewProblem("fixed")
+	x := p.AddVar(2, 2, 0, "x")
+	y := p.AddVar(0, Inf, 1, "y")
+	r := p.AddRow(5, Inf, "r") // x + y ≥ 5 → y ≥ 3
+	p.SetCoef(r, x, 1)
+	p.SetCoef(r, y, 1)
+	sol := Solve(p, Options{})
+	requireOptimal(t, sol, 3, 1e-7)
+	if math.Abs(sol.Value(x)-2) > 1e-9 {
+		t.Fatalf("fixed x = %g, want 2", sol.Value(x))
+	}
+}
+
+func TestSimplexMinMaxStructure(t *testing.T) {
+	// The replication-LP skeleton: minimize λ with per-node load ≤ λ.
+	// Two "classes" each of unit work, two nodes; class 1 can run on node 1
+	// or 2, class 2 only on node 2. Optimum balances: node1 = 1 (class1) ...
+	// loads: node1 = p11, node2 = (1-p11) + 1. min max → p11 = 1, λ = 1.
+	p := NewProblem("minmax")
+	lam := p.AddVar(0, Inf, 1, "lambda")
+	p11 := p.AddVar(0, 1, 0, "p11")
+	p12 := p.AddVar(0, 1, 0, "p12")
+	p22 := p.AddVar(0, 1, 0, "p22")
+	cov1 := p.AddRow(1, 1, "cov1")
+	p.SetCoef(cov1, p11, 1)
+	p.SetCoef(cov1, p12, 1)
+	cov2 := p.AddRow(1, 1, "cov2")
+	p.SetCoef(cov2, p22, 1)
+	l1 := p.AddRow(-Inf, 0, "load1") // p11 − λ ≤ 0
+	p.SetCoef(l1, p11, 1)
+	p.SetCoef(l1, lam, -1)
+	l2 := p.AddRow(-Inf, 0, "load2") // p12 + p22 − λ ≤ 0
+	p.SetCoef(l2, p12, 1)
+	p.SetCoef(l2, p22, 1)
+	p.SetCoef(l2, lam, -1)
+	sol := Solve(p, Options{})
+	requireOptimal(t, sol, 1, 1e-7)
+}
+
+func TestSimplexCrashBasisSameOptimum(t *testing.T) {
+	p := NewProblem("crash")
+	lam := p.AddVar(0, Inf, 1, "lambda")
+	vars := make([]Var, 6)
+	for i := range vars {
+		vars[i] = p.AddVar(0, 1, 0, "p")
+	}
+	// Three classes, each splits across two of the vars.
+	for c := 0; c < 3; c++ {
+		r := p.AddRow(1, 1, "cov")
+		p.SetCoef(r, vars[2*c], 1)
+		p.SetCoef(r, vars[2*c+1], 1)
+	}
+	// Two load rows.
+	la := p.AddRow(-Inf, 0, "la")
+	lb := p.AddRow(-Inf, 0, "lb")
+	p.SetCoef(la, lam, -1)
+	p.SetCoef(lb, lam, -1)
+	for c := 0; c < 3; c++ {
+		p.SetCoef(la, vars[2*c], 1)
+		p.SetCoef(lb, vars[2*c+1], 1)
+	}
+	plain := Solve(p, Options{})
+	crash := Solve(p, Options{CrashBasis: []Var{vars[0], vars[2], vars[4]}})
+	requireOptimal(t, plain, 1.5, 1e-7)
+	requireOptimal(t, crash, 1.5, 1e-7)
+}
+
+func TestSimplexIterationLimit(t *testing.T) {
+	p := NewProblem("limit")
+	n := 30
+	vars := make([]Var, n)
+	for i := range vars {
+		vars[i] = p.AddVar(0, 1, -float64(i+1), "x")
+	}
+	r := p.AddRow(-Inf, 3, "cap")
+	for _, v := range vars {
+		p.SetCoef(r, v, 1)
+	}
+	sol := Solve(p, Options{MaxIterations: 1})
+	if sol.Status != IterationLimit {
+		t.Fatalf("status = %v, want iteration-limit", sol.Status)
+	}
+}
+
+func TestSimplexDegenerate(t *testing.T) {
+	// Classic degenerate LP; must terminate (Bland fallback).
+	p := NewProblem("degen")
+	x1 := p.AddVar(0, Inf, -0.75, "x1")
+	x2 := p.AddVar(0, Inf, 150, "x2")
+	x3 := p.AddVar(0, Inf, -0.02, "x3")
+	x4 := p.AddVar(0, Inf, 6, "x4")
+	r1 := p.AddRow(-Inf, 0, "r1")
+	p.SetCoef(r1, x1, 0.25)
+	p.SetCoef(r1, x2, -60)
+	p.SetCoef(r1, x3, -0.04)
+	p.SetCoef(r1, x4, 9)
+	r2 := p.AddRow(-Inf, 0, "r2")
+	p.SetCoef(r2, x1, 0.5)
+	p.SetCoef(r2, x2, -90)
+	p.SetCoef(r2, x3, -0.02)
+	p.SetCoef(r2, x4, 3)
+	r3 := p.AddRow(-Inf, 1, "r3")
+	p.SetCoef(r3, x3, 1)
+	sol := Solve(p, Options{})
+	requireOptimal(t, sol, -0.05, 1e-7)
+}
+
+// randomProblem generates a small random LP with mixed bound and row types.
+func randomProblem(rng *rand.Rand) *Problem {
+	p := NewProblem("random")
+	n := 1 + rng.Intn(7)
+	m := 1 + rng.Intn(5)
+	for j := 0; j < n; j++ {
+		lo, hi := 0.0, float64(1+rng.Intn(5))
+		switch rng.Intn(4) {
+		case 1:
+			lo = -float64(rng.Intn(3))
+		case 2:
+			hi = Inf
+		case 3:
+			if rng.Intn(2) == 0 {
+				lo, hi = -Inf, float64(rng.Intn(4))
+			}
+		}
+		p.AddVar(lo, hi, float64(rng.Intn(11)-5), "x")
+	}
+	for i := 0; i < m; i++ {
+		var lo, hi float64
+		switch rng.Intn(3) {
+		case 0:
+			lo, hi = -Inf, float64(rng.Intn(10))
+		case 1:
+			lo, hi = float64(-rng.Intn(5)), Inf
+		default:
+			lo = float64(-rng.Intn(4))
+			hi = lo + float64(rng.Intn(6))
+		}
+		r := p.AddRow(lo, hi, "r")
+		for j := 0; j < n; j++ {
+			if rng.Intn(2) == 0 {
+				p.SetCoef(r, Var(j), float64(rng.Intn(9)-4))
+			}
+		}
+	}
+	return p
+}
+
+// TestSimplexAgainstDenseOracle is the main property test: the sparse
+// revised simplex and the independent dense tableau must agree on status
+// and objective across randomized problems.
+func TestSimplexAgainstDenseOracle(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	trials := 400
+	if testing.Short() {
+		trials = 100
+	}
+	for trial := 0; trial < trials; trial++ {
+		p := randomProblem(rng)
+		got := Solve(p, Options{})
+		want := SolveDense(p)
+		if got.Status == NumericalFailure || got.Status == IterationLimit {
+			t.Fatalf("trial %d: revised simplex gave %v on %s", trial, got.Status, p.Stats())
+		}
+		if want.Status == IterationLimit {
+			continue // oracle gave up; skip comparison
+		}
+		if got.Status != want.Status {
+			t.Fatalf("trial %d: status %v vs oracle %v (%s)", trial, got.Status, want.Status, p.Stats())
+		}
+		if got.Status != Optimal {
+			continue
+		}
+		if viol := p.MaxViolation(got.X); viol > 1e-6 {
+			t.Fatalf("trial %d: revised solution violates constraints by %g", trial, viol)
+		}
+		if viol := p.MaxViolation(want.X); viol > 1e-6 {
+			t.Fatalf("trial %d: oracle solution violates constraints by %g", trial, viol)
+		}
+		if d := math.Abs(got.Objective - want.Objective); d > 1e-5*(1+math.Abs(want.Objective)) {
+			t.Fatalf("trial %d: objective %.9g vs oracle %.9g", trial, got.Objective, want.Objective)
+		}
+	}
+}
+
+// TestSimplexDualFeasibility checks the KKT conditions on optimal solutions:
+// reduced costs must be sign-consistent with each variable's position.
+func TestSimplexDualFeasibility(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 200; trial++ {
+		p := randomProblem(rng)
+		sol := Solve(p, Options{})
+		if sol.Status != Optimal {
+			continue
+		}
+		const tol = 1e-6
+		for j := 0; j < p.NumVars(); j++ {
+			rc := p.obj[j]
+			rows, vals := p.column(j)
+			for k, r := range rows {
+				rc -= vals[k] * sol.Dual[r]
+			}
+			x := sol.X[j]
+			lo, hi := p.colLo[j], p.colHi[j]
+			atLo := !math.IsInf(lo, -1) && x < lo+1e-6
+			atHi := !math.IsInf(hi, 1) && x > hi-1e-6
+			switch {
+			case atLo && atHi: // fixed: any sign fine
+			case atLo:
+				if rc < -tol {
+					t.Fatalf("trial %d var %d at lower with rc=%g < 0", trial, j, rc)
+				}
+			case atHi:
+				if rc > tol {
+					t.Fatalf("trial %d var %d at upper with rc=%g > 0", trial, j, rc)
+				}
+			default: // interior (basic): rc ≈ 0
+				if math.Abs(rc) > tol {
+					t.Fatalf("trial %d var %d interior with rc=%g ≠ 0", trial, j, rc)
+				}
+			}
+		}
+	}
+}
+
+func TestSimplexLargerStructured(t *testing.T) {
+	// A mid-size min-max load-balancing LP solved by both solvers... the
+	// dense oracle is too slow beyond tiny sizes, so verify the revised
+	// simplex against the analytically known optimum instead: K classes of
+	// unit work spread over N nodes, every class can use every node → λ = K/N.
+	const K, N = 40, 8
+	p := NewProblem("spread")
+	lam := p.AddVar(0, Inf, 1, "lambda")
+	pv := make([][]Var, K)
+	for c := 0; c < K; c++ {
+		pv[c] = make([]Var, N)
+		r := p.AddRow(1, 1, "cov")
+		for j := 0; j < N; j++ {
+			pv[c][j] = p.AddVar(0, 1, 0, "p")
+			p.SetCoef(r, pv[c][j], 1)
+		}
+	}
+	for j := 0; j < N; j++ {
+		r := p.AddRow(-Inf, 0, "load")
+		for c := 0; c < K; c++ {
+			p.SetCoef(r, pv[c][j], 1)
+		}
+		p.SetCoef(r, lam, -1)
+	}
+	sol := Solve(p, Options{})
+	requireOptimal(t, sol, float64(K)/float64(N), 1e-6)
+}
+
+func TestProblemAccessors(t *testing.T) {
+	p := NewProblem("acc")
+	v := p.AddVar(0, 2, 3, "v")
+	r := p.AddRow(-1, 4, "r")
+	p.SetCoef(r, v, 5)
+	p.SetCoef(r, v, 1) // accumulates to 6
+	if got := p.Obj(v); got != 3 {
+		t.Fatalf("Obj = %g", got)
+	}
+	p.SetObj(v, 7)
+	if got := p.Obj(v); got != 7 {
+		t.Fatalf("Obj after SetObj = %g", got)
+	}
+	lo, hi := p.VarBounds(v)
+	if lo != 0 || hi != 2 {
+		t.Fatalf("VarBounds = %g,%g", lo, hi)
+	}
+	p.SetVarBounds(v, 1, 3)
+	if lo, hi = p.VarBounds(v); lo != 1 || hi != 3 {
+		t.Fatalf("VarBounds after set = %g,%g", lo, hi)
+	}
+	if p.VarName(v) != "v" || p.RowName(r) != "r" {
+		t.Fatal("names lost")
+	}
+	if lo, hi = p.RowBounds(r); lo != -1 || hi != 4 {
+		t.Fatalf("RowBounds = %g,%g", lo, hi)
+	}
+	act := p.Activity([]float64{2})
+	if act[0] != 12 {
+		t.Fatalf("Activity = %g, want 12 (coefficients must accumulate)", act[0])
+	}
+	if p.NumNonzeros() != 2 {
+		t.Fatalf("NumNonzeros = %d", p.NumNonzeros())
+	}
+}
+
+func TestSolutionErr(t *testing.T) {
+	p := NewProblem("err")
+	x := p.AddVar(0, 1, 1, "x")
+	r := p.AddRow(0, 1, "r")
+	p.SetCoef(r, x, 1)
+	sol := Solve(p, Options{})
+	if err := sol.Err(); err != nil {
+		t.Fatalf("optimal Err = %v", err)
+	}
+	bad := &Solution{Status: Infeasible}
+	if bad.Err() == nil {
+		t.Fatal("infeasible Err should be non-nil")
+	}
+	if bad.Feasible() {
+		t.Fatal("infeasible should not be Feasible")
+	}
+}
+
+func TestStatusString(t *testing.T) {
+	for s, want := range map[Status]string{
+		Optimal: "optimal", Infeasible: "infeasible", Unbounded: "unbounded",
+		IterationLimit: "iteration-limit", NumericalFailure: "numerical-failure",
+		Status(99): "status(99)",
+	} {
+		if s.String() != want {
+			t.Fatalf("Status(%d).String() = %q, want %q", int(s), s.String(), want)
+		}
+	}
+}

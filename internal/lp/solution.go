@@ -1,0 +1,126 @@
+package lp
+
+import (
+	"fmt"
+	"time"
+)
+
+// Status describes the outcome of a solve.
+type Status int
+
+// Solve outcomes.
+const (
+	// Optimal means an optimal basic feasible solution was found.
+	Optimal Status = iota
+	// Infeasible means no point satisfies all constraints and bounds.
+	Infeasible
+	// Unbounded means the objective can decrease without limit.
+	Unbounded
+	// IterationLimit means the iteration budget was exhausted first.
+	IterationLimit
+	// NumericalFailure means the factorization became unreliable and
+	// recovery attempts failed.
+	NumericalFailure
+)
+
+// String implements fmt.Stringer.
+func (s Status) String() string {
+	switch s {
+	case Optimal:
+		return "optimal"
+	case Infeasible:
+		return "infeasible"
+	case Unbounded:
+		return "unbounded"
+	case IterationLimit:
+		return "iteration-limit"
+	case NumericalFailure:
+		return "numerical-failure"
+	default:
+		return fmt.Sprintf("status(%d)", int(s))
+	}
+}
+
+// Solution holds the result of solving a Problem.
+type Solution struct {
+	Status    Status
+	Objective float64
+
+	// X holds the value of each structural variable, indexed by Var.
+	X []float64
+	// RowActivity holds A·x for each row, indexed by Row.
+	RowActivity []float64
+	// Dual holds the simplex multipliers y (one per row). For a minimization
+	// problem, a binding ≥ row has Dual ≥ 0 and a binding ≤ row has Dual ≤ 0
+	// up to tolerance.
+	Dual []float64
+
+	// Iterations counts simplex pivots (phase 1 + phase 2).
+	Iterations int
+	// Refactorizations counts basis refactorizations performed.
+	Refactorizations int
+	// SolveTime is the wall-clock duration of the solve.
+	SolveTime time.Duration
+}
+
+// Value returns the solution value of variable v.
+func (s *Solution) Value(v Var) float64 { return s.X[v] }
+
+// Feasible reports whether the solve ended with a usable primal point
+// (Optimal solutions only).
+func (s *Solution) Feasible() bool { return s.Status == Optimal }
+
+// Err converts a non-optimal status into an error, or nil when optimal.
+func (s *Solution) Err() error {
+	if s.Status == Optimal {
+		return nil
+	}
+	return fmt.Errorf("lp: solve ended with status %v after %d iterations", s.Status, s.Iterations)
+}
+
+// Options control the revised simplex solver. The zero value selects
+// defaults suitable for the NIDS formulations in this repository.
+type Options struct {
+	// MaxIterations bounds total pivots; 0 means 50·(rows+cols) + 10000.
+	MaxIterations int
+	// FeasTol is the primal feasibility tolerance (default 1e-7).
+	FeasTol float64
+	// OptTol is the dual feasibility (reduced cost) tolerance (default 1e-7).
+	OptTol float64
+	// PivotTol rejects pivot elements smaller than this (default 1e-8).
+	PivotTol float64
+	// RefactorEvery bounds the eta file length between refactorizations
+	// (default 96).
+	RefactorEvery int
+	// CrashBasis optionally supplies structural variable indices to seed the
+	// starting basis, one per row at most; the solver completes it with
+	// logicals. Formulation code uses this to start from a known feasible
+	// configuration (e.g. ingress-only processing) and skip phase 1.
+	CrashBasis []Var
+	// AtUpper lists variables whose initial nonbasic position should be
+	// their (finite) upper bound instead of the default nearest-zero bound.
+	// Combined with CrashBasis this lets a formulation start primal
+	// feasible (e.g. the min-max load variable at a known safe value).
+	AtUpper []Var
+	// Logf, when non-nil, receives progress lines.
+	Logf func(format string, args ...any)
+}
+
+func (o Options) withDefaults(m, n int) Options {
+	if o.MaxIterations == 0 {
+		o.MaxIterations = 50*(m+n) + 10000
+	}
+	if o.FeasTol == 0 {
+		o.FeasTol = 1e-7
+	}
+	if o.OptTol == 0 {
+		o.OptTol = 1e-7
+	}
+	if o.PivotTol == 0 {
+		o.PivotTol = 1e-8
+	}
+	if o.RefactorEvery == 0 {
+		o.RefactorEvery = 96
+	}
+	return o
+}

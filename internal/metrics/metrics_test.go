@@ -1,0 +1,111 @@
+package metrics
+
+import (
+	"math"
+	"sort"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestQuantileBasics(t *testing.T) {
+	xs := []float64{3, 1, 2, 5, 4}
+	if Median(xs) != 3 {
+		t.Fatalf("median = %g", Median(xs))
+	}
+	if Quantile(xs, 0) != 1 || Quantile(xs, 1) != 5 {
+		t.Fatal("min/max quantiles")
+	}
+	if got := Quantile(xs, 0.25); got != 2 {
+		t.Fatalf("q25 = %g", got)
+	}
+	if got := Quantile([]float64{1, 2}, 0.5); got != 1.5 {
+		t.Fatalf("interpolated median = %g", got)
+	}
+}
+
+func TestQuantileMonotone(t *testing.T) {
+	f := func(raw []float64, a, b float64) bool {
+		if len(raw) == 0 {
+			return true
+		}
+		xs := make([]float64, len(raw))
+		for i, v := range raw {
+			if math.IsNaN(v) || math.IsInf(v, 0) {
+				v = 0
+			}
+			xs[i] = v
+		}
+		qa, qb := math.Abs(math.Mod(a, 1)), math.Abs(math.Mod(b, 1))
+		if qa > qb {
+			qa, qb = qb, qa
+		}
+		return Quantile(xs, qa) <= Quantile(xs, qb)+1e-12
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestQuantileDoesNotMutate(t *testing.T) {
+	xs := []float64{5, 1, 3}
+	Quantile(xs, 0.5)
+	if !sort.Float64sAreSorted(xs) && xs[0] == 5 && xs[1] == 1 {
+		return
+	}
+	if xs[0] != 5 || xs[1] != 1 || xs[2] != 3 {
+		t.Fatal("Quantile mutated its input")
+	}
+}
+
+func TestMeanAndPanics(t *testing.T) {
+	if Mean([]float64{1, 2, 3}) != 2 {
+		t.Fatal("mean")
+	}
+	for _, f := range []func(){
+		func() { Mean(nil) },
+		func() { Quantile(nil, 0.5) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatal("want panic on empty input")
+				}
+			}()
+			f()
+		}()
+	}
+}
+
+func TestBox(t *testing.T) {
+	xs := []float64{1, 2, 3, 4, 5}
+	b := Box(xs)
+	if b.Min != 1 || b.Median != 3 || b.Max != 5 || b.Q25 != 2 || b.Q75 != 4 {
+		t.Fatalf("box = %+v", b)
+	}
+	if !strings.Contains(b.String(), "med=3.000") {
+		t.Fatalf("String = %q", b.String())
+	}
+}
+
+func TestTableRendering(t *testing.T) {
+	tb := NewTable("name", "value")
+	tb.AddRow("alpha", "1")
+	tb.AddRowf("b", 2.5)
+	tb.AddRow("short") // padded
+	out := tb.String()
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 5 {
+		t.Fatalf("lines = %d:\n%s", len(lines), out)
+	}
+	if !strings.HasPrefix(lines[0], "name") {
+		t.Fatalf("header: %q", lines[0])
+	}
+	if !strings.Contains(lines[3], "2.5") {
+		t.Fatalf("formatted row: %q", lines[3])
+	}
+	// Alignment: "alpha" is the widest first column; all rows align.
+	if !strings.Contains(lines[2], "alpha  1") {
+		t.Fatalf("alignment: %q", lines[2])
+	}
+}

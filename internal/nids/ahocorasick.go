@@ -1,0 +1,156 @@
+// Package nids implements a session-level network intrusion detection
+// engine: multi-pattern signature matching (a from-scratch Aho-Corasick
+// automaton, the core of Snort-style payload inspection), scan detection
+// (distinct-destination counting), a bidirectional flow table for stateful
+// analysis, and per-resource work accounting used as the emulation's
+// "CPU instructions" stand-in.
+package nids
+
+// Match reports one pattern occurrence in a scanned byte stream.
+type Match struct {
+	// Pattern is the index of the matched pattern as passed to NewMatcher.
+	Pattern int
+	// End is the byte offset just past the match's last byte.
+	End int
+}
+
+// Matcher is an Aho-Corasick automaton over byte patterns. It is immutable
+// and safe for concurrent use after construction.
+type Matcher struct {
+	patterns [][]byte
+	// next[state][b] is the goto/fail-resolved transition table.
+	next [][256]int32
+	// out[state] lists the pattern indices ending at state.
+	out [][]int32
+}
+
+// NewMatcher builds an automaton for the given patterns. Empty patterns are
+// rejected; duplicates are allowed and each reports its own index.
+func NewMatcher(patterns [][]byte) *Matcher {
+	for i, p := range patterns {
+		if len(p) == 0 {
+			panic("nids: empty pattern at index " + itoa(i))
+		}
+	}
+	m := &Matcher{patterns: patterns}
+	// Build the trie.
+	m.next = append(m.next, [256]int32{})
+	m.out = append(m.out, nil)
+	type edge struct{ from, to int32 }
+	goTo := [][256]int32{{}} // 0 = absent (root handled specially)
+	for pi, p := range patterns {
+		state := int32(0)
+		for _, b := range p {
+			nxt := goTo[state][b]
+			if nxt == 0 {
+				nxt = int32(len(goTo))
+				goTo = append(goTo, [256]int32{})
+				m.out = append(m.out, nil)
+				goTo[state][b] = nxt
+			}
+			state = nxt
+		}
+		m.out[state] = append(m.out[state], int32(pi))
+	}
+	n := len(goTo)
+	fail := make([]int32, n)
+	// BFS to compute failure links and collapse them into a dense
+	// transition table.
+	m.next = make([][256]int32, n)
+	queue := make([]int32, 0, n)
+	for b := 0; b < 256; b++ {
+		s := goTo[0][b]
+		m.next[0][b] = s
+		if s != 0 {
+			fail[s] = 0
+			queue = append(queue, s)
+		}
+	}
+	for len(queue) > 0 {
+		u := queue[0]
+		queue = queue[1:]
+		m.out[u] = append(m.out[u], m.out[fail[u]]...)
+		for b := 0; b < 256; b++ {
+			v := goTo[u][b]
+			if v == 0 {
+				m.next[u][b] = m.next[fail[u]][b]
+				continue
+			}
+			fail[v] = m.next[fail[u]][b]
+			m.next[u][b] = v
+			queue = append(queue, v)
+		}
+	}
+	return m
+}
+
+// NumPatterns returns the number of patterns in the automaton.
+func (m *Matcher) NumPatterns() int { return len(m.patterns) }
+
+// NumStates returns the automaton's state count (trie nodes).
+func (m *Matcher) NumStates() int { return len(m.next) }
+
+// Scan runs the automaton over data and returns all matches in order of
+// their end offsets. The work performed is exactly one transition per byte.
+func (m *Matcher) Scan(data []byte) []Match {
+	var out []Match
+	state := int32(0)
+	for i, b := range data {
+		state = m.next[state][b]
+		for _, pi := range m.out[state] {
+			out = append(out, Match{Pattern: int(pi), End: i + 1})
+		}
+	}
+	return out
+}
+
+// ScanCount runs the automaton and returns only the number of matches,
+// avoiding allocation on the hot path.
+func (m *Matcher) ScanCount(data []byte) int {
+	n := 0
+	state := int32(0)
+	for _, b := range data {
+		state = m.next[state][b]
+		n += len(m.out[state])
+	}
+	return n
+}
+
+// ScanStream resumes scanning from a previous automaton state, enabling
+// cross-packet matching within a flow direction. It returns the new state
+// and the number of matches found.
+func (m *Matcher) ScanStream(state int32, data []byte, emit func(Match)) (int32, int) {
+	n := 0
+	for i, b := range data {
+		state = m.next[state][b]
+		for _, pi := range m.out[state] {
+			n++
+			if emit != nil {
+				emit(Match{Pattern: int(pi), End: i + 1})
+			}
+		}
+	}
+	return state, n
+}
+
+func itoa(v int) string {
+	if v == 0 {
+		return "0"
+	}
+	var buf [20]byte
+	i := len(buf)
+	neg := v < 0
+	if neg {
+		v = -v
+	}
+	for v > 0 {
+		i--
+		buf[i] = byte('0' + v%10)
+		v /= 10
+	}
+	if neg {
+		i--
+		buf[i] = '-'
+	}
+	return string(buf[i:])
+}

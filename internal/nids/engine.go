@@ -1,0 +1,147 @@
+package nids
+
+import (
+	"nwids/internal/packet"
+)
+
+// Alert is a signature detection event.
+type Alert struct {
+	RuleID   int
+	Name     string
+	Severity int
+	Tuple    packet.FiveTuple
+}
+
+// Stats aggregates an engine's work counters. BytesScanned plus the
+// per-packet overhead is the deterministic "CPU instructions" stand-in used
+// by the emulation (each scanned byte is one automaton transition).
+type Stats struct {
+	Packets         uint64
+	BytesScanned    uint64
+	Alerts          uint64
+	FlowsTotal      uint64
+	FlowsBothDirs   uint64
+	FlowsOneSided   uint64
+	ScanObservables uint64
+}
+
+// PacketOverhead is the fixed per-packet work charged on top of payload
+// scanning (capture, classification, flow lookup).
+const PacketOverhead = 24
+
+// WorkUnits returns the engine's total work in deterministic units.
+func (s Stats) WorkUnits() uint64 {
+	return s.BytesScanned + PacketOverhead*s.Packets
+}
+
+// flowState tracks one bidirectional session.
+type flowState struct {
+	fwdState, revState int32 // automaton states per direction
+	seenFwd, seenRev   bool
+}
+
+// Engine is a single NIDS instance: a signature matcher with streaming
+// per-flow state, a scan detector, and a bidirectional flow table. It plays
+// the role of the unmodified Snort/Bro process running above the shim.
+// Engines are not safe for concurrent use; the emulation runs one per node.
+type Engine struct {
+	rules   []Rule
+	matcher *Matcher
+	scan    *ScanDetector
+	flows   map[packet.FiveTuple]*flowState
+	alerts  []Alert
+	stats   Stats
+}
+
+// NewEngine builds an engine with the given ruleset and scan threshold k.
+func NewEngine(rules []Rule, scanK int) *Engine {
+	return &Engine{
+		rules:   rules,
+		matcher: NewMatcher(Patterns(rules)),
+		scan:    NewScanDetector(scanK),
+		flows:   make(map[packet.FiveTuple]*flowState),
+	}
+}
+
+// ProcessPacket runs signature and scan analysis on one packet.
+func (e *Engine) ProcessPacket(p packet.Packet) {
+	e.stats.Packets++
+	e.stats.BytesScanned += uint64(len(p.Payload))
+
+	key := p.Tuple.Canonical()
+	fs, ok := e.flows[key]
+	if !ok {
+		fs = &flowState{}
+		e.flows[key] = fs
+		e.stats.FlowsTotal++
+	}
+	// Direction relative to the canonical tuple keeps both halves of the
+	// session in one entry regardless of which direction arrives first.
+	canonicalDir := p.Tuple == key
+	var st *int32
+	if canonicalDir {
+		st = &fs.fwdState
+		fs.seenFwd = true
+	} else {
+		st = &fs.revState
+		fs.seenRev = true
+	}
+	var matched []Match
+	*st, _ = e.matcher.ScanStream(*st, p.Payload, func(m Match) {
+		matched = append(matched, m)
+	})
+	for _, m := range matched {
+		r := e.rules[m.Pattern]
+		// Snort-like header filter: the payload matched, but the rule may
+		// be scoped to a protocol/port the packet doesn't carry.
+		if !r.MatchesHeader(p.Tuple.Proto, p.Tuple.SrcPort, p.Tuple.DstPort) {
+			continue
+		}
+		e.alerts = append(e.alerts, Alert{RuleID: r.ID, Name: r.Name, Severity: r.Severity, Tuple: p.Tuple})
+		e.stats.Alerts++
+	}
+	// Scan analysis counts initiator→responder contacts only.
+	if p.Dir == packet.Forward {
+		e.scan.Observe(p.Tuple.SrcIP, p.Tuple.DstIP)
+		e.stats.ScanObservables++
+	}
+}
+
+// ProcessSession feeds every packet of a session through the engine.
+func (e *Engine) ProcessSession(s packet.Session) {
+	for _, p := range s.Packets {
+		e.ProcessPacket(p)
+	}
+}
+
+// Stats returns a snapshot of the work counters, with flow-direction
+// completeness tallied at call time.
+func (e *Engine) Stats() Stats {
+	st := e.stats
+	st.FlowsBothDirs, st.FlowsOneSided = 0, 0
+	for _, fs := range e.flows {
+		if fs.seenFwd && fs.seenRev {
+			st.FlowsBothDirs++
+		} else {
+			st.FlowsOneSided++
+		}
+	}
+	return st
+}
+
+// Alerts returns the alerts raised so far (shared slice; do not modify).
+func (e *Engine) Alerts() []Alert { return e.alerts }
+
+// ScanDetector exposes the engine's scan module for report extraction.
+func (e *Engine) ScanDetector() *ScanDetector { return e.scan }
+
+// ActiveFlows returns the current flow-table size (the memory resource).
+func (e *Engine) ActiveFlows() int { return len(e.flows) }
+
+// ResetEpoch clears per-epoch analysis state (flows, alerts, scan counters)
+// while keeping cumulative work statistics.
+func (e *Engine) ResetEpoch() {
+	e.flows = make(map[packet.FiveTuple]*flowState)
+	e.alerts = nil
+	e.scan.Reset()
+}

@@ -1,0 +1,108 @@
+package nids
+
+// Rule is a payload signature with Snort-like metadata and an optional
+// header filter: a rule only fires on packets matching its protocol and
+// destination port constraints, mirroring Snort's rule headers.
+type Rule struct {
+	ID      int
+	Name    string
+	Pattern []byte
+	// Severity 1 (low) .. 3 (high) for alert prioritization.
+	Severity int
+	// Proto restricts the rule to one IP protocol; 0 matches any.
+	Proto uint8
+	// DstPort restricts the rule to one destination port (either direction
+	// of the session, like Snort's bidirectional operator); 0 matches any.
+	DstPort uint16
+}
+
+// MatchesHeader reports whether the rule's header constraints admit a
+// packet with the given tuple fields.
+func (r Rule) MatchesHeader(proto uint8, srcPort, dstPort uint16) bool {
+	if r.Proto != 0 && r.Proto != proto {
+		return false
+	}
+	if r.DstPort != 0 && r.DstPort != dstPort && r.DstPort != srcPort {
+		return false
+	}
+	return true
+}
+
+// DefaultRules returns the synthetic Snort-like ruleset used by the
+// evaluation: a stand-in for the default Snort 2.9.1 signature set the
+// paper runs (the real set is not redistributable). The set spans the
+// common categories — web attacks, shellcode markers, backdoors, policy
+// strings — and is sized so signature matching dominates per-session cost
+// the way payload rules do in Snort.
+func DefaultRules() []Rule {
+	specs := []struct {
+		name     string
+		pattern  string
+		severity int
+	}{
+		{"web-sqli-union", "UNION SELECT", 3},
+		{"web-sqli-or1", "' OR '1'='1", 3},
+		{"web-xss-script", "<script>alert(", 2},
+		{"web-path-traversal", "../../../../etc/passwd", 3},
+		{"web-cmd-injection", ";cat /etc/shadow", 3},
+		{"web-php-eval", "eval(base64_decode(", 3},
+		{"web-admin-probe", "GET /admin/config.php", 1},
+		{"web-cgi-probe", "GET /cgi-bin/test-cgi", 1},
+		{"web-shell-c99", "c99shell", 3},
+		{"web-log4j", "${jndi:ldap://", 3},
+		{"exploit-x86-nopsled", "\x90\x90\x90\x90\x90\x90\x90\x90", 3},
+		{"exploit-shellcode-setuid", "\x31\xc0\x31\xdb\xb0\x17\xcd\x80", 3},
+		{"exploit-heap-spray", "\x0c\x0c\x0c\x0c\x0c\x0c\x0c\x0c", 2},
+		{"exploit-format-string", "%n%n%n%n", 2},
+		{"backdoor-netbus", "NetBus", 2},
+		{"backdoor-subseven", "connected. time/date:", 2},
+		{"backdoor-bindshell", "/bin/sh -i", 3},
+		{"backdoor-reverse-shell", "bash -i >& /dev/tcp/", 3},
+		{"malware-cmdexe", "cmd.exe /c", 2},
+		{"malware-powershell-enc", "powershell -enc ", 3},
+		{"malware-mimikatz", "sekurlsa::logonpasswords", 3},
+		{"malware-beacon-uri", "GET /pixel.gif?id=", 1},
+		{"worm-codered", "default.ida?NNNNNNNN", 3},
+		{"worm-nimda", "GET /scripts/root.exe", 3},
+		{"worm-slammer", "\x04\x01\x01\x01\x01\x01\x01\x01", 3},
+		{"scan-nikto", "Mozilla/5.00 (Nikto", 1},
+		{"scan-nmap-probe", "User-Agent: Mozilla/5.0 (compatible; Nmap", 1},
+		{"scan-masscan", "masscan/1.0", 1},
+		{"policy-irc-join", "JOIN #", 1},
+		{"policy-irc-privmsg", "PRIVMSG #", 1},
+		{"policy-tor-client", ".onion", 1},
+		{"policy-bittorrent", "BitTorrent protocol", 1},
+		{"policy-telnet-root", "login: root", 2},
+		{"policy-ftp-anon", "USER anonymous", 1},
+		{"dos-slowloris", "X-a: b\r\nX-a: b\r\nX-a: b", 2},
+		{"dns-tunnel-label", ".dnstunnel.", 2},
+		{"ssh-brute-banner", "SSH-2.0-libssh", 1},
+		{"smtp-vrfy-probe", "VRFY root", 1},
+		{"smb-eternalblue", "\x00\x00\x00\x2f\xff\x53\x4d\x42", 3},
+		{"rdp-cookie-probe", "Cookie: mstshash=", 1},
+		{"proto-http-cl-smuggle", "Content-Length: 0\r\nContent-Length:", 3},
+		{"proto-gopher-ssrf", "gopher://127.0.0.1", 2},
+		{"exfil-b64-keyword", "cGFzc3dvcmQ6", 2},
+		{"exfil-card-track", ";5424180279791765=", 3},
+		{"misc-upx-header", "UPX!", 1},
+		{"misc-pe-header", "MZ\x90\x00\x03", 1},
+		{"misc-elf-header", "\x7fELF\x01\x01", 1},
+		{"misc-suspicious-ua", "User-Agent: ()", 3},
+		{"misc-xxe-doctype", "<!DOCTYPE foo [<!ENTITY", 2},
+		{"misc-webdav-propfind", "PROPFIND / HTTP/1.1", 1},
+	}
+	rules := make([]Rule, len(specs))
+	for i, sp := range specs {
+		rules[i] = Rule{ID: i + 1, Name: sp.name, Pattern: []byte(sp.pattern), Severity: sp.severity}
+	}
+	return rules
+}
+
+// Patterns extracts the raw byte patterns of a ruleset in order.
+func Patterns(rules []Rule) [][]byte {
+	out := make([][]byte, len(rules))
+	for i, r := range rules {
+		out[i] = r.Pattern
+	}
+	return out
+}

@@ -1,0 +1,81 @@
+package nids
+
+import "sort"
+
+// ScanDetector flags sources contacting more than K distinct destination
+// addresses within a measurement epoch (§2.1's Scan analysis). The zero
+// value is not usable; construct with NewScanDetector.
+type ScanDetector struct {
+	// K is the alert threshold: sources with > K distinct destinations are
+	// reported. K = 0 makes the detector report every observed source,
+	// which is how per-node detectors are configured under aggregation
+	// (§7.3) so the aggregator alone applies the real threshold.
+	K int
+
+	dests map[uint32]map[uint32]struct{}
+}
+
+// NewScanDetector returns a detector with threshold k.
+func NewScanDetector(k int) *ScanDetector {
+	return &ScanDetector{K: k, dests: make(map[uint32]map[uint32]struct{})}
+}
+
+// Observe records that src contacted dst. Repeated contacts to the same
+// destination count once.
+func (d *ScanDetector) Observe(src, dst uint32) {
+	m, ok := d.dests[src]
+	if !ok {
+		m = make(map[uint32]struct{})
+		d.dests[src] = m
+	}
+	m[dst] = struct{}{}
+}
+
+// Count returns the number of distinct destinations observed for src.
+func (d *ScanDetector) Count(src uint32) int { return len(d.dests[src]) }
+
+// NumSources returns the number of sources observed this epoch.
+func (d *ScanDetector) NumSources() int { return len(d.dests) }
+
+// SourceCount pairs a source with its distinct-destination count; the
+// per-source intermediate report row of the source-level split (§6).
+type SourceCount struct {
+	Src   uint32
+	Count int
+}
+
+// Report returns sources whose distinct-destination count exceeds K,
+// sorted by source for determinism.
+func (d *ScanDetector) Report() []SourceCount {
+	var out []SourceCount
+	for src, m := range d.dests {
+		if len(m) > d.K {
+			out = append(out, SourceCount{Src: src, Count: len(m)})
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Src < out[j].Src })
+	return out
+}
+
+// Tuples returns every observed (src, dst) pair, sorted, the report rows of
+// the flow-level split when exactness requires full tuples (§6).
+func (d *ScanDetector) Tuples() [][2]uint32 {
+	var out [][2]uint32
+	for src, m := range d.dests {
+		for dst := range m {
+			out = append(out, [2]uint32{src, dst})
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i][0] != out[j][0] {
+			return out[i][0] < out[j][0]
+		}
+		return out[i][1] < out[j][1]
+	})
+	return out
+}
+
+// Reset clears the epoch state.
+func (d *ScanDetector) Reset() {
+	d.dests = make(map[uint32]map[uint32]struct{})
+}

@@ -1,0 +1,176 @@
+package packet
+
+import (
+	"bytes"
+	"testing"
+	"testing/quick"
+)
+
+func TestCanonicalSymmetry(t *testing.T) {
+	f := func(proto uint8, sip, dip uint32, sp, dp uint16) bool {
+		tup := FiveTuple{Proto: proto, SrcIP: sip, DstIP: dip, SrcPort: sp, DstPort: dp}
+		return tup.Canonical() == tup.Reverse().Canonical()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCanonicalIdempotent(t *testing.T) {
+	f := func(proto uint8, sip, dip uint32, sp, dp uint16) bool {
+		tup := FiveTuple{Proto: proto, SrcIP: sip, DstIP: dip, SrcPort: sp, DstPort: dp}
+		c := tup.Canonical()
+		return c.Canonical() == c && c.IsCanonical()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestReverseInvolution(t *testing.T) {
+	tup := FiveTuple{Proto: ProtoTCP, SrcIP: 1, DstIP: 2, SrcPort: 3, DstPort: 4}
+	if tup.Reverse().Reverse() != tup {
+		t.Fatal("Reverse is not an involution")
+	}
+}
+
+func TestPoPIPRoundTrip(t *testing.T) {
+	for pop := 0; pop < 256; pop += 17 {
+		ip := PoPIP(pop, 42)
+		if PoPOf(ip) != pop {
+			t.Fatalf("PoPOf(PoPIP(%d)) = %d", pop, PoPOf(ip))
+		}
+	}
+}
+
+func TestTupleString(t *testing.T) {
+	tup := FiveTuple{Proto: 6, SrcIP: PoPIP(1, 2), DstIP: PoPIP(3, 4), SrcPort: 1000, DstPort: 80}
+	if got := tup.String(); got != "6 10.1.0.2:1000 > 10.3.0.4:80" {
+		t.Fatalf("String = %q", got)
+	}
+}
+
+func TestGeneratorDeterministic(t *testing.T) {
+	cfg := GeneratorConfig{Signatures: [][]byte{[]byte("evil")}, MaliciousFraction: 0.5}
+	a := NewGenerator(cfg, 7).Session(1, 2)
+	b := NewGenerator(cfg, 7).Session(1, 2)
+	if a.Tuple != b.Tuple || len(a.Packets) != len(b.Packets) {
+		t.Fatal("same seed must reproduce the session")
+	}
+	for i := range a.Packets {
+		if !bytes.Equal(a.Packets[i].Payload, b.Packets[i].Payload) {
+			t.Fatal("payloads differ between identical seeds")
+		}
+	}
+}
+
+func TestGeneratorSessionShape(t *testing.T) {
+	g := NewGenerator(GeneratorConfig{PacketsPerSession: 8, PayloadBytes: 128}, 1)
+	s := g.Session(3, 5)
+	if len(s.Packets) != 8 {
+		t.Fatalf("packets = %d", len(s.Packets))
+	}
+	if s.SrcPoP != 3 || s.DstPoP != 5 {
+		t.Fatal("PoPs wrong")
+	}
+	if PoPOf(s.Tuple.SrcIP) != 3 || PoPOf(s.Tuple.DstIP) != 5 {
+		t.Fatal("tuple addresses not in PoP ranges")
+	}
+	for i, p := range s.Packets {
+		if len(p.Payload) != 128 {
+			t.Fatalf("payload size %d", len(p.Payload))
+		}
+		wantDir := Direction(i % 2)
+		if p.Dir != wantDir {
+			t.Fatalf("packet %d dir %v", i, p.Dir)
+		}
+		want := s.Tuple
+		if wantDir == Reverse {
+			want = s.Tuple.Reverse()
+		}
+		if p.Tuple != want {
+			t.Fatalf("packet %d tuple mismatch", i)
+		}
+	}
+}
+
+func TestGeneratorPlantsSignatures(t *testing.T) {
+	sig := []byte("MALWARE-SIGNATURE")
+	g := NewGenerator(GeneratorConfig{Signatures: [][]byte{sig}, MaliciousFraction: 1.0}, 2)
+	s := g.Session(0, 1)
+	if !s.Malicious {
+		t.Fatal("session should be malicious at fraction 1.0")
+	}
+	found := false
+	for _, p := range s.Packets {
+		if bytes.Contains(p.Payload, sig) {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatal("planted signature not present in any payload")
+	}
+}
+
+func TestGeneratorBenignHasNoSignature(t *testing.T) {
+	sig := []byte("MALWARE-SIGNATURE")
+	g := NewGenerator(GeneratorConfig{Signatures: [][]byte{sig}, MaliciousFraction: -1}, 3)
+	for i := 0; i < 50; i++ {
+		s := g.Session(0, 1)
+		if s.Malicious {
+			t.Fatal("malicious at fraction ~0")
+		}
+		for _, p := range s.Packets {
+			if bytes.Contains(p.Payload, sig) {
+				t.Fatal("benign payload contains the signature")
+			}
+		}
+	}
+}
+
+func TestGeneratorMatrix(t *testing.T) {
+	g := NewGenerator(GeneratorConfig{}, 4)
+	counts := [][]int{
+		{0, 2, 1},
+		{0, 0, 3},
+		{1, 0, 0},
+	}
+	out := g.Matrix(counts)
+	if len(out) != 7 {
+		t.Fatalf("sessions = %d, want 7", len(out))
+	}
+	got := map[[2]int]int{}
+	for _, s := range out {
+		got[[2]int{s.SrcPoP, s.DstPoP}]++
+	}
+	for a := range counts {
+		for b := range counts[a] {
+			if got[[2]int{a, b}] != counts[a][b] {
+				t.Fatalf("pair (%d,%d): got %d want %d", a, b, got[[2]int{a, b}], counts[a][b])
+			}
+		}
+	}
+	// Round-robin interleaving: the first sessions cycle across pairs.
+	if out[0].SrcPoP == out[1].SrcPoP && out[0].DstPoP == out[1].DstPoP {
+		t.Fatal("matrix generation should interleave pairs")
+	}
+}
+
+func TestScanSessions(t *testing.T) {
+	g := NewGenerator(GeneratorConfig{}, 5)
+	out := g.ScanSessions(2, []int{3, 4, 5}, 30)
+	if len(out) != 30 {
+		t.Fatalf("sessions = %d", len(out))
+	}
+	src := out[0].Tuple.SrcIP
+	dsts := map[uint32]bool{}
+	for _, s := range out {
+		if s.Tuple.SrcIP != src {
+			t.Fatal("scanner source must be stable")
+		}
+		dsts[s.Tuple.DstIP] = true
+	}
+	if len(dsts) != 30 {
+		t.Fatalf("distinct destinations = %d, want 30", len(dsts))
+	}
+}

@@ -1,0 +1,161 @@
+package packet
+
+import (
+	"bufio"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+)
+
+// Trace serialization: a compact binary format for session traces so that
+// generated workloads can be stored and replayed byte-identically (the
+// repository's analog of the paper's seed packet traces [18]).
+//
+// Layout (all integers big-endian):
+//
+//	magic "NWT1" | u32 sessionCount
+//	per session: u8 srcPoP | u8 dstPoP | u8 flags(bit0 malicious)
+//	             | u16 signatureID | 13-byte forward tuple | u16 packetCount
+//	per packet:  u8 dir | u32 payloadLen | payload
+var traceMagic = [4]byte{'N', 'W', 'T', '1'}
+
+// maxTracePayload bounds per-packet payloads on read.
+const maxTracePayload = 1 << 20
+
+// WriteTrace serializes sessions to w.
+func WriteTrace(w io.Writer, sessions []Session) error {
+	bw := bufio.NewWriter(w)
+	if _, err := bw.Write(traceMagic[:]); err != nil {
+		return err
+	}
+	var u32 [4]byte
+	binary.BigEndian.PutUint32(u32[:], uint32(len(sessions)))
+	bw.Write(u32[:])
+	for i := range sessions {
+		s := &sessions[i]
+		if s.SrcPoP > 255 || s.DstPoP > 255 || s.SrcPoP < 0 || s.DstPoP < 0 {
+			return fmt.Errorf("packet: session %d has out-of-range PoPs (%d, %d)", i, s.SrcPoP, s.DstPoP)
+		}
+		if len(s.Packets) > 65535 {
+			return fmt.Errorf("packet: session %d has %d packets (max 65535)", i, len(s.Packets))
+		}
+		flags := byte(0)
+		if s.Malicious {
+			flags |= 1
+		}
+		bw.WriteByte(byte(s.SrcPoP))
+		bw.WriteByte(byte(s.DstPoP))
+		bw.WriteByte(flags)
+		var u16 [2]byte
+		binary.BigEndian.PutUint16(u16[:], uint16(s.SignatureID))
+		bw.Write(u16[:])
+		writeTuple(bw, s.Tuple)
+		binary.BigEndian.PutUint16(u16[:], uint16(len(s.Packets)))
+		bw.Write(u16[:])
+		for _, p := range s.Packets {
+			bw.WriteByte(byte(p.Dir))
+			binary.BigEndian.PutUint32(u32[:], uint32(len(p.Payload)))
+			bw.Write(u32[:])
+			if _, err := bw.Write(p.Payload); err != nil {
+				return err
+			}
+		}
+	}
+	return bw.Flush()
+}
+
+func writeTuple(w *bufio.Writer, t FiveTuple) {
+	var b [13]byte
+	b[0] = t.Proto
+	binary.BigEndian.PutUint32(b[1:], t.SrcIP)
+	binary.BigEndian.PutUint32(b[5:], t.DstIP)
+	binary.BigEndian.PutUint16(b[9:], t.SrcPort)
+	binary.BigEndian.PutUint16(b[11:], t.DstPort)
+	w.Write(b[:])
+}
+
+func readTuple(r io.Reader) (FiveTuple, error) {
+	var b [13]byte
+	if _, err := io.ReadFull(r, b[:]); err != nil {
+		return FiveTuple{}, err
+	}
+	return FiveTuple{
+		Proto:   b[0],
+		SrcIP:   binary.BigEndian.Uint32(b[1:]),
+		DstIP:   binary.BigEndian.Uint32(b[5:]),
+		SrcPort: binary.BigEndian.Uint16(b[9:]),
+		DstPort: binary.BigEndian.Uint16(b[11:]),
+	}, nil
+}
+
+// ReadTrace parses a trace written by WriteTrace. Malformed input returns
+// an error rather than panicking, regardless of content.
+func ReadTrace(r io.Reader) ([]Session, error) {
+	br := bufio.NewReader(r)
+	var magic [4]byte
+	if _, err := io.ReadFull(br, magic[:]); err != nil {
+		return nil, fmt.Errorf("packet: trace header: %w", err)
+	}
+	if magic != traceMagic {
+		return nil, errors.New("packet: not a trace file (bad magic)")
+	}
+	var u32 [4]byte
+	if _, err := io.ReadFull(br, u32[:]); err != nil {
+		return nil, err
+	}
+	count := binary.BigEndian.Uint32(u32[:])
+	if count > 1<<24 {
+		return nil, fmt.Errorf("packet: implausible session count %d", count)
+	}
+	sessions := make([]Session, 0, count)
+	var u16 [2]byte
+	for i := uint32(0); i < count; i++ {
+		var hdr [3]byte
+		if _, err := io.ReadFull(br, hdr[:]); err != nil {
+			return nil, fmt.Errorf("packet: session %d header: %w", i, err)
+		}
+		s := Session{SrcPoP: int(hdr[0]), DstPoP: int(hdr[1]), Malicious: hdr[2]&1 != 0}
+		if _, err := io.ReadFull(br, u16[:]); err != nil {
+			return nil, err
+		}
+		s.SignatureID = int(binary.BigEndian.Uint16(u16[:]))
+		tuple, err := readTuple(br)
+		if err != nil {
+			return nil, err
+		}
+		s.Tuple = tuple
+		if _, err := io.ReadFull(br, u16[:]); err != nil {
+			return nil, err
+		}
+		np := int(binary.BigEndian.Uint16(u16[:]))
+		for k := 0; k < np; k++ {
+			dirB, err := br.ReadByte()
+			if err != nil {
+				return nil, err
+			}
+			if dirB > 1 {
+				return nil, fmt.Errorf("packet: session %d packet %d: bad direction %d", i, k, dirB)
+			}
+			if _, err := io.ReadFull(br, u32[:]); err != nil {
+				return nil, err
+			}
+			n := binary.BigEndian.Uint32(u32[:])
+			if n > maxTracePayload {
+				return nil, fmt.Errorf("packet: session %d packet %d: payload %d too large", i, k, n)
+			}
+			payload := make([]byte, n)
+			if _, err := io.ReadFull(br, payload); err != nil {
+				return nil, err
+			}
+			dir := Direction(dirB)
+			t := s.Tuple
+			if dir == Reverse {
+				t = s.Tuple.Reverse()
+			}
+			s.Packets = append(s.Packets, Packet{Tuple: t, Dir: dir, Payload: payload})
+		}
+		sessions = append(sessions, s)
+	}
+	return sessions, nil
+}

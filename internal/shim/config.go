@@ -1,0 +1,187 @@
+package shim
+
+import (
+	"fmt"
+	"sort"
+
+	"nwids/internal/core"
+	"nwids/internal/packet"
+)
+
+// Action is the shim's per-packet decision (§7.2).
+type Action uint8
+
+// Actions.
+const (
+	// Skip: another node's shim owns this hash range; ignore the packet.
+	Skip Action = iota
+	// Process: hand the packet to the local NIDS process.
+	Process
+	// Replicate: copy the packet into the tunnel toward Mirror.
+	Replicate
+)
+
+// String implements fmt.Stringer.
+func (a Action) String() string {
+	switch a {
+	case Skip:
+		return "skip"
+	case Process:
+		return "process"
+	case Replicate:
+		return "replicate"
+	default:
+		return fmt.Sprintf("action(%d)", a)
+	}
+}
+
+// ClassKey identifies a traffic class from a packet: the initiator-side
+// (ingress, egress) PoP pair.
+type ClassKey struct {
+	SrcPoP, DstPoP uint8
+}
+
+// RangeRule maps the hash range [Lo, Hi) to an action for one class.
+type RangeRule struct {
+	Lo, Hi float64
+	Act    Action
+	// Mirror is the NIDS node to replicate to when Act == Replicate.
+	Mirror int
+}
+
+// Config is the shim configuration for one NIDS node, compiled from the
+// controller's assignment (§7.1). Hash ranges not covered by any rule are
+// skipped (they belong to other nodes).
+type Config struct {
+	NodeID int
+	Seed   uint32
+	Rules  map[ClassKey][]RangeRule
+}
+
+// ClassRanges is the network-wide hash-range partition of one class: the
+// §7.1 mapping of p and o fractions onto non-overlapping subranges of
+// [0, 1). It is shared by all shim configs so every node agrees on range
+// ownership.
+type ClassRanges struct {
+	Key    ClassKey
+	Ranges []OwnedRange
+}
+
+// OwnedRange assigns [Lo, Hi) to a processing node; Via is the on-path
+// replicator for offloaded ranges (-1 for local processing).
+type OwnedRange struct {
+	Lo, Hi float64
+	Node   int
+	Via    int
+}
+
+// PartitionClass maps a class's fractional actions onto contiguous
+// non-overlapping hash ranges covering [0, 1), first the local p fractions
+// and then the offload o fractions, in deterministic order (§7.1: the
+// specific order does not matter as long as all shims agree).
+func PartitionClass(actions []core.ActionFrac) []OwnedRange {
+	acts := append([]core.ActionFrac(nil), actions...)
+	sort.SliceStable(acts, func(i, j int) bool {
+		li, lj := acts[i].Via >= 0, acts[j].Via >= 0
+		if li != lj {
+			return !li // local p ranges first
+		}
+		if acts[i].Node != acts[j].Node {
+			return acts[i].Node < acts[j].Node
+		}
+		return acts[i].Via < acts[j].Via
+	})
+	var out []OwnedRange
+	acc := 0.0
+	for _, a := range acts {
+		if a.Frac <= 0 {
+			continue
+		}
+		out = append(out, OwnedRange{Lo: acc, Hi: acc + a.Frac, Node: a.Node, Via: a.Via})
+		acc += a.Frac
+	}
+	// The optimization guarantees fractions sum to 1; snap the final bound
+	// so floating-point drift cannot leave an uncovered sliver.
+	if len(out) > 0 {
+		out[len(out)-1].Hi = 1
+	}
+	return out
+}
+
+// CompileConfigs translates an assignment into one shim Config per NIDS
+// node (the DC included: it processes everything tunneled to it but needs
+// no class rules). All configs share the hash seed so ranges line up.
+//
+// The shim classifies packets by (ingress, egress) PoP pair; when a
+// scenario defines several application classes over the same pair (§3),
+// their fractional assignments are blended volume-weighted into one range
+// partition, which is what a port-blind shim can execute. Ownership
+// invariants (exactly one owner, both directions pinned) are unaffected;
+// only the per-application load split becomes approximate.
+func CompileConfigs(a *core.Assignment, seed uint32) map[int]*Config {
+	cfgs := make(map[int]*Config)
+	get := func(node int) *Config {
+		c, ok := cfgs[node]
+		if !ok {
+			c = &Config{NodeID: node, Seed: seed, Rules: make(map[ClassKey][]RangeRule)}
+			cfgs[node] = c
+		}
+		return c
+	}
+	for j := 0; j < a.NumNIDS(); j++ {
+		get(j)
+	}
+	// Blend per-pair actions volume-weighted.
+	type nv struct{ node, via int }
+	weights := make(map[ClassKey]map[nv]float64)
+	volume := make(map[ClassKey]float64)
+	for c := range a.Actions {
+		cl := &a.Scenario.Classes[c]
+		key := ClassKey{SrcPoP: uint8(cl.Src), DstPoP: uint8(cl.Dst)}
+		m, ok := weights[key]
+		if !ok {
+			m = make(map[nv]float64)
+			weights[key] = m
+		}
+		volume[key] += cl.Sessions
+		for _, act := range a.Actions[c] {
+			m[nv{act.Node, act.Via}] += act.Frac * cl.Sessions
+		}
+	}
+	for key, m := range weights {
+		vol := volume[key]
+		if vol == 0 {
+			continue
+		}
+		blended := make([]core.ActionFrac, 0, len(m))
+		for k, w := range m {
+			blended = append(blended, core.ActionFrac{Node: k.node, Via: k.via, Frac: w / vol})
+		}
+		for _, r := range PartitionClass(blended) {
+			if r.Via < 0 {
+				cfg := get(r.Node)
+				cfg.Rules[key] = append(cfg.Rules[key], RangeRule{Lo: r.Lo, Hi: r.Hi, Act: Process})
+			} else {
+				cfg := get(r.Via)
+				cfg.Rules[key] = append(cfg.Rules[key], RangeRule{Lo: r.Lo, Hi: r.Hi, Act: Replicate, Mirror: r.Node})
+			}
+		}
+	}
+	for _, cfg := range cfgs {
+		for _, rules := range cfg.Rules {
+			sort.Slice(rules, func(i, j int) bool { return rules[i].Lo < rules[j].Lo })
+		}
+	}
+	return cfgs
+}
+
+// KeyForPacket derives the class key from a packet using its session
+// direction: reverse-direction packets are flipped so both directions of a
+// session share a key (the §7.2 bidirectional consistency requirement).
+func KeyForPacket(p packet.Packet) ClassKey {
+	src, dst := packet.PoPOf(p.Tuple.SrcIP), packet.PoPOf(p.Tuple.DstIP)
+	if p.Dir == packet.Reverse {
+		src, dst = dst, src
+	}
+	return ClassKey{SrcPoP: uint8(src), DstPoP: uint8(dst)}
+}

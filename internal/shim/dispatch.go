@@ -1,0 +1,64 @@
+package shim
+
+import "nwids/internal/packet"
+
+// Decision is the outcome of a shim lookup for one packet.
+type Decision struct {
+	Act    Action
+	Mirror int
+}
+
+// Counters tallies shim activity.
+type Counters struct {
+	Seen       uint64
+	Processed  uint64
+	Replicated uint64
+	Skipped    uint64
+	// NoClass counts packets whose class had no rules at this node (still
+	// skipped, tracked separately to surface misconfigurations).
+	NoClass uint64
+}
+
+// Shim executes a Config: it hashes each packet's canonical 5-tuple, looks
+// up the owning hash range for the packet's class, and decides whether to
+// hand the packet to the local NIDS, replicate it to a mirror, or skip it.
+// Shims are deterministic and safe for concurrent use only if counters can
+// race; the emulation uses one goroutine per shim.
+type Shim struct {
+	cfg      *Config
+	Counters Counters
+}
+
+// New returns a shim executing the given config.
+func New(cfg *Config) *Shim { return &Shim{cfg: cfg} }
+
+// NodeID returns the NIDS node this shim serves.
+func (s *Shim) NodeID() int { return s.cfg.NodeID }
+
+// Decide classifies one packet. The hash is computed on the canonical
+// tuple, so both directions of a session always land in the same range and
+// are pinned to the same processing node.
+func (s *Shim) Decide(p packet.Packet) Decision {
+	s.Counters.Seen++
+	rules, ok := s.cfg.Rules[KeyForPacket(p)]
+	if !ok {
+		s.Counters.NoClass++
+		s.Counters.Skipped++
+		return Decision{Act: Skip}
+	}
+	h := HashFraction(p.Tuple, s.cfg.Seed)
+	// Rules are few per class; linear scan beats binary search at this size.
+	for _, r := range rules {
+		if h >= r.Lo && h < r.Hi {
+			switch r.Act {
+			case Process:
+				s.Counters.Processed++
+			case Replicate:
+				s.Counters.Replicated++
+			}
+			return Decision{Act: r.Act, Mirror: r.Mirror}
+		}
+	}
+	s.Counters.Skipped++
+	return Decision{Act: Skip}
+}

@@ -1,0 +1,79 @@
+// Package shim implements the lightweight layer interposed between the
+// network and an unmodified NIDS process (§7.2): a bidirectional 5-tuple
+// hash (Bob Jenkins' lookup3, built from scratch), hash-range configuration
+// tables compiled from the controller's LP solution (§7.1), the per-packet
+// local/replicate/skip decision, and persistent TCP tunnels to mirror nodes.
+package shim
+
+import "nwids/internal/packet"
+
+// rot is a 32-bit left rotation.
+func rot(x uint32, k uint) uint32 { return x<<k | x>>(32-k) }
+
+// mix and final are Bob Jenkins' lookup3 mixing primitives [5].
+func mix(a, b, c uint32) (uint32, uint32, uint32) {
+	a -= c
+	a ^= rot(c, 4)
+	c += b
+	b -= a
+	b ^= rot(a, 6)
+	a += c
+	c -= b
+	c ^= rot(b, 8)
+	b += a
+	a -= c
+	a ^= rot(c, 16)
+	c += b
+	b -= a
+	b ^= rot(a, 19)
+	a += c
+	c -= b
+	c ^= rot(b, 4)
+	b += a
+	return a, b, c
+}
+
+func final(a, b, c uint32) (uint32, uint32, uint32) {
+	c ^= b
+	c -= rot(b, 14)
+	a ^= c
+	a -= rot(c, 11)
+	b ^= a
+	b -= rot(a, 25)
+	c ^= b
+	c -= rot(b, 16)
+	a ^= c
+	a -= rot(c, 4)
+	b ^= a
+	b -= rot(a, 14)
+	c ^= b
+	c -= rot(b, 24)
+	return a, b, c
+}
+
+// hashWords is lookup3's hashword over a fixed 4-word key, returning 64
+// bits (the b and c lanes).
+func hashWords(k0, k1, k2, k3, seed uint32) uint64 {
+	a := uint32(0xdeadbeef) + 4<<2 + seed
+	b, c := a, a
+	a += k0
+	b += k1
+	c += k2
+	a, b, c = mix(a, b, c)
+	a += k3
+	_, b, c = final(a, b, c)
+	return uint64(b)<<32 | uint64(c)
+}
+
+// HashTuple computes the bidirectional session hash: the tuple is first
+// canonicalized so both directions of a session hash identically (§7.2),
+// then fed through lookup3.
+func HashTuple(t packet.FiveTuple, seed uint32) uint64 {
+	c := t.Canonical()
+	return hashWords(c.SrcIP, c.DstIP, uint32(c.SrcPort)<<16|uint32(c.DstPort), uint32(c.Proto), seed)
+}
+
+// HashFraction maps the session hash into [0, 1) for hash-range lookup.
+func HashFraction(t packet.FiveTuple, seed uint32) float64 {
+	return float64(HashTuple(t, seed)) / (1 << 63) / 2
+}

@@ -1,0 +1,6 @@
+package shim
+
+import "time"
+
+// sleepMs is a tiny helper for polling loops in tests.
+func sleepMs(ms int) { time.Sleep(time.Duration(ms) * time.Millisecond) }

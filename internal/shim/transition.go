@@ -1,0 +1,81 @@
+package shim
+
+import "nwids/internal/packet"
+
+// This file implements the §9 "Consistent configurations" mechanism: when
+// the controller pushes a new configuration, each shim honors both the
+// previous and the new configuration during the transient period. Work may
+// be duplicated, but no session is ever left unowned while nodes disagree
+// about which configuration epoch is current.
+
+// MergeConfigs builds the transition configuration for one node from its
+// previous and next configurations. Both must share the node ID and hash
+// seed (ranges are only comparable under the same hash).
+func MergeConfigs(prev, next *Config) *Config {
+	if prev.NodeID != next.NodeID {
+		panic("shim: MergeConfigs across different nodes")
+	}
+	if prev.Seed != next.Seed {
+		panic("shim: MergeConfigs across different hash seeds")
+	}
+	out := &Config{NodeID: prev.NodeID, Seed: prev.Seed, Rules: make(map[ClassKey][]RangeRule)}
+	for key, rules := range prev.Rules {
+		out.Rules[key] = append(out.Rules[key], rules...)
+	}
+	for key, rules := range next.Rules {
+	nextRule:
+		for _, r := range rules {
+			for _, have := range out.Rules[key] {
+				if have == r {
+					continue nextRule // identical rule carried over
+				}
+			}
+			out.Rules[key] = append(out.Rules[key], r)
+		}
+	}
+	return out
+}
+
+// DecideAll returns every action the shim's configuration prescribes for
+// the packet. Under a single (non-transition) configuration ranges are
+// disjoint and at most one action matches; under a merged transition
+// configuration both the old and the new owner ranges can match, and the
+// shim performs all of them.
+func (s *Shim) DecideAll(p packet.Packet) []Decision {
+	s.Counters.Seen++
+	rules, ok := s.cfg.Rules[KeyForPacket(p)]
+	if !ok {
+		s.Counters.NoClass++
+		s.Counters.Skipped++
+		return nil
+	}
+	h := HashFraction(p.Tuple, s.cfg.Seed)
+	var out []Decision
+	for _, r := range rules {
+		if h >= r.Lo && h < r.Hi {
+			switch r.Act {
+			case Process:
+				s.Counters.Processed++
+			case Replicate:
+				s.Counters.Replicated++
+			default:
+				continue
+			}
+			d := Decision{Act: r.Act, Mirror: r.Mirror}
+			dup := false
+			for _, have := range out {
+				if have == d {
+					dup = true
+					break
+				}
+			}
+			if !dup {
+				out = append(out, d)
+			}
+		}
+	}
+	if len(out) == 0 {
+		s.Counters.Skipped++
+	}
+	return out
+}

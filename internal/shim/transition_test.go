@@ -1,0 +1,136 @@
+package shim
+
+import (
+	"testing"
+
+	"nwids/internal/core"
+	"nwids/internal/packet"
+	"nwids/internal/topology"
+	"nwids/internal/traffic"
+)
+
+// buildTwoAssignments solves two different configurations over the same
+// scenario, modeling a controller reconfiguration.
+func buildTwoAssignments(t testing.TB) (*core.Assignment, *core.Assignment) {
+	t.Helper()
+	g := topology.Internet2()
+	s := core.NewScenario(g, traffic.GravityDefault(g), core.ScenarioOptions{})
+	before, err := core.SolveReplication(s, core.ReplicationConfig{Mirror: core.MirrorNone})
+	if err != nil {
+		t.Fatal(err)
+	}
+	after, err := core.SolveReplication(s, core.ReplicationConfig{
+		Mirror: core.MirrorDCOnly, MaxLinkLoad: 0.4, DCCapacity: 10,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return before, after
+}
+
+// TestTransitionNeverDropsOwnership is the §9 consistency property: during
+// a reconfiguration, with every node honoring the union of the old and new
+// configurations, every session still has at least one owner — regardless
+// of which configuration each individual node "believes" is current.
+func TestTransitionNeverDropsOwnership(t *testing.T) {
+	before, after := buildTwoAssignments(t)
+	const seed = 5
+	cfgBefore := CompileConfigs(before, seed)
+	cfgAfter := CompileConfigs(after, seed)
+
+	// Merged shims per node (the DC exists only in the after-config).
+	merged := map[int]*Shim{}
+	for id, cb := range cfgBefore {
+		if ca, ok := cfgAfter[id]; ok {
+			merged[id] = New(MergeConfigs(cb, ca))
+		} else {
+			merged[id] = New(cb)
+		}
+	}
+	for id, ca := range cfgAfter {
+		if _, ok := merged[id]; !ok {
+			merged[id] = New(ca)
+		}
+	}
+
+	gen := packet.NewGenerator(packet.GeneratorConfig{PacketsPerSession: 2}, 13)
+	sc := after.Scenario
+	for trial := 0; trial < 1500; trial++ {
+		cl := &sc.Classes[trial%len(sc.Classes)]
+		sess := gen.Session(cl.Src, cl.Dst)
+		p := sess.Packets[0]
+		path := sc.Routing.Path(sess.SrcPoP, sess.DstPoP)
+		owners := map[int]bool{}
+		for _, node := range path.Nodes {
+			for _, d := range merged[node].DecideAll(p) {
+				switch d.Act {
+				case Process:
+					owners[node] = true
+				case Replicate:
+					owners[d.Mirror] = true
+				}
+			}
+		}
+		if len(owners) == 0 {
+			t.Fatalf("session %v unowned during transition", sess.Tuple)
+		}
+		// The union can legitimately have up to two owners (old + new).
+		if len(owners) > 2 {
+			t.Fatalf("session %v has %d owners; transition should duplicate at most once", sess.Tuple, len(owners))
+		}
+	}
+}
+
+func TestDecideAllSingleConfigMatchesDecide(t *testing.T) {
+	_, after := buildTwoAssignments(t)
+	cfgs := CompileConfigs(after, 3)
+	gen := packet.NewGenerator(packet.GeneratorConfig{PacketsPerSession: 2}, 4)
+	sc := after.Scenario
+	for trial := 0; trial < 500; trial++ {
+		cl := &sc.Classes[trial%len(sc.Classes)]
+		sess := gen.Session(cl.Src, cl.Dst)
+		p := sess.Packets[0]
+		for _, node := range cl.Path.Nodes {
+			a := New(cfgs[node])
+			b := New(cfgs[node])
+			single := a.Decide(p)
+			multi := b.DecideAll(p)
+			if single.Act == Skip {
+				if len(multi) != 0 {
+					t.Fatalf("Decide=skip but DecideAll=%v", multi)
+				}
+				continue
+			}
+			if len(multi) != 1 || multi[0] != single {
+				t.Fatalf("Decide=%v but DecideAll=%v", single, multi)
+			}
+		}
+	}
+}
+
+func TestMergeConfigsPanics(t *testing.T) {
+	a := &Config{NodeID: 1, Seed: 1, Rules: map[ClassKey][]RangeRule{}}
+	b := &Config{NodeID: 2, Seed: 1, Rules: map[ClassKey][]RangeRule{}}
+	c := &Config{NodeID: 1, Seed: 2, Rules: map[ClassKey][]RangeRule{}}
+	for _, pair := range [][2]*Config{{a, b}, {a, c}} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatal("want panic")
+				}
+			}()
+			MergeConfigs(pair[0], pair[1])
+		}()
+	}
+}
+
+func TestMergeConfigsDedupsIdenticalRules(t *testing.T) {
+	key := ClassKey{SrcPoP: 1, DstPoP: 2}
+	rule := RangeRule{Lo: 0, Hi: 1, Act: Process}
+	a := &Config{NodeID: 0, Seed: 1, Rules: map[ClassKey][]RangeRule{key: {rule}}}
+	b := &Config{NodeID: 0, Seed: 1, Rules: map[ClassKey][]RangeRule{key: {rule}}}
+	m := MergeConfigs(a, b)
+	if len(m.Rules[key]) != 1 {
+		t.Fatalf("identical rules must merge: %v", m.Rules[key])
+	}
+}

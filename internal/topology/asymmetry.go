@@ -1,0 +1,109 @@
+package topology
+
+import (
+	"math/rand"
+	"sort"
+)
+
+// PathPool is a precomputed collection of candidate paths with their overlap
+// metrics, used to emulate routing asymmetry (§8.3): for each forward path
+// we pick a "reverse" path from the pool whose Jaccard overlap with the
+// forward path is closest to a target drawn from N(θ, θ/5).
+type PathPool struct {
+	paths []Path
+}
+
+// NewPathPool builds a pool from every all-pairs shortest path of r.
+func NewPathPool(r *Routing) *PathPool {
+	return &PathPool{paths: r.AllPaths()}
+}
+
+// Size returns the number of candidate paths.
+func (pp *PathPool) Size() int { return len(pp.paths) }
+
+// ClosestOverlap returns the pool path whose link-set Jaccard overlap with
+// fwd is
+// closest to target, together with the achieved overlap. Ties break toward
+// the earlier pool entry, making selection deterministic.
+func (pp *PathPool) ClosestOverlap(fwd Path, target float64) (Path, float64) {
+	best := 0
+	bestOv := JaccardLinks(fwd, pp.paths[0])
+	bestDiff := abs(bestOv - target)
+	for i := 1; i < len(pp.paths); i++ {
+		ov := JaccardLinks(fwd, pp.paths[i])
+		if d := abs(ov - target); d < bestDiff {
+			best, bestOv, bestDiff = i, ov, d
+		}
+	}
+	return pp.paths[best], bestOv
+}
+
+func abs(x float64) float64 {
+	if x < 0 {
+		return -x
+	}
+	return x
+}
+
+// AsymmetricRoutes describes one emulated asymmetric-routing configuration:
+// for every ordered ingress-egress pair the forward (shortest) path and the
+// selected reverse path.
+type AsymmetricRoutes struct {
+	// Fwd and Rev are indexed identically; Pairs[i] gives the (src, dst).
+	Pairs [][2]int
+	Fwd   []Path
+	Rev   []Path
+	// MeanOverlap is the achieved average Jaccard overlap across pairs.
+	MeanOverlap float64
+}
+
+// GenerateAsymmetric builds an asymmetric-routing configuration targeting
+// expected overlap theta: each pair's forward path is the shortest path and
+// its reverse path is drawn from the pool to match θ' ~ N(θ, θ/5), clamped
+// to [0, 1]. The result is deterministic for a given rng state.
+func GenerateAsymmetric(r *Routing, pool *PathPool, theta float64, rng *rand.Rand) *AsymmetricRoutes {
+	n := r.Graph().NumNodes()
+	ar := &AsymmetricRoutes{}
+	var sum float64
+	for a := 0; a < n; a++ {
+		for b := 0; b < n; b++ {
+			if a == b {
+				continue
+			}
+			fwd := r.Path(a, b)
+			t := theta + rng.NormFloat64()*theta/5
+			if t < 0 {
+				t = 0
+			}
+			if t > 1 {
+				t = 1
+			}
+			rev, ov := pool.ClosestOverlap(fwd, t)
+			ar.Pairs = append(ar.Pairs, [2]int{a, b})
+			ar.Fwd = append(ar.Fwd, fwd)
+			ar.Rev = append(ar.Rev, rev)
+			sum += ov
+		}
+	}
+	if len(ar.Pairs) > 0 {
+		ar.MeanOverlap = sum / float64(len(ar.Pairs))
+	}
+	return ar
+}
+
+// OverlapLevels returns the distinct overlap values available in the pool
+// against the given forward path, ascending. Useful for understanding what
+// targets are achievable on small topologies.
+func (pp *PathPool) OverlapLevels(fwd Path) []float64 {
+	seen := make(map[float64]bool)
+	var out []float64
+	for _, p := range pp.paths {
+		ov := JaccardLinks(fwd, p)
+		if !seen[ov] {
+			seen[ov] = true
+			out = append(out, ov)
+		}
+	}
+	sort.Float64s(out)
+	return out
+}

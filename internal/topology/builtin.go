@@ -1,0 +1,364 @@
+package topology
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"sort"
+)
+
+// Internet2 returns the 11-PoP Abilene/Internet2 backbone used throughout
+// the paper's evaluation, with approximate metro populations (millions) for
+// the gravity model.
+func Internet2() *Graph {
+	g := New("Internet2")
+	sea := g.AddNode("Seattle", 3.0)
+	snv := g.AddNode("Sunnyvale", 1.8)
+	lax := g.AddNode("LosAngeles", 12.8)
+	den := g.AddNode("Denver", 2.7)
+	ksc := g.AddNode("KansasCity", 2.1)
+	hou := g.AddNode("Houston", 6.0)
+	ipl := g.AddNode("Indianapolis", 1.9)
+	atl := g.AddNode("Atlanta", 5.3)
+	chi := g.AddNode("Chicago", 9.5)
+	nyc := g.AddNode("NewYork", 19.0)
+	wdc := g.AddNode("WashingtonDC", 5.6)
+	for _, l := range [][2]int{
+		{sea, snv}, {sea, den}, {snv, lax}, {snv, den}, {lax, hou},
+		{den, ksc}, {ksc, hou}, {ksc, ipl}, {hou, atl}, {ipl, atl},
+		{ipl, chi}, {chi, nyc}, {atl, wdc}, {nyc, wdc},
+	} {
+		g.AddLink(l[0], l[1])
+	}
+	return g
+}
+
+// Geant returns a 22-PoP approximation of the GEANT European research
+// backbone (circa 2004) with national metro populations in millions. The
+// exact GEANT map is not redistributable; this reconstruction preserves the
+// size, the dense western core and the tree-like eastern edges.
+func Geant() *Graph {
+	g := New("Geant")
+	uk := g.AddNode("London", 14.0)
+	fr := g.AddNode("Paris", 12.0)
+	de := g.AddNode("Frankfurt", 5.6)
+	it := g.AddNode("Milan", 7.4)
+	es := g.AddNode("Madrid", 6.6)
+	ch := g.AddNode("Geneva", 1.0)
+	nl := g.AddNode("Amsterdam", 2.9)
+	be := g.AddNode("Brussels", 2.1)
+	at := g.AddNode("Vienna", 2.8)
+	se := g.AddNode("Stockholm", 2.3)
+	cz := g.AddNode("Prague", 2.6)
+	pl := g.AddNode("Poznan", 1.0)
+	hu := g.AddNode("Budapest", 3.0)
+	gr := g.AddNode("Athens", 3.8)
+	pt := g.AddNode("Lisbon", 2.8)
+	ie := g.AddNode("Dublin", 1.9)
+	lu := g.AddNode("Luxembourg", 0.6)
+	si := g.AddNode("Ljubljana", 0.5)
+	sk := g.AddNode("Bratislava", 0.7)
+	hr := g.AddNode("Zagreb", 1.1)
+	il := g.AddNode("TelAviv", 3.9)
+	ro := g.AddNode("Bucharest", 2.3)
+	for _, l := range [][2]int{
+		{uk, fr}, {uk, nl}, {uk, ie}, {uk, se}, {fr, de}, {fr, ch}, {fr, es},
+		{fr, lu}, {de, nl}, {de, ch}, {de, at}, {de, se}, {de, cz}, {de, il},
+		{it, ch}, {it, at}, {it, gr}, {es, pt}, {es, it}, {nl, be}, {be, fr},
+		{at, hu}, {at, si}, {at, sk}, {at, hr}, {se, pl}, {cz, sk}, {pl, cz},
+		{hu, hr}, {hu, ro}, {gr, ro}, {uk, pt}, {ie, fr},
+	} {
+		g.AddLink(l[0], l[1])
+	}
+	return g
+}
+
+// Enterprise returns a 23-node multi-site enterprise network in the spirit
+// of the middlebox-manifesto deployment the paper cites: a meshed HQ core,
+// three regional hubs, branch sites behind the hubs, and a datacenter
+// dual-homed to the core. Populations proxy per-site host counts.
+func Enterprise() *Graph {
+	g := New("Enterprise")
+	core1 := g.AddNode("hq-core1", 8)
+	core2 := g.AddNode("hq-core2", 8)
+	core3 := g.AddNode("hq-core3", 8)
+	dc1 := g.AddNode("dc1", 4)
+	dc2 := g.AddNode("dc2", 4)
+	hubE := g.AddNode("hub-east", 5)
+	hubW := g.AddNode("hub-west", 5)
+	hubS := g.AddNode("hub-south", 5)
+	g.AddLink(core1, core2)
+	g.AddLink(core2, core3)
+	g.AddLink(core1, core3)
+	g.AddLink(dc1, core1)
+	g.AddLink(dc1, core2)
+	g.AddLink(dc2, core2)
+	g.AddLink(dc2, core3)
+	g.AddLink(hubE, core1)
+	g.AddLink(hubE, core2)
+	g.AddLink(hubW, core2)
+	g.AddLink(hubW, core3)
+	g.AddLink(hubS, core1)
+	g.AddLink(hubS, core3)
+	hubs := []int{hubE, hubW, hubS}
+	for i := 0; i < 15; i++ {
+		b := g.AddNode(fmt.Sprintf("branch%02d", i+1), 1+0.2*float64(i%5))
+		g.AddLink(b, hubs[i%3])
+		if i%4 == 0 { // some branches are dual-homed
+			g.AddLink(b, hubs[(i+1)%3])
+		}
+	}
+	return g
+}
+
+// RocketfuelLike generates a synthetic ISP PoP-level topology with the given
+// node count, calibrated to the shape of Rocketfuel-inferred maps (which are
+// not redistributable): a small meshed backbone core, preferential
+// attachment for the remaining PoPs, and a handful of shortcut links. The
+// same (name, n, seed) always yields the same topology. Populations are
+// lognormal, matching Roughan's gravity-model synthesis recipe.
+func RocketfuelLike(name string, n int, seed int64) *Graph {
+	if n < 4 {
+		panic("topology: RocketfuelLike needs at least 4 nodes")
+	}
+	rng := rand.New(rand.NewSource(seed))
+	g := New(name)
+	for i := 0; i < n; i++ {
+		pop := math.Exp(rng.NormFloat64()*0.9) * 2.5 // lognormal, mean ≈ 3.7M
+		g.AddNode(fmt.Sprintf("%s-pop%02d", name, i), pop)
+	}
+	// Meshed core of ~15% of nodes (at least 3).
+	core := n * 15 / 100
+	if core < 3 {
+		core = 3
+	}
+	for i := 0; i < core; i++ {
+		for j := i + 1; j < core; j++ {
+			if i == j {
+				continue
+			}
+			// Mesh the core but drop a few links to avoid a perfect clique.
+			if j == i+1 || rng.Float64() < 0.5 {
+				g.AddLink(i, j)
+			}
+		}
+	}
+	// Remaining PoPs attach preferentially (degree-proportional), 1-3 links.
+	for v := core; v < n; v++ {
+		attach := 1 + rng.Intn(3)
+		for k := 0; k < attach; k++ {
+			total := 0
+			for u := 0; u < v; u++ {
+				total += g.Degree(u) + 1
+			}
+			pick := rng.Intn(total)
+			tgt := 0
+			for u := 0; u < v; u++ {
+				pick -= g.Degree(u) + 1
+				if pick < 0 {
+					tgt = u
+					break
+				}
+			}
+			if tgt == v || linked(g, v, tgt) {
+				continue
+			}
+			g.AddLink(v, tgt)
+		}
+		if g.Degree(v) == 0 { // guarantee connectivity
+			g.AddLink(v, rng.Intn(v))
+		}
+	}
+	// A few shortcut links between non-adjacent nodes.
+	for k := 0; k < n/10; k++ {
+		a, b := rng.Intn(n), rng.Intn(n)
+		if a != b && !linked(g, a, b) {
+			g.AddLink(a, b)
+		}
+	}
+	return g
+}
+
+func linked(g *Graph, a, b int) bool {
+	for _, nb := range g.Neighbors(a) {
+		if nb == b {
+			return true
+		}
+	}
+	return false
+}
+
+// Named evaluation topologies, in the order of the paper's Table 1.
+const (
+	NameInternet2  = "Internet2"
+	NameGeant      = "Geant"
+	NameEnterprise = "Enterprise"
+	NameTiNet      = "TiNet"
+	NameTelstra    = "Telstra"
+	NameSprint     = "Sprint"
+	NameLevel3     = "Level3"
+	NameNTT        = "NTT"
+)
+
+// Evaluation returns the eight topologies of the paper's evaluation in
+// Table 1 order: Internet2 (11 PoPs), Geant (22), Enterprise (23), and
+// synthetic stand-ins for the Rocketfuel-inferred TiNet (41), Telstra (44),
+// Sprint (52), Level3 (63) and NTT (70).
+func Evaluation() []*Graph {
+	return []*Graph{
+		Internet2(),
+		Geant(),
+		Enterprise(),
+		RocketfuelLike(NameTiNet, 41, 3257),
+		RocketfuelLike(NameTelstra, 44, 1221),
+		RocketfuelLike(NameSprint, 52, 1239),
+		RocketfuelLike(NameLevel3, 63, 3356),
+		RocketfuelLike(NameNTT, 70, 2914),
+	}
+}
+
+// ByName returns the named evaluation topology, or nil if unknown. Names
+// are case-sensitive and listed in the Name* constants.
+func ByName(name string) *Graph {
+	for _, g := range Evaluation() {
+		if g.Name() == name {
+			return g
+		}
+	}
+	return nil
+}
+
+// EvaluationNames lists the evaluation topology names in Table 1 order.
+func EvaluationNames() []string {
+	var out []string
+	for _, g := range Evaluation() {
+		out = append(out, g.Name())
+	}
+	return out
+}
+
+// MostObservingNode returns the node that observes the most traffic volume
+// (including transit) under the given routing and per-path volumes, the
+// paper's preferred datacenter placement (§8.2). volumes maps (src, dst)
+// ordered pairs to session volume; pass nil to weight all paths equally.
+func MostObservingNode(r *Routing, volume func(src, dst int) float64) int {
+	n := r.Graph().NumNodes()
+	obs := make([]float64, n)
+	for a := 0; a < n; a++ {
+		for b := 0; b < n; b++ {
+			if a == b {
+				continue
+			}
+			v := 1.0
+			if volume != nil {
+				v = volume(a, b)
+			}
+			for _, node := range r.Path(a, b).Nodes {
+				obs[node] += v
+			}
+		}
+	}
+	best := 0
+	for i := 1; i < n; i++ {
+		if obs[i] > obs[best] {
+			best = i
+		}
+	}
+	return best
+}
+
+// MostOriginatingNode returns the node from which the most traffic
+// originates (placement strategy 1 in §8.2).
+func MostOriginatingNode(g *Graph, volume func(src, dst int) float64) int {
+	n := g.NumNodes()
+	orig := make([]float64, n)
+	for a := 0; a < n; a++ {
+		for b := 0; b < n; b++ {
+			if a == b {
+				continue
+			}
+			if volume != nil {
+				orig[a] += volume(a, b)
+			} else {
+				orig[a]++
+			}
+		}
+	}
+	best := 0
+	for i := 1; i < n; i++ {
+		if orig[i] > orig[best] {
+			best = i
+		}
+	}
+	return best
+}
+
+// MostPathsNode returns the node lying on the most end-to-end shortest
+// paths (placement strategy 3 in §8.2).
+func MostPathsNode(r *Routing) int {
+	n := r.Graph().NumNodes()
+	count := make([]int, n)
+	for a := 0; a < n; a++ {
+		for b := 0; b < n; b++ {
+			if a == b {
+				continue
+			}
+			for _, node := range r.Path(a, b).Nodes {
+				count[node]++
+			}
+		}
+	}
+	best := 0
+	for i := 1; i < n; i++ {
+		if count[i] > count[best] {
+			best = i
+		}
+	}
+	return best
+}
+
+// MedoidNode returns the node with the smallest average hop distance to
+// every other node (placement strategy 4 in §8.2).
+func MedoidNode(r *Routing) int {
+	n := r.Graph().NumNodes()
+	best, bestSum := 0, math.MaxInt
+	for a := 0; a < n; a++ {
+		sum := 0
+		for b := 0; b < n; b++ {
+			if a != b {
+				sum += r.Dist(a, b)
+			}
+		}
+		if sum < bestSum {
+			best, bestSum = a, sum
+		}
+	}
+	return best
+}
+
+// KHopNeighborhood returns the IDs of all nodes within k hops of id,
+// excluding id itself, ascending.
+func KHopNeighborhood(g *Graph, id, k int) []int {
+	dist := map[int]int{id: 0}
+	frontier := []int{id}
+	for d := 0; d < k; d++ {
+		var next []int
+		for _, v := range frontier {
+			for _, nb := range g.Neighbors(v) {
+				if _, ok := dist[nb]; !ok {
+					dist[nb] = d + 1
+					next = append(next, nb)
+				}
+			}
+		}
+		frontier = next
+	}
+	var out []int
+	for v := range dist {
+		if v != id {
+			out = append(out, v)
+		}
+	}
+	sort.Ints(out)
+	return out
+}

@@ -1,0 +1,79 @@
+package topology
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestFormatParseRoundTrip(t *testing.T) {
+	for _, g := range Evaluation() {
+		var buf bytes.Buffer
+		if err := Format(&buf, g); err != nil {
+			t.Fatal(err)
+		}
+		got, err := Parse(bytes.NewReader(buf.Bytes()))
+		if err != nil {
+			t.Fatalf("%s: %v", g.Name(), err)
+		}
+		if got.Name() != g.Name() || got.NumNodes() != g.NumNodes() || got.NumLinks() != g.NumLinks() {
+			t.Fatalf("%s: round trip changed shape", g.Name())
+		}
+		for i, n := range g.Nodes() {
+			if got.Node(i) != n {
+				t.Fatalf("%s: node %d changed: %+v vs %+v", g.Name(), i, got.Node(i), n)
+			}
+		}
+		for i, l := range g.Links() {
+			if got.Link(i) != l {
+				t.Fatalf("%s: link %d changed", g.Name(), i)
+			}
+		}
+	}
+}
+
+func TestParseCommentsAndBlank(t *testing.T) {
+	src := `
+# a tiny demo
+topology demo
+
+node a 1.5
+node b 2
+# the only link
+link a b
+`
+	g, err := Parse(strings.NewReader(src))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.Name() != "demo" || g.NumNodes() != 2 || g.NumLinks() != 1 {
+		t.Fatalf("parsed %s with %d nodes %d links", g.Name(), g.NumNodes(), g.NumLinks())
+	}
+	if g.Node(0).Population != 1.5 {
+		t.Fatal("population lost")
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	cases := map[string]string{
+		"empty":          "",
+		"node first":     "node a 1\n",
+		"link first":     "link a b\n",
+		"dup topology":   "topology a\ntopology b\n",
+		"bad population": "topology t\nnode a zero\n",
+		"neg population": "topology t\nnode a -1\n",
+		"dup node":       "topology t\nnode a 1\nnode a 2\n",
+		"unknown node":   "topology t\nnode a 1\nlink a b\n",
+		"self loop":      "topology t\nnode a 1\nlink a a\n",
+		"dup link":       "topology t\nnode a 1\nnode b 1\nlink a b\nlink b a\n",
+		"bad directive":  "topology t\nrouter a\n",
+		"short node":     "topology t\nnode a\n",
+		"short link":     "topology t\nnode a 1\nlink a\n",
+		"short topology": "topology\n",
+	}
+	for name, src := range cases {
+		if _, err := Parse(strings.NewReader(src)); err == nil {
+			t.Fatalf("%s: expected error", name)
+		}
+	}
+}

@@ -1,0 +1,322 @@
+// Package topology models PoP-level network topologies: nodes, undirected
+// links, deterministic shortest-path routing, path overlap metrics, and the
+// built-in and synthetic topologies used throughout the evaluation.
+package topology
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Node is a PoP in the network. Population drives the gravity traffic model.
+type Node struct {
+	ID         int
+	Name       string
+	Population float64 // metro population in millions (gravity model mass)
+}
+
+// Link is an undirected edge between two PoPs.
+type Link struct {
+	ID   int
+	A, B int
+}
+
+type neighbor struct {
+	node int
+	link int
+}
+
+// Graph is an undirected PoP-level topology. Construct with New and the
+// Add* methods; Graph values are immutable once routing has been computed.
+type Graph struct {
+	name  string
+	nodes []Node
+	links []Link
+	adj   [][]neighbor
+}
+
+// New returns an empty graph with the given name.
+func New(name string) *Graph { return &Graph{name: name} }
+
+// Name returns the topology name.
+func (g *Graph) Name() string { return g.name }
+
+// AddNode adds a PoP and returns its ID. Populations are in millions.
+func (g *Graph) AddNode(name string, population float64) int {
+	id := len(g.nodes)
+	g.nodes = append(g.nodes, Node{ID: id, Name: name, Population: population})
+	g.adj = append(g.adj, nil)
+	return id
+}
+
+// AddLink adds an undirected link between nodes a and b and returns its ID.
+// Self-loops and duplicate links are rejected.
+func (g *Graph) AddLink(a, b int) int {
+	if a == b {
+		panic(fmt.Sprintf("topology: self-loop at node %d", a))
+	}
+	if a < 0 || b < 0 || a >= len(g.nodes) || b >= len(g.nodes) {
+		panic(fmt.Sprintf("topology: link %d-%d out of range", a, b))
+	}
+	for _, nb := range g.adj[a] {
+		if nb.node == b {
+			panic(fmt.Sprintf("topology: duplicate link %d-%d", a, b))
+		}
+	}
+	id := len(g.links)
+	g.links = append(g.links, Link{ID: id, A: a, B: b})
+	g.adj[a] = append(g.adj[a], neighbor{node: b, link: id})
+	g.adj[b] = append(g.adj[b], neighbor{node: a, link: id})
+	return id
+}
+
+// NumNodes returns the PoP count.
+func (g *Graph) NumNodes() int { return len(g.nodes) }
+
+// NumLinks returns the link count.
+func (g *Graph) NumLinks() int { return len(g.links) }
+
+// Node returns the node with the given ID.
+func (g *Graph) Node(id int) Node { return g.nodes[id] }
+
+// Nodes returns all nodes (shared slice; do not modify).
+func (g *Graph) Nodes() []Node { return g.nodes }
+
+// Link returns the link with the given ID.
+func (g *Graph) Link(id int) Link { return g.links[id] }
+
+// Links returns all links (shared slice; do not modify).
+func (g *Graph) Links() []Link { return g.links }
+
+// Neighbors returns the IDs of nodes adjacent to id, in insertion order.
+func (g *Graph) Neighbors(id int) []int {
+	out := make([]int, len(g.adj[id]))
+	for i, nb := range g.adj[id] {
+		out[i] = nb.node
+	}
+	return out
+}
+
+// Degree returns the number of links at node id.
+func (g *Graph) Degree(id int) int { return len(g.adj[id]) }
+
+// Connected reports whether the graph is connected (and non-empty).
+func (g *Graph) Connected() bool {
+	if len(g.nodes) == 0 {
+		return false
+	}
+	seen := make([]bool, len(g.nodes))
+	stack := []int{0}
+	seen[0] = true
+	count := 1
+	for len(stack) > 0 {
+		v := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		for _, nb := range g.adj[v] {
+			if !seen[nb.node] {
+				seen[nb.node] = true
+				count++
+				stack = append(stack, nb.node)
+			}
+		}
+	}
+	return count == len(g.nodes)
+}
+
+// Path is a simple path through the graph. Nodes lists the PoPs in order;
+// Links lists the link IDs between consecutive nodes (len(Links) ==
+// len(Nodes)−1). A single-node path has no links.
+type Path struct {
+	Nodes []int
+	Links []int
+}
+
+// Len returns the hop count (number of links).
+func (p Path) Len() int { return len(p.Links) }
+
+// Contains reports whether node id appears on the path.
+func (p Path) Contains(id int) bool {
+	for _, n := range p.Nodes {
+		if n == id {
+			return true
+		}
+	}
+	return false
+}
+
+// Ingress returns the first node of the path.
+func (p Path) Ingress() int { return p.Nodes[0] }
+
+// Egress returns the last node of the path.
+func (p Path) Egress() int { return p.Nodes[len(p.Nodes)-1] }
+
+// Reverse returns the path traversed in the opposite direction.
+func (p Path) Reverse() Path {
+	n := make([]int, len(p.Nodes))
+	for i, v := range p.Nodes {
+		n[len(p.Nodes)-1-i] = v
+	}
+	l := make([]int, len(p.Links))
+	for i, v := range p.Links {
+		l[len(p.Links)-1-i] = v
+	}
+	return Path{Nodes: n, Links: l}
+}
+
+// NodeSet returns the set of node IDs on the path.
+func (p Path) NodeSet() map[int]bool {
+	s := make(map[int]bool, len(p.Nodes))
+	for _, n := range p.Nodes {
+		s[n] = true
+	}
+	return s
+}
+
+// Jaccard returns the Jaccard similarity of the node sets of two paths:
+// |P1 ∩ P2| / |P1 ∪ P2|, 1 when identical and 0 when disjoint.
+func Jaccard(p1, p2 Path) float64 {
+	s1, s2 := p1.NodeSet(), p2.NodeSet()
+	return jaccardSets(s1, s2)
+}
+
+// JaccardLinks returns the Jaccard similarity of the link sets of two
+// paths. The asymmetry experiments (§8.3) target this metric: two paths can
+// share an isolated node yet carry traffic over entirely different links,
+// and link overlap is what determines shared observation points in
+// practice.
+func JaccardLinks(p1, p2 Path) float64 {
+	s1 := make(map[int]bool, len(p1.Links))
+	for _, l := range p1.Links {
+		s1[l] = true
+	}
+	s2 := make(map[int]bool, len(p2.Links))
+	for _, l := range p2.Links {
+		s2[l] = true
+	}
+	return jaccardSets(s1, s2)
+}
+
+func jaccardSets(s1, s2 map[int]bool) float64 {
+	inter := 0
+	for n := range s2 {
+		if s1[n] {
+			inter++
+		}
+	}
+	union := len(s1) + len(s2) - inter
+	if union == 0 {
+		return 0
+	}
+	return float64(inter) / float64(union)
+}
+
+// Intersect returns the IDs of nodes appearing on both paths, ascending.
+func Intersect(p1, p2 Path) []int {
+	s := p1.NodeSet()
+	var out []int
+	seen := make(map[int]bool)
+	for _, n := range p2.Nodes {
+		if s[n] && !seen[n] {
+			out = append(out, n)
+			seen[n] = true
+		}
+	}
+	sort.Ints(out)
+	return out
+}
+
+// Routing holds all-pairs shortest paths under hop-count metric with
+// deterministic tie-breaking, and guarantees route symmetry: the path from
+// b to a is exactly the reverse of the path from a to b.
+type Routing struct {
+	g     *Graph
+	dist  [][]int
+	paths [][]Path // paths[a][b] for a < b; reverse derived
+}
+
+// ShortestPaths computes all-pairs shortest paths by breadth-first search
+// with lowest-ID tie-breaking, then mirrors them so that routing is
+// symmetric (the paper's §4 assumption).
+func (g *Graph) ShortestPaths() *Routing {
+	n := len(g.nodes)
+	r := &Routing{g: g, dist: make([][]int, n), paths: make([][]Path, n)}
+	parent := make([]int, n)
+	plink := make([]int, n)
+	for src := 0; src < n; src++ {
+		dist := make([]int, n)
+		for i := range dist {
+			dist[i] = -1
+			parent[i] = -1
+		}
+		dist[src] = 0
+		queue := []int{src}
+		for len(queue) > 0 {
+			v := queue[0]
+			queue = queue[1:]
+			// Deterministic neighbor order: ascending node ID.
+			nbs := append([]neighbor(nil), g.adj[v]...)
+			sort.Slice(nbs, func(i, j int) bool { return nbs[i].node < nbs[j].node })
+			for _, nb := range nbs {
+				if dist[nb.node] < 0 {
+					dist[nb.node] = dist[v] + 1
+					parent[nb.node] = v
+					plink[nb.node] = nb.link
+					queue = append(queue, nb.node)
+				}
+			}
+		}
+		r.dist[src] = dist
+		r.paths[src] = make([]Path, n)
+		for dst := 0; dst < n; dst++ {
+			if dst <= src || dist[dst] < 0 {
+				continue
+			}
+			var nodes, links []int
+			for v := dst; v != src; v = parent[v] {
+				nodes = append(nodes, v)
+				links = append(links, plink[v])
+			}
+			nodes = append(nodes, src)
+			for i, j := 0, len(nodes)-1; i < j; i, j = i+1, j-1 {
+				nodes[i], nodes[j] = nodes[j], nodes[i]
+			}
+			for i, j := 0, len(links)-1; i < j; i, j = i+1, j-1 {
+				links[i], links[j] = links[j], links[i]
+			}
+			r.paths[src][dst] = Path{Nodes: nodes, Links: links}
+		}
+	}
+	return r
+}
+
+// Dist returns the hop distance between a and b, or -1 if disconnected.
+func (r *Routing) Dist(a, b int) int { return r.dist[a][b] }
+
+// Path returns the routed path from src to dst. Path(b, a) is the exact
+// reverse of Path(a, b). A path from a node to itself has one node.
+func (r *Routing) Path(src, dst int) Path {
+	if src == dst {
+		return Path{Nodes: []int{src}}
+	}
+	if src < dst {
+		return r.paths[src][dst]
+	}
+	return r.paths[dst][src].Reverse()
+}
+
+// Graph returns the topology this routing was computed for.
+func (r *Routing) Graph() *Graph { return r.g }
+
+// AllPaths returns the routed path for every ordered pair (src ≠ dst).
+func (r *Routing) AllPaths() []Path {
+	n := r.g.NumNodes()
+	out := make([]Path, 0, n*(n-1))
+	for a := 0; a < n; a++ {
+		for b := 0; b < n; b++ {
+			if a != b {
+				out = append(out, r.Path(a, b))
+			}
+		}
+	}
+	return out
+}

@@ -1,0 +1,340 @@
+package topology
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestInternet2Shape(t *testing.T) {
+	g := Internet2()
+	if g.NumNodes() != 11 {
+		t.Fatalf("Internet2 has %d nodes, want 11", g.NumNodes())
+	}
+	if g.NumLinks() != 14 {
+		t.Fatalf("Internet2 has %d links, want 14", g.NumLinks())
+	}
+	if !g.Connected() {
+		t.Fatal("Internet2 must be connected")
+	}
+}
+
+func TestEvaluationTopologies(t *testing.T) {
+	want := map[string]int{
+		"Internet2": 11, "Geant": 22, "Enterprise": 23, "TiNet": 41,
+		"Telstra": 44, "Sprint": 52, "Level3": 63, "NTT": 70,
+	}
+	got := Evaluation()
+	if len(got) != len(want) {
+		t.Fatalf("Evaluation returned %d topologies", len(got))
+	}
+	for _, g := range got {
+		if want[g.Name()] != g.NumNodes() {
+			t.Errorf("%s has %d PoPs, want %d", g.Name(), g.NumNodes(), want[g.Name()])
+		}
+		if !g.Connected() {
+			t.Errorf("%s is disconnected", g.Name())
+		}
+		for _, n := range g.Nodes() {
+			if n.Population <= 0 {
+				t.Errorf("%s node %s has nonpositive population", g.Name(), n.Name)
+			}
+		}
+	}
+}
+
+func TestByName(t *testing.T) {
+	if g := ByName("Sprint"); g == nil || g.NumNodes() != 52 {
+		t.Fatal("ByName(Sprint) wrong")
+	}
+	if ByName("nope") != nil {
+		t.Fatal("ByName(nope) should be nil")
+	}
+	if len(EvaluationNames()) != 8 {
+		t.Fatal("EvaluationNames should list 8")
+	}
+}
+
+func TestRocketfuelLikeDeterministic(t *testing.T) {
+	a := RocketfuelLike("X", 30, 99)
+	b := RocketfuelLike("X", 30, 99)
+	if a.NumLinks() != b.NumLinks() {
+		t.Fatal("same seed must give same topology")
+	}
+	for i := range a.Links() {
+		if a.Link(i) != b.Link(i) {
+			t.Fatalf("link %d differs between identical seeds", i)
+		}
+	}
+	c := RocketfuelLike("X", 30, 100)
+	if c.NumLinks() == a.NumLinks() {
+		// Could coincide, but the link sets should differ somewhere.
+		same := true
+		for i := range a.Links() {
+			if a.Link(i) != c.Link(i) {
+				same = false
+				break
+			}
+		}
+		if same {
+			t.Fatal("different seeds gave identical topology")
+		}
+	}
+}
+
+func TestShortestPathsBasics(t *testing.T) {
+	g := Internet2()
+	r := g.ShortestPaths()
+	for a := 0; a < g.NumNodes(); a++ {
+		if d := r.Dist(a, a); d != 0 {
+			t.Fatalf("Dist(%d,%d) = %d", a, a, d)
+		}
+		for b := 0; b < g.NumNodes(); b++ {
+			if a == b {
+				continue
+			}
+			p := r.Path(a, b)
+			if p.Ingress() != a || p.Egress() != b {
+				t.Fatalf("path %d→%d has endpoints %d,%d", a, b, p.Ingress(), p.Egress())
+			}
+			if p.Len() != r.Dist(a, b) {
+				t.Fatalf("path %d→%d length %d ≠ dist %d", a, b, p.Len(), r.Dist(a, b))
+			}
+			// Consecutive nodes joined by the listed link.
+			for i, l := range p.Links {
+				lk := g.Link(l)
+				x, y := p.Nodes[i], p.Nodes[i+1]
+				if !(lk.A == x && lk.B == y) && !(lk.A == y && lk.B == x) {
+					t.Fatalf("path %d→%d link %d does not join %d-%d", a, b, l, x, y)
+				}
+			}
+		}
+	}
+}
+
+// Routing symmetry is a paper assumption (§4): Path(b,a) must be the exact
+// reverse of Path(a,b).
+func TestShortestPathsSymmetry(t *testing.T) {
+	for _, g := range Evaluation() {
+		r := g.ShortestPaths()
+		n := g.NumNodes()
+		for a := 0; a < n; a++ {
+			for b := a + 1; b < n; b++ {
+				fwd := r.Path(a, b)
+				rev := r.Path(b, a)
+				if fwd.Len() != rev.Len() {
+					t.Fatalf("%s: asymmetric lengths %d→%d", g.Name(), a, b)
+				}
+				for i := range fwd.Nodes {
+					if fwd.Nodes[i] != rev.Nodes[len(rev.Nodes)-1-i] {
+						t.Fatalf("%s: path %d→%d not the reverse of %d→%d", g.Name(), a, b, b, a)
+					}
+				}
+			}
+		}
+	}
+}
+
+func TestPathHelpers(t *testing.T) {
+	g := Internet2()
+	r := g.ShortestPaths()
+	p := r.Path(0, 10)
+	if !p.Contains(0) || !p.Contains(10) {
+		t.Fatal("Contains endpoints")
+	}
+	if p.Contains(-1) {
+		t.Fatal("Contains(-1)")
+	}
+	rp := p.Reverse()
+	if rp.Ingress() != 10 || rp.Egress() != 0 || rp.Len() != p.Len() {
+		t.Fatal("Reverse broken")
+	}
+	self := r.Path(3, 3)
+	if self.Len() != 0 || len(self.Nodes) != 1 {
+		t.Fatal("self path should be single node")
+	}
+}
+
+func TestJaccard(t *testing.T) {
+	p1 := Path{Nodes: []int{1, 2, 3}}
+	p2 := Path{Nodes: []int{1, 2, 3}}
+	if Jaccard(p1, p2) != 1 {
+		t.Fatal("identical paths should have overlap 1")
+	}
+	p3 := Path{Nodes: []int{4, 5}}
+	if Jaccard(p1, p3) != 0 {
+		t.Fatal("disjoint paths should have overlap 0")
+	}
+	p4 := Path{Nodes: []int{3, 4, 5}}
+	if got := Jaccard(p1, p4); got != 0.2 {
+		t.Fatalf("Jaccard = %g, want 0.2", got)
+	}
+	if Jaccard(Path{}, Path{}) != 0 {
+		t.Fatal("empty paths should have overlap 0")
+	}
+}
+
+func TestJaccardProperties(t *testing.T) {
+	cfg := &quick.Config{MaxCount: 200}
+	mk := func(seed int64) (Path, Path) {
+		rng := rand.New(rand.NewSource(seed))
+		gen := func() Path {
+			n := 1 + rng.Intn(6)
+			nodes := make([]int, n)
+			for i := range nodes {
+				nodes[i] = rng.Intn(10)
+			}
+			return Path{Nodes: nodes}
+		}
+		return gen(), gen()
+	}
+	// Symmetry and range.
+	if err := quick.Check(func(seed int64) bool {
+		p1, p2 := mk(seed)
+		j12, j21 := Jaccard(p1, p2), Jaccard(p2, p1)
+		return j12 == j21 && j12 >= 0 && j12 <= 1
+	}, cfg); err != nil {
+		t.Fatal(err)
+	}
+	// Self-similarity is 1 for nonempty paths.
+	if err := quick.Check(func(seed int64) bool {
+		p1, _ := mk(seed)
+		return Jaccard(p1, p1) == 1
+	}, cfg); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestIntersect(t *testing.T) {
+	p1 := Path{Nodes: []int{5, 2, 9}}
+	p2 := Path{Nodes: []int{9, 7, 2}}
+	got := Intersect(p1, p2)
+	if len(got) != 2 || got[0] != 2 || got[1] != 9 {
+		t.Fatalf("Intersect = %v, want [2 9]", got)
+	}
+}
+
+func TestPlacementStrategies(t *testing.T) {
+	g := Internet2()
+	r := g.ShortestPaths()
+	obs := MostObservingNode(r, nil)
+	orig := MostOriginatingNode(g, nil)
+	paths := MostPathsNode(r)
+	med := MedoidNode(r)
+	for _, v := range []int{obs, orig, paths, med} {
+		if v < 0 || v >= g.NumNodes() {
+			t.Fatalf("placement out of range: %d", v)
+		}
+	}
+	// With uniform volume, every node originates the same; strategy 1 should
+	// return node 0 deterministically.
+	if orig != 0 {
+		t.Fatalf("MostOriginatingNode(uniform) = %d, want 0", orig)
+	}
+	// Weighted by a volume function concentrating on node 4.
+	orig = MostOriginatingNode(g, func(s, d int) float64 {
+		if s == 4 {
+			return 100
+		}
+		return 1
+	})
+	if orig != 4 {
+		t.Fatalf("MostOriginatingNode(weighted) = %d, want 4", orig)
+	}
+}
+
+func TestKHopNeighborhood(t *testing.T) {
+	g := Internet2()
+	one := KHopNeighborhood(g, 0, 1)
+	if len(one) != g.Degree(0) {
+		t.Fatalf("1-hop count %d ≠ degree %d", len(one), g.Degree(0))
+	}
+	all := KHopNeighborhood(g, 0, g.NumNodes())
+	if len(all) != g.NumNodes()-1 {
+		t.Fatalf("full neighborhood %d ≠ %d", len(all), g.NumNodes()-1)
+	}
+	two := KHopNeighborhood(g, 0, 2)
+	if len(two) < len(one) {
+		t.Fatal("2-hop smaller than 1-hop")
+	}
+}
+
+func TestPathPoolClosestOverlap(t *testing.T) {
+	g := Internet2()
+	r := g.ShortestPaths()
+	pool := NewPathPool(r)
+	if pool.Size() != 11*10 {
+		t.Fatalf("pool size %d, want 110", pool.Size())
+	}
+	fwd := r.Path(0, 10)
+	// Target 1 should find the path itself (overlap exactly 1).
+	_, ov := pool.ClosestOverlap(fwd, 1)
+	if ov != 1 {
+		t.Fatalf("overlap at target 1 = %g", ov)
+	}
+	// Target 0 should find a low-overlap path.
+	_, ov = pool.ClosestOverlap(fwd, 0)
+	if ov > 0.5 {
+		t.Fatalf("overlap at target 0 = %g, expected small", ov)
+	}
+	levels := pool.OverlapLevels(fwd)
+	if len(levels) < 2 || levels[0] > levels[len(levels)-1] {
+		t.Fatalf("overlap levels malformed: %v", levels)
+	}
+}
+
+func TestGenerateAsymmetric(t *testing.T) {
+	g := Internet2()
+	r := g.ShortestPaths()
+	pool := NewPathPool(r)
+	lowRng := rand.New(rand.NewSource(1))
+	highRng := rand.New(rand.NewSource(1))
+	low := GenerateAsymmetric(r, pool, 0.1, lowRng)
+	high := GenerateAsymmetric(r, pool, 0.9, highRng)
+	if len(low.Pairs) != 110 || len(low.Fwd) != 110 || len(low.Rev) != 110 {
+		t.Fatalf("config sizes wrong: %d", len(low.Pairs))
+	}
+	if low.MeanOverlap >= high.MeanOverlap {
+		t.Fatalf("mean overlap should grow with θ: %.3f vs %.3f", low.MeanOverlap, high.MeanOverlap)
+	}
+	// Forward paths are the shortest paths.
+	for i, pr := range low.Pairs {
+		want := r.Path(pr[0], pr[1])
+		if low.Fwd[i].Len() != want.Len() {
+			t.Fatal("forward path is not the shortest path")
+		}
+	}
+}
+
+func TestAddLinkPanics(t *testing.T) {
+	g := New("t")
+	a := g.AddNode("a", 1)
+	b := g.AddNode("b", 1)
+	g.AddLink(a, b)
+	for _, f := range []func(){
+		func() { g.AddLink(a, a) },
+		func() { g.AddLink(a, b) },
+		func() { g.AddLink(a, 99) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatal("want panic")
+				}
+			}()
+			f()
+		}()
+	}
+}
+
+func TestConnected(t *testing.T) {
+	g := New("d")
+	g.AddNode("a", 1)
+	g.AddNode("b", 1)
+	if g.Connected() {
+		t.Fatal("two isolated nodes are not connected")
+	}
+	if New("empty").Connected() {
+		t.Fatal("empty graph is not connected")
+	}
+}

@@ -1,0 +1,183 @@
+// Package traffic synthesizes traffic matrices for PoP-level topologies
+// using the gravity model the paper adopts (Roughan's recipe, driven by
+// city populations), and generates temporally varying matrices for the
+// robustness evaluation (§8.2, Fig 15).
+package traffic
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"sort"
+
+	"nwids/internal/topology"
+)
+
+// BaseSessionsInternet2 is the paper's calibration point: 8 million
+// sessions on the 11-PoP Internet2 topology, scaled linearly in PoP count
+// for the other topologies (§8.2).
+const BaseSessionsInternet2 = 8e6
+
+// Matrix is an origin-destination traffic matrix in sessions per epoch.
+// Sessions[a][b] is the volume from PoP a to PoP b; the diagonal is zero.
+type Matrix struct {
+	N        int
+	Sessions [][]float64
+}
+
+// NewMatrix returns an all-zero N×N matrix.
+func NewMatrix(n int) *Matrix {
+	m := &Matrix{N: n, Sessions: make([][]float64, n)}
+	for i := range m.Sessions {
+		m.Sessions[i] = make([]float64, n)
+	}
+	return m
+}
+
+// Volume returns the session volume from a to b.
+func (m *Matrix) Volume(a, b int) float64 { return m.Sessions[a][b] }
+
+// Total returns the total session volume.
+func (m *Matrix) Total() float64 {
+	var t float64
+	for _, row := range m.Sessions {
+		for _, v := range row {
+			t += v
+		}
+	}
+	return t
+}
+
+// Scale multiplies every element by f and returns the receiver.
+func (m *Matrix) Scale(f float64) *Matrix {
+	for _, row := range m.Sessions {
+		for j := range row {
+			row[j] *= f
+		}
+	}
+	return m
+}
+
+// Clone returns a deep copy.
+func (m *Matrix) Clone() *Matrix {
+	c := NewMatrix(m.N)
+	for i := range m.Sessions {
+		copy(c.Sessions[i], m.Sessions[i])
+	}
+	return c
+}
+
+// TotalSessionsFor scales the paper's Internet2 calibration (8M sessions at
+// 11 PoPs) linearly to a topology with n PoPs.
+func TotalSessionsFor(n int) float64 {
+	return BaseSessionsInternet2 * float64(n) / 11.0
+}
+
+// Gravity builds a traffic matrix for g using the gravity model: the volume
+// from a to b is proportional to Population(a)·Population(b), normalized so
+// the matrix total equals totalSessions. The diagonal is zero.
+func Gravity(g *topology.Graph, totalSessions float64) *Matrix {
+	n := g.NumNodes()
+	m := NewMatrix(n)
+	var norm float64
+	for a := 0; a < n; a++ {
+		for b := 0; b < n; b++ {
+			if a == b {
+				continue
+			}
+			w := g.Node(a).Population * g.Node(b).Population
+			m.Sessions[a][b] = w
+			norm += w
+		}
+	}
+	if norm == 0 {
+		return m
+	}
+	return m.Scale(totalSessions / norm)
+}
+
+// GravityDefault builds the default evaluation matrix for g: gravity model
+// with the paper's session scaling.
+func GravityDefault(g *topology.Graph) *Matrix {
+	return Gravity(g, TotalSessionsFor(g.NumNodes()))
+}
+
+// VariabilityModel generates time-varying traffic matrices. Each element of
+// the base matrix is scaled by an independent lognormal factor with median 1
+// and the given log-standard deviation, a stand-in for the empirical CDFs
+// the paper derives from the Internet2 TM archive (which is offline); see
+// DESIGN.md for the substitution rationale.
+type VariabilityModel struct {
+	// Sigma is the standard deviation of the log factor (default 0.5).
+	Sigma float64
+}
+
+// Generate produces count matrices derived from base. The generation is
+// deterministic for a given rng state.
+func (vm VariabilityModel) Generate(rng *rand.Rand, base *Matrix, count int) []*Matrix {
+	sigma := vm.Sigma
+	if sigma == 0 {
+		sigma = 0.5
+	}
+	out := make([]*Matrix, count)
+	for k := 0; k < count; k++ {
+		m := base.Clone()
+		for i := range m.Sessions {
+			for j := range m.Sessions[i] {
+				if i == j || m.Sessions[i][j] == 0 {
+					continue
+				}
+				m.Sessions[i][j] *= math.Exp(rng.NormFloat64() * sigma)
+			}
+		}
+		out[k] = m
+	}
+	return out
+}
+
+// String renders a compact summary.
+func (m *Matrix) String() string {
+	return fmt.Sprintf("traffic.Matrix{%d PoPs, %.3g sessions}", m.N, m.Total())
+}
+
+// PercentileMatrix returns the element-wise q-quantile across the given
+// matrices. Provisioning against a high percentile (e.g. 0.8) instead of
+// the mean is the paper's suggested "slack" for absorbing sudden traffic
+// shifts (§9, Robustness to dynamics).
+func PercentileMatrix(tms []*Matrix, q float64) *Matrix {
+	if len(tms) == 0 {
+		panic("traffic: PercentileMatrix of no matrices")
+	}
+	n := tms[0].N
+	out := NewMatrix(n)
+	vals := make([]float64, len(tms))
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			for k, tm := range tms {
+				vals[k] = tm.Sessions[i][j]
+			}
+			out.Sessions[i][j] = quantile(vals, q)
+		}
+	}
+	return out
+}
+
+// quantile computes the q-quantile of xs by linear interpolation without
+// mutating xs.
+func quantile(xs []float64, q float64) float64 {
+	s := append([]float64(nil), xs...)
+	sort.Float64s(s)
+	if q <= 0 {
+		return s[0]
+	}
+	if q >= 1 {
+		return s[len(s)-1]
+	}
+	pos := q * float64(len(s)-1)
+	lo := int(pos)
+	frac := pos - float64(lo)
+	if lo+1 >= len(s) {
+		return s[len(s)-1]
+	}
+	return s[lo]*(1-frac) + s[lo+1]*frac
+}

@@ -1,0 +1,184 @@
+package traffic
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"nwids/internal/topology"
+)
+
+func TestGravityTotals(t *testing.T) {
+	g := topology.Internet2()
+	m := Gravity(g, 8e6)
+	if d := math.Abs(m.Total() - 8e6); d > 1 {
+		t.Fatalf("total = %g, want 8e6", m.Total())
+	}
+	for i := 0; i < m.N; i++ {
+		if m.Sessions[i][i] != 0 {
+			t.Fatalf("diagonal element %d nonzero", i)
+		}
+	}
+}
+
+func TestGravityProportionality(t *testing.T) {
+	g := topology.Internet2()
+	m := Gravity(g, 1e6)
+	// Volume ratio between two pairs must equal the population-product ratio.
+	v01 := m.Volume(0, 1)
+	v23 := m.Volume(2, 3)
+	w01 := g.Node(0).Population * g.Node(1).Population
+	w23 := g.Node(2).Population * g.Node(3).Population
+	if math.Abs(v01/v23-w01/w23) > 1e-9 {
+		t.Fatalf("gravity ratios broken: %g vs %g", v01/v23, w01/w23)
+	}
+	// Gravity matrices from populations are symmetric in volume.
+	for a := 0; a < m.N; a++ {
+		for b := 0; b < m.N; b++ {
+			if math.Abs(m.Volume(a, b)-m.Volume(b, a)) > 1e-9 {
+				t.Fatalf("gravity should be symmetric for product weights")
+			}
+		}
+	}
+}
+
+func TestTotalSessionsFor(t *testing.T) {
+	if got := TotalSessionsFor(11); got != 8e6 {
+		t.Fatalf("TotalSessionsFor(11) = %g", got)
+	}
+	if got := TotalSessionsFor(22); got != 16e6 {
+		t.Fatalf("TotalSessionsFor(22) = %g", got)
+	}
+}
+
+func TestGravityDefaultScaling(t *testing.T) {
+	for _, g := range topology.Evaluation() {
+		m := GravityDefault(g)
+		want := TotalSessionsFor(g.NumNodes())
+		if math.Abs(m.Total()-want) > want*1e-9 {
+			t.Fatalf("%s: total %g, want %g", g.Name(), m.Total(), want)
+		}
+	}
+}
+
+// Property: gravity totals are preserved for arbitrary positive targets.
+func TestGravityTotalProperty(t *testing.T) {
+	g := topology.Geant()
+	f := func(raw uint32) bool {
+		total := 1 + float64(raw%1000000)
+		m := Gravity(g, total)
+		return math.Abs(m.Total()-total) < total*1e-9+1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCloneAndScale(t *testing.T) {
+	g := topology.Internet2()
+	m := Gravity(g, 100)
+	c := m.Clone()
+	c.Scale(2)
+	if math.Abs(c.Total()-200) > 1e-9 {
+		t.Fatalf("scaled total = %g", c.Total())
+	}
+	if math.Abs(m.Total()-100) > 1e-9 {
+		t.Fatalf("clone mutated the original: %g", m.Total())
+	}
+}
+
+func TestVariabilityGenerate(t *testing.T) {
+	g := topology.Internet2()
+	base := Gravity(g, 1e6)
+	rng := rand.New(rand.NewSource(5))
+	tms := VariabilityModel{Sigma: 0.5}.Generate(rng, base, 100)
+	if len(tms) != 100 {
+		t.Fatalf("got %d matrices", len(tms))
+	}
+	// Deterministic for the same seed.
+	rng2 := rand.New(rand.NewSource(5))
+	tms2 := VariabilityModel{Sigma: 0.5}.Generate(rng2, base, 100)
+	if tms[0].Volume(0, 1) != tms2[0].Volume(0, 1) {
+		t.Fatal("generation is not deterministic")
+	}
+	// Totals vary around the base total; median factor is 1, so the spread
+	// must straddle the base total.
+	lower, higher := 0, 0
+	for _, m := range tms {
+		if m.Total() < base.Total() {
+			lower++
+		} else {
+			higher++
+		}
+	}
+	if lower == 0 || higher == 0 {
+		t.Fatalf("variability one-sided: %d below, %d above", lower, higher)
+	}
+	// Zero elements stay zero.
+	for _, m := range tms {
+		for i := 0; i < m.N; i++ {
+			if m.Sessions[i][i] != 0 {
+				t.Fatal("diagonal became nonzero")
+			}
+		}
+	}
+}
+
+func TestVariabilityDefaultSigma(t *testing.T) {
+	g := topology.Internet2()
+	base := Gravity(g, 1e6)
+	rng := rand.New(rand.NewSource(1))
+	tms := VariabilityModel{}.Generate(rng, base, 1)
+	if tms[0].Volume(0, 1) == base.Volume(0, 1) {
+		t.Fatal("default sigma should perturb elements")
+	}
+}
+
+func TestMatrixString(t *testing.T) {
+	m := NewMatrix(3)
+	if m.String() == "" {
+		t.Fatal("empty String")
+	}
+}
+
+func TestPercentileMatrix(t *testing.T) {
+	g := topology.Internet2()
+	base := Gravity(g, 1e6)
+	rng := rand.New(rand.NewSource(21))
+	tms := VariabilityModel{Sigma: 0.5}.Generate(rng, base, 60)
+	p50 := PercentileMatrix(tms, 0.5)
+	p80 := PercentileMatrix(tms, 0.8)
+	p100 := PercentileMatrix(tms, 1)
+	// Quantiles are monotone element-wise.
+	for i := 0; i < p50.N; i++ {
+		for j := 0; j < p50.N; j++ {
+			if p50.Sessions[i][j] > p80.Sessions[i][j]+1e-9 || p80.Sessions[i][j] > p100.Sessions[i][j]+1e-9 {
+				t.Fatalf("quantiles not monotone at (%d,%d)", i, j)
+			}
+		}
+	}
+	// The max matrix dominates every sample.
+	for _, tm := range tms {
+		for i := 0; i < tm.N; i++ {
+			for j := 0; j < tm.N; j++ {
+				if tm.Sessions[i][j] > p100.Sessions[i][j]+1e-9 {
+					t.Fatal("p100 must dominate all samples")
+				}
+			}
+		}
+	}
+	// Lognormal with median 1: the 50th percentile sits near the base.
+	if p50.Total() < 0.8*base.Total() || p50.Total() > 1.2*base.Total() {
+		t.Fatalf("p50 total %g vs base %g", p50.Total(), base.Total())
+	}
+}
+
+func TestPercentileMatrixPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("want panic for empty input")
+		}
+	}()
+	PercentileMatrix(nil, 0.5)
+}

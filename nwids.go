@@ -1,0 +1,230 @@
+// Package nwids is a from-scratch reproduction of "New Opportunities for
+// Load Balancing in Network-Wide Intrusion Detection Systems" (Heorhiadi,
+// Reiter, Sekar — CoNEXT 2012): a network-wide NIDS controller that assigns
+// processing, replication and aggregation responsibilities across a
+// topology by solving linear programs, plus the substrates the paper's
+// evaluation needs — an LP solver, PoP-level topologies, gravity traffic
+// matrices, a signature/scan NIDS engine, the hash-range shim layer, and an
+// Emulab-style emulation.
+//
+// The package is a facade over the internal packages; see DESIGN.md for the
+// system inventory and EXPERIMENTS.md for the paper-vs-measured record.
+//
+// Quickstart:
+//
+//	g := nwids.Internet2()
+//	sc := nwids.DefaultScenario(g)
+//	a, err := nwids.SolveReplication(sc, nwids.ReplicationConfig{
+//		Mirror: nwids.MirrorDCOnly, MaxLinkLoad: 0.4, DCCapacity: 10,
+//	})
+//	fmt.Println(a.MaxLoad()) // ≈ 0.1, vs 1.0 for today's ingress-only
+package nwids
+
+import (
+	"nwids/internal/core"
+	"nwids/internal/emulation"
+	"nwids/internal/nids"
+	"nwids/internal/shim"
+	"nwids/internal/topology"
+	"nwids/internal/traffic"
+)
+
+// Topology modeling.
+type (
+	// Graph is a PoP-level topology.
+	Graph = topology.Graph
+	// Path is a routed path through a Graph.
+	Path = topology.Path
+	// Routing holds all-pairs symmetric shortest paths.
+	Routing = topology.Routing
+	// AsymmetricRoutes emulates hot-potato routing asymmetry (§5, §8.3).
+	AsymmetricRoutes = topology.AsymmetricRoutes
+	// PathPool supplies candidate reverse paths by target overlap.
+	PathPool = topology.PathPool
+)
+
+// Built-in evaluation topologies (Table 1).
+var (
+	Internet2          = topology.Internet2
+	Geant              = topology.Geant
+	Enterprise         = topology.Enterprise
+	RocketfuelLike     = topology.RocketfuelLike
+	Topologies         = topology.Evaluation
+	TopologyByName     = topology.ByName
+	NewGraph           = topology.New
+	NewPathPool        = topology.NewPathPool
+	GenerateAsymmetric = topology.GenerateAsymmetric
+	Jaccard            = topology.Jaccard
+	JaccardLinks       = topology.JaccardLinks
+)
+
+// Traffic synthesis.
+type (
+	// TrafficMatrix is an origin-destination session-volume matrix.
+	TrafficMatrix = traffic.Matrix
+	// VariabilityModel generates time-varying matrices (Fig 15).
+	VariabilityModel = traffic.VariabilityModel
+)
+
+// Gravity-model constructors.
+var (
+	Gravity          = traffic.Gravity
+	GravityDefault   = traffic.GravityDefault
+	NewMatrix        = traffic.NewMatrix
+	PercentileMatrix = traffic.PercentileMatrix
+)
+
+// Controller: scenarios, formulations, architectures.
+type (
+	// Scenario is the controller's network view (§3).
+	Scenario = core.Scenario
+	// ScenarioOptions configure scenario construction.
+	ScenarioOptions = core.ScenarioOptions
+	// Class is one traffic class.
+	Class = core.Class
+	// ReplicationConfig parameterizes the replication LP (§4).
+	ReplicationConfig = core.ReplicationConfig
+	// MirrorPolicy selects mirror sets M_j.
+	MirrorPolicy = core.MirrorPolicy
+	// Assignment is the controller's output.
+	Assignment = core.Assignment
+	// ActionFrac is one fractional processing action.
+	ActionFrac = core.ActionFrac
+	// AggregationConfig parameterizes the aggregation LP (§6).
+	AggregationConfig = core.AggregationConfig
+	// AggregationResult carries its outcome.
+	AggregationResult = core.AggregationResult
+	// SplitConfig parameterizes the split-traffic LP (§5).
+	SplitConfig = core.SplitConfig
+	// SplitResult carries its outcome.
+	SplitResult = core.SplitResult
+	// SplitClass is a class under routing asymmetry.
+	SplitClass = core.SplitClass
+	// PlacementStrategy names a DC placement heuristic (§8.2).
+	PlacementStrategy = core.PlacementStrategy
+	// SoftLinkConfig parameterizes the piecewise-linear link-cost variant
+	// (§4 Extensions).
+	SoftLinkConfig = core.SoftLinkConfig
+	// SoftLinkResult carries its outcome.
+	SoftLinkResult = core.SoftLinkResult
+	// LinkCostFunction is a convex piecewise-linear utilization penalty.
+	LinkCostFunction = core.LinkCostFunction
+	// NIPSConfig parameterizes the §9 rerouting (intrusion prevention)
+	// extension with latency budgets.
+	NIPSConfig = core.NIPSConfig
+	// NIPSResult carries its outcome.
+	NIPSResult = core.NIPSResult
+)
+
+// Mirror policies (§4).
+const (
+	MirrorNone         = core.MirrorNone
+	MirrorDCOnly       = core.MirrorDCOnly
+	MirrorOneHop       = core.MirrorOneHop
+	MirrorTwoHop       = core.MirrorTwoHop
+	MirrorDCPlusOneHop = core.MirrorDCPlusOneHop
+)
+
+// Placement strategies (§8.2).
+const (
+	PlaceMostOriginating = core.PlaceMostOriginating
+	PlaceMostObserving   = core.PlaceMostObserving
+	PlaceMostPaths       = core.PlaceMostPaths
+	PlaceMedoid          = core.PlaceMedoid
+)
+
+// Controller entry points.
+var (
+	NewScenario              = core.NewScenario
+	SolveReplication         = core.SolveReplication
+	SolveAggregation         = core.SolveAggregation
+	SolveSplit               = core.SolveSplit
+	SolveReplicationSoftLink = core.SolveReplicationSoftLink
+	SolveNIPS                = core.SolveNIPS
+	BuildSplitClasses        = core.BuildSplitClasses
+	IngressSplit             = core.IngressSplit
+	IngressOnly              = core.Ingress
+	IngressAggregation       = core.IngressAggregation
+	Place                    = core.Place
+	DCPlacement              = core.DCPlacement
+	FortzThorupCost          = core.FortzThorupCost
+	BuildReplicationProblem  = core.BuildReplicationProblem
+)
+
+// DefaultScenario builds the paper's default evaluation scenario for a
+// topology: gravity traffic at 8M sessions per 11 PoPs and calibrated
+// capacities (§8.2).
+func DefaultScenario(g *Graph) *Scenario {
+	return core.NewScenario(g, traffic.GravityDefault(g), core.ScenarioOptions{})
+}
+
+// NIDS engine.
+type (
+	// Rule is a payload signature.
+	Rule = nids.Rule
+	// Engine is a single NIDS instance (signature + scan + flow table).
+	Engine = nids.Engine
+	// Matcher is the Aho-Corasick automaton.
+	Matcher = nids.Matcher
+	// ScanDetector counts distinct destinations per source.
+	ScanDetector = nids.ScanDetector
+)
+
+// NIDS constructors.
+var (
+	DefaultRules    = nids.DefaultRules
+	NewEngine       = nids.NewEngine
+	NewMatcher      = nids.NewMatcher
+	NewScanDetector = nids.NewScanDetector
+)
+
+// Shim layer (§7).
+type (
+	// ShimConfig is one node's hash-range configuration.
+	ShimConfig = shim.Config
+	// Shim executes a config per packet.
+	Shim = shim.Shim
+)
+
+// Shim entry points.
+var (
+	CompileShimConfigs = shim.CompileConfigs
+	NewShim            = shim.New
+	HashTuple          = shim.HashTuple
+	HashFraction       = shim.HashFraction
+	// MergeShimConfigs builds §9 transition configurations honoring both
+	// the previous and the next assignment during reconfiguration.
+	MergeShimConfigs = shim.MergeConfigs
+)
+
+// Emulation (§8.1).
+type (
+	// EmulationConfig parameterizes an Emulab-style run.
+	EmulationConfig = emulation.Config
+	// EmulationResult holds per-node work and detection statistics.
+	EmulationResult = emulation.Result
+)
+
+// Emulate runs the emulation.
+var Emulate = emulation.Run
+
+// Distributed scan detection over an aggregation assignment (§7.3).
+type (
+	// ScanEmulationConfig parameterizes an end-to-end distributed
+	// scan-detection run.
+	ScanEmulationConfig = emulation.ScanConfig
+	// ScanEmulationResult carries alerts, the centralized oracle's
+	// verdicts, and the byte-hop report cost.
+	ScanEmulationResult = emulation.ScanResult
+)
+
+// EmulateScan runs distributed scan detection.
+var EmulateScan = emulation.RunScan
+
+// Topology file format.
+var (
+	// ParseTopology reads the plain-text topology format.
+	ParseTopology = topology.Parse
+	// FormatTopology writes it.
+	FormatTopology = topology.Format
+)
