@@ -1,6 +1,44 @@
 package nwids_test
 
-import "nwids/internal/packet"
+import (
+	"fmt"
+	"os"
+	"testing"
+
+	"nwids/internal/obs"
+	"nwids/internal/packet"
+)
+
+// benchReg collects per-benchmark timing distributions so a bench run can
+// leave the same machine-readable artifact as the cmd binaries' -metrics
+// flag.
+var benchReg = obs.NewRegistry()
+
+// TestMain writes the collected benchmark metrics through the obs JSON
+// exporter when BENCH_METRICS names an output file:
+//
+//	BENCH_METRICS=bench.json go test -bench=. -run=^$ .
+func TestMain(m *testing.M) {
+	code := m.Run()
+	if path := os.Getenv("BENCH_METRICS"); path != "" && code == 0 {
+		if err := benchReg.WriteJSONFile(path, map[string]any{"run": "bench"}); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			code = 1
+		}
+	}
+	os.Exit(code)
+}
+
+// benchRecord folds a benchmark invocation's per-op wall time into the
+// shared registry under bench.<name>.sec_per_op. Defer it at the top of a
+// benchmark body (calibration passes contribute too, so the histogram shows
+// the spread, not just the final N).
+func benchRecord(b *testing.B) {
+	if b.N > 0 {
+		benchReg.Histogram("bench." + b.Name() + ".sec_per_op").
+			Observe(b.Elapsed().Seconds() / float64(b.N))
+	}
+}
 
 // newBenchPacketGen returns a generator of realistic packets spanning many
 // classes for the shim-throughput benchmark.

@@ -24,8 +24,10 @@ func benchOpts() experiments.Options {
 // BenchmarkTable1 measures the replication-LP solve time per topology at
 // full evaluation scale — the quantity reported in Table 1.
 func BenchmarkTable1(b *testing.B) {
+	defer benchRecord(b)
 	for _, name := range topology.EvaluationNames() {
 		b.Run(name+"/replication", func(b *testing.B) {
+			defer benchRecord(b)
 			g := topology.ByName(name)
 			s := core.NewScenario(g, traffic.GravityDefault(g), core.ScenarioOptions{})
 			b.ResetTimer()
@@ -38,6 +40,7 @@ func BenchmarkTable1(b *testing.B) {
 			}
 		})
 		b.Run(name+"/aggregation", func(b *testing.B) {
+			defer benchRecord(b)
 			g := topology.ByName(name)
 			s := core.NewScenario(g, traffic.GravityDefault(g), core.ScenarioOptions{})
 			b.ResetTimer()
@@ -53,6 +56,7 @@ func BenchmarkTable1(b *testing.B) {
 // BenchmarkFig10 runs the Emulab-style emulation comparison (per-node work
 // with and without replication).
 func BenchmarkFig10(b *testing.B) {
+	defer benchRecord(b)
 	for i := 0; i < b.N; i++ {
 		r, err := experiments.Fig10(experiments.Options{Quick: true})
 		if err != nil {
@@ -66,6 +70,7 @@ func BenchmarkFig10(b *testing.B) {
 
 // BenchmarkFig11 sweeps MaxLinkLoad (max compute load vs allowed link load).
 func BenchmarkFig11(b *testing.B) {
+	defer benchRecord(b)
 	for i := 0; i < b.N; i++ {
 		if _, err := experiments.Fig11(benchOpts()); err != nil {
 			b.Fatal(err)
@@ -75,6 +80,7 @@ func BenchmarkFig11(b *testing.B) {
 
 // BenchmarkFig12 compares DC load to interior NIDS load across configs.
 func BenchmarkFig12(b *testing.B) {
+	defer benchRecord(b)
 	for i := 0; i < b.N; i++ {
 		if _, err := experiments.Fig12(benchOpts()); err != nil {
 			b.Fatal(err)
@@ -84,6 +90,7 @@ func BenchmarkFig12(b *testing.B) {
 
 // BenchmarkFig13 compares the four NIDS architectures.
 func BenchmarkFig13(b *testing.B) {
+	defer benchRecord(b)
 	for i := 0; i < b.N; i++ {
 		if _, err := experiments.Fig13(benchOpts()); err != nil {
 			b.Fatal(err)
@@ -93,6 +100,7 @@ func BenchmarkFig13(b *testing.B) {
 
 // BenchmarkFig14 compares local one-/two-hop replication to on-path.
 func BenchmarkFig14(b *testing.B) {
+	defer benchRecord(b)
 	for i := 0; i < b.N; i++ {
 		if _, err := experiments.Fig14(benchOpts()); err != nil {
 			b.Fatal(err)
@@ -103,6 +111,7 @@ func BenchmarkFig14(b *testing.B) {
 // BenchmarkFig15 re-optimizes the architectures across varying traffic
 // matrices (peak-load distribution).
 func BenchmarkFig15(b *testing.B) {
+	defer benchRecord(b)
 	for i := 0; i < b.N; i++ {
 		if _, err := experiments.Fig15(experiments.Options{Quick: true}); err != nil {
 			b.Fatal(err)
@@ -113,6 +122,7 @@ func BenchmarkFig15(b *testing.B) {
 // BenchmarkFig16 and BenchmarkFig17 share the asymmetric-routing sweep
 // (miss rate and max load vs overlap factor).
 func BenchmarkFig16(b *testing.B) {
+	defer benchRecord(b)
 	for i := 0; i < b.N; i++ {
 		if _, err := experiments.Fig1617(experiments.Options{Quick: true}); err != nil {
 			b.Fatal(err)
@@ -123,6 +133,7 @@ func BenchmarkFig16(b *testing.B) {
 // BenchmarkFig17 is the load half of the shared sweep; kept separate so the
 // benchmark list maps one-to-one onto the paper's figures.
 func BenchmarkFig17(b *testing.B) {
+	defer benchRecord(b)
 	for i := 0; i < b.N; i++ {
 		r, err := experiments.Fig1617(experiments.Options{Quick: true})
 		if err != nil {
@@ -134,6 +145,7 @@ func BenchmarkFig17(b *testing.B) {
 
 // BenchmarkFig18 sweeps β (compute/communication tradeoff of aggregation).
 func BenchmarkFig18(b *testing.B) {
+	defer benchRecord(b)
 	for i := 0; i < b.N; i++ {
 		if _, err := experiments.Fig18(benchOpts()); err != nil {
 			b.Fatal(err)
@@ -143,6 +155,7 @@ func BenchmarkFig18(b *testing.B) {
 
 // BenchmarkFig19 compares load imbalance with and without aggregation.
 func BenchmarkFig19(b *testing.B) {
+	defer benchRecord(b)
 	for i := 0; i < b.N; i++ {
 		if _, err := experiments.Fig19(benchOpts()); err != nil {
 			b.Fatal(err)
@@ -152,6 +165,7 @@ func BenchmarkFig19(b *testing.B) {
 
 // BenchmarkPlacement compares the four DC placement strategies (§8.2).
 func BenchmarkPlacement(b *testing.B) {
+	defer benchRecord(b)
 	for i := 0; i < b.N; i++ {
 		if _, err := experiments.Placement(experiments.Options{Topologies: []string{"Internet2"}}); err != nil {
 			b.Fatal(err)
@@ -164,6 +178,7 @@ func BenchmarkPlacement(b *testing.B) {
 // up to 1 Gbps; the analogous criterion here is decisions far faster than
 // packet inter-arrival at that rate (~80k packets/s for 1500B packets).
 func BenchmarkShimThroughput(b *testing.B) {
+	defer benchRecord(b)
 	sc := nwids.DefaultScenario(nwids.Internet2())
 	a, err := nwids.SolveReplication(sc, nwids.ReplicationConfig{
 		Mirror: nwids.MirrorDCOnly, MaxLinkLoad: 0.4, DCCapacity: 10,
@@ -183,6 +198,7 @@ func BenchmarkShimThroughput(b *testing.B) {
 
 // BenchmarkEmulation measures end-to-end emulation throughput.
 func BenchmarkEmulation(b *testing.B) {
+	defer benchRecord(b)
 	sc := nwids.DefaultScenario(nwids.Internet2())
 	a, err := nwids.SolveReplication(sc, nwids.ReplicationConfig{
 		Mirror: nwids.MirrorDCOnly, MaxLinkLoad: 0.4, DCCapacity: 8,
@@ -205,6 +221,7 @@ func BenchmarkEmulation(b *testing.B) {
 // BenchmarkAblation exercises the solver design-choice comparison from
 // DESIGN.md (crash basis, λ start, refactorization interval, presolve).
 func BenchmarkAblation(b *testing.B) {
+	defer benchRecord(b)
 	for i := 0; i < b.N; i++ {
 		rows, err := experiments.Ablation(experiments.Options{Topologies: []string{"Internet2"}})
 		if err != nil {
@@ -218,6 +235,7 @@ func BenchmarkAblation(b *testing.B) {
 
 // BenchmarkRobustness exercises the §9 slack-provisioning comparison.
 func BenchmarkRobustness(b *testing.B) {
+	defer benchRecord(b)
 	for i := 0; i < b.N; i++ {
 		if _, err := experiments.Robustness(experiments.Options{Quick: true}); err != nil {
 			b.Fatal(err)
@@ -227,6 +245,7 @@ func BenchmarkRobustness(b *testing.B) {
 
 // BenchmarkScanAggregation runs end-to-end distributed scan detection.
 func BenchmarkScanAggregation(b *testing.B) {
+	defer benchRecord(b)
 	sc := nwids.DefaultScenario(nwids.Internet2())
 	agg, err := nwids.SolveAggregation(sc, nwids.AggregationConfig{Beta: 1})
 	if err != nil {

@@ -2,7 +2,9 @@
 // a replication assignment for a topology, compiles shim configurations,
 // replays a generated session trace through the network, and prints per-
 // node work units, shim counters and detection results. With -live,
-// replication uses real TCP tunnels on the loopback interface.
+// replication uses real TCP tunnels on the loopback interface. With
+// -metrics, the run leaves a machine-readable JSON artifact (per-node work
+// histograms, shim dispatch counters, tunnel bytes, solver stats).
 package main
 
 import (
@@ -14,6 +16,7 @@ import (
 	"nwids/internal/core"
 	"nwids/internal/emulation"
 	"nwids/internal/metrics"
+	"nwids/internal/obs"
 	"nwids/internal/topology"
 )
 
@@ -25,13 +28,29 @@ func main() {
 	live := flag.Bool("live", false, "replicate over real TCP tunnels")
 	seed := flag.Int64("seed", 1, "trace generation seed")
 	saveTrace := flag.String("save-trace", "", "also write the generated session trace to this file")
+	verbose := flag.Bool("v", false, "log progress (JSONL on stderr)")
+	metricsOut := flag.String("metrics", "", "write run metrics to this JSON file")
+	cpuProfile := flag.String("cpuprofile", "", "write a CPU profile to this file")
+	memProfile := flag.String("memprofile", "", "write a heap profile to this file")
 	flag.Parse()
+
+	level := obs.LevelWarn
+	if *verbose {
+		level = obs.LevelDebug
+	}
+	log := obs.NewLogger(os.Stderr, level)
+	stopProf, err := obs.StartProfiling(*cpuProfile, *memProfile)
+	if err != nil {
+		log.Error("profiling setup failed", "err", err.Error())
+		os.Exit(1)
+	}
 
 	g := topology.ByName(*topo)
 	if g == nil {
-		fmt.Fprintf(os.Stderr, "unknown topology %q\n", *topo)
+		log.Error("unknown topology", "topology", *topo)
 		os.Exit(2)
 	}
+	reg := obs.NewRegistry()
 	sc := nwids.DefaultScenario(g)
 	cfg := core.ReplicationConfig{MaxLinkLoad: *mll, DCCapacity: *dcCap, Mirror: core.MirrorDCOnly}
 	if *dcCap == 0 {
@@ -39,23 +58,26 @@ func main() {
 	}
 	a, err := core.SolveReplication(sc, cfg)
 	if err != nil {
-		fmt.Fprintln(os.Stderr, err)
+		log.Error("replication solve failed", "err", err.Error())
 		os.Exit(1)
 	}
+	log.Debug("assignment solved", "iterations", a.Iterations, "max_load", a.MaxLoad())
 
 	res, err := emulation.Run(emulation.Config{
 		Assignment:    a,
 		TotalSessions: *sessions,
 		GenSeed:       *seed,
 		Live:          *live,
+		Obs:           reg,
+		Log:           log,
 	})
 	if err != nil {
-		fmt.Fprintln(os.Stderr, err)
+		log.Error("emulation failed", "err", err.Error())
 		os.Exit(1)
 	}
 	if *saveTrace != "" {
 		if err := emulation.SaveTrace(*saveTrace, a, *sessions, *seed); err != nil {
-			fmt.Fprintln(os.Stderr, err)
+			log.Error("trace write failed", "err", err.Error())
 			os.Exit(1)
 		}
 		fmt.Printf("trace written to %s\n", *saveTrace)
@@ -79,4 +101,27 @@ func main() {
 	}
 	fmt.Print(t.String())
 	fmt.Printf("\nmax non-DC work: %d, total work: %d\n", res.MaxWorkExDC(), res.TotalWork())
+
+	if *metricsOut != "" {
+		// Fold the solver's instrumentation into the same artifact.
+		st := a.LPStats
+		reg.Counter("lp.solves").Inc()
+		reg.Counter("lp.iterations").Add(uint64(a.Iterations))
+		reg.Counter("lp.pivots.phase1").Add(uint64(st.Phase1Pivots))
+		reg.Counter("lp.pivots.phase2").Add(uint64(st.Phase2Pivots))
+		reg.Counter("lp.refactorizations").Add(uint64(st.Refactorizations))
+		reg.Timer("lp.solve").ObserveDuration(a.SolveTime)
+		meta := map[string]any{
+			"run": "emulate", "topology": g.Name(), "sessions": *sessions,
+			"live": *live, "seed": *seed, "dc": *dcCap, "mll": *mll,
+		}
+		if err := reg.WriteJSONFile(*metricsOut, meta); err != nil {
+			log.Error("metrics write failed", "err", err.Error())
+			os.Exit(1)
+		}
+		log.Info("metrics written", "path", *metricsOut)
+	}
+	if err := stopProf(); err != nil {
+		log.Error("profile write failed", "err", err.Error())
+	}
 }

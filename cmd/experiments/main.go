@@ -2,40 +2,64 @@
 //
 // Usage:
 //
-//	experiments [-quick] [-topologies a,b,c] [-seed N] <experiment>
+//	experiments [-quick] [-topologies a,b,c] [-seed N] [-metrics out.json] <experiment>
 //
 // where <experiment> is one of: table1, fig10, fig11, fig12, fig13, fig14,
 // fig15, fig16, fig17, fig18, fig19, placement, all.
+//
+// With -metrics, every run leaves a machine-readable JSON artifact
+// containing solver statistics (lp.* counters), per-node load histograms
+// (node.load) and emulation measurements (emulation.*, shim.*) — the data
+// behind the rendered tables.
 package main
 
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"strings"
 	"time"
 
 	"nwids/internal/experiments"
+	"nwids/internal/obs"
 )
 
 func main() {
 	quick := flag.Bool("quick", false, "reduced sweep densities for a fast pass")
 	topos := flag.String("topologies", "", "comma-separated topology subset (default: all eight)")
 	seed := flag.Int64("seed", 1, "random seed")
-	verbose := flag.Bool("v", false, "log progress")
+	verbose := flag.Bool("v", false, "log progress (JSONL on stderr)")
+	metricsOut := flag.String("metrics", "", "write run metrics to this JSON file")
+	cpuProfile := flag.String("cpuprofile", "", "write a CPU profile to this file")
+	memProfile := flag.String("memprofile", "", "write a heap profile to this file")
 	flag.Parse()
+
+	level := obs.LevelWarn
+	if *verbose {
+		level = obs.LevelDebug
+	}
+	log := obs.NewLogger(os.Stderr, level)
+
 	if flag.NArg() != 1 {
 		fmt.Fprintln(os.Stderr, "usage: experiments [flags] <table1|fig10|...|fig19|placement|robustness|all>")
 		flag.PrintDefaults()
 		os.Exit(2)
 	}
+	stopProf, err := obs.StartProfiling(*cpuProfile, *memProfile)
+	if err != nil {
+		log.Error("profiling setup failed", "err", err.Error())
+		os.Exit(1)
+	}
 
-	opts := experiments.Options{Quick: *quick, Seed: *seed}
+	opts := experiments.Options{Quick: *quick, Seed: *seed, Logf: log.Logf(obs.LevelDebug)}
 	if *topos != "" {
 		opts.Topologies = strings.Split(*topos, ",")
 	}
-	if *verbose {
-		opts.Logf = func(f string, a ...any) { fmt.Fprintf(os.Stderr, f+"\n", a...) }
+	var reg *obs.Registry
+	if *metricsOut != "" {
+		reg = obs.NewRegistry()
+		opts.Obs = reg
 	}
 
 	which := flag.Arg(0)
@@ -43,15 +67,45 @@ func main() {
 	if which == "all" {
 		names = []string{"table1", "fig10", "fig11", "fig12", "fig13", "fig14", "fig15", "fig16", "fig17", "fig18", "fig19", "placement", "robustness"}
 	}
+	if err := runAll(names, opts, os.Stdout, log); err != nil {
+		log.Error("experiment failed", "err", err.Error())
+		os.Exit(1)
+	}
+	if *metricsOut != "" {
+		meta := map[string]any{
+			"run":         "experiments",
+			"experiments": names,
+			"seed":        *seed,
+			"quick":       *quick,
+			"started":     time.Now().UTC().Format(time.RFC3339),
+		}
+		if err := reg.WriteJSONFile(*metricsOut, meta); err != nil {
+			log.Error("metrics write failed", "err", err.Error())
+			os.Exit(1)
+		}
+		log.Info("metrics written", "path", *metricsOut, "instruments", len(reg.Names()))
+	}
+	if err := stopProf(); err != nil {
+		log.Error("profile write failed", "err", err.Error())
+	}
+}
+
+// runAll executes the named experiments in order, printing each rendering
+// to w. Per-experiment wall time is recorded into opts.Obs under
+// experiment.<name>.
+func runAll(names []string, opts experiments.Options, w io.Writer, log *obs.Logger) error {
 	for _, name := range names {
 		start := time.Now()
 		out, err := run(name, opts)
 		if err != nil {
-			fmt.Fprintf(os.Stderr, "%s: %v\n", name, err)
-			os.Exit(1)
+			return fmt.Errorf("%s: %w", name, err)
 		}
-		fmt.Printf("== %s (%v) ==\n%s\n", name, time.Since(start).Round(time.Millisecond), out)
+		elapsed := time.Since(start)
+		opts.Obs.Timer("experiment." + name).ObserveDuration(elapsed)
+		log.Debug("experiment done", "name", name, "seconds", elapsed.Seconds())
+		fmt.Fprintf(w, "== %s (%v) ==\n%s\n", name, elapsed.Round(time.Millisecond), out)
 	}
+	return nil
 }
 
 func run(name string, opts experiments.Options) (string, error) {

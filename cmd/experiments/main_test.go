@@ -1,0 +1,81 @@
+package main
+
+import (
+	"encoding/json"
+	"io"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"nwids/internal/experiments"
+	"nwids/internal/obs"
+)
+
+// TestMetricsArtifact runs the same path `experiments -metrics out.json`
+// uses — a quick table1 + fig10 pass with a live registry — and checks the
+// written artifact parses and carries the expected schema: solver stats
+// under lp.*, per-node load and emulated work histograms.
+func TestMetricsArtifact(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs a quick emulation")
+	}
+	reg := obs.NewRegistry()
+	opts := experiments.Options{
+		Quick:      true,
+		Seed:       1,
+		Topologies: []string{"Internet2"},
+		Obs:        reg,
+	}
+	if err := runAll([]string{"table1", "fig10"}, opts, io.Discard, nil); err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "out.json")
+	if err := reg.WriteJSONFile(path, map[string]any{"run": "test"}); err != nil {
+		t.Fatal(err)
+	}
+
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var snap obs.RegistrySnapshot
+	if err := json.Unmarshal(data, &snap); err != nil {
+		t.Fatalf("metrics artifact is not valid JSON: %v", err)
+	}
+	if snap.Schema != obs.Schema {
+		t.Errorf("schema = %q, want %q", snap.Schema, obs.Schema)
+	}
+
+	// Solver stats: table1 and fig10 together solve several LPs. The
+	// formulations start from a feasible crash basis, so phase-1 pivots are
+	// legitimately zero — those counters must still be exported.
+	for _, key := range []string{"lp.solves", "lp.iterations", "lp.pivots.phase2", "lp.refactorizations"} {
+		if snap.Counters[key] == 0 {
+			t.Errorf("counter %q missing or zero (counters: %v)", key, snap.Counters)
+		}
+	}
+	for _, key := range []string{"lp.pivots.phase1", "lp.degenerate_steps", "lp.bland_activations", "lp.bound_flips"} {
+		if _, ok := snap.Counters[key]; !ok {
+			t.Errorf("counter %q not exported", key)
+		}
+	}
+
+	// Per-node load from the optimizer and per-node work from the emulation.
+	if h := snap.Histograms["node.load"]; h.Count == 0 || h.Max <= 0 {
+		t.Errorf("node.load histogram empty: %+v", h)
+	}
+	if h := snap.Histograms["emulation.node.work_units"]; h.Count == 0 || h.Max <= 0 {
+		t.Errorf("emulation.node.work_units histogram empty: %+v", h)
+	}
+	for _, key := range []string{"shim.seen", "shim.processed", "emulation.sessions"} {
+		if snap.Counters[key] == 0 {
+			t.Errorf("counter %q missing or zero", key)
+		}
+	}
+	if ts := snap.Timers["lp.solve"]; ts.Count == 0 {
+		t.Error("lp.solve timer has no observations")
+	}
+	if ts := snap.Timers["experiment.table1"]; ts.Count != 1 {
+		t.Errorf("experiment.table1 timer count = %d, want 1", ts.Count)
+	}
+}

@@ -1,11 +1,11 @@
 // Command lpsolve solves a linear program in free-format MPS using the
 // repository's sparse revised simplex — handy for inspecting the LP
-// instances the controller generates (nidsctl can be extended to dump them
-// via lp.WriteMPS) or for using the solver standalone.
+// instances the controller generates (nidsctl can dump them via -mps) or
+// for using the solver standalone.
 //
 // Usage:
 //
-//	lpsolve [-v] [-maxiter N] problem.mps
+//	lpsolve [-v] [-maxiter N] [-metrics out.json] problem.mps
 //	cat problem.mps | lpsolve -
 package main
 
@@ -16,22 +16,39 @@ import (
 	"os"
 
 	"nwids/internal/lp"
+	"nwids/internal/obs"
 )
 
 func main() {
-	verbose := flag.Bool("v", false, "log solver progress")
+	verbose := flag.Bool("v", false, "log solver progress (JSONL on stderr)")
 	maxIter := flag.Int("maxiter", 0, "iteration limit (0: automatic)")
 	printSol := flag.Bool("x", false, "print nonzero variable values")
+	metricsOut := flag.String("metrics", "", "write solve metrics to this JSON file")
+	cpuProfile := flag.String("cpuprofile", "", "write a CPU profile to this file")
+	memProfile := flag.String("memprofile", "", "write a heap profile to this file")
 	flag.Parse()
+
+	level := obs.LevelWarn
+	if *verbose {
+		level = obs.LevelDebug
+	}
+	log := obs.NewLogger(os.Stderr, level)
+
 	if flag.NArg() != 1 {
 		fmt.Fprintln(os.Stderr, "usage: lpsolve [flags] <file.mps | ->")
 		os.Exit(2)
 	}
+	stopProf, err := obs.StartProfiling(*cpuProfile, *memProfile)
+	if err != nil {
+		log.Error("profiling setup failed", "err", err.Error())
+		os.Exit(1)
+	}
+
 	var r io.Reader = os.Stdin
 	if name := flag.Arg(0); name != "-" {
 		f, err := os.Open(name)
 		if err != nil {
-			fmt.Fprintln(os.Stderr, err)
+			log.Error("open failed", "err", err.Error())
 			os.Exit(1)
 		}
 		defer f.Close()
@@ -39,20 +56,22 @@ func main() {
 	}
 	p, err := lp.ReadMPS(r)
 	if err != nil {
-		fmt.Fprintln(os.Stderr, err)
+		log.Error("MPS parse failed", "err", err.Error())
 		os.Exit(1)
 	}
-	fmt.Fprintf(os.Stderr, "%s\n", p.Stats())
-	opts := lp.Options{MaxIterations: *maxIter}
-	if *verbose {
-		opts.Logf = func(f string, a ...any) { fmt.Fprintf(os.Stderr, f+"\n", a...) }
-	}
+	log.Info("problem loaded", "stats", p.Stats())
+	opts := lp.Options{MaxIterations: *maxIter, Logf: log.Logf(obs.LevelDebug)}
 	sol := lp.Solve(p, opts)
 	fmt.Printf("status:     %v\n", sol.Status)
 	if sol.Status == lp.Optimal {
 		fmt.Printf("objective:  %.10g\n", sol.Objective)
 	}
+	st := sol.Stats
 	fmt.Printf("iterations: %d (refactorizations: %d) in %v\n", sol.Iterations, sol.Refactorizations, sol.SolveTime)
+	fmt.Printf("pivots:     phase1=%d (%v) phase2=%d (%v) flips=%d degenerate=%d\n",
+		st.Phase1Pivots, st.Phase1Time.Round(1000), st.Phase2Pivots, st.Phase2Time.Round(1000), st.BoundFlips, st.DegenerateSteps)
+	fmt.Printf("numerics:   bland-activations=%d max-eta=%d max-residual=%.3g\n",
+		st.BlandActivations, st.MaxEtaAtRefactor, st.MaxResidual)
 	if *printSol && sol.Status == lp.Optimal {
 		for j := 0; j < p.NumVars(); j++ {
 			if v := sol.X[j]; v != 0 {
@@ -60,7 +79,39 @@ func main() {
 			}
 		}
 	}
+	if *metricsOut != "" {
+		reg := obs.NewRegistry()
+		recordSolveStats(reg, sol)
+		meta := map[string]any{"run": "lpsolve", "problem": p.Name(), "status": sol.Status.String()}
+		if err := reg.WriteJSONFile(*metricsOut, meta); err != nil {
+			log.Error("metrics write failed", "err", err.Error())
+			os.Exit(1)
+		}
+		log.Info("metrics written", "path", *metricsOut)
+	}
+	if err := stopProf(); err != nil {
+		log.Error("profile write failed", "err", err.Error())
+	}
 	if sol.Status != lp.Optimal {
 		os.Exit(1)
 	}
+}
+
+// recordSolveStats exports one solution's instrumentation into a registry
+// using the same key schema as cmd/experiments.
+func recordSolveStats(reg *obs.Registry, sol *lp.Solution) {
+	st := sol.Stats
+	reg.Counter("lp.solves").Inc()
+	reg.Counter("lp.iterations").Add(uint64(sol.Iterations))
+	reg.Counter("lp.pivots.phase1").Add(uint64(st.Phase1Pivots))
+	reg.Counter("lp.pivots.phase2").Add(uint64(st.Phase2Pivots))
+	reg.Counter("lp.bound_flips").Add(uint64(st.BoundFlips))
+	reg.Counter("lp.degenerate_steps").Add(uint64(st.DegenerateSteps))
+	reg.Counter("lp.bland_activations").Add(uint64(st.BlandActivations))
+	reg.Counter("lp.refactorizations").Add(uint64(st.Refactorizations))
+	reg.Gauge("lp.max_eta_at_refactor").Max(float64(st.MaxEtaAtRefactor))
+	reg.Gauge("lp.max_residual").Max(st.MaxResidual)
+	reg.Timer("lp.solve").ObserveDuration(sol.SolveTime)
+	reg.Timer("lp.phase1").ObserveDuration(st.Phase1Time)
+	reg.Timer("lp.phase2").ObserveDuration(st.Phase2Time)
 }

@@ -20,6 +20,7 @@ import (
 	"nwids/internal/core"
 	"nwids/internal/lp"
 	"nwids/internal/metrics"
+	"nwids/internal/obs"
 	"nwids/internal/shim"
 	"nwids/internal/topology"
 )
@@ -31,28 +32,49 @@ func main() {
 	dcCap := flag.Float64("dc", 10, "datacenter capacity as a multiple of one NIDS node")
 	ranges := flag.Bool("ranges", false, "print per-node hash-range shim configurations")
 	mpsOut := flag.String("mps", "", "dump the LP instance to this file in MPS format instead of solving")
-	verbose := flag.Bool("v", false, "log solver progress")
+	verbose := flag.Bool("v", false, "log solver progress (JSONL on stderr)")
+	metricsOut := flag.String("metrics", "", "write solve metrics to this JSON file")
+	pprofAddr := flag.String("pprof", "", "serve net/http/pprof on this address (e.g. localhost:6060)")
+	cpuProfile := flag.String("cpuprofile", "", "write a CPU profile to this file")
+	memProfile := flag.String("memprofile", "", "write a heap profile to this file")
 	flag.Parse()
+
+	level := obs.LevelWarn
+	if *verbose {
+		level = obs.LevelDebug
+	}
+	log := obs.NewLogger(os.Stderr, level)
+	if *pprofAddr != "" {
+		addr, err := obs.ServePprof(*pprofAddr)
+		if err != nil {
+			log.Error("pprof server failed", "err", err.Error())
+			os.Exit(1)
+		}
+		log.Info("pprof serving", "addr", "http://"+addr+"/debug/pprof/")
+	}
+	stopProf, err := obs.StartProfiling(*cpuProfile, *memProfile)
+	if err != nil {
+		log.Error("profiling setup failed", "err", err.Error())
+		os.Exit(1)
+	}
 
 	g := topology.ByName(*topo)
 	if g == nil {
-		fmt.Fprintf(os.Stderr, "unknown topology %q; choose from %v\n", *topo, topology.EvaluationNames())
+		log.Error("unknown topology", "topology", *topo, "choices", topology.EvaluationNames())
 		os.Exit(2)
 	}
 	sc := nwids.DefaultScenario(g)
 
 	cfg := core.ReplicationConfig{MaxLinkLoad: *mll, DCCapacity: *dcCap}
-	if *verbose {
-		cfg.LP.Logf = func(f string, a ...any) { fmt.Fprintf(os.Stderr, f+"\n", a...) }
-	}
+	cfg.LP.Logf = log.Logf(obs.LevelDebug)
 	if *mpsOut != "" {
-		dumpMPS(sc, *arch, cfg, *mpsOut)
+		dumpMPS(sc, *arch, cfg, *mpsOut, log)
+		if err := stopProf(); err != nil {
+			log.Error("profile write failed", "err", err.Error())
+		}
 		return
 	}
-	var (
-		a   *core.Assignment
-		err error
-	)
+	var a *core.Assignment
 	switch *arch {
 	case "ingress":
 		a = core.Ingress(sc)
@@ -76,11 +98,11 @@ func main() {
 		cfg.ExtraNodeCapacity = *dcCap / float64(g.NumNodes())
 		a, err = core.SolveReplication(sc, cfg)
 	default:
-		fmt.Fprintf(os.Stderr, "unknown architecture %q\n", *arch)
+		log.Error("unknown architecture", "arch", *arch)
 		os.Exit(2)
 	}
 	if err != nil {
-		fmt.Fprintln(os.Stderr, err)
+		log.Error("solve failed", "err", err.Error())
 		os.Exit(1)
 	}
 
@@ -93,7 +115,40 @@ func main() {
 	fmt.Printf("max link load (incl. BG):  %.4f\n", a.MaxLinkLoad())
 	fmt.Printf("coverage error:            %.2g\n", a.CoverageError())
 	if a.Iterations > 0 {
+		st := a.LPStats
 		fmt.Printf("LP: %d iterations in %v\n", a.Iterations, a.SolveTime)
+		fmt.Printf("LP: phase1=%d pivots (%v), phase2=%d pivots (%v), %d refactorizations, max residual %.3g\n",
+			st.Phase1Pivots, st.Phase1Time.Round(1000), st.Phase2Pivots, st.Phase2Time.Round(1000),
+			st.Refactorizations, st.MaxResidual)
+	}
+	if *metricsOut != "" {
+		reg := obs.NewRegistry()
+		st := a.LPStats
+		reg.Counter("lp.solves").Inc()
+		reg.Counter("lp.iterations").Add(uint64(a.Iterations))
+		reg.Counter("lp.pivots.phase1").Add(uint64(st.Phase1Pivots))
+		reg.Counter("lp.pivots.phase2").Add(uint64(st.Phase2Pivots))
+		reg.Counter("lp.bound_flips").Add(uint64(st.BoundFlips))
+		reg.Counter("lp.degenerate_steps").Add(uint64(st.DegenerateSteps))
+		reg.Counter("lp.bland_activations").Add(uint64(st.BlandActivations))
+		reg.Counter("lp.refactorizations").Add(uint64(st.Refactorizations))
+		reg.Gauge("lp.max_eta_at_refactor").Max(float64(st.MaxEtaAtRefactor))
+		reg.Gauge("lp.max_residual").Max(st.MaxResidual)
+		reg.Timer("lp.solve").ObserveDuration(a.SolveTime)
+		loads := reg.Histogram("node.load")
+		for j := range a.NodeLoad {
+			loads.Observe(a.NodeLoad[j][0])
+		}
+		reg.Gauge("node.load.max").Max(a.MaxLoad())
+		meta := map[string]any{
+			"run": "nidsctl", "topology": g.Name(), "arch": *arch,
+			"mll": *mll, "dc": *dcCap, "status": "optimal",
+		}
+		if err := reg.WriteJSONFile(*metricsOut, meta); err != nil {
+			log.Error("metrics write failed", "err", err.Error())
+			os.Exit(1)
+		}
+		log.Info("metrics written", "path", *metricsOut)
 	}
 
 	t := metrics.NewTable("Node", "Name", "Load")
@@ -131,6 +186,9 @@ func main() {
 			}
 		}
 	}
+	if err := stopProf(); err != nil {
+		log.Error("profile write failed", "err", err.Error())
+	}
 }
 
 func suffix(r shim.RangeRule) string {
@@ -142,7 +200,7 @@ func suffix(r shim.RangeRule) string {
 
 // dumpMPS writes the selected architecture's LP instance in MPS format so
 // it can be inspected or solved standalone (see cmd/lpsolve).
-func dumpMPS(sc *core.Scenario, arch string, cfg core.ReplicationConfig, path string) {
+func dumpMPS(sc *core.Scenario, arch string, cfg core.ReplicationConfig, path string, log *obs.Logger) {
 	switch arch {
 	case "onpath":
 		cfg.Mirror = core.MirrorNone
@@ -155,22 +213,22 @@ func dumpMPS(sc *core.Scenario, arch string, cfg core.ReplicationConfig, path st
 	case "dc+onehop":
 		cfg.Mirror = core.MirrorDCPlusOneHop
 	default:
-		fmt.Fprintf(os.Stderr, "-mps supports LP-backed architectures only, not %q\n", arch)
+		log.Error("-mps supports LP-backed architectures only", "arch", arch)
 		os.Exit(2)
 	}
 	prob, _, _, err := core.BuildReplicationProblem(sc, cfg)
 	if err != nil {
-		fmt.Fprintln(os.Stderr, err)
+		log.Error("problem build failed", "err", err.Error())
 		os.Exit(1)
 	}
 	f, err := os.Create(path)
 	if err != nil {
-		fmt.Fprintln(os.Stderr, err)
+		log.Error("mps create failed", "err", err.Error())
 		os.Exit(1)
 	}
 	defer f.Close()
 	if err := lp.WriteMPS(f, prob); err != nil {
-		fmt.Fprintln(os.Stderr, err)
+		log.Error("mps write failed", "err", err.Error())
 		os.Exit(1)
 	}
 	fmt.Printf("wrote %s (%s)\n", path, prob.Stats())

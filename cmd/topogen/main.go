@@ -9,9 +9,12 @@ import (
 	"os"
 
 	"nwids/internal/metrics"
+	"nwids/internal/obs"
 	"nwids/internal/topology"
 	"nwids/internal/traffic"
 )
+
+var log *obs.Logger
 
 func main() {
 	name := flag.String("topology", "", "built-in topology to inspect (empty: list all)")
@@ -20,26 +23,35 @@ func main() {
 	links := flag.Bool("links", false, "print the link list")
 	load := flag.String("load", "", "load a topology from a file in the plain-text format")
 	save := flag.String("save", "", "write the selected topology to a file in the plain-text format")
+	verbose := flag.Bool("v", false, "log progress (JSONL on stderr)")
 	flag.Parse()
+
+	level := obs.LevelWarn
+	if *verbose {
+		level = obs.LevelDebug
+	}
+	log = obs.NewLogger(os.Stderr, level)
 
 	if *load != "" {
 		f, err := os.Open(*load)
 		if err != nil {
-			fmt.Fprintln(os.Stderr, err)
+			log.Error("topology open failed", "err", err.Error())
 			os.Exit(1)
 		}
 		g, err := topology.Parse(f)
 		f.Close()
 		if err != nil {
-			fmt.Fprintln(os.Stderr, err)
+			log.Error("topology parse failed", "path", *load, "err", err.Error())
 			os.Exit(1)
 		}
+		log.Debug("topology loaded", "path", *load, "pops", g.NumNodes(), "links", g.NumLinks())
 		maybeSave(g, *save)
 		dump(g, *links)
 		return
 	}
 	if *gen > 0 {
 		g := topology.RocketfuelLike("synthetic", *gen, *seed)
+		log.Debug("topology generated", "pops", g.NumNodes(), "links", g.NumLinks(), "seed", *seed)
 		maybeSave(g, *save)
 		dump(g, *links)
 		return
@@ -65,7 +77,7 @@ func main() {
 	}
 	g := topology.ByName(*name)
 	if g == nil {
-		fmt.Fprintf(os.Stderr, "unknown topology %q\n", *name)
+		log.Error("unknown topology", "topology", *name)
 		os.Exit(2)
 	}
 	maybeSave(g, *save)
@@ -79,12 +91,12 @@ func maybeSave(g *topology.Graph, path string) {
 	}
 	f, err := os.Create(path)
 	if err != nil {
-		fmt.Fprintln(os.Stderr, err)
+		log.Error("topology save failed", "err", err.Error())
 		os.Exit(1)
 	}
 	defer f.Close()
 	if err := topology.Format(f, g); err != nil {
-		fmt.Fprintln(os.Stderr, err)
+		log.Error("topology write failed", "err", err.Error())
 		os.Exit(1)
 	}
 	fmt.Printf("wrote %s\n", path)

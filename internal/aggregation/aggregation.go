@@ -169,7 +169,27 @@ type Aggregator struct {
 	K      int
 	counts map[uint32]int
 	dsts   map[uint32]map[uint32]struct{}
+	merges MergeStats
 }
+
+// MergeStats counts the intermediate-report messages an aggregator has
+// merged — the §3 communication picture from the aggregation point's side.
+type MergeStats struct {
+	// Reports counts AddCounts/AddTuples calls (one per node message).
+	Reports int
+	// CounterRows and TupleRows count merged rows by encoding; multiply by
+	// CounterRowBytes/TupleRowBytes for the byte volume received.
+	CounterRows int
+	TupleRows   int
+}
+
+// Bytes returns the total report bytes received.
+func (m MergeStats) Bytes() int {
+	return m.CounterRows*CounterRowBytes + m.TupleRows*TupleRowBytes
+}
+
+// Stats returns the message counters accumulated so far.
+func (a *Aggregator) Stats() MergeStats { return a.merges }
 
 // NewAggregator returns an aggregator with threshold k.
 func NewAggregator(k int) *Aggregator {
@@ -179,6 +199,8 @@ func NewAggregator(k int) *Aggregator {
 // AddCounts merges a per-source counter report by summation (sound for
 // source- and destination-level splits).
 func (a *Aggregator) AddCounts(counts []nids.SourceCount) {
+	a.merges.Reports++
+	a.merges.CounterRows += len(counts)
 	for _, sc := range counts {
 		a.counts[sc.Src] += sc.Count
 	}
@@ -186,6 +208,8 @@ func (a *Aggregator) AddCounts(counts []nids.SourceCount) {
 
 // AddTuples merges a full tuple report by set union (sound for any split).
 func (a *Aggregator) AddTuples(tuples [][2]uint32) {
+	a.merges.Reports++
+	a.merges.TupleRows += len(tuples)
 	for _, t := range tuples {
 		m, ok := a.dsts[t[0]]
 		if !ok {

@@ -115,6 +115,7 @@ func SolveAggregation(s *Scenario, cfg AggregationConfig) (*AggregationResult, e
 	a.Objective = sol.Objective
 	a.Iterations = sol.Iterations
 	a.SolveTime = sol.SolveTime
+	a.LPStats = sol.Stats
 	res := &AggregationResult{Assignment: a, Objective: sol.Objective}
 	for c := range s.Classes {
 		cl := &s.Classes[c]

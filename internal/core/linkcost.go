@@ -228,6 +228,7 @@ func SolveReplicationSoftLink(s *Scenario, cfg SoftLinkConfig) (*SoftLinkResult,
 	a.Objective = sol.Objective
 	a.Iterations = sol.Iterations
 	a.SolveTime = sol.SolveTime
+	a.LPStats = sol.Stats
 	for c := range s.Classes {
 		cl := &s.Classes[c]
 		onPath := cl.Path.NodeSet()

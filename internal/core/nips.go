@@ -204,6 +204,7 @@ func SolveNIPS(s *Scenario, cfg NIPSConfig) (*NIPSResult, error) {
 	a.Objective = sol.Objective
 	a.Iterations = sol.Iterations
 	a.SolveTime = sol.SolveTime
+	a.LPStats = sol.Stats
 	res := &NIPSResult{Assignment: a, ExtraHops: make([]float64, len(s.Classes))}
 	var weighted, total float64
 	for c := range s.Classes {

@@ -119,10 +119,12 @@ type Assignment struct {
 	// symmetric-routing formulations, which guarantee coverage).
 	MissRate float64
 	// Objective, Iterations and SolveTime describe the LP solve (zero for
-	// closed-form architectures such as ingress-only).
+	// closed-form architectures such as ingress-only); LPStats carries the
+	// solver's deep instrumentation for the same solve.
 	Objective  float64
 	Iterations int
 	SolveTime  time.Duration
+	LPStats    lp.SolveStats
 }
 
 // NumNIDS returns the number of NIDS nodes (PoPs plus DC when present).
@@ -479,6 +481,7 @@ func SolveReplication(s *Scenario, cfg ReplicationConfig) (*Assignment, error) {
 	a.Objective = sol.Objective
 	a.Iterations = sol.Iterations
 	a.SolveTime = sol.SolveTime
+	a.LPStats = sol.Stats
 	for c := range s.Classes {
 		for _, j := range s.Classes[c].Path.Nodes {
 			a.addAction(c, ActionFrac{Node: j, Via: -1, Frac: sol.Value(m.pVar[pKey{c, j}])})

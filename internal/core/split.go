@@ -110,6 +110,7 @@ type SplitResult struct {
 	Objective  float64
 	Iterations int
 	SolveTime  time.Duration
+	LPStats    lp.SolveStats
 }
 
 // IngressSplit evaluates today's ingress-only deployment under routing
@@ -298,6 +299,7 @@ func SolveSplit(s *Scenario, classes []SplitClass, cfg SplitConfig) (*SplitResul
 		Objective:  sol.Objective,
 		Iterations: sol.Iterations,
 		SolveTime:  sol.SolveTime,
+		LPStats:    sol.Stats,
 	}
 	for j := range res.NodeLoad {
 		res.NodeLoad[j] = make([]float64, nR)

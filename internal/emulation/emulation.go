@@ -17,6 +17,7 @@ import (
 
 	"nwids/internal/core"
 	"nwids/internal/nids"
+	"nwids/internal/obs"
 	"nwids/internal/packet"
 	"nwids/internal/shim"
 )
@@ -44,6 +45,12 @@ type Config struct {
 	// Live replicates over real TCP tunnels on the loopback interface
 	// instead of direct in-process delivery.
 	Live bool
+	// Obs, when non-nil, receives run metrics: per-node work-unit
+	// histograms, shim dispatch counters and tunnel byte counters (see
+	// recordMetrics for the key schema).
+	Obs *obs.Registry
+	// Log, when non-nil, receives structured progress events.
+	Log *obs.Logger
 }
 
 func (c Config) withDefaults() Config {
@@ -192,6 +199,8 @@ func Run(cfg Config) (*Result, error) {
 	}
 
 	sessions := GenerateWorkload(cfg)
+	cfg.Log.Debug("emulation start",
+		"topology", sc.Graph.Name(), "nodes", nNIDS, "sessions", len(sessions), "live", cfg.Live)
 
 	res := &Result{Sessions: len(sessions)}
 	preAlerts := make([]int, nNIDS)
@@ -300,7 +309,42 @@ func Run(cfg Config) (*Result, error) {
 			FlowsOneSided: st.FlowsOneSided,
 		}
 	}
+	recordMetrics(cfg.Obs, res, shims)
+	cfg.Log.Debug("emulation done",
+		"malicious", res.MaliciousSessions, "detected", res.DetectedSessions,
+		"ownership_errors", res.OwnershipErrors, "max_work_ex_dc", res.MaxWorkExDC())
 	return res, nil
+}
+
+// recordMetrics exports one run's measurements into reg (a nil registry
+// records nothing). Keys: histogram emulation.node.{work_units,packets},
+// counters shim.{seen,processed,replicated,skipped,noclass}, tunnel.bytes,
+// emulation.{sessions,malicious,detected,ownership_errors,alerts}.
+func recordMetrics(reg *obs.Registry, res *Result, shims []*shim.Shim) {
+	if reg == nil {
+		return
+	}
+	work := reg.Histogram("emulation.node.work_units")
+	pkts := reg.Histogram("emulation.node.packets")
+	for _, n := range res.Nodes {
+		work.Observe(float64(n.WorkUnits))
+		pkts.Observe(float64(n.Packets))
+		reg.Counter("tunnel.bytes").Add(n.TunnelBytes)
+		reg.Counter("emulation.alerts").Add(uint64(n.Alerts))
+	}
+	for _, sh := range shims {
+		c := sh.Counters
+		reg.Counter("shim.seen").Add(c.Seen)
+		reg.Counter("shim.processed").Add(c.Processed)
+		reg.Counter("shim.replicated").Add(c.Replicated)
+		reg.Counter("shim.skipped").Add(c.Skipped)
+		reg.Counter("shim.noclass").Add(c.NoClass)
+	}
+	reg.Counter("emulation.sessions").Add(uint64(res.Sessions))
+	reg.Counter("emulation.malicious").Add(uint64(res.MaliciousSessions))
+	reg.Counter("emulation.detected").Add(uint64(res.DetectedSessions))
+	reg.Counter("emulation.ownership_errors").Add(uint64(res.OwnershipErrors))
+	reg.Gauge("emulation.max_work_ex_dc").Max(float64(res.MaxWorkExDC()))
 }
 
 // GenerateWorkload produces the deterministic session trace Run would

@@ -6,6 +6,7 @@ import (
 	"nwids/internal/aggregation"
 	"nwids/internal/core"
 	"nwids/internal/nids"
+	"nwids/internal/obs"
 	"nwids/internal/packet"
 	"nwids/internal/shim"
 	"nwids/internal/topology"
@@ -33,6 +34,11 @@ type ScanConfig struct {
 	BackgroundSessions int
 	// GenSeed seeds trace generation (default 1).
 	GenSeed int64
+	// Obs, when non-nil, receives aggregation message counts and per-node
+	// observation histograms.
+	Obs *obs.Registry
+	// Log, when non-nil, receives structured progress events.
+	Log *obs.Logger
 }
 
 func (c ScanConfig) withDefaults() ScanConfig {
@@ -170,6 +176,22 @@ func RunScan(cfg ScanConfig) (*ScanResult, error) {
 	res.Alerts = agg.Alerts()
 	res.OracleAlerts = oracle.Report()
 	res.Equivalent = sameCounts(res.Alerts, res.OracleAlerts)
+	if reg := cfg.Obs; reg != nil {
+		ms := agg.Stats()
+		reg.Counter("aggregation.reports").Add(uint64(ms.Reports))
+		reg.Counter("aggregation.counter_rows").Add(uint64(ms.CounterRows))
+		reg.Counter("aggregation.tuple_rows").Add(uint64(ms.TupleRows))
+		reg.Counter("aggregation.report_bytes").Add(uint64(ms.Bytes()))
+		reg.Counter("aggregation.byte_hops").Add(uint64(res.CommCostByteHops))
+		reg.Counter("aggregation.alerts").Add(uint64(len(res.Alerts)))
+		obsHist := reg.Histogram("aggregation.node_observations")
+		for _, c := range res.NodeObservations {
+			obsHist.Observe(float64(c))
+		}
+	}
+	cfg.Log.Debug("scan aggregation done",
+		"sessions", res.Sessions, "reports", agg.Stats().Reports,
+		"byte_hops", res.CommCostByteHops, "equivalent", res.Equivalent)
 	return res, nil
 }
 

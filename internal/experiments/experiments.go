@@ -11,6 +11,8 @@ import (
 	"fmt"
 
 	"nwids/internal/core"
+	"nwids/internal/lp"
+	"nwids/internal/obs"
 	"nwids/internal/topology"
 	"nwids/internal/traffic"
 )
@@ -27,6 +29,9 @@ type Options struct {
 	Quick bool
 	// Logf, when non-nil, receives progress lines.
 	Logf func(format string, args ...any)
+	// Obs, when non-nil, accumulates run metrics (solver stats, per-node
+	// loads, emulation measurements) for the -metrics JSON artifact.
+	Obs *obs.Registry
 }
 
 func (o Options) withDefaults() Options {
@@ -43,6 +48,38 @@ func (o Options) logf(format string, args ...any) {
 	if o.Logf != nil {
 		o.Logf(format, args...)
 	}
+}
+
+// observe records one solved assignment into the run's metrics registry:
+// solver counters under lp.*, per-node utilization under node.load. A nil
+// registry records nothing.
+func (o Options) observe(a *core.Assignment) {
+	if o.Obs == nil || a == nil {
+		return
+	}
+	recordLPStats(o.Obs, a.Iterations, a.LPStats)
+	o.Obs.Timer("lp.solve").ObserveDuration(a.SolveTime)
+	loads := o.Obs.Histogram("node.load")
+	for j := range a.NodeLoad {
+		loads.Observe(a.NodeLoad[j][0])
+	}
+	o.Obs.Gauge("node.load.max").Max(a.MaxLoad())
+}
+
+// recordLPStats exports one solve's instrumentation counters.
+func recordLPStats(reg *obs.Registry, iterations int, st lp.SolveStats) {
+	reg.Counter("lp.solves").Inc()
+	reg.Counter("lp.iterations").Add(uint64(iterations))
+	reg.Counter("lp.pivots.phase1").Add(uint64(st.Phase1Pivots))
+	reg.Counter("lp.pivots.phase2").Add(uint64(st.Phase2Pivots))
+	reg.Counter("lp.bound_flips").Add(uint64(st.BoundFlips))
+	reg.Counter("lp.degenerate_steps").Add(uint64(st.DegenerateSteps))
+	reg.Counter("lp.bland_activations").Add(uint64(st.BlandActivations))
+	reg.Counter("lp.refactorizations").Add(uint64(st.Refactorizations))
+	reg.Gauge("lp.max_eta_at_refactor").Max(float64(st.MaxEtaAtRefactor))
+	reg.Gauge("lp.max_residual").Max(st.MaxResidual)
+	reg.Timer("lp.phase1").ObserveDuration(st.Phase1Time)
+	reg.Timer("lp.phase2").ObserveDuration(st.Phase2Time)
 }
 
 // scenarioFor builds the default evaluation scenario for a named topology:
@@ -68,8 +105,17 @@ const (
 )
 
 // solveArch evaluates a named architecture on a scenario with the default
-// parameters (MaxLinkLoad 0.4, DC 10× unless overridden by the figure).
-func solveArch(s *core.Scenario, arch string, mll, dcCap float64) (*core.Assignment, error) {
+// parameters (MaxLinkLoad 0.4, DC 10× unless overridden by the figure),
+// recording solver metrics into o.Obs.
+func solveArch(o Options, s *core.Scenario, arch string, mll, dcCap float64) (*core.Assignment, error) {
+	a, err := solveArchRaw(s, arch, mll, dcCap)
+	if err == nil {
+		o.observe(a)
+	}
+	return a, err
+}
+
+func solveArchRaw(s *core.Scenario, arch string, mll, dcCap float64) (*core.Assignment, error) {
 	switch arch {
 	case ArchIngress:
 		return core.Ingress(s), nil

@@ -288,7 +288,7 @@ func TestSolveArchUnknown(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if _, err := solveArch(s, "bogus", 0.4, 10); err == nil {
+	if _, err := solveArch(Options{}, s, "bogus", 0.4, 10); err == nil {
 		t.Fatal("want error for unknown architecture")
 	}
 }

@@ -46,12 +46,14 @@ func Fig10(opts Options) (*Fig10Result, error) {
 	if err != nil {
 		return nil, err
 	}
+	opts.observe(noRepA)
+	opts.observe(repA)
 	opts.logf("fig10: emulating %d sessions per configuration", sessions)
-	base, err := emulation.Run(emulation.Config{Assignment: noRepA, TotalSessions: sessions, GenSeed: opts.Seed})
+	base, err := emulation.Run(emulation.Config{Assignment: noRepA, TotalSessions: sessions, GenSeed: opts.Seed, Obs: opts.Obs})
 	if err != nil {
 		return nil, err
 	}
-	rep, err := emulation.Run(emulation.Config{Assignment: repA, TotalSessions: sessions, GenSeed: opts.Seed})
+	rep, err := emulation.Run(emulation.Config{Assignment: repA, TotalSessions: sessions, GenSeed: opts.Seed, Obs: opts.Obs})
 	if err != nil {
 		return nil, err
 	}

@@ -41,6 +41,7 @@ func Fig11(opts Options) (*Fig11Result, error) {
 			if err != nil {
 				return nil, err
 			}
+			opts.observe(a)
 			res.Series[name] = append(res.Series[name], Fig11Point{MaxLinkLoad: mll, MaxLoad: a.MaxLoad()})
 			opts.logf("fig11: %s MLL=%.2f → %.4f", name, mll, a.MaxLoad())
 		}
@@ -103,6 +104,7 @@ func Fig12(opts Options) (*Fig12Result, error) {
 			if err != nil {
 				return nil, err
 			}
+			opts.observe(a)
 			res.Cells[name] = append(res.Cells[name], Fig12Cell{Config: cfg, Gap: a.DCLoad() - a.MaxLoadExDC()})
 			opts.logf("fig12: %s MLL=%.1f DC=%gx → gap %.4f", name, cfg.MaxLinkLoad, cfg.DCCapacity, a.DCLoad()-a.MaxLoadExDC())
 		}
@@ -146,7 +148,7 @@ func Fig13(opts Options) (*Fig13Result, error) {
 			return nil, err
 		}
 		for _, arch := range archs {
-			a, err := solveArch(s, arch, 0.4, 10)
+			a, err := solveArch(opts, s, arch, 0.4, 10)
 			if err != nil {
 				return nil, err
 			}
@@ -188,7 +190,7 @@ func Fig14(opts Options) (*Fig14Result, error) {
 			return nil, err
 		}
 		for _, arch := range archs {
-			a, err := solveArch(s, arch, 0.4, 0)
+			a, err := solveArch(opts, s, arch, 0.4, 0)
 			if err != nil {
 				return nil, err
 			}

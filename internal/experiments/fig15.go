@@ -48,7 +48,7 @@ func Fig15(opts Options) (*Fig15Result, error) {
 	for i, tm := range tms {
 		sv := s.WithMatrix(tm)
 		for _, arch := range archs {
-			a, err := solveArch(sv, arch, 0.4, 10)
+			a, err := solveArch(opts, sv, arch, 0.4, 10)
 			if err != nil {
 				return nil, err
 			}

@@ -45,6 +45,7 @@ func Fig18(opts Options) (*Fig18Result, error) {
 			if err != nil {
 				return nil, err
 			}
+			opts.observe(r.Assignment)
 			pts = append(pts, Fig18Point{Beta: beta, LoadCost: r.LoadCost, CommCost: r.CommCost})
 			opts.logf("fig18: %s β=%g → load %.4f comm %.4g", name, beta, r.LoadCost, r.CommCost)
 		}

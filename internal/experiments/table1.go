@@ -43,6 +43,8 @@ func Table1(opts Options) ([]Table1Row, error) {
 		if err != nil {
 			return nil, err
 		}
+		opts.observe(rep)
+		opts.observe(agg.Assignment)
 		rows = append(rows, Table1Row{
 			Topology:        name,
 			PoPs:            s.Graph.NumNodes(),

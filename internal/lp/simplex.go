@@ -58,6 +58,11 @@ type simplex struct {
 	stall    int
 	lastObj  float64
 	maxIters int
+
+	stats      SolveStats
+	curPhase1  bool
+	phaseStart time.Time
+	resid      []float64 // refactorization residual scratch, length m
 }
 
 func newSimplex(p *Problem, opts Options) *simplex {
@@ -189,6 +194,9 @@ func (s *simplex) initBasis() error {
 // singular bases by replacing deficient columns with row logicals, and
 // recomputes the basic variable values.
 func (s *simplex) refactorize() error {
+	if etas := s.f.NumEtas(); etas > s.stats.MaxEtaAtRefactor {
+		s.stats.MaxEtaAtRefactor = etas
+	}
 	for attempt := 0; ; attempt++ {
 		err := s.f.Factorize(s.m, func(k int) ([]int32, []float64) {
 			return s.column(s.basis[k])
@@ -223,7 +231,52 @@ func (s *simplex) refactorize() error {
 	}
 	s.refacts++
 	s.computeXB()
+	if r := s.residualInf(); r > s.stats.MaxResidual {
+		s.stats.MaxResidual = r
+	}
 	return nil
+}
+
+// residualInf returns ‖A·x − s‖∞ over the rows for the current point: how
+// far the freshly recomputed basic values are from satisfying the equality
+// system. Called only after refactorizations, so the O(nnz) sweep is off the
+// per-pivot hot path.
+func (s *simplex) residualInf() float64 {
+	if s.resid == nil {
+		s.resid = make([]float64, s.m)
+	}
+	for i := range s.resid {
+		s.resid[i] = 0
+	}
+	for j := 0; j < s.n; j++ {
+		x := s.xv[j]
+		if x == 0 {
+			continue
+		}
+		rows, vals := s.p.column(j)
+		for k, r := range rows {
+			s.resid[r] += vals[k] * x
+		}
+	}
+	var worst float64
+	for i := 0; i < s.m; i++ {
+		if d := math.Abs(s.resid[i] - s.xv[s.n+i]); d > worst {
+			worst = d
+		}
+	}
+	return worst
+}
+
+// endPhase charges the elapsed wall time to the phase the solver has been
+// in since phaseStart and restarts the clock.
+func (s *simplex) endPhase() {
+	d := time.Since(s.phaseStart)
+	if s.curPhase1 {
+		s.stats.Phase1Time += d
+	} else {
+		s.stats.Phase2Time += d
+	}
+	s.phaseStart = time.Now()
 }
 
 // computeXB recomputes all basic variable values from the nonbasic ones.
@@ -465,8 +518,17 @@ func (s *simplex) ratioTest(j int, sigma float64, phase1 bool) ratioResult {
 	return res
 }
 
-// run executes the simplex loop and returns the final status.
+// run executes the simplex loop and returns the final status, charging
+// wall time to the phase the solver was in.
 func (s *simplex) run() Status {
+	s.curPhase1 = true
+	s.phaseStart = time.Now()
+	status := s.runLoop()
+	s.endPhase()
+	return status
+}
+
+func (s *simplex) runLoop() Status {
 	for j := range s.lo {
 		if s.lo[j] > s.hi[j]+s.opt.FeasTol {
 			return Infeasible
@@ -491,6 +553,8 @@ func (s *simplex) run() Status {
 			s.stall = 0
 			s.bland = false
 			lastPhase1 = phase1
+			s.endPhase()
+			s.curPhase1 = phase1
 		}
 		obj := infeas
 		if !phase1 {
@@ -503,6 +567,9 @@ func (s *simplex) run() Status {
 		} else {
 			s.stall++
 			if s.stall > 1000 {
+				if !s.bland {
+					s.stats.BlandActivations++
+				}
 				s.bland = true
 			}
 		}
@@ -557,6 +624,7 @@ func (s *simplex) run() Status {
 			}
 			s.xv[enter] = s.nonbasicValue(enter)
 			s.iters++
+			s.stats.BoundFlips++
 			continue
 		}
 
@@ -589,6 +657,14 @@ func (s *simplex) run() Status {
 		s.state[enter] = stBasic
 		s.xv[enter] = entVal
 		s.iters++
+		if phase1 {
+			s.stats.Phase1Pivots++
+		} else {
+			s.stats.Phase2Pivots++
+		}
+		if rt.t == 0 {
+			s.stats.DegenerateSteps++
+		}
 
 		if s.f.NumEtas() >= s.opt.RefactorEvery {
 			if err := s.refactorize(); err != nil {
@@ -614,10 +690,12 @@ func (s *simplex) objective() float64 {
 
 // extract packages the current point into a Solution.
 func (s *simplex) extract(status Status) *Solution {
+	s.stats.Refactorizations = s.refacts
 	sol := &Solution{
 		Status:           status,
 		Iterations:       s.iters,
 		Refactorizations: s.refacts,
+		Stats:            s.stats,
 		X:                make([]float64, s.n),
 		Dual:             make([]float64, s.m),
 	}

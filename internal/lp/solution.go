@@ -61,7 +61,39 @@ type Solution struct {
 	Refactorizations int
 	// SolveTime is the wall-clock duration of the solve.
 	SolveTime time.Duration
+
+	// Stats carries the deep per-solve instrumentation (§8's Table 1
+	// measurements rest on these being observable).
+	Stats SolveStats
 }
+
+// SolveStats is the detailed instrumentation record of one Solve call. The
+// JSON tags define the stable schema used by the obs metrics exporter.
+type SolveStats struct {
+	// Phase1Pivots and Phase2Pivots count basis changes per phase;
+	// BoundFlips counts nonbasic bound-to-bound moves (no basis change).
+	Phase1Pivots int `json:"phase1_pivots"`
+	Phase2Pivots int `json:"phase2_pivots"`
+	BoundFlips   int `json:"bound_flips"`
+	// DegenerateSteps counts pivots with a zero step length.
+	DegenerateSteps int `json:"degenerate_steps"`
+	// BlandActivations counts stall-driven switches to Bland's rule.
+	BlandActivations int `json:"bland_activations"`
+	// Refactorizations counts basis refactorizations (including the initial
+	// factorization); MaxEtaAtRefactor is the longest eta file observed when
+	// one was triggered.
+	Refactorizations int `json:"refactorizations"`
+	MaxEtaAtRefactor int `json:"max_eta_at_refactor"`
+	// MaxResidual is the largest ∞-norm residual of A·x − s measured right
+	// after a refactorization — the solver's numerical health signal.
+	MaxResidual float64 `json:"max_residual"`
+	// Phase1Time and Phase2Time split the solve wall time by phase.
+	Phase1Time time.Duration `json:"phase1_ns"`
+	Phase2Time time.Duration `json:"phase2_ns"`
+}
+
+// Pivots returns the total basis changes across both phases.
+func (st SolveStats) Pivots() int { return st.Phase1Pivots + st.Phase2Pivots }
 
 // Value returns the solution value of variable v.
 func (s *Solution) Value(v Var) float64 { return s.X[v] }

@@ -1,0 +1,119 @@
+package lp
+
+import (
+	"fmt"
+	"testing"
+)
+
+// transportProblem builds an ns×nd balanced transportation LP: equality
+// supply/demand rows force a genuine phase 1 (no crash basis is supplied)
+// and the deterministic cost surface forces a nontrivial phase 2.
+func transportProblem(ns, nd int) *Problem {
+	p := NewProblem("transport")
+	supply := make([]Row, ns)
+	demand := make([]Row, nd)
+	perSupply := float64(nd) // each supplier ships nd units, each demand wants ns
+	for i := range supply {
+		supply[i] = p.AddRow(perSupply, perSupply, fmt.Sprintf("s%d", i))
+	}
+	for j := range demand {
+		demand[j] = p.AddRow(float64(ns), float64(ns), fmt.Sprintf("d%d", j))
+	}
+	for i := 0; i < ns; i++ {
+		for j := 0; j < nd; j++ {
+			// Deterministic, irregular costs so the optimum is far from the
+			// phase-1 entry point.
+			cost := float64((i*7+j*13)%19) + 0.25*float64((i+j)%5)
+			v := p.AddVar(0, Inf, cost, fmt.Sprintf("x%d_%d", i, j))
+			p.SetCoef(supply[i], v, 1)
+			p.SetCoef(demand[j], v, 1)
+		}
+	}
+	return p
+}
+
+// TestSolveStatsPopulated asserts that a nontrivial solve fills the deep
+// instrumentation fields of Solution.Stats.
+func TestSolveStatsPopulated(t *testing.T) {
+	p := transportProblem(12, 12)
+	// A short refactorization interval makes the eta-file and residual
+	// tracking observable even on a modest instance.
+	sol := Solve(p, Options{RefactorEvery: 8})
+	if sol.Status != Optimal {
+		t.Fatalf("status = %v, want optimal", sol.Status)
+	}
+	st := sol.Stats
+
+	if st.Phase1Pivots == 0 {
+		t.Error("Phase1Pivots = 0; equality rows without a crash basis must need phase 1")
+	}
+	if st.Phase2Pivots == 0 {
+		t.Error("Phase2Pivots = 0; the cost surface should force phase-2 work")
+	}
+	if st.Pivots()+st.BoundFlips > sol.Iterations {
+		t.Errorf("pivots %d + flips %d exceed iterations %d", st.Pivots(), st.BoundFlips, sol.Iterations)
+	}
+	if st.Refactorizations != sol.Refactorizations {
+		t.Errorf("Stats.Refactorizations = %d, Solution.Refactorizations = %d", st.Refactorizations, sol.Refactorizations)
+	}
+	if st.Refactorizations < 2 {
+		t.Errorf("Refactorizations = %d, want ≥ 2 (initial + interval-driven)", st.Refactorizations)
+	}
+	if st.Pivots() >= 8 && st.MaxEtaAtRefactor < 4 {
+		t.Errorf("MaxEtaAtRefactor = %d despite %d pivots and RefactorEvery=8", st.MaxEtaAtRefactor, st.Pivots())
+	}
+	if st.MaxResidual < 0 || st.MaxResidual > 1e-6 {
+		t.Errorf("MaxResidual = %g, want small and nonnegative", st.MaxResidual)
+	}
+	if st.Phase1Time <= 0 {
+		t.Errorf("Phase1Time = %v, want > 0", st.Phase1Time)
+	}
+	if st.Phase2Time <= 0 {
+		t.Errorf("Phase2Time = %v, want > 0", st.Phase2Time)
+	}
+	if got, tot := st.Phase1Time+st.Phase2Time, sol.SolveTime; got > tot {
+		t.Errorf("phase times %v exceed total solve time %v", got, tot)
+	}
+	if st.BlandActivations != 0 {
+		t.Logf("note: Bland fallback activated %d times", st.BlandActivations)
+	}
+
+	// The acceptance bar: at least six distinct counters/timings populated.
+	populated := 0
+	for _, ok := range []bool{
+		st.Phase1Pivots > 0,
+		st.Phase2Pivots > 0,
+		st.Refactorizations > 0,
+		st.MaxEtaAtRefactor > 0,
+		st.Phase1Time > 0,
+		st.Phase2Time > 0,
+		st.DegenerateSteps > 0,
+		st.BoundFlips > 0,
+	} {
+		if ok {
+			populated++
+		}
+	}
+	if populated < 6 {
+		t.Errorf("only %d stats fields populated, want ≥ 6 (stats: %+v)", populated, st)
+	}
+}
+
+// TestSolveStatsCrashBasis checks that a solve started from a feasible
+// crash basis skips phase 1 entirely and records that fact.
+func TestSolveStatsCrashBasis(t *testing.T) {
+	// min -x s.t. x + y = 1, 0 ≤ x,y ≤ 1; basis {x} is feasible.
+	p := NewProblem("crash")
+	r := p.AddRow(1, 1, "r")
+	x := p.AddVar(0, 1, -1, "x")
+	y := p.AddVar(0, 1, 0, "y")
+	p.SetCoef(r, x, 1)
+	p.SetCoef(r, y, 1)
+	sol := Solve(p, Options{CrashBasis: []Var{x}})
+	if sol.Status != Optimal {
+		t.Fatalf("status = %v", sol.Status)
+	}
+	if sol.Stats.Phase1Pivots != 0 {
+		t.Errorf("Phase1Pivots = %d, want 0 with a feasible crash basis", sol.Stats.Phase1Pivots)
+	}
+}

@@ -11,13 +11,29 @@ import (
 )
 
 // Quantile returns the q-quantile (0 ≤ q ≤ 1) of xs by linear
-// interpolation; it panics on an empty slice.
+// interpolation; it panics on an empty slice. To extract several quantiles
+// of the same data use Quantiles, which sorts only once.
 func Quantile(xs []float64, q float64) float64 {
+	return Quantiles(xs, q)[0]
+}
+
+// Quantiles returns the qs-quantiles of xs by linear interpolation, sorting
+// the data once for all of them; it panics on an empty slice.
+func Quantiles(xs []float64, qs ...float64) []float64 {
 	if len(xs) == 0 {
 		panic("metrics: quantile of empty slice")
 	}
 	s := append([]float64(nil), xs...)
 	sort.Float64s(s)
+	out := make([]float64, len(qs))
+	for i, q := range qs {
+		out[i] = quantileSorted(s, q)
+	}
+	return out
+}
+
+// quantileSorted interpolates the q-quantile of the already-sorted s.
+func quantileSorted(s []float64, q float64) float64 {
 	if q <= 0 {
 		return s[0]
 	}
@@ -53,15 +69,10 @@ type BoxStats struct {
 	Min, Q25, Median, Q75, Max float64
 }
 
-// Box computes the five-number summary of xs.
+// Box computes the five-number summary of xs, sorting the data once.
 func Box(xs []float64) BoxStats {
-	return BoxStats{
-		Min:    Quantile(xs, 0),
-		Q25:    Quantile(xs, 0.25),
-		Median: Quantile(xs, 0.5),
-		Q75:    Quantile(xs, 0.75),
-		Max:    Quantile(xs, 1),
-	}
+	q := Quantiles(xs, 0, 0.25, 0.5, 0.75, 1)
+	return BoxStats{Min: q[0], Q25: q[1], Median: q[2], Q75: q[3], Max: q[4]}
 }
 
 // String renders the summary compactly.

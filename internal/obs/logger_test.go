@@ -1,0 +1,140 @@
+package obs
+
+import (
+	"bytes"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+// TestLoggerRoundTrip writes events and decodes them back from the JSONL
+// stream.
+func TestLoggerRoundTrip(t *testing.T) {
+	var buf bytes.Buffer
+	l := NewLogger(&buf, LevelDebug)
+	fixed := time.Date(2026, 8, 6, 12, 0, 0, 123456789, time.UTC)
+	l.now = func() time.Time { return fixed }
+
+	l.Debug("starting", "topology", "Internet2", "sessions", 4000)
+	l.Info("solve done", "iters", 412, "objective", 0.517)
+	l.Warn("drain slow", "pending", 3)
+	l.Error("tunnel failed", "node", 7)
+
+	events, err := DecodeEvents(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(events) != 4 {
+		t.Fatalf("decoded %d events, want 4", len(events))
+	}
+	wantLevels := []string{"debug", "info", "warn", "error"}
+	wantMsgs := []string{"starting", "solve done", "drain slow", "tunnel failed"}
+	for i, ev := range events {
+		if ev.Level != wantLevels[i] || ev.Msg != wantMsgs[i] {
+			t.Errorf("event %d = %q/%q, want %q/%q", i, ev.Level, ev.Msg, wantLevels[i], wantMsgs[i])
+		}
+		if !ev.TS.Equal(fixed) {
+			t.Errorf("event %d ts = %v, want %v", i, ev.TS, fixed)
+		}
+	}
+	if got := events[0].Fields["topology"]; got != "Internet2" {
+		t.Errorf("field topology = %v", got)
+	}
+	if got := events[1].Fields["iters"]; got != float64(412) {
+		t.Errorf("field iters = %v (%T)", got, got)
+	}
+}
+
+// TestLoggerLevels checks filtering and the nil-logger contract.
+func TestLoggerLevels(t *testing.T) {
+	var buf bytes.Buffer
+	l := NewLogger(&buf, LevelWarn)
+	l.Debug("hidden")
+	l.Info("hidden")
+	l.Warn("shown")
+	l.Error("shown too")
+	events, err := DecodeEvents(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(events) != 2 {
+		t.Fatalf("decoded %d events, want 2", len(events))
+	}
+	if l.Enabled(LevelInfo) || !l.Enabled(LevelError) {
+		t.Error("Enabled thresholds wrong")
+	}
+	if l.Logf(LevelDebug) != nil {
+		t.Error("Logf below level should be nil")
+	}
+	if f := l.Logf(LevelError); f == nil {
+		t.Error("Logf at level should be non-nil")
+	}
+
+	var nilLogger *Logger
+	nilLogger.Info("dropped") // must not panic
+	if nilLogger.Enabled(LevelError) {
+		t.Error("nil logger reports enabled")
+	}
+	if nilLogger.Logf(LevelError) != nil {
+		t.Error("nil logger Logf should be nil")
+	}
+}
+
+// TestLoggerConcurrent exercises the writer lock under -race and checks
+// that no two events interleave on one line.
+func TestLoggerConcurrent(t *testing.T) {
+	var buf syncBuffer
+	l := NewLogger(&buf, LevelInfo)
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 200; i++ {
+				l.Info("tick", "i", i)
+			}
+		}()
+	}
+	wg.Wait()
+	events, err := DecodeEvents(strings.NewReader(buf.String()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(events) != 8*200 {
+		t.Fatalf("decoded %d events, want %d", len(events), 8*200)
+	}
+}
+
+func TestParseLevel(t *testing.T) {
+	for _, tc := range []struct {
+		in   string
+		want Level
+	}{{"debug", LevelDebug}, {"info", LevelInfo}, {"warn", LevelWarn}, {"warning", LevelWarn}, {"error", LevelError}, {"off", LevelOff}} {
+		got, err := ParseLevel(tc.in)
+		if err != nil || got != tc.want {
+			t.Errorf("ParseLevel(%q) = %v, %v", tc.in, got, err)
+		}
+	}
+	if _, err := ParseLevel("loud"); err == nil {
+		t.Error("ParseLevel accepted junk")
+	}
+}
+
+// syncBuffer is a mutex-guarded bytes.Buffer for concurrent writers.
+type syncBuffer struct {
+	mu  sync.Mutex
+	buf bytes.Buffer
+}
+
+func (b *syncBuffer) Write(p []byte) (int, error) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.buf.Write(p)
+}
+
+func (b *syncBuffer) String() string {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.buf.String()
+}

@@ -1,0 +1,75 @@
+package obs
+
+import (
+	"fmt"
+	"net"
+	"net/http"
+	"net/http/pprof"
+	"os"
+	"runtime"
+	rtpprof "runtime/pprof"
+)
+
+// StartProfiling enables the standard Go profilers selected by the (possibly
+// empty) file paths: a CPU profile streamed to cpuPath and a heap profile
+// written to memPath when the returned stop function runs. Binaries wire
+// this to -cpuprofile/-memprofile flags:
+//
+//	stop, err := obs.StartProfiling(*cpuprofile, *memprofile)
+//	if err != nil { ... }
+//	defer stop()
+//
+// stop is never nil and is safe to call when both paths are empty.
+func StartProfiling(cpuPath, memPath string) (stop func() error, err error) {
+	var cpuFile *os.File
+	if cpuPath != "" {
+		cpuFile, err = os.Create(cpuPath)
+		if err != nil {
+			return nil, fmt.Errorf("obs: cpu profile: %w", err)
+		}
+		if err := rtpprof.StartCPUProfile(cpuFile); err != nil {
+			cpuFile.Close()
+			return nil, fmt.Errorf("obs: cpu profile: %w", err)
+		}
+	}
+	return func() error {
+		if cpuFile != nil {
+			rtpprof.StopCPUProfile()
+			if err := cpuFile.Close(); err != nil {
+				return err
+			}
+		}
+		if memPath != "" {
+			f, err := os.Create(memPath)
+			if err != nil {
+				return fmt.Errorf("obs: heap profile: %w", err)
+			}
+			runtime.GC() // flush recently freed objects for an accurate picture
+			if err := rtpprof.WriteHeapProfile(f); err != nil {
+				f.Close()
+				return fmt.Errorf("obs: heap profile: %w", err)
+			}
+			return f.Close()
+		}
+		return nil
+	}, nil
+}
+
+// ServePprof exposes the net/http/pprof endpoints on addr (e.g.
+// "localhost:6060" or "127.0.0.1:0") in a background goroutine and returns
+// the bound address. The handler is mounted on a private mux, so enabling it
+// never touches http.DefaultServeMux.
+func ServePprof(addr string) (string, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return "", fmt.Errorf("obs: pprof listen: %w", err)
+	}
+	mux := http.NewServeMux()
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	go http.Serve(ln, mux)
+	return ln.Addr().String(), nil
+}

@@ -1,0 +1,327 @@
+// Package obs is the repository's observability layer: a lightweight,
+// dependency-free metrics registry (counters, gauges, histograms with
+// quantile export, and span-style timers), a leveled structured logger that
+// emits JSONL events, and standard Go profiling hooks. Every binary and the
+// hot subsystems (LP solver, emulation, shim, aggregation) record into a
+// Registry so that each run can leave a machine-readable metrics artifact —
+// the reproduction's analog of the paper's PAPI/byte-hop measurements (§8).
+//
+// All instruments are safe for concurrent use. A nil *Registry is a valid
+// no-op sink: lookups on it return live but unregistered instruments, so
+// instrumented code never needs nil checks.
+package obs
+
+import (
+	"encoding/json"
+	"io"
+	"math"
+	"os"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"nwids/internal/metrics"
+)
+
+// Schema identifies the JSON layout written by WriteJSON; bump when the
+// export shape changes incompatibly.
+const Schema = "nwids.obs.v1"
+
+// Counter is a monotonically increasing uint64.
+type Counter struct{ v atomic.Uint64 }
+
+// Inc adds one.
+func (c *Counter) Inc() { c.v.Add(1) }
+
+// Add adds n.
+func (c *Counter) Add(n uint64) { c.v.Add(n) }
+
+// Value returns the current count.
+func (c *Counter) Value() uint64 { return c.v.Load() }
+
+// Gauge is a float64 with last-write-wins semantics.
+type Gauge struct{ bits atomic.Uint64 }
+
+// Set stores v.
+func (g *Gauge) Set(v float64) { g.bits.Store(math.Float64bits(v)) }
+
+// Max raises the gauge to v if v exceeds the current value.
+func (g *Gauge) Max(v float64) {
+	for {
+		old := g.bits.Load()
+		if math.Float64frombits(old) >= v {
+			return
+		}
+		if g.bits.CompareAndSwap(old, math.Float64bits(v)) {
+			return
+		}
+	}
+}
+
+// Value returns the current value.
+func (g *Gauge) Value() float64 { return math.Float64frombits(g.bits.Load()) }
+
+// Histogram accumulates float64 observations and exports count, sum,
+// extremes, mean and quantiles. Observations are retained exactly (the
+// workloads here observe at most a few thousand points per run), so the
+// quantiles are exact rather than sketched.
+type Histogram struct {
+	mu  sync.Mutex
+	xs  []float64
+	sum float64
+}
+
+// Observe records one sample.
+func (h *Histogram) Observe(x float64) {
+	h.mu.Lock()
+	h.xs = append(h.xs, x)
+	h.sum += x
+	h.mu.Unlock()
+}
+
+// ObserveDuration records a duration in seconds.
+func (h *Histogram) ObserveDuration(d time.Duration) { h.Observe(d.Seconds()) }
+
+// HistogramSnapshot is the exported summary of a histogram.
+type HistogramSnapshot struct {
+	Count int     `json:"count"`
+	Sum   float64 `json:"sum"`
+	Min   float64 `json:"min"`
+	Max   float64 `json:"max"`
+	Mean  float64 `json:"mean"`
+	P25   float64 `json:"p25"`
+	P50   float64 `json:"p50"`
+	P75   float64 `json:"p75"`
+	P90   float64 `json:"p90"`
+	P99   float64 `json:"p99"`
+}
+
+// Snapshot summarizes the observations so far. The zero snapshot is
+// returned for an empty histogram.
+func (h *Histogram) Snapshot() HistogramSnapshot {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if len(h.xs) == 0 {
+		return HistogramSnapshot{}
+	}
+	q := metrics.Quantiles(h.xs, 0, 0.25, 0.5, 0.75, 0.9, 0.99, 1)
+	return HistogramSnapshot{
+		Count: len(h.xs),
+		Sum:   h.sum,
+		Min:   q[0],
+		P25:   q[1],
+		P50:   q[2],
+		P75:   q[3],
+		P90:   q[4],
+		P99:   q[5],
+		Max:   q[6],
+		Mean:  h.sum / float64(len(h.xs)),
+	}
+}
+
+// Timer records span durations into a histogram of seconds.
+type Timer struct{ h Histogram }
+
+// Span is one in-flight timed region.
+type Span struct {
+	t     *Timer
+	start time.Time
+}
+
+// Start opens a span; Stop on the returned value records it.
+func (t *Timer) Start() Span { return Span{t: t, start: time.Now()} }
+
+// Stop closes the span and returns its duration.
+func (s Span) Stop() time.Duration {
+	d := time.Since(s.start)
+	s.t.h.ObserveDuration(d)
+	return d
+}
+
+// Time runs f inside a span.
+func (t *Timer) Time(f func()) time.Duration {
+	sp := t.Start()
+	f()
+	return sp.Stop()
+}
+
+// ObserveDuration records an externally measured duration (for code that
+// already tracks wall time itself, e.g. lp.Solution.SolveTime).
+func (t *Timer) ObserveDuration(d time.Duration) { t.h.ObserveDuration(d) }
+
+// Snapshot summarizes the recorded spans (values in seconds).
+func (t *Timer) Snapshot() HistogramSnapshot { return t.h.Snapshot() }
+
+// Registry holds named instruments. Instruments are created on first use
+// and shared by name thereafter. The zero value is ready to use; a nil
+// *Registry is a valid no-op sink.
+type Registry struct {
+	mu       sync.Mutex
+	counters map[string]*Counter
+	gauges   map[string]*Gauge
+	hists    map[string]*Histogram
+	timers   map[string]*Timer
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry { return &Registry{} }
+
+// Counter returns the named counter, creating it if needed.
+func (r *Registry) Counter(name string) *Counter {
+	if r == nil {
+		return new(Counter)
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.counters == nil {
+		r.counters = make(map[string]*Counter)
+	}
+	c, ok := r.counters[name]
+	if !ok {
+		c = new(Counter)
+		r.counters[name] = c
+	}
+	return c
+}
+
+// Gauge returns the named gauge, creating it if needed.
+func (r *Registry) Gauge(name string) *Gauge {
+	if r == nil {
+		return new(Gauge)
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.gauges == nil {
+		r.gauges = make(map[string]*Gauge)
+	}
+	g, ok := r.gauges[name]
+	if !ok {
+		g = new(Gauge)
+		r.gauges[name] = g
+	}
+	return g
+}
+
+// Histogram returns the named histogram, creating it if needed.
+func (r *Registry) Histogram(name string) *Histogram {
+	if r == nil {
+		return new(Histogram)
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.hists == nil {
+		r.hists = make(map[string]*Histogram)
+	}
+	h, ok := r.hists[name]
+	if !ok {
+		h = new(Histogram)
+		r.hists[name] = h
+	}
+	return h
+}
+
+// Timer returns the named timer, creating it if needed.
+func (r *Registry) Timer(name string) *Timer {
+	if r == nil {
+		return new(Timer)
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.timers == nil {
+		r.timers = make(map[string]*Timer)
+	}
+	t, ok := r.timers[name]
+	if !ok {
+		t = new(Timer)
+		r.timers[name] = t
+	}
+	return t
+}
+
+// Snapshot captures every instrument into a JSON-ready structure. Map keys
+// are instrument names; histogram and timer values are their summaries.
+type RegistrySnapshot struct {
+	Schema     string                       `json:"schema"`
+	Meta       map[string]any               `json:"meta,omitempty"`
+	Counters   map[string]uint64            `json:"counters"`
+	Gauges     map[string]float64           `json:"gauges"`
+	Histograms map[string]HistogramSnapshot `json:"histograms"`
+	Timers     map[string]HistogramSnapshot `json:"timers"`
+}
+
+// Snapshot captures the registry's current state. meta is attached verbatim
+// (run identifiers, configuration echo, timestamps); it may be nil.
+func (r *Registry) Snapshot(meta map[string]any) RegistrySnapshot {
+	snap := RegistrySnapshot{
+		Schema:     Schema,
+		Meta:       meta,
+		Counters:   map[string]uint64{},
+		Gauges:     map[string]float64{},
+		Histograms: map[string]HistogramSnapshot{},
+		Timers:     map[string]HistogramSnapshot{},
+	}
+	if r == nil {
+		return snap
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	for name, c := range r.counters {
+		snap.Counters[name] = c.Value()
+	}
+	for name, g := range r.gauges {
+		snap.Gauges[name] = g.Value()
+	}
+	for name, h := range r.hists {
+		snap.Histograms[name] = h.Snapshot()
+	}
+	for name, t := range r.timers {
+		snap.Timers[name] = t.Snapshot()
+	}
+	return snap
+}
+
+// Names returns the sorted names of all registered instruments (useful for
+// debugging and golden tests).
+func (r *Registry) Names() []string {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	var out []string
+	for n := range r.counters {
+		out = append(out, n)
+	}
+	for n := range r.gauges {
+		out = append(out, n)
+	}
+	for n := range r.hists {
+		out = append(out, n)
+	}
+	for n := range r.timers {
+		out = append(out, n)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// WriteJSON writes the snapshot as indented JSON.
+func (r *Registry) WriteJSON(w io.Writer, meta map[string]any) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(r.Snapshot(meta))
+}
+
+// WriteJSONFile writes the snapshot to path, creating or truncating it.
+func (r *Registry) WriteJSONFile(path string, meta map[string]any) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := r.WriteJSON(f, meta); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
