@@ -2,15 +2,20 @@
 //
 // Usage:
 //
-//	experiments [-quick] [-topologies a,b,c] [-seed N] [-metrics out.json] <experiment>
+//	experiments [-quick] [-workers N] [-topologies a,b,c] [-seed N] [-metrics out.json] <experiment>...
 //
-// where <experiment> is one of: table1, fig10, fig11, fig12, fig13, fig14,
-// fig15, fig16, fig17, fig18, fig19, placement, all.
+// where each <experiment> is one of: table1, fig10, fig11, fig12, fig13,
+// fig14, fig15, fig16, fig17, fig18, fig19, placement, all.
+//
+// Sweep points run on a bounded worker pool (-workers; default GOMAXPROCS)
+// and aggregate in deterministic sweep order, so rendered output is
+// byte-identical for every worker count (-notime also suppresses the
+// wall-clock in section headers, giving fully diffable output).
 //
 // With -metrics, every run leaves a machine-readable JSON artifact
 // containing solver statistics (lp.* counters), per-node load histograms
-// (node.load) and emulation measurements (emulation.*, shim.*) — the data
-// behind the rendered tables.
+// (node.load), sweep-engine counters (sweep.*) and emulation measurements
+// (emulation.*, shim.*) — the data behind the rendered tables.
 package main
 
 import (
@@ -27,6 +32,8 @@ import (
 
 func main() {
 	quick := flag.Bool("quick", false, "reduced sweep densities for a fast pass")
+	workers := flag.Int("workers", 0, "parallel sweep width: max concurrent sweep points (0 = GOMAXPROCS, 1 = sequential)")
+	notime := flag.Bool("notime", false, "omit wall-clock times from section headers (byte-identical reruns)")
 	topos := flag.String("topologies", "", "comma-separated topology subset (default: all eight)")
 	seed := flag.Int64("seed", 1, "random seed")
 	verbose := flag.Bool("v", false, "log progress (JSONL on stderr)")
@@ -41,8 +48,8 @@ func main() {
 	}
 	log := obs.NewLogger(os.Stderr, level)
 
-	if flag.NArg() != 1 {
-		fmt.Fprintln(os.Stderr, "usage: experiments [flags] <table1|fig10|...|fig19|placement|robustness|all>")
+	if flag.NArg() < 1 {
+		fmt.Fprintln(os.Stderr, "usage: experiments [flags] <table1|fig10|...|fig19|placement|robustness|all>...")
 		flag.PrintDefaults()
 		os.Exit(2)
 	}
@@ -52,7 +59,7 @@ func main() {
 		os.Exit(1)
 	}
 
-	opts := experiments.Options{Quick: *quick, Seed: *seed, Logf: log.Logf(obs.LevelDebug)}
+	opts := experiments.Options{Quick: *quick, Seed: *seed, Workers: *workers, Logf: log.Logf(obs.LevelDebug)}
 	if *topos != "" {
 		opts.Topologies = strings.Split(*topos, ",")
 	}
@@ -62,12 +69,15 @@ func main() {
 		opts.Obs = reg
 	}
 
-	which := flag.Arg(0)
-	names := []string{which}
-	if which == "all" {
-		names = []string{"table1", "fig10", "fig11", "fig12", "fig13", "fig14", "fig15", "fig16", "fig17", "fig18", "fig19", "placement", "robustness"}
+	var names []string
+	for _, which := range flag.Args() {
+		if which == "all" {
+			names = append(names, "table1", "fig10", "fig11", "fig12", "fig13", "fig14", "fig15", "fig16", "fig17", "fig18", "fig19", "placement", "robustness")
+			continue
+		}
+		names = append(names, which)
 	}
-	if err := runAll(names, opts, os.Stdout, log); err != nil {
+	if err := runAll(names, opts, os.Stdout, log, !*notime); err != nil {
 		log.Error("experiment failed", "err", err.Error())
 		os.Exit(1)
 	}
@@ -77,6 +87,7 @@ func main() {
 			"experiments": names,
 			"seed":        *seed,
 			"quick":       *quick,
+			"workers":     *workers,
 			"started":     time.Now().UTC().Format(time.RFC3339),
 		}
 		if err := reg.WriteJSONFile(*metricsOut, meta); err != nil {
@@ -92,8 +103,9 @@ func main() {
 
 // runAll executes the named experiments in order, printing each rendering
 // to w. Per-experiment wall time is recorded into opts.Obs under
-// experiment.<name>.
-func runAll(names []string, opts experiments.Options, w io.Writer, log *obs.Logger) error {
+// experiment.<name>; showTime controls whether it also appears in the
+// section header (disable it for byte-identical determinism diffs).
+func runAll(names []string, opts experiments.Options, w io.Writer, log *obs.Logger, showTime bool) error {
 	for _, name := range names {
 		start := time.Now()
 		out, err := run(name, opts)
@@ -103,7 +115,11 @@ func runAll(names []string, opts experiments.Options, w io.Writer, log *obs.Logg
 		elapsed := time.Since(start)
 		opts.Obs.Timer("experiment." + name).ObserveDuration(elapsed)
 		log.Debug("experiment done", "name", name, "seconds", elapsed.Seconds())
-		fmt.Fprintf(w, "== %s (%v) ==\n%s\n", name, elapsed.Round(time.Millisecond), out)
+		if showTime {
+			fmt.Fprintf(w, "== %s (%v) ==\n%s\n", name, elapsed.Round(time.Millisecond), out)
+		} else {
+			fmt.Fprintf(w, "== %s ==\n%s\n", name, out)
+		}
 	}
 	return nil
 }

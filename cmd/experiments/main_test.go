@@ -26,7 +26,7 @@ func TestMetricsArtifact(t *testing.T) {
 		Topologies: []string{"Internet2"},
 		Obs:        reg,
 	}
-	if err := runAll([]string{"table1", "fig10"}, opts, io.Discard, nil); err != nil {
+	if err := runAll([]string{"table1", "fig10"}, opts, io.Discard, nil, true); err != nil {
 		t.Fatal(err)
 	}
 	path := filepath.Join(t.TempDir(), "out.json")

@@ -26,8 +26,11 @@ type AblationRow struct {
 // several solver configurations, verifying they agree on the optimum.
 func Ablation(opts Options) ([]AblationRow, error) {
 	opts = opts.withDefaults()
-	var rows []AblationRow
-	for _, name := range opts.Topologies {
+	// One job per topology; the variants inside a job stay sequential so
+	// they share the topology's built problem and their relative timings
+	// (the point of the ablation) are not skewed against each other.
+	perTopo, err := sweepMap(opts, opts.Topologies, func(_ int, name string) ([]AblationRow, error) {
+		var rows []AblationRow
 		s, err := scenarioFor(name)
 		if err != nil {
 			return nil, err
@@ -82,8 +85,18 @@ func Ablation(opts Options) ([]AblationRow, error) {
 				Time:       time.Since(start),
 				Objective:  sol.Objective,
 			})
-			opts.logf("ablation: %s %-24s iters=%d time=%v", name, v.name, sol.Iterations, rows[len(rows)-1].Time)
 		}
+		return rows, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	var rows []AblationRow
+	for _, tr := range perTopo {
+		rows = append(rows, tr...)
+	}
+	for _, r := range rows {
+		opts.logf("ablation: %s %-24s iters=%d time=%v", r.Topology, r.Variant, r.Iterations, r.Time)
 	}
 	return rows, nil
 }
@@ -120,29 +133,46 @@ func SigmaSweep(opts Options) (*VariabilitySigmaSweep, error) {
 		runs = 10
 	}
 	out := &VariabilitySigmaSweep{Sigmas: []float64{0.25, 0.5, 0.75, 1.0}}
-	for _, sigma := range out.Sigmas {
+	// Matrix generation per σ consumes that σ's own RNG sequentially; the
+	// (σ, matrix) solve grid then fans out to the worker pool.
+	type job struct {
+		sigmaIdx int
+		tm       *traffic.Matrix
+	}
+	var jobs []job
+	for si, sigma := range out.Sigmas {
 		rng := newSeededRand(opts.Seed)
 		tms := traffic.VariabilityModel{Sigma: sigma}.Generate(rng, traffic.GravityDefault(s.Graph), runs)
-		worstIng, worstRep := 0.0, 0.0
 		for _, tm := range tms {
-			sv := s.WithMatrix(tm)
-			ing := core.Ingress(sv)
-			if v := ing.MaxLoad(); v > worstIng {
-				worstIng = v
-			}
-			rep, err := core.SolveReplication(sv, core.ReplicationConfig{
-				Mirror: core.MirrorDCOnly, MaxLinkLoad: 0.4, DCCapacity: 10,
-			})
-			if err != nil {
-				return nil, err
-			}
-			if v := rep.MaxLoad(); v > worstRep {
-				worstRep = v
-			}
+			jobs = append(jobs, job{si, tm})
 		}
-		out.WorstIngress = append(out.WorstIngress, worstIng)
-		out.WorstReplicate = append(out.WorstReplicate, worstRep)
-		opts.logf("sigma-sweep: σ=%.2f ingress=%.3f replicate=%.3f", sigma, worstIng, worstRep)
+	}
+	type sample struct{ ing, rep float64 }
+	samples, err := sweepMap(opts, jobs, func(_ int, j job) (sample, error) {
+		sv := s.WithMatrix(j.tm)
+		rep, err := core.SolveReplication(sv, core.ReplicationConfig{
+			Mirror: core.MirrorDCOnly, MaxLinkLoad: 0.4, DCCapacity: 10,
+		})
+		if err != nil {
+			return sample{}, err
+		}
+		return sample{ing: core.Ingress(sv).MaxLoad(), rep: rep.MaxLoad()}, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	out.WorstIngress = make([]float64, len(out.Sigmas))
+	out.WorstReplicate = make([]float64, len(out.Sigmas))
+	for i, j := range jobs {
+		if samples[i].ing > out.WorstIngress[j.sigmaIdx] {
+			out.WorstIngress[j.sigmaIdx] = samples[i].ing
+		}
+		if samples[i].rep > out.WorstReplicate[j.sigmaIdx] {
+			out.WorstReplicate[j.sigmaIdx] = samples[i].rep
+		}
+	}
+	for si, sigma := range out.Sigmas {
+		opts.logf("sigma-sweep: σ=%.2f ingress=%.3f replicate=%.3f", sigma, out.WorstIngress[si], out.WorstReplicate[si])
 	}
 	return out, nil
 }

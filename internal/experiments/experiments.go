@@ -27,6 +27,12 @@ type Options struct {
 	// Quick trims sweep densities and repetition counts for smoke runs and
 	// unit tests; headline shapes are preserved.
 	Quick bool
+	// Workers bounds the sweep engine's concurrency: how many sweep points
+	// (LP solves, emulation runs) may execute at once. 0 means
+	// runtime.GOMAXPROCS(0); 1 forces sequential execution. Results are
+	// aggregated in sweep-point order, so rendered output is identical for
+	// every value.
+	Workers int
 	// Logf, when non-nil, receives progress lines.
 	Logf func(format string, args ...any)
 	// Obs, when non-nil, accumulates run metrics (solver stats, per-node

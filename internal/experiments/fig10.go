@@ -36,27 +36,26 @@ func Fig10(opts Options) (*Fig10Result, error) {
 	if opts.Quick {
 		sessions = 800
 	}
-	noRepA, err := core.SolveReplication(s, core.ReplicationConfig{Mirror: core.MirrorNone})
-	if err != nil {
-		return nil, err
+	opts.logf("fig10: emulating %d sessions per configuration", sessions)
+	// The two configurations (solve + emulation each) run as two parallel
+	// sweep jobs; each emulation generates its own session trace from the
+	// same seed, so results are independent of scheduling.
+	cfgs := []core.ReplicationConfig{
+		{Mirror: core.MirrorNone},
+		{Mirror: core.MirrorDCOnly, DCCapacity: 8, MaxLinkLoad: 0.4},
 	}
-	repA, err := core.SolveReplication(s, core.ReplicationConfig{
-		Mirror: core.MirrorDCOnly, DCCapacity: 8, MaxLinkLoad: 0.4,
+	runs, err := sweepMap(opts, cfgs, func(_ int, cfg core.ReplicationConfig) (*emulation.Result, error) {
+		a, err := core.SolveReplication(s, cfg)
+		if err != nil {
+			return nil, err
+		}
+		opts.observe(a)
+		return emulation.Run(emulation.Config{Assignment: a, TotalSessions: sessions, GenSeed: opts.Seed, Obs: opts.Obs})
 	})
 	if err != nil {
 		return nil, err
 	}
-	opts.observe(noRepA)
-	opts.observe(repA)
-	opts.logf("fig10: emulating %d sessions per configuration", sessions)
-	base, err := emulation.Run(emulation.Config{Assignment: noRepA, TotalSessions: sessions, GenSeed: opts.Seed, Obs: opts.Obs})
-	if err != nil {
-		return nil, err
-	}
-	rep, err := emulation.Run(emulation.Config{Assignment: repA, TotalSessions: sessions, GenSeed: opts.Seed, Obs: opts.Obs})
-	if err != nil {
-		return nil, err
-	}
+	base, rep := runs[0], runs[1]
 	res := &Fig10Result{
 		NoRep:          base.Nodes,
 		Rep:            rep.Nodes,

@@ -28,23 +28,38 @@ func Fig11(opts Options) (*Fig11Result, error) {
 	if opts.Quick {
 		sweep = []float64{0.1, 0.4, 1.0}
 	}
-	res := &Fig11Result{Sweep: sweep, Series: map[string][]Fig11Point{}}
-	for _, name := range opts.Topologies {
-		s, err := scenarioFor(name)
-		if err != nil {
-			return nil, err
-		}
+	scs, err := scenariosFor(opts)
+	if err != nil {
+		return nil, err
+	}
+	type job struct {
+		topo int
+		mll  float64
+	}
+	var jobs []job
+	for t := range opts.Topologies {
 		for _, mll := range sweep {
-			a, err := core.SolveReplication(s, core.ReplicationConfig{
-				Mirror: core.MirrorDCOnly, MaxLinkLoad: mll, DCCapacity: 10,
-			})
-			if err != nil {
-				return nil, err
-			}
-			opts.observe(a)
-			res.Series[name] = append(res.Series[name], Fig11Point{MaxLinkLoad: mll, MaxLoad: a.MaxLoad()})
-			opts.logf("fig11: %s MLL=%.2f → %.4f", name, mll, a.MaxLoad())
+			jobs = append(jobs, job{t, mll})
 		}
+	}
+	pts, err := sweepMap(opts, jobs, func(_ int, j job) (Fig11Point, error) {
+		a, err := core.SolveReplication(scs[j.topo], core.ReplicationConfig{
+			Mirror: core.MirrorDCOnly, MaxLinkLoad: j.mll, DCCapacity: 10,
+		})
+		if err != nil {
+			return Fig11Point{}, err
+		}
+		opts.observe(a)
+		return Fig11Point{MaxLinkLoad: j.mll, MaxLoad: a.MaxLoad()}, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	res := &Fig11Result{Sweep: sweep, Series: map[string][]Fig11Point{}}
+	for i, j := range jobs {
+		name := opts.Topologies[j.topo]
+		res.Series[name] = append(res.Series[name], pts[i])
+		opts.logf("fig11: %s MLL=%.2f → %.4f", name, j.mll, pts[i].MaxLoad)
 	}
 	return res, nil
 }
@@ -91,23 +106,38 @@ type Fig12Result struct {
 func Fig12(opts Options) (*Fig12Result, error) {
 	opts = opts.withDefaults()
 	configs := []Fig12Config{{0.1, 2}, {0.1, 10}, {0.4, 2}, {0.4, 10}}
-	res := &Fig12Result{Configs: configs, Cells: map[string][]Fig12Cell{}}
-	for _, name := range opts.Topologies {
-		s, err := scenarioFor(name)
+	scs, err := scenariosFor(opts)
+	if err != nil {
+		return nil, err
+	}
+	type job struct {
+		topo, cfg int
+	}
+	var jobs []job
+	for t := range opts.Topologies {
+		for c := range configs {
+			jobs = append(jobs, job{t, c})
+		}
+	}
+	cells, err := sweepMap(opts, jobs, func(_ int, j job) (Fig12Cell, error) {
+		cfg := configs[j.cfg]
+		a, err := core.SolveReplication(scs[j.topo], core.ReplicationConfig{
+			Mirror: core.MirrorDCOnly, MaxLinkLoad: cfg.MaxLinkLoad, DCCapacity: cfg.DCCapacity,
+		})
 		if err != nil {
-			return nil, err
+			return Fig12Cell{}, err
 		}
-		for _, cfg := range configs {
-			a, err := core.SolveReplication(s, core.ReplicationConfig{
-				Mirror: core.MirrorDCOnly, MaxLinkLoad: cfg.MaxLinkLoad, DCCapacity: cfg.DCCapacity,
-			})
-			if err != nil {
-				return nil, err
-			}
-			opts.observe(a)
-			res.Cells[name] = append(res.Cells[name], Fig12Cell{Config: cfg, Gap: a.DCLoad() - a.MaxLoadExDC()})
-			opts.logf("fig12: %s MLL=%.1f DC=%gx → gap %.4f", name, cfg.MaxLinkLoad, cfg.DCCapacity, a.DCLoad()-a.MaxLoadExDC())
-		}
+		opts.observe(a)
+		return Fig12Cell{Config: cfg, Gap: a.DCLoad() - a.MaxLoadExDC()}, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	res := &Fig12Result{Configs: configs, Cells: map[string][]Fig12Cell{}}
+	for i, j := range jobs {
+		name := opts.Topologies[j.topo]
+		res.Cells[name] = append(res.Cells[name], cells[i])
+		opts.logf("fig12: %s MLL=%.1f DC=%gx → gap %.4f", name, cells[i].Config.MaxLinkLoad, cells[i].Config.DCCapacity, cells[i].Gap)
 	}
 	return res, nil
 }
@@ -141,22 +171,46 @@ type Fig13Result struct {
 func Fig13(opts Options) (*Fig13Result, error) {
 	opts = opts.withDefaults()
 	archs := []string{ArchIngress, ArchPathNoRep, ArchPathAugmented, ArchPathReplicate}
-	res := &Fig13Result{Archs: archs, Loads: map[string][]float64{}}
-	for _, name := range opts.Topologies {
-		s, err := scenarioFor(name)
-		if err != nil {
-			return nil, err
-		}
-		for _, arch := range archs {
-			a, err := solveArch(opts, s, arch, 0.4, 10)
-			if err != nil {
-				return nil, err
-			}
-			res.Loads[name] = append(res.Loads[name], a.MaxLoad())
-			opts.logf("fig13: %s %s → %.4f", name, arch, a.MaxLoad())
+	loads, err := sweepArchLoads(opts, "fig13", archs, 0.4, 10)
+	if err != nil {
+		return nil, err
+	}
+	return &Fig13Result{Archs: archs, Loads: loads}, nil
+}
+
+// sweepArchLoads solves every (topology, architecture) pair of a figure on
+// the worker pool and returns topology → max loads in archs order.
+func sweepArchLoads(opts Options, tag string, archs []string, mll, dcCap float64) (map[string][]float64, error) {
+	scs, err := scenariosFor(opts)
+	if err != nil {
+		return nil, err
+	}
+	type job struct {
+		topo, arch int
+	}
+	var jobs []job
+	for t := range opts.Topologies {
+		for a := range archs {
+			jobs = append(jobs, job{t, a})
 		}
 	}
-	return res, nil
+	maxes, err := sweepMap(opts, jobs, func(_ int, j job) (float64, error) {
+		a, err := solveArch(opts, scs[j.topo], archs[j.arch], mll, dcCap)
+		if err != nil {
+			return 0, err
+		}
+		return a.MaxLoad(), nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	loads := map[string][]float64{}
+	for i, j := range jobs {
+		name := opts.Topologies[j.topo]
+		loads[name] = append(loads[name], maxes[i])
+		opts.logf("%s: %s %s → %.4f", tag, name, archs[j.arch], maxes[i])
+	}
+	return loads, nil
 }
 
 // Render formats Fig 13.
@@ -183,22 +237,11 @@ type Fig14Result struct {
 func Fig14(opts Options) (*Fig14Result, error) {
 	opts = opts.withDefaults()
 	archs := []string{ArchPathNoRep, ArchOneHop, ArchTwoHop}
-	res := &Fig14Result{Archs: archs, Loads: map[string][]float64{}}
-	for _, name := range opts.Topologies {
-		s, err := scenarioFor(name)
-		if err != nil {
-			return nil, err
-		}
-		for _, arch := range archs {
-			a, err := solveArch(opts, s, arch, 0.4, 0)
-			if err != nil {
-				return nil, err
-			}
-			res.Loads[name] = append(res.Loads[name], a.MaxLoad())
-			opts.logf("fig14: %s %s → %.4f", name, arch, a.MaxLoad())
-		}
+	loads, err := sweepArchLoads(opts, "fig14", archs, 0.4, 0)
+	if err != nil {
+		return nil, err
 	}
-	return res, nil
+	return &Fig14Result{Archs: archs, Loads: loads}, nil
 }
 
 // Render formats Fig 14.

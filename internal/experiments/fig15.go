@@ -45,21 +45,37 @@ func Fig15(opts Options) (*Fig15Result, error) {
 		Boxes: map[string]metrics.BoxStats{},
 		Loads: map[string][]float64{},
 	}
-	for i, tm := range tms {
+	// One job per matrix: each re-optimizes all four architectures against
+	// its own scenario view (the shared base scenario is never mutated).
+	perTM, err := sweepMap(opts, tms, func(_ int, tm *traffic.Matrix) ([]float64, error) {
 		sv := s.WithMatrix(tm)
-		for _, arch := range archs {
+		loads := make([]float64, len(archs))
+		for ai, arch := range archs {
 			a, err := solveArch(opts, sv, arch, 0.4, 10)
 			if err != nil {
 				return nil, err
 			}
-			res.Loads[arch] = append(res.Loads[arch], a.MaxLoad())
+			loads[ai] = a.MaxLoad()
+		}
+		return loads, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	for i, loads := range perTM {
+		for ai, arch := range archs {
+			res.Loads[arch] = append(res.Loads[arch], loads[ai])
 		}
 		if (i+1)%10 == 0 {
 			opts.logf("fig15: %d/%d matrices", i+1, runs)
 		}
 	}
 	for _, arch := range archs {
-		res.Boxes[arch] = metrics.Box(res.Loads[arch])
+		// An architecture can legitimately end up with zero samples (e.g. a
+		// zero-run smoke invocation); leave its box zero instead of panicking.
+		if box, ok := metrics.BoxOK(res.Loads[arch]); ok {
+			res.Boxes[arch] = box
+		}
 	}
 	return res, nil
 }

@@ -59,43 +59,78 @@ func Fig1617(opts Options) (*Fig1617Result, error) {
 	pool := topology.NewPathPool(s.Routing)
 	rng := rand.New(rand.NewSource(opts.Seed))
 
+	// Random configuration generation consumes the master RNG, so it stays
+	// sequential in (θ, config) order; the LP solves — the expensive part —
+	// then fan out to the worker pool one job per configuration.
+	type job struct {
+		thetaIdx int
+		ar       *topology.AsymmetricRoutes
+	}
+	var jobs []job
+	for ti, theta := range thetas {
+		for c := 0; c < configs; c++ {
+			jobs = append(jobs, job{ti, topology.GenerateAsymmetric(s.Routing, pool, theta, rng)})
+		}
+	}
+	type sample struct {
+		overlap    float64
+		miss, load [3]float64 // AsymIngress, AsymPath, AsymDC order
+	}
+	samples, err := sweepMap(opts, jobs, func(_ int, j job) (sample, error) {
+		classes := core.BuildSplitClasses(s, j.ar)
+		var out sample
+		out.overlap = j.ar.MeanOverlap
+
+		ing := core.IngressSplit(s, classes)
+		out.miss[0], out.load[0] = ing.MissRate, ing.MaxLoad
+
+		path, err := core.SolveSplit(s, classes, core.SplitConfig{UseDC: false})
+		if err != nil {
+			return sample{}, err
+		}
+		out.miss[1], out.load[1] = path.MissRate, path.MaxLoad
+
+		dc, err := core.SolveSplit(s, classes, core.SplitConfig{UseDC: true, MaxLinkLoad: 0.4, DCCapacity: 10})
+		if err != nil {
+			return sample{}, err
+		}
+		out.miss[2], out.load[2] = dc.MissRate, dc.MaxLoad
+		return out, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+
 	res := &Fig1617Result{Topology: name, Configs: configs, Thetas: thetas, Series: map[string][]Fig16Point{}}
-	for _, theta := range thetas {
+	order := []string{AsymIngress, AsymPath, AsymDC}
+	for ti, theta := range thetas {
 		miss := map[string][]float64{}
 		load := map[string][]float64{}
 		var overlaps []float64
-		for c := 0; c < configs; c++ {
-			ar := topology.GenerateAsymmetric(s.Routing, pool, theta, rng)
-			overlaps = append(overlaps, ar.MeanOverlap)
-			classes := core.BuildSplitClasses(s, ar)
-
-			ing := core.IngressSplit(s, classes)
-			miss[AsymIngress] = append(miss[AsymIngress], ing.MissRate)
-			load[AsymIngress] = append(load[AsymIngress], ing.MaxLoad)
-
-			path, err := core.SolveSplit(s, classes, core.SplitConfig{UseDC: false})
-			if err != nil {
-				return nil, err
+		for i, j := range jobs {
+			if j.thetaIdx != ti {
+				continue
 			}
-			miss[AsymPath] = append(miss[AsymPath], path.MissRate)
-			load[AsymPath] = append(load[AsymPath], path.MaxLoad)
-
-			dc, err := core.SolveSplit(s, classes, core.SplitConfig{UseDC: true, MaxLinkLoad: 0.4, DCCapacity: 10})
-			if err != nil {
-				return nil, err
+			overlaps = append(overlaps, samples[i].overlap)
+			for ai, arch := range order {
+				miss[arch] = append(miss[arch], samples[i].miss[ai])
+				load[arch] = append(load[arch], samples[i].load[ai])
 			}
-			miss[AsymDC] = append(miss[AsymDC], dc.MissRate)
-			load[AsymDC] = append(load[AsymDC], dc.MaxLoad)
 		}
-		for _, arch := range []string{AsymIngress, AsymPath, AsymDC} {
+		// A θ with zero configurations contributes NaN-free zero medians
+		// rather than panicking (guards the configs=0 edge case).
+		meanOverlap, _ := metrics.MeanOK(overlaps)
+		for _, arch := range order {
+			missMed, _ := metrics.MedianOK(miss[arch])
+			loadMed, _ := metrics.MedianOK(load[arch])
 			res.Series[arch] = append(res.Series[arch], Fig16Point{
 				Theta:       theta,
-				MeanOverlap: metrics.Mean(overlaps),
-				MissRate:    metrics.Median(miss[arch]),
-				MaxLoad:     metrics.Median(load[arch]),
+				MeanOverlap: meanOverlap,
+				MissRate:    missMed,
+				MaxLoad:     loadMed,
 			})
 		}
-		opts.logf("fig16/17: θ=%.1f done (mean achieved overlap %.2f)", theta, metrics.Mean(overlaps))
+		opts.logf("fig16/17: θ=%.1f done (mean achieved overlap %.2f)", theta, meanOverlap)
 	}
 	return res, nil
 }

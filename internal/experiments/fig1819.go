@@ -33,21 +33,39 @@ func Fig18(opts Options) (*Fig18Result, error) {
 	if opts.Quick {
 		betas = []float64{0.01, 0.3, 1, 10, 100}
 	}
-	res := &Fig18Result{Betas: betas, Series: map[string][]Fig18Point{}}
-	for _, name := range opts.Topologies {
-		s, err := scenarioFor(name)
-		if err != nil {
-			return nil, err
+	scs, err := scenariosFor(opts)
+	if err != nil {
+		return nil, err
+	}
+	type job struct {
+		topo, beta int
+	}
+	var jobs []job
+	for t := range opts.Topologies {
+		for b := range betas {
+			jobs = append(jobs, job{t, b})
 		}
+	}
+	raw, err := sweepMap(opts, jobs, func(_ int, j job) (Fig18Point, error) {
+		r, err := core.SolveAggregation(scs[j.topo], core.AggregationConfig{Beta: betas[j.beta]})
+		if err != nil {
+			return Fig18Point{}, err
+		}
+		opts.observe(r.Assignment)
+		return Fig18Point{Beta: betas[j.beta], LoadCost: r.LoadCost, CommCost: r.CommCost}, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	res := &Fig18Result{Betas: betas, Series: map[string][]Fig18Point{}}
+	for ti, name := range opts.Topologies {
 		var pts []Fig18Point
-		for _, beta := range betas {
-			r, err := core.SolveAggregation(s, core.AggregationConfig{Beta: beta})
-			if err != nil {
-				return nil, err
+		for i, j := range jobs {
+			if j.topo != ti {
+				continue
 			}
-			opts.observe(r.Assignment)
-			pts = append(pts, Fig18Point{Beta: beta, LoadCost: r.LoadCost, CommCost: r.CommCost})
-			opts.logf("fig18: %s β=%g → load %.4f comm %.4g", name, beta, r.LoadCost, r.CommCost)
+			pts = append(pts, raw[i])
+			opts.logf("fig18: %s β=%g → load %.4f comm %.4g", name, raw[i].Beta, raw[i].LoadCost, raw[i].CommCost)
 		}
 		maxLoad, maxComm := 0.0, 0.0
 		for _, p := range pts {
@@ -121,16 +139,15 @@ func Fig19(opts Options) ([]Fig19Row, error) {
 	if err != nil {
 		return nil, err
 	}
-	var rows []Fig19Row
-	for _, name := range opts.Topologies {
+	rows, err := sweepMap(opts, opts.Topologies, func(_ int, name string) (Fig19Row, error) {
 		s, err := scenarioFor(name)
 		if err != nil {
-			return nil, err
+			return Fig19Row{}, err
 		}
 		beta, _ := f18.BestBeta(name)
 		with, err := core.SolveAggregation(s, core.AggregationConfig{Beta: beta})
 		if err != nil {
-			return nil, err
+			return Fig19Row{}, err
 		}
 		without := core.IngressAggregation(s)
 		row := Fig19Row{
@@ -142,8 +159,13 @@ func Fig19(opts Options) ([]Fig19Row, error) {
 		if row.RatioWith > 0 {
 			row.ImprovementRatio = row.RatioWithout / row.RatioWith
 		}
-		rows = append(rows, row)
-		opts.logf("fig19: %s β*=%g ratio %.2f → %.2f", name, beta, row.RatioWithout, row.RatioWith)
+		return row, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	for _, row := range rows {
+		opts.logf("fig19: %s β*=%g ratio %.2f → %.2f", row.Topology, row.BestBeta, row.RatioWithout, row.RatioWith)
 	}
 	return rows, nil
 }

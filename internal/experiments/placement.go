@@ -22,27 +22,47 @@ type PlacementRow struct {
 // between strategies is small, with most-observing best overall.
 func Placement(opts Options) ([]PlacementRow, error) {
 	opts = opts.withDefaults()
-	var rows []PlacementRow
-	for _, name := range opts.Topologies {
-		s, err := scenarioFor(name)
+	strats := core.PlacementStrategies()
+	scs, err := scenariosFor(opts)
+	if err != nil {
+		return nil, err
+	}
+	type job struct {
+		topo, strat int
+	}
+	var jobs []job
+	for t := range opts.Topologies {
+		for si := range strats {
+			jobs = append(jobs, job{t, si})
+		}
+	}
+	type cell struct {
+		load float64
+		loc  int
+	}
+	cells, err := sweepMap(opts, jobs, func(_ int, j job) (cell, error) {
+		s := scs[j.topo]
+		loc := core.Place(s, strats[j.strat])
+		a, err := core.SolveReplication(s, core.ReplicationConfig{
+			Mirror: core.MirrorDCOnly, MaxLinkLoad: 0.4, DCCapacity: 10,
+			DCAttach: loc, DCAttachFixed: true,
+		})
 		if err != nil {
-			return nil, err
+			return cell{}, err
 		}
-		row := PlacementRow{Topology: name}
-		for _, strat := range core.PlacementStrategies() {
-			loc := core.Place(s, strat)
-			a, err := core.SolveReplication(s, core.ReplicationConfig{
-				Mirror: core.MirrorDCOnly, MaxLinkLoad: 0.4, DCCapacity: 10,
-				DCAttach: loc, DCAttachFixed: true,
-			})
-			if err != nil {
-				return nil, err
-			}
-			row.Loads = append(row.Loads, a.MaxLoad())
-			row.Locations = append(row.Locations, loc)
-			opts.logf("placement: %s %v@%d → %.4f", name, strat, loc, a.MaxLoad())
-		}
-		rows = append(rows, row)
+		return cell{load: a.MaxLoad(), loc: loc}, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	rows := make([]PlacementRow, len(opts.Topologies))
+	for t, name := range opts.Topologies {
+		rows[t].Topology = name
+	}
+	for i, j := range jobs {
+		rows[j.topo].Loads = append(rows[j.topo].Loads, cells[i].load)
+		rows[j.topo].Locations = append(rows[j.topo].Locations, cells[i].loc)
+		opts.logf("placement: %s %v@%d → %.4f", opts.Topologies[j.topo], strats[j.strat], cells[i].loc, cells[i].load)
 	}
 	return rows, nil
 }

@@ -65,29 +65,43 @@ func Robustness(opts Options) (*RobustnessResult, error) {
 	}
 	repCfg := core.ReplicationConfig{Mirror: core.MirrorDCOnly, MaxLinkLoad: 0.4, DCCapacity: 10}
 
-	// Oracle: re-optimize for every matrix (the §3 controller keeping up).
-	var oracle []float64
-	for _, tm := range tms {
-		a, err := core.SolveReplication(s.WithMatrix(tm), repCfg)
-		if err != nil {
-			return nil, err
-		}
-		oracle = append(oracle, a.MaxLoad())
+	// Per-matrix scenario views are shared by the oracle solves and the
+	// fixed-config re-costings below; building them is itself a sweep.
+	svs, err := sweepMap(opts, tms, func(_ int, tm *traffic.Matrix) (*core.Scenario, error) {
+		return s.WithMatrix(tm), nil
+	})
+	if err != nil {
+		return nil, err
 	}
-	res.PeakLoad[RobustReoptimized] = metrics.Box(oracle)
 
-	// Fixed configurations computed once from a provisioning matrix.
-	for li, prov := range []*traffic.Matrix{base, p80} {
-		label := res.Labels[li+1]
-		a, err := core.SolveReplication(s.WithMatrix(prov), repCfg)
+	// Oracle: re-optimize for every matrix (the §3 controller keeping up).
+	oracle, err := sweepMap(opts, svs, func(_ int, sv *core.Scenario) (float64, error) {
+		a, err := core.SolveReplication(sv, repCfg)
 		if err != nil {
-			return nil, err
+			return 0, err
 		}
+		return a.MaxLoad(), nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	res.PeakLoad[RobustReoptimized], _ = metrics.BoxOK(oracle)
+
+	// Fixed configurations computed once from a provisioning matrix; the
+	// two provisioning solves run as parallel jobs, re-costing is cheap.
+	fixed, err := sweepMap(opts, []*traffic.Matrix{base, p80}, func(_ int, prov *traffic.Matrix) (*core.Assignment, error) {
+		return core.SolveReplication(s.WithMatrix(prov), repCfg)
+	})
+	if err != nil {
+		return nil, err
+	}
+	for li, a := range fixed {
+		label := res.Labels[li+1]
 		var peaks []float64
-		for _, tm := range tms {
-			peaks = append(peaks, realizedMaxLoad(a, s.WithMatrix(tm)))
+		for _, sv := range svs {
+			peaks = append(peaks, realizedMaxLoad(a, sv))
 		}
-		res.PeakLoad[label] = metrics.Box(peaks)
+		res.PeakLoad[label], _ = metrics.BoxOK(peaks)
 		opts.logf("robustness: %s → %v", label, res.PeakLoad[label])
 	}
 	return res, nil

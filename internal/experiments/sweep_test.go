@@ -1,0 +1,240 @@
+package experiments
+
+import (
+	"errors"
+	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"nwids/internal/obs"
+)
+
+func TestWorkerCount(t *testing.T) {
+	if got := (Options{}).workerCount(); got != runtime.GOMAXPROCS(0) {
+		t.Errorf("default workerCount = %d, want GOMAXPROCS %d", got, runtime.GOMAXPROCS(0))
+	}
+	if got := (Options{Workers: 3}).workerCount(); got != 3 {
+		t.Errorf("workerCount = %d, want 3", got)
+	}
+	if got := (Options{Workers: 1}).workerCount(); got != 1 {
+		t.Errorf("workerCount = %d, want 1", got)
+	}
+}
+
+func TestForEachRunsEveryJobOnce(t *testing.T) {
+	for _, workers := range []int{1, 4, 64} {
+		const n = 100
+		var counts [n]atomic.Int64
+		err := Options{Workers: workers}.forEach(n, func(i int) error {
+			counts[i].Add(1)
+			return nil
+		})
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		for i := range counts {
+			if c := counts[i].Load(); c != 1 {
+				t.Fatalf("workers=%d: job %d ran %d times", workers, i, c)
+			}
+		}
+	}
+}
+
+// TestSweepMapOrder checks that results land in item order even when later
+// jobs finish first: early jobs sleep longest, so with a parallel pool the
+// completion order is roughly reversed.
+func TestSweepMapOrder(t *testing.T) {
+	items := make([]int, 32)
+	for i := range items {
+		items[i] = i
+	}
+	out, err := sweepMap(Options{Workers: 8}, items, func(i int, item int) (string, error) {
+		time.Sleep(time.Duration(len(items)-i) * 100 * time.Microsecond)
+		return fmt.Sprintf("r%d", item), nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, s := range out {
+		if want := fmt.Sprintf("r%d", i); s != want {
+			t.Fatalf("out[%d] = %q, want %q (completion order leaked into result order)", i, s, want)
+		}
+	}
+}
+
+// TestForEachErrorPropagation checks that a failing sweep point surfaces its
+// error, that the lowest-index error wins when several fail, and that
+// sweepMap returns nil results on failure.
+func TestForEachErrorPropagation(t *testing.T) {
+	errLow := errors.New("job 3 failed")
+	errHigh := errors.New("job 17 failed")
+	for _, workers := range []int{1, 4} {
+		err := Options{Workers: workers}.forEach(20, func(i int) error {
+			switch i {
+			case 3:
+				return errLow
+			case 17:
+				return errHigh
+			}
+			return nil
+		})
+		// Sequential execution stops at job 3; parallel execution may record
+		// both, but must return the lowest-index one.
+		if !errors.Is(err, errLow) {
+			t.Fatalf("workers=%d: err = %v, want %v", workers, err, errLow)
+		}
+	}
+	out, err := sweepMap(Options{Workers: 4}, []int{0, 1, 2}, func(i int, _ int) (int, error) {
+		if i == 1 {
+			return 0, errLow
+		}
+		return i, nil
+	})
+	if err == nil || out != nil {
+		t.Fatalf("sweepMap on failure: out=%v err=%v, want nil results and an error", out, err)
+	}
+}
+
+// TestForEachStopsAfterFailure checks that once a job fails, workers stop
+// starting new jobs instead of draining the whole sweep.
+func TestForEachStopsAfterFailure(t *testing.T) {
+	var started atomic.Int64
+	boom := errors.New("boom")
+	err := Options{Workers: 2}.forEach(10000, func(i int) error {
+		started.Add(1)
+		return boom
+	})
+	if !errors.Is(err, boom) {
+		t.Fatalf("err = %v", err)
+	}
+	if n := started.Load(); n > 100 {
+		t.Fatalf("%d jobs started after first failure; pool should bail out early", n)
+	}
+}
+
+// TestSweepMetrics checks the per-worker observability labels: total job
+// count, per-worker attribution summing to the total, pool-width gauge and
+// per-job span timer.
+func TestSweepMetrics(t *testing.T) {
+	reg := obs.NewRegistry()
+	const n = 40
+	err := Options{Workers: 4, Obs: reg}.forEach(n, func(i int) error { return nil })
+	if err != nil {
+		t.Fatal(err)
+	}
+	snap := reg.Snapshot(nil)
+	if got := snap.Counters["sweep.jobs"]; got != n {
+		t.Errorf("sweep.jobs = %d, want %d", got, n)
+	}
+	var perWorker uint64
+	for w := 0; w < 4; w++ {
+		perWorker += snap.Counters[fmt.Sprintf("sweep.worker.%d.jobs", w)]
+	}
+	if perWorker != n {
+		t.Errorf("per-worker jobs sum to %d, want %d", perWorker, n)
+	}
+	if got := snap.Gauges["sweep.workers"]; got != 4 {
+		t.Errorf("sweep.workers gauge = %g, want 4", got)
+	}
+	if got := snap.Timers["sweep.job"].Count; got != n {
+		t.Errorf("sweep.job timer count = %d, want %d", got, n)
+	}
+}
+
+// syncLogf collects progress lines; safe to pass as Options.Logf even if a
+// driver were to log from inside a job.
+type syncLogf struct {
+	mu    sync.Mutex
+	lines []string
+}
+
+func (l *syncLogf) logf(format string, args ...any) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	l.lines = append(l.lines, fmt.Sprintf(format, args...))
+}
+
+// TestParallelMatchesSequential is the determinism gate for the sweep
+// engine: every figure must render byte-identically at -workers 1 and
+// -workers 4, and emit the same progress log in the same order. This is the
+// contract that makes the parallel engine a pure speedup.
+func TestParallelMatchesSequential(t *testing.T) {
+	if testing.Short() {
+		t.Skip("solves many LPs")
+	}
+	renderers := map[string]func(Options) (string, error){
+		"fig11": func(o Options) (string, error) {
+			r, err := Fig11(o)
+			if err != nil {
+				return "", err
+			}
+			return r.Render(), nil
+		},
+		"fig13": func(o Options) (string, error) {
+			r, err := Fig13(o)
+			if err != nil {
+				return "", err
+			}
+			return r.Render(), nil
+		},
+		"fig15": func(o Options) (string, error) {
+			r, err := Fig15(o)
+			if err != nil {
+				return "", err
+			}
+			return r.Render(), nil
+		},
+		"fig1617": func(o Options) (string, error) {
+			r, err := Fig1617(o)
+			if err != nil {
+				return "", err
+			}
+			return r.RenderMiss() + r.RenderLoad(), nil
+		},
+		"fig18": func(o Options) (string, error) {
+			r, err := Fig18(o)
+			if err != nil {
+				return "", err
+			}
+			return r.Render(), nil
+		},
+		"footprint": func(o Options) (string, error) {
+			r, err := FootprintSensitivity(o)
+			if err != nil {
+				return "", err
+			}
+			return r.Render(), nil
+		},
+	}
+	for name, render := range renderers {
+		t.Run(name, func(t *testing.T) {
+			var seqLog, parLog syncLogf
+			seqOpts := Options{Topologies: []string{"Internet2", "Geant"}, Quick: true, Seed: 3, Workers: 1, Logf: seqLog.logf}
+			parOpts := seqOpts
+			parOpts.Workers = 4
+			parOpts.Logf = parLog.logf
+			seq, err := render(seqOpts)
+			if err != nil {
+				t.Fatal(err)
+			}
+			par, err := render(parOpts)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if seq != par {
+				t.Errorf("workers=4 output differs from workers=1:\n--- sequential ---\n%s\n--- parallel ---\n%s", seq, par)
+			}
+			if len(seqLog.lines) != len(parLog.lines) {
+				t.Fatalf("log line counts differ: %d vs %d", len(seqLog.lines), len(parLog.lines))
+			}
+			for i := range seqLog.lines {
+				if seqLog.lines[i] != parLog.lines[i] {
+					t.Errorf("log line %d differs:\nseq: %s\npar: %s", i, seqLog.lines[i], parLog.lines[i])
+				}
+			}
+		})
+	}
+}

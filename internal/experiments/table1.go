@@ -26,26 +26,27 @@ type Table1Row struct {
 // replication ≫ aggregation.
 func Table1(opts Options) ([]Table1Row, error) {
 	opts = opts.withDefaults()
-	var rows []Table1Row
-	for _, name := range opts.Topologies {
+	// One job per topology. The reported times are each solve's own wall
+	// time, so they stay meaningful under concurrency, though co-scheduled
+	// solves can inflate them; -workers 1 gives the cleanest timings.
+	rows, err := sweepMap(opts, opts.Topologies, func(_ int, name string) (Table1Row, error) {
 		s, err := scenarioFor(name)
 		if err != nil {
-			return nil, err
+			return Table1Row{}, err
 		}
-		opts.logf("table1: %s (%d classes)", name, len(s.Classes))
 		rep, err := core.SolveReplication(s, core.ReplicationConfig{
 			Mirror: core.MirrorDCOnly, MaxLinkLoad: 0.4, DCCapacity: 10,
 		})
 		if err != nil {
-			return nil, err
+			return Table1Row{}, err
 		}
 		agg, err := core.SolveAggregation(s, core.AggregationConfig{Beta: 1})
 		if err != nil {
-			return nil, err
+			return Table1Row{}, err
 		}
 		opts.observe(rep)
 		opts.observe(agg.Assignment)
-		rows = append(rows, Table1Row{
+		return Table1Row{
 			Topology:        name,
 			PoPs:            s.Graph.NumNodes(),
 			Classes:         len(s.Classes),
@@ -53,7 +54,13 @@ func Table1(opts Options) ([]Table1Row, error) {
 			ReplicationIter: rep.Iterations,
 			AggregationTime: agg.Assignment.SolveTime,
 			AggregationIter: agg.Assignment.Iterations,
-		})
+		}, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	for _, r := range rows {
+		opts.logf("table1: %s (%d classes) solved", r.Topology, r.Classes)
 	}
 	return rows, nil
 }

@@ -10,29 +10,49 @@ import (
 	"strings"
 )
 
-// Quantile returns the q-quantile (0 ≤ q ≤ 1) of xs by linear
-// interpolation; it panics on an empty slice. To extract several quantiles
-// of the same data use Quantiles, which sorts only once.
+// Quantile returns the q-quantile of xs by linear interpolation; it panics
+// on an empty slice. To extract several quantiles of the same data use
+// Quantiles, which sorts only once. q outside [0, 1] is clamped (see
+// Quantiles).
 func Quantile(xs []float64, q float64) float64 {
 	return Quantiles(xs, q)[0]
 }
 
 // Quantiles returns the qs-quantiles of xs by linear interpolation, sorting
-// the data once for all of them; it panics on an empty slice.
+// the data once for all of them; it panics on an empty slice. Out-of-range
+// quantiles are clamped: q ≤ 0 yields the minimum and q ≥ 1 the maximum,
+// so callers sweeping q past the boundaries get the extremes rather than an
+// out-of-bounds access. A NaN q is a programming error and panics.
 func Quantiles(xs []float64, qs ...float64) []float64 {
-	if len(xs) == 0 {
+	out, ok := QuantilesOK(xs, qs...)
+	if !ok {
 		panic("metrics: quantile of empty slice")
+	}
+	return out
+}
+
+// QuantilesOK is Quantiles for possibly-empty data: it reports ok = false
+// (with a nil result) instead of panicking when xs has no samples, for
+// harness call sites that can legitimately see zero samples (an infeasible
+// sweep point, an empty histogram). The q clamping rules match Quantiles.
+func QuantilesOK(xs []float64, qs ...float64) ([]float64, bool) {
+	if len(xs) == 0 {
+		return nil, false
 	}
 	s := append([]float64(nil), xs...)
 	sort.Float64s(s)
 	out := make([]float64, len(qs))
 	for i, q := range qs {
+		if math.IsNaN(q) {
+			panic("metrics: NaN quantile requested")
+		}
 		out[i] = quantileSorted(s, q)
 	}
-	return out
+	return out, true
 }
 
-// quantileSorted interpolates the q-quantile of the already-sorted s.
+// quantileSorted interpolates the q-quantile of the already-sorted,
+// non-empty s, clamping q into [0, 1].
 func quantileSorted(s []float64, q float64) float64 {
 	if q <= 0 {
 		return s[0]
@@ -49,19 +69,39 @@ func quantileSorted(s []float64, q float64) float64 {
 	return s[lo]*(1-frac) + s[lo+1]*frac
 }
 
-// Median returns the 50th percentile.
+// Median returns the 50th percentile; it panics on an empty slice.
 func Median(xs []float64) float64 { return Quantile(xs, 0.5) }
+
+// MedianOK returns the 50th percentile, reporting ok = false on an empty
+// slice instead of panicking.
+func MedianOK(xs []float64) (float64, bool) {
+	q, ok := QuantilesOK(xs, 0.5)
+	if !ok {
+		return 0, false
+	}
+	return q[0], true
+}
 
 // Mean returns the arithmetic mean; it panics on an empty slice.
 func Mean(xs []float64) float64 {
-	if len(xs) == 0 {
+	m, ok := MeanOK(xs)
+	if !ok {
 		panic("metrics: mean of empty slice")
+	}
+	return m
+}
+
+// MeanOK returns the arithmetic mean, reporting ok = false on an empty
+// slice instead of panicking.
+func MeanOK(xs []float64) (float64, bool) {
+	if len(xs) == 0 {
+		return 0, false
 	}
 	var t float64
 	for _, x := range xs {
 		t += x
 	}
-	return t / float64(len(xs))
+	return t / float64(len(xs)), true
 }
 
 // BoxStats is a five-number summary as plotted in Figure 15.
@@ -69,10 +109,24 @@ type BoxStats struct {
 	Min, Q25, Median, Q75, Max float64
 }
 
-// Box computes the five-number summary of xs, sorting the data once.
+// Box computes the five-number summary of xs, sorting the data once; it
+// panics on an empty slice.
 func Box(xs []float64) BoxStats {
-	q := Quantiles(xs, 0, 0.25, 0.5, 0.75, 1)
-	return BoxStats{Min: q[0], Q25: q[1], Median: q[2], Q75: q[3], Max: q[4]}
+	b, ok := BoxOK(xs)
+	if !ok {
+		panic("metrics: box summary of empty slice")
+	}
+	return b
+}
+
+// BoxOK computes the five-number summary, reporting ok = false (with a zero
+// summary) on an empty slice instead of panicking.
+func BoxOK(xs []float64) (BoxStats, bool) {
+	q, ok := QuantilesOK(xs, 0, 0.25, 0.5, 0.75, 1)
+	if !ok {
+		return BoxStats{}, false
+	}
+	return BoxStats{Min: q[0], Q25: q[1], Median: q[2], Q75: q[3], Max: q[4]}, true
 }
 
 // String renders the summary compactly.

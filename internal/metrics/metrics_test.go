@@ -109,3 +109,83 @@ func TestTableRendering(t *testing.T) {
 		t.Fatalf("alignment: %q", lines[2])
 	}
 }
+
+func TestOKVariantsEmptyAndSingle(t *testing.T) {
+	// Empty inputs: ok = false, zero results, no panic.
+	if _, ok := QuantilesOK(nil, 0.5); ok {
+		t.Fatal("QuantilesOK(nil) should report !ok")
+	}
+	if _, ok := MeanOK(nil); ok {
+		t.Fatal("MeanOK(nil) should report !ok")
+	}
+	if _, ok := MedianOK([]float64{}); ok {
+		t.Fatal("MedianOK(empty) should report !ok")
+	}
+	if b, ok := BoxOK(nil); ok || b != (BoxStats{}) {
+		t.Fatalf("BoxOK(nil) = %+v, %v; want zero, false", b, ok)
+	}
+
+	// Single element: every quantile and summary collapses to that value.
+	one := []float64{7}
+	qs, ok := QuantilesOK(one, 0, 0.25, 0.5, 0.75, 1)
+	if !ok {
+		t.Fatal("QuantilesOK(single) should report ok")
+	}
+	for i, q := range qs {
+		if q != 7 {
+			t.Fatalf("qs[%d] = %g, want 7", i, q)
+		}
+	}
+	if m, ok := MedianOK(one); !ok || m != 7 {
+		t.Fatalf("MedianOK(single) = %g, %v", m, ok)
+	}
+	if m, ok := MeanOK(one); !ok || m != 7 {
+		t.Fatalf("MeanOK(single) = %g, %v", m, ok)
+	}
+	if b, ok := BoxOK(one); !ok || b.Min != 7 || b.Max != 7 || b.Median != 7 {
+		t.Fatalf("BoxOK(single) = %+v, %v", b, ok)
+	}
+}
+
+func TestQuantileBoundaryClamping(t *testing.T) {
+	xs := []float64{2, 4, 6, 8}
+	cases := []struct {
+		q, want float64
+	}{
+		{-0.5, 2}, // below range clamps to the minimum
+		{-0.0001, 2},
+		{0, 2},
+		{1, 8},
+		{1.0001, 8}, // above range clamps to the maximum
+		{2.5, 8},
+	}
+	for _, c := range cases {
+		if got := Quantile(xs, c.q); got != c.want {
+			t.Errorf("Quantile(q=%g) = %g, want %g", c.q, got, c.want)
+		}
+	}
+	if got := Quantile(xs, math.Inf(-1)); got != 2 {
+		t.Errorf("Quantile(-Inf) = %g, want 2", got)
+	}
+	if got := Quantile(xs, math.Inf(1)); got != 8 {
+		t.Errorf("Quantile(+Inf) = %g, want 8", got)
+	}
+}
+
+func TestQuantileNaNPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("want panic on NaN quantile")
+		}
+	}()
+	Quantile([]float64{1, 2, 3}, math.NaN())
+}
+
+func TestBoxPanicsOnEmpty(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("want panic on empty box input")
+		}
+	}()
+	Box(nil)
+}

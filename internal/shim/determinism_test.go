@@ -1,0 +1,102 @@
+package shim
+
+import (
+	"reflect"
+	"testing"
+
+	"nwids/internal/core"
+	"nwids/internal/packet"
+	"nwids/internal/topology"
+	"nwids/internal/traffic"
+)
+
+// Shim configs are compiled once per reconfiguration epoch and pushed to
+// every node; if two compilations of the same assignment could disagree
+// (e.g. via map iteration order leaking into range layout), nodes updated at
+// different times would dispute hash-range ownership. These regression tests
+// pin the determinism contract the parallel sweep engine and the §7.1
+// distribution protocol both rely on.
+
+// TestCompileConfigsDeterministic compiles the same assignment twice on
+// every built-in evaluation topology and requires structurally identical
+// configs — same rules, same ranges, same order.
+func TestCompileConfigsDeterministic(t *testing.T) {
+	for _, name := range topology.EvaluationNames() {
+		g := topology.ByName(name)
+		if g == nil {
+			t.Fatalf("unknown topology %q", name)
+		}
+		s := core.NewScenario(g, traffic.GravityDefault(g), core.ScenarioOptions{
+			ClassTemplates: core.DefaultClassTemplates(),
+		})
+		// Ingress assignments exercise the full per-pair blending path on all
+		// eight topologies without the cost of an LP per topology; the
+		// LP-solved case is covered on Internet2 below.
+		a := core.Ingress(s)
+		c1 := CompileConfigs(a, 42)
+		c2 := CompileConfigs(a, 42)
+		if !reflect.DeepEqual(c1, c2) {
+			t.Errorf("%s: CompileConfigs is not deterministic for the same assignment", name)
+		}
+	}
+}
+
+// TestCompileConfigsDeterministicAcrossSolves re-solves the same replication
+// LP and requires the compiled configs to match: determinism must hold
+// end-to-end through the solver, not just for one in-memory assignment.
+func TestCompileConfigsDeterministicAcrossSolves(t *testing.T) {
+	g := topology.Internet2()
+	s := core.NewScenario(g, traffic.GravityDefault(g), core.ScenarioOptions{})
+	cfg := core.ReplicationConfig{Mirror: core.MirrorDCOnly, MaxLinkLoad: 0.4, DCCapacity: 10}
+	a1, err := core.SolveReplication(s, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a2, err := core.SolveReplication(s, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c1 := CompileConfigs(a1, 7)
+	c2 := CompileConfigs(a2, 7)
+	if !reflect.DeepEqual(c1, c2) {
+		t.Error("two solves of the same LP compile to different shim configs")
+	}
+}
+
+// TestKeyForPacketDirectionSymmetric checks the §7.2 bidirectional
+// consistency requirement across all built-in topologies: the forward and
+// reverse packets of a session must resolve to the same class key, and
+// their tuples must hash to the same point in [0, 1) — together these pin
+// both directions to the same owning node.
+func TestKeyForPacketDirectionSymmetric(t *testing.T) {
+	for _, name := range topology.EvaluationNames() {
+		g := topology.ByName(name)
+		if g == nil {
+			t.Fatalf("unknown topology %q", name)
+		}
+		n := g.NumNodes()
+		for src := 0; src < n; src++ {
+			for dst := 0; dst < n; dst++ {
+				tup := packet.FiveTuple{
+					Proto:   packet.ProtoTCP,
+					SrcIP:   packet.PoPIP(src, uint16(100+src)),
+					DstIP:   packet.PoPIP(dst, uint16(200+dst)),
+					SrcPort: uint16(10000 + src*31 + dst),
+					DstPort: 80,
+				}
+				fwd := packet.Packet{Tuple: tup, Dir: packet.Forward}
+				rev := packet.Packet{Tuple: tup.Reverse(), Dir: packet.Reverse}
+				kf, kr := KeyForPacket(fwd), KeyForPacket(rev)
+				if kf != kr {
+					t.Fatalf("%s (%d→%d): keys differ: fwd=%+v rev=%+v", name, src, dst, kf, kr)
+				}
+				if want := (ClassKey{SrcPoP: uint8(src), DstPoP: uint8(dst)}); kf != want {
+					t.Fatalf("%s (%d→%d): key = %+v, want %+v", name, src, dst, kf, want)
+				}
+				if HashFraction(tup, 9) != HashFraction(tup.Reverse(), 9) {
+					t.Fatalf("%s (%d→%d): directional tuples hash to different ranges", name, src, dst)
+				}
+			}
+		}
+	}
+}
