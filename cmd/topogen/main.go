@@ -39,7 +39,7 @@ func main() {
 			os.Exit(1)
 		}
 		g, err := topology.Parse(f)
-		f.Close()
+		_ = f.Close() // read-only file; a close error carries no information
 		if err != nil {
 			log.Error("topology parse failed", "path", *load, "err", err.Error())
 			os.Exit(1)

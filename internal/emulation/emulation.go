@@ -171,9 +171,11 @@ func Run(cfg Config) (*Result, error) {
 		}
 		defer func() {
 			for _, t := range tunnels {
+				//lint:ignore errdiscard best-effort teardown of an in-memory emulation; nothing to do with a close error
 				t.Close()
 			}
 			for _, s := range servers {
+				//lint:ignore errdiscard best-effort teardown of an in-memory emulation; nothing to do with a close error
 				s.Close()
 			}
 		}()

@@ -2,6 +2,7 @@ package experiments
 
 import (
 	"fmt"
+	"sort"
 
 	"nwids/internal/core"
 	"nwids/internal/metrics"
@@ -276,16 +277,8 @@ func orderedKeys[V any](m map[string]V) []string {
 			extra = append(extra, k)
 		}
 	}
-	sortStrings(extra)
+	sort.Strings(extra)
 	return append(out, extra...)
 }
 
 var evaluationOrder = []string{"Internet2", "Geant", "Enterprise", "TiNet", "Telstra", "Sprint", "Level3", "NTT"}
-
-func sortStrings(s []string) {
-	for i := 1; i < len(s); i++ {
-		for j := i; j > 0 && s[j] < s[j-1]; j-- {
-			s[j], s[j-1] = s[j-1], s[j]
-		}
-	}
-}

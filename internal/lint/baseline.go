@@ -1,0 +1,101 @@
+package lint
+
+import (
+	"bufio"
+	"fmt"
+	"os"
+	"sort"
+	"strings"
+)
+
+// baseline.go implements the accepted-findings escape hatch: a checked-in
+// file of pre-existing findings that the CI gate tolerates, so the gate
+// fails only on NEW violations. Entries are keyed on (rule, file, message)
+// — deliberately not on line numbers, which drift with every edit — and
+// one entry accepts every finding with that key.
+//
+// File format: one tab-separated entry per line,
+//
+//	rule<TAB>file<TAB>message
+//
+// with '#' comment lines and blank lines ignored. The file is written
+// sorted so diffs stay reviewable.
+
+// A Baseline is a set of accepted finding keys.
+type Baseline struct {
+	keys map[string]bool
+}
+
+// NewBaseline builds a baseline from findings (used by -write-baseline).
+func NewBaseline(findings []Finding) *Baseline {
+	b := &Baseline{keys: make(map[string]bool)}
+	for _, f := range findings {
+		b.keys[f.Key()] = true
+	}
+	return b
+}
+
+// ReadBaseline parses a baseline file. A missing file is an error: the
+// driver treats "no -baseline flag" as the empty baseline instead.
+func ReadBaseline(path string) (*Baseline, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	b := &Baseline{keys: make(map[string]bool)}
+	sc := bufio.NewScanner(f)
+	sc.Buffer(make([]byte, 0, 64*1024), 1024*1024)
+	n := 0
+	for sc.Scan() {
+		n++
+		line := sc.Text()
+		if strings.TrimSpace(line) == "" || strings.HasPrefix(strings.TrimSpace(line), "#") {
+			continue
+		}
+		if strings.Count(line, "\t") < 2 {
+			return nil, fmt.Errorf("lint: %s:%d: malformed baseline entry (want rule<TAB>file<TAB>message)", path, n)
+		}
+		b.keys[line] = true
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	return b, nil
+}
+
+// WriteFile writes the baseline, sorted, to path.
+func (b *Baseline) WriteFile(path string) error {
+	keys := make([]string, 0, len(b.keys))
+	for k := range b.keys {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	var sb strings.Builder
+	sb.WriteString("# nwidslint baseline: accepted pre-existing findings.\n")
+	sb.WriteString("# Regenerate with: go run ./cmd/nwidslint -write-baseline lint.baseline ./...\n")
+	sb.WriteString("# Format: rule<TAB>file<TAB>message\n")
+	for _, k := range keys {
+		sb.WriteString(k)
+		sb.WriteByte('\n')
+	}
+	return os.WriteFile(path, []byte(sb.String()), 0o644)
+}
+
+// Len reports the number of accepted keys.
+func (b *Baseline) Len() int { return len(b.keys) }
+
+// Contains reports whether the finding is accepted by the baseline.
+func (b *Baseline) Contains(f Finding) bool { return b.keys[f.Key()] }
+
+// Filter splits findings into (new, accepted) relative to the baseline.
+func (b *Baseline) Filter(findings []Finding) (fresh, accepted []Finding) {
+	for _, f := range findings {
+		if b.Contains(f) {
+			accepted = append(accepted, f)
+		} else {
+			fresh = append(fresh, f)
+		}
+	}
+	return fresh, accepted
+}

@@ -1,0 +1,100 @@
+package lint
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestBaselineRoundTrip(t *testing.T) {
+	findings := []Finding{
+		{Rule: "floatcmp", File: "internal/lp/a.go", Line: 10, Message: "float == float"},
+		{Rule: "errdiscard", File: "cmd/x/main.go", Line: 3, Message: "result of Close is discarded"},
+		{Rule: "errdiscard", File: "cmd/x/main.go", Line: 9, Message: "result of Close is discarded"}, // same key as above
+	}
+	path := filepath.Join(t.TempDir(), "lint.baseline")
+	if err := NewBaseline(findings).WriteFile(path); err != nil {
+		t.Fatal(err)
+	}
+	b, err := ReadBaseline(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Two distinct keys despite three findings.
+	if b.Len() != 2 {
+		t.Fatalf("Len() = %d, want 2", b.Len())
+	}
+	for _, f := range findings {
+		if !b.Contains(f) {
+			t.Errorf("baseline does not contain %v", f)
+		}
+	}
+	// A new finding — same rule+file, different message — is not accepted.
+	fresh := Finding{Rule: "floatcmp", File: "internal/lp/a.go", Line: 10, Message: "float != float"}
+	if b.Contains(fresh) {
+		t.Error("baseline accepted a finding with a different message")
+	}
+	newOnes, accepted := b.Filter(append(findings, fresh))
+	if len(newOnes) != 1 || len(accepted) != 3 {
+		t.Fatalf("Filter: %d new, %d accepted; want 1 new, 3 accepted", len(newOnes), len(accepted))
+	}
+	if newOnes[0] != fresh {
+		t.Errorf("Filter new = %v, want %v", newOnes[0], fresh)
+	}
+}
+
+func TestBaselineFileFormat(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "lint.baseline")
+	if err := NewBaseline([]Finding{{Rule: "r", File: "f.go", Message: "m"}}).WriteFile(path); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := string(data)
+	if !strings.HasPrefix(s, "#") {
+		t.Errorf("baseline should start with a comment header, got %q", s)
+	}
+	if !strings.Contains(s, "r\tf.go\tm\n") {
+		t.Errorf("baseline missing tab-separated entry, got %q", s)
+	}
+
+	// Comments and blank lines are ignored on read.
+	if err := os.WriteFile(path, []byte("# c\n\nr\tf.go\tm\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	b, err := ReadBaseline(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b.Len() != 1 {
+		t.Fatalf("Len() = %d, want 1", b.Len())
+	}
+
+	// Malformed entries are rejected, not silently dropped.
+	if err := os.WriteFile(path, []byte("not a valid entry\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ReadBaseline(path); err == nil {
+		t.Error("ReadBaseline accepted a malformed entry")
+	}
+}
+
+func TestBaselineSortedOutput(t *testing.T) {
+	findings := []Finding{
+		{Rule: "z", File: "b.go", Message: "m2"},
+		{Rule: "a", File: "a.go", Message: "m1"},
+	}
+	path := filepath.Join(t.TempDir(), "lint.baseline")
+	if err := NewBaseline(findings).WriteFile(path); err != nil {
+		t.Fatal(err)
+	}
+	data, _ := os.ReadFile(path)
+	ia := strings.Index(string(data), "a\ta.go")
+	iz := strings.Index(string(data), "z\tb.go")
+	if ia < 0 || iz < 0 || ia > iz {
+		t.Errorf("baseline entries not sorted:\n%s", data)
+	}
+}

@@ -1,0 +1,129 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"os"
+	"path/filepath"
+	"strings"
+)
+
+// ignore.go implements //lint:ignore suppression comments:
+//
+//	//lint:ignore <rule[,rule...]> <reason>
+//
+// A directive silences findings of the named rules on the line it sits on
+// (trailing comment) or on the line directly below it (comment on its own
+// line above the offending statement). The reason is mandatory: a
+// directive without one is reported under the "lint" pseudo-rule instead
+// of being honored, so suppressions stay self-documenting.
+
+// A directive is one parsed //lint:ignore comment. A trailing directive
+// (code precedes it on its line) silences its own line; an own-line
+// directive silences the line below it. When the source text cannot be
+// consulted to tell the two apart, both lines are covered.
+type directive struct {
+	file     string
+	line     int // line the comment itself is on
+	sameLine bool
+	nextLine bool
+	rules    map[string]bool
+	reason   string
+}
+
+// matches reports whether the directive silences rule at (file, line).
+func (d directive) matches(f Finding) bool {
+	if d.file != f.File || !d.rules[f.Rule] {
+		return false
+	}
+	return (d.sameLine && f.Line == d.line) || (d.nextLine && f.Line == d.line+1)
+}
+
+const ignorePrefix = "//lint:ignore"
+
+// parseDirectives extracts the well-formed directives of one file, and
+// reports malformed ones (missing rule or reason) as "lint" findings.
+func parseDirectives(fset *token.FileSet, file *ast.File, baseDir string) ([]directive, []Finding) {
+	var dirs []directive
+	var bad []Finding
+	// The source text distinguishes trailing from own-line directives; an
+	// unreadable file (in-memory parse) degrades to covering both lines.
+	var src []byte
+	if tf := fset.File(file.Pos()); tf != nil {
+		src, _ = os.ReadFile(tf.Name())
+	}
+	for _, cg := range file.Comments {
+		for _, c := range cg.List {
+			if !strings.HasPrefix(c.Text, ignorePrefix) {
+				continue
+			}
+			pos := fset.Position(c.Pos())
+			fname := pos.Filename
+			if baseDir != "" {
+				if rel, err := filepath.Rel(baseDir, fname); err == nil && !strings.HasPrefix(rel, "..") {
+					fname = filepath.ToSlash(rel)
+				}
+			}
+			rest := strings.TrimPrefix(c.Text, ignorePrefix)
+			fields := strings.Fields(rest)
+			if len(fields) < 2 {
+				bad = append(bad, Finding{
+					Rule:    "lint",
+					File:    fname,
+					Line:    pos.Line,
+					Column:  pos.Column,
+					Message: "malformed //lint:ignore directive: want //lint:ignore <rule[,rule]> <reason>",
+				})
+				continue
+			}
+			rules := make(map[string]bool)
+			for _, r := range strings.Split(fields[0], ",") {
+				if r != "" {
+					rules[r] = true
+				}
+			}
+			sameLine, nextLine := true, true
+			if tf := fset.File(c.Pos()); tf != nil && src != nil {
+				start := tf.Offset(tf.LineStart(pos.Line))
+				end := tf.Offset(c.Pos())
+				if start <= end && end <= len(src) {
+					if strings.TrimSpace(string(src[start:end])) == "" {
+						sameLine = false // own-line: applies below
+					} else {
+						nextLine = false // trailing: applies to its line
+					}
+				}
+			}
+			dirs = append(dirs, directive{
+				file:     fname,
+				line:     pos.Line,
+				sameLine: sameLine,
+				nextLine: nextLine,
+				rules:    rules,
+				reason:   strings.Join(fields[1:], " "),
+			})
+		}
+	}
+	return dirs, bad
+}
+
+// applyIgnores drops findings silenced by a directive.
+func applyIgnores(findings []Finding, dirs []directive) []Finding {
+	if len(dirs) == 0 {
+		return findings
+	}
+	out := findings[:0]
+	for _, f := range findings {
+		suppressed := false
+		for _, d := range dirs {
+			if d.matches(f) {
+				suppressed = true
+				break
+			}
+		}
+		if !suppressed {
+			out = append(out, f)
+		}
+	}
+	return out
+}

@@ -1,0 +1,79 @@
+package lint
+
+import (
+	"go/parser"
+	"go/token"
+	"testing"
+)
+
+// parseSrc parses one in-memory file for directive tests.
+func parseSrc(t *testing.T, src string) (*token.FileSet, []directive, []Finding) {
+	t.Helper()
+	fset := token.NewFileSet()
+	f, err := parser.ParseFile(fset, "x.go", src, parser.ParseComments)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dirs, bad := parseDirectives(fset, f, "")
+	return fset, dirs, bad
+}
+
+func TestParseDirectives(t *testing.T) {
+	src := `package p
+
+//lint:ignore rulea the reason text
+var a int
+
+var b int //lint:ignore rulea,ruleb multi-rule same-line reason
+
+//lint:ignore missingreason
+var c int
+`
+	_, dirs, bad := parseSrc(t, src)
+	if len(dirs) != 2 {
+		t.Fatalf("parsed %d directives, want 2: %v", len(dirs), dirs)
+	}
+	d0 := dirs[0]
+	if d0.line != 3 || !d0.rules["rulea"] || d0.reason != "the reason text" {
+		t.Errorf("directive[0] = %+v, want line 3, rule rulea, reason preserved", d0)
+	}
+	d1 := dirs[1]
+	if d1.line != 6 || !d1.rules["rulea"] || !d1.rules["ruleb"] {
+		t.Errorf("directive[1] = %+v, want line 6 covering rulea and ruleb", d1)
+	}
+	if len(bad) != 1 || bad[0].Rule != "lint" || bad[0].Line != 8 {
+		t.Fatalf("malformed directives = %v, want one lint finding at line 8", bad)
+	}
+}
+
+func TestDirectiveMatching(t *testing.T) {
+	d := directive{file: "x.go", line: 10, sameLine: true, nextLine: true, rules: map[string]bool{"r": true}}
+	cases := []struct {
+		f    Finding
+		want bool
+	}{
+		{Finding{Rule: "r", File: "x.go", Line: 10}, true},  // same line
+		{Finding{Rule: "r", File: "x.go", Line: 11}, true},  // line below the directive
+		{Finding{Rule: "r", File: "x.go", Line: 12}, false}, // too far
+		{Finding{Rule: "r", File: "x.go", Line: 9}, false},  // above the directive
+		{Finding{Rule: "q", File: "x.go", Line: 10}, false}, // other rule
+		{Finding{Rule: "r", File: "y.go", Line: 10}, false}, // other file
+	}
+	for _, c := range cases {
+		if got := d.matches(c.f); got != c.want {
+			t.Errorf("matches(%+v) = %v, want %v", c.f, got, c.want)
+		}
+	}
+}
+
+func TestApplyIgnores(t *testing.T) {
+	dirs := []directive{{file: "x.go", line: 5, sameLine: true, nextLine: true, rules: map[string]bool{"r": true}}}
+	in := []Finding{
+		{Rule: "r", File: "x.go", Line: 6, Message: "suppressed"},
+		{Rule: "r", File: "x.go", Line: 7, Message: "kept"},
+	}
+	out := applyIgnores(in, dirs)
+	if len(out) != 1 || out[0].Message != "kept" {
+		t.Fatalf("applyIgnores = %v, want only the unsuppressed finding", out)
+	}
+}

@@ -1,0 +1,128 @@
+// Package linttest runs analyzers over golden fixture packages and checks
+// their findings against // want "regexp" expectation comments, in the
+// spirit of golang.org/x/tools' analysistest but stdlib-only.
+//
+// A fixture tree is GOPATH-shaped: testdata/src/<import/path>/*.go. Every
+// finding an analyzer reports must be matched by a want comment on the
+// same line, and every want comment must match at least one finding:
+//
+//	x := f() // want "result of f contains an error" "second rule"
+//
+// Each quoted string is a regular expression matched against the message
+// of a finding reported on that line. Suppression directives
+// (//lint:ignore) are honored before matching, so fixtures can also
+// assert that suppression works by carrying a directive and no want.
+package linttest
+
+import (
+	"go/token"
+	"regexp"
+	"strings"
+	"testing"
+
+	"nwids/internal/lint"
+)
+
+// want is one expectation: a regexp that must match a finding's message
+// at (file, line).
+type want struct {
+	file string
+	line int
+	rx   *regexp.Regexp
+	raw  string
+	hit  bool
+}
+
+// Want expectations accept double-quoted or backtick-quoted regexps.
+var wantRE = regexp.MustCompile("want((?:\\s+(?:\"(?:[^\"\\\\]|\\\\.)*\"|`[^`]*`))+)")
+var quotedRE = regexp.MustCompile("\"((?:[^\"\\\\]|\\\\.)*)\"|`([^`]*)`")
+
+// Run loads the fixture packages named by patterns (relative to srcRoot,
+// go-style: "fix/..." walks a subtree) and checks analyzers' findings
+// against the fixtures' want comments.
+func Run(t *testing.T, srcRoot string, patterns []string, analyzers []*lint.Analyzer) {
+	t.Helper()
+	loader, err := lint.NewFixtureLoader(srcRoot)
+	if err != nil {
+		t.Fatalf("linttest: %v", err)
+	}
+	pkgs, err := loader.Load(patterns...)
+	if err != nil {
+		t.Fatalf("linttest: loading fixtures: %v", err)
+	}
+	if len(pkgs) == 0 {
+		t.Fatalf("linttest: no fixture packages matched %v under %s", patterns, srcRoot)
+	}
+	findings := lint.Run(pkgs, analyzers)
+
+	wants := collectWants(t, pkgs)
+	for _, f := range findings {
+		if !matchWant(wants, f) {
+			t.Errorf("unexpected finding: %s", f)
+		}
+	}
+	for _, w := range wants {
+		if !w.hit {
+			t.Errorf("%s:%d: want %q matched no finding", w.file, w.line, w.raw)
+		}
+	}
+}
+
+// collectWants scans every fixture file's comments for want expectations.
+func collectWants(t *testing.T, pkgs []*lint.Package) []*want {
+	t.Helper()
+	var wants []*want
+	seen := make(map[*token.File]bool)
+	for _, pkg := range pkgs {
+		for _, file := range pkg.Files {
+			tf := pkg.Fset.File(file.Pos())
+			if tf == nil || seen[tf] {
+				continue
+			}
+			seen[tf] = true
+			for _, cg := range file.Comments {
+				for _, c := range cg.List {
+					m := wantRE.FindStringSubmatch(c.Text)
+					if m == nil {
+						continue
+					}
+					pos := pkg.Fset.Position(c.Pos())
+					fname := relFixturePath(pkg, pos.Filename)
+					for _, q := range quotedRE.FindAllStringSubmatch(m[1], -1) {
+						pat := q[1]
+						if pat == "" {
+							pat = q[2] // backtick-quoted alternative
+						}
+						rx, err := regexp.Compile(pat)
+						if err != nil {
+							t.Fatalf("%s:%d: bad want regexp %q: %v", fname, pos.Line, pat, err)
+						}
+						wants = append(wants, &want{file: fname, line: pos.Line, rx: rx, raw: pat})
+					}
+				}
+			}
+		}
+	}
+	return wants
+}
+
+// relFixturePath mirrors Pass.Reportf's BaseDir-relative rendering so
+// wants and findings compare by the same file spelling.
+func relFixturePath(pkg *lint.Package, filename string) string {
+	if strings.HasPrefix(filename, pkg.BaseDir) {
+		rel := strings.TrimPrefix(filename, pkg.BaseDir)
+		return strings.TrimPrefix(strings.ReplaceAll(rel, "\\", "/"), "/")
+	}
+	return filename
+}
+
+// matchWant marks and reports whether some want covers the finding.
+func matchWant(wants []*want, f lint.Finding) bool {
+	for _, w := range wants {
+		if w.file == f.File && w.line == f.Line && w.rx.MatchString(f.Message) {
+			w.hit = true
+			return true
+		}
+	}
+	return false
+}

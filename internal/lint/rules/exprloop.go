@@ -1,0 +1,97 @@
+package rules
+
+import (
+	"go/ast"
+
+	"nwids/internal/lint"
+)
+
+// ExprLoop enforces the fixed-order RNG contract of the parallel sweep
+// engine (PR 2): all randomness must be drawn sequentially — pre-drawn
+// values or per-job child seeds — BEFORE a sweep fans out, because jobs
+// complete in nondeterministic order. A worker closure passed to
+// Options.forEach or sweepMap therefore must not consume RNG state shared
+// across jobs: no method calls on a *math/rand.Rand captured from the
+// enclosing scope, and no global math/rand draws. Constructing a job-local
+// rand.New(rand.NewSource(seed)) from a pre-drawn seed is fine.
+var ExprLoop = &lint.Analyzer{
+	Name: "exprloop",
+	Doc:  "RNG consumed inside a sweep.forEach/sweepMap worker closure breaks the fixed-order RNG contract",
+	Run:  runExprLoop,
+}
+
+func runExprLoop(pass *lint.Pass) {
+	if !pathHasSegment(pass.Path, "internal/experiments") {
+		return
+	}
+	for _, file := range pass.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			if !isSweepEntry(pass, call) {
+				return true
+			}
+			for _, arg := range call.Args {
+				if lit, ok := ast.Unparen(arg).(*ast.FuncLit); ok {
+					checkWorkerClosure(pass, lit)
+				}
+			}
+			return true
+		})
+	}
+}
+
+// isSweepEntry reports whether call invokes the sweep engine: the forEach
+// method or the sweepMap function of an internal/experiments package.
+func isSweepEntry(pass *lint.Pass, call *ast.CallExpr) bool {
+	f := calleeFunc(pass.Info, call)
+	if f == nil || !pathHasSegment(funcPkgPath(f), "internal/experiments") {
+		return false
+	}
+	switch f.Name() {
+	case "forEach":
+		return !isPkgLevel(f)
+	case "sweepMap":
+		return isPkgLevel(f)
+	}
+	return false
+}
+
+// checkWorkerClosure reports RNG consumption inside one worker closure.
+func checkWorkerClosure(pass *lint.Pass, lit *ast.FuncLit) {
+	ast.Inspect(lit.Body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		f := calleeFunc(pass.Info, call)
+		if f == nil {
+			return true
+		}
+		if funcPkgPath(f) == "math/rand" && isPkgLevel(f) && !randConstructors[f.Name()] {
+			pass.Reportf(call.Pos(), "global math/rand.%s inside a sweep worker closure: draws happen in job-completion order; pre-draw values or child seeds before the sweep", f.Name())
+			return true
+		}
+		// Method call on a *rand.Rand captured from outside the closure.
+		sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+		if !ok {
+			return true
+		}
+		tv, ok := pass.Info.Types[sel.X]
+		if !ok || !isNamedType(tv.Type, "math/rand", "Rand") {
+			return true
+		}
+		root := rootIdent(sel.X)
+		if root == nil {
+			return true // rooted in a call: a closure-local Rand, fine
+		}
+		obj := pass.Info.ObjectOf(root)
+		if obj == nil || withinNode(obj.Pos(), lit) {
+			return true // declared inside the closure (job-local RNG)
+		}
+		pass.Reportf(call.Pos(), "%s.%s consumes RNG captured outside the sweep worker closure: draws happen in job-completion order; pre-draw values or child seeds before the sweep", root.Name, f.Name())
+		return true
+	})
+}

@@ -1,0 +1,66 @@
+package rules
+
+import (
+	"go/ast"
+	"go/token"
+
+	"nwids/internal/lint"
+)
+
+// FloatCmpScope lists the path segments of the numeric kernels where raw
+// float equality is banned: the simplex/LU solver and the statistics
+// helpers, whose results flow through accumulated rounding error.
+var FloatCmpScope = []string{
+	"internal/lp",
+	"internal/metrics",
+}
+
+// FloatCmpHelpers names the approved comparison helpers. Inside these
+// functions a raw == / != IS the comparison being centralized: either a
+// tolerance check's implementation or a documented exact-representation
+// test (lp's exactEq for bound data that is copied, never computed).
+var FloatCmpHelpers = map[string]bool{
+	"approxEq":    true,
+	"almostEqual": true,
+	"withinTol":   true,
+	"exactEq":     true,
+}
+
+// FloatCmp flags == and != between floating-point operands in the numeric
+// kernels. Comparisons against the exact constant zero are exempt: the
+// sparse kernels deliberately test "was this entry ever touched" with
+// x == 0, which is exact for values that were assigned zero.
+var FloatCmp = &lint.Analyzer{
+	Name: "floatcmp",
+	Doc:  "raw float ==/!= in numeric kernels; compare with a tolerance helper instead",
+	Run:  runFloatCmp,
+}
+
+func runFloatCmp(pass *lint.Pass) {
+	if !pathHasAnySegment(pass.Path, FloatCmpScope) {
+		return
+	}
+	for _, file := range pass.Files {
+		eachFuncBody(file, func(declName string, body *ast.BlockStmt) {
+			if FloatCmpHelpers[declName] {
+				return
+			}
+			inspectShallow(body, func(n ast.Node) bool {
+				be, ok := n.(*ast.BinaryExpr)
+				if !ok || (be.Op != token.EQL && be.Op != token.NEQ) {
+					return true
+				}
+				xt, xok := pass.Info.Types[be.X]
+				yt, yok := pass.Info.Types[be.Y]
+				if !xok || !yok || !isFloat(xt.Type) || !isFloat(yt.Type) {
+					return true
+				}
+				if isZeroConst(pass.Info, be.X) || isZeroConst(pass.Info, be.Y) {
+					return true
+				}
+				pass.Reportf(be.OpPos, "float %s float comparison accumulates rounding error; use a tolerance (math.Abs(a-b) <= tol) or an approved helper", be.Op)
+				return true
+			})
+		})
+	}
+}

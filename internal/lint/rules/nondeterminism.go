@@ -1,0 +1,223 @@
+package rules
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+
+	"nwids/internal/lint"
+)
+
+// NondetScope lists the path segments of the deterministic core: packages
+// whose observable output must be byte-identical run to run and for every
+// -workers count. Wall-clock reads and global-RNG draws are banned there,
+// and map iteration may not feed output without an intervening sort.
+var NondetScope = []string{
+	"internal/lp",
+	"internal/experiments",
+	"internal/shim",
+	"internal/traffic",
+	"internal/topology",
+	"internal/core",
+	"internal/aggregation",
+}
+
+// NondetAllowedFuncs is the allowlist of timing/observability sites:
+// functions (keyed by scope segment, then enclosing declared-function
+// name) that legitimately read the wall clock to fill SolveStats phase
+// timings or run metrics. The readings feed instrumentation, never the
+// solver's or the harness's deterministic output.
+var NondetAllowedFuncs = map[string]map[string]bool{
+	"internal/lp": {
+		// SolveStats wall-time instrumentation: Solve stamps total solve
+		// time, run/endPhase charge elapsed time to simplex phases. The
+		// readings land in SolveStats only, never in solver results.
+		"Solve":    true,
+		"run":      true,
+		"endPhase": true,
+	},
+}
+
+// sortFuncs are the sort entry points that make a map-fed slice
+// deterministic again.
+var sortFuncs = map[string]map[string]bool{
+	"sort": {
+		"Sort": true, "Stable": true, "Slice": true, "SliceStable": true,
+		"Strings": true, "Ints": true, "Float64s": true,
+	},
+	"slices": {
+		"Sort": true, "SortFunc": true, "SortStableFunc": true,
+	},
+}
+
+// randConstructors are the math/rand functions that construct a seeded
+// generator rather than draw from the shared global one; they are exactly
+// how deterministic code is supposed to obtain randomness.
+var randConstructors = map[string]bool{
+	"New": true, "NewSource": true, "NewZipf": true,
+}
+
+// writerMethods are the output methods that, invoked on an io.Writer
+// inside a map-range body, serialize the map's random iteration order.
+var writerMethods = map[string]bool{
+	"Write": true, "WriteString": true, "WriteByte": true, "WriteRune": true,
+}
+
+// Nondeterminism flags wall-clock and global-RNG calls in the
+// deterministic core, and range-over-map loops whose bodies emit output
+// (append to an outer slice never subsequently sorted, or write to an
+// io.Writer) in map iteration order.
+var Nondeterminism = &lint.Analyzer{
+	Name: "nondeterminism",
+	Doc:  "wall clock, global RNG, or unsorted map iteration feeding output in the deterministic core",
+	Run:  runNondeterminism,
+}
+
+func runNondeterminism(pass *lint.Pass) {
+	if !pathHasAnySegment(pass.Path, NondetScope) {
+		return
+	}
+	var seg string
+	for _, s := range NondetScope {
+		if pathHasSegment(pass.Path, s) {
+			seg = s
+			break
+		}
+	}
+	allowed := NondetAllowedFuncs[seg]
+	for _, file := range pass.Files {
+		eachFuncBody(file, func(declName string, body *ast.BlockStmt) {
+			inspectShallow(body, func(n ast.Node) bool {
+				switch n := n.(type) {
+				case *ast.CallExpr:
+					checkNondetCall(pass, n, allowed[declName])
+				case *ast.RangeStmt:
+					checkMapRange(pass, body, n)
+				}
+				return true
+			})
+		})
+	}
+}
+
+// checkNondetCall flags time.Now and package-level math/rand calls.
+func checkNondetCall(pass *lint.Pass, call *ast.CallExpr, allowed bool) {
+	f := calleeFunc(pass.Info, call)
+	if f == nil || !isPkgLevel(f) {
+		return
+	}
+	switch funcPkgPath(f) {
+	case "time":
+		if (f.Name() == "Now" || f.Name() == "Since") && !allowed {
+			pass.Reportf(call.Pos(), "time.%s in the deterministic core: output must not depend on the wall clock (use the obs timing allowlist or inject a clock)", f.Name())
+		}
+	case "math/rand":
+		if randConstructors[f.Name()] {
+			return // building a seeded local RNG is the approved pattern
+		}
+		pass.Reportf(call.Pos(), "global math/rand.%s in the deterministic core: draw from a seeded *rand.Rand so runs are reproducible", f.Name())
+	}
+}
+
+// checkMapRange flags a range over a map whose body appends to a slice
+// declared outside the loop — unless that slice is later passed to a sort
+// call in the same function — or writes to an io.Writer, either of which
+// leaks Go's randomized map iteration order into output.
+func checkMapRange(pass *lint.Pass, funcBody *ast.BlockStmt, rs *ast.RangeStmt) {
+	tv, ok := pass.Info.Types[rs.X]
+	if !ok {
+		return
+	}
+	if _, isMap := tv.Type.Underlying().(*types.Map); !isMap {
+		return
+	}
+	inspectShallow(rs.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.AssignStmt:
+			for i, rhs := range n.Rhs {
+				call, ok := ast.Unparen(rhs).(*ast.CallExpr)
+				if !ok || len(n.Lhs) <= i {
+					continue
+				}
+				id, ok := ast.Unparen(call.Fun).(*ast.Ident)
+				if !ok || id.Name != "append" {
+					continue
+				}
+				if _, isBuiltin := pass.Info.Uses[id].(*types.Builtin); !isBuiltin {
+					continue // a shadowing local named append, not the builtin
+				}
+				lhs, ok := ast.Unparen(n.Lhs[i]).(*ast.Ident)
+				if !ok {
+					continue
+				}
+				obj := pass.Info.ObjectOf(lhs)
+				if obj == nil || withinNode(obj.Pos(), rs) {
+					continue // loop-local accumulator: scoped to one key, fine
+				}
+				if !sortedAfter(pass, funcBody, rs, obj) {
+					pass.Reportf(n.Pos(), "appending to %s while ranging over a map without sorting afterwards: result order follows randomized map iteration", lhs.Name)
+				}
+			}
+		case *ast.CallExpr:
+			checkMapRangeWrite(pass, n)
+		}
+		return true
+	})
+}
+
+// checkMapRangeWrite flags io.Writer output emitted inside a map range.
+func checkMapRangeWrite(pass *lint.Pass, call *ast.CallExpr) {
+	// fmt.Fprint* — the first argument is the writer.
+	if f := calleeFunc(pass.Info, call); f != nil {
+		if funcPkgPath(f) == "fmt" && isPkgLevel(f) &&
+			(f.Name() == "Fprint" || f.Name() == "Fprintf" || f.Name() == "Fprintln") {
+			pass.Reportf(call.Pos(), "fmt.%s inside a map range writes output in randomized map iteration order; collect and sort first", f.Name())
+			return
+		}
+		// Writer-method calls (w.Write, sb.WriteString, ...).
+		sig, _ := f.Type().(*types.Signature)
+		if sig != nil && sig.Recv() != nil && writerMethods[f.Name()] {
+			if sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr); ok {
+				if tv, ok := pass.Info.Types[sel.X]; ok && implementsWriter(tv.Type) {
+					pass.Reportf(call.Pos(), "%s on an io.Writer inside a map range writes output in randomized map iteration order; collect and sort first", f.Name())
+				}
+			}
+		}
+	}
+}
+
+// withinNode reports whether pos lies inside n.
+func withinNode(pos token.Pos, n ast.Node) bool {
+	return n.Pos() <= pos && pos < n.End()
+}
+
+// sortedAfter reports whether, somewhere in funcBody after the range
+// statement, obj is passed to a recognized sort call — the
+// collect-then-sort idiom that restores determinism.
+func sortedAfter(pass *lint.Pass, funcBody *ast.BlockStmt, rs *ast.RangeStmt, obj types.Object) bool {
+	found := false
+	ast.Inspect(funcBody, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		call, ok := n.(*ast.CallExpr)
+		if !ok || call.Pos() < rs.End() {
+			return true
+		}
+		f := calleeFunc(pass.Info, call)
+		if f == nil || !isPkgLevel(f) {
+			return true
+		}
+		names := sortFuncs[funcPkgPath(f)]
+		if names == nil || !names[f.Name()] {
+			return true
+		}
+		for _, arg := range call.Args {
+			if id := rootIdent(arg); id != nil && pass.Info.ObjectOf(id) == obj {
+				found = true
+			}
+		}
+		return true
+	})
+	return found
+}

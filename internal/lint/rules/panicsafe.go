@@ -1,0 +1,51 @@
+package rules
+
+import (
+	"go/ast"
+
+	"nwids/internal/lint"
+)
+
+// panickyMetrics are the statistics entry points that panic on empty
+// input. Harness code can legitimately see zero samples (an infeasible
+// sweep point, an empty histogram), so every call site outside
+// internal/metrics itself must use the *OK forms instead.
+var panickyMetrics = map[string]bool{
+	"Quantile":  true,
+	"Quantiles": true,
+	"Mean":      true,
+	"Median":    true,
+	"Box":       true,
+}
+
+// PanicSafe flags calls to the panicking metrics variants from outside
+// internal/metrics; call sites must use QuantilesOK/MeanOK/MedianOK/BoxOK
+// and handle the ok=false case.
+var PanicSafe = &lint.Analyzer{
+	Name: "panicsafe",
+	Doc:  "panicking metrics.Quantiles/Mean/Median/Box call outside internal/metrics; use the *OK form",
+	Run:  runPanicSafe,
+}
+
+func runPanicSafe(pass *lint.Pass) {
+	if pathHasSegment(pass.Path, "internal/metrics") {
+		return // the package may call (and implements) its own panicking forms
+	}
+	for _, file := range pass.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			f := calleeFunc(pass.Info, call)
+			if f == nil || !isPkgLevel(f) || !panickyMetrics[f.Name()] {
+				return true
+			}
+			if !pathHasSegment(funcPkgPath(f), "internal/metrics") {
+				return true
+			}
+			pass.Reportf(call.Pos(), "metrics.%s panics on empty data; call metrics.%sOK and handle ok=false", f.Name(), f.Name())
+			return true
+		})
+	}
+}

@@ -1,0 +1,47 @@
+// Command tool is the errdiscard golden fixture: statement-level calls
+// whose error results vanish, plus every documented exemption.
+package main
+
+import (
+	"bufio"
+	"bytes"
+	"fmt"
+	"os"
+	"strings"
+)
+
+func emit(f *os.File) error {
+	bw := bufio.NewWriter(f)
+	bw.WriteString("header\n") // bufio sticky error: exempt
+	bw.WriteByte('\n')         // exempt
+	bw.Flush()                 // want `result of Flush contains an error that is discarded`
+	return bw.Flush()
+}
+
+func run() {
+	f, err := os.CreateTemp("", "tool")
+	if err != nil {
+		fmt.Println("no temp file:", err)
+		return
+	}
+	defer f.Close() // defer'd cleanup: exempt
+
+	var sb strings.Builder
+	sb.WriteString("x") // strings.Builder never errs: exempt
+	var buf bytes.Buffer
+	buf.WriteByte('x') // bytes.Buffer never errs: exempt
+
+	fmt.Println("best-effort CLI output") // fmt print family: exempt
+	fmt.Fprintf(os.Stderr, "also fine")   // exempt
+
+	emit(f)       // want `result of emit contains an error that is discarded`
+	f.Close()     // want `result of Close contains an error that is discarded`
+	_ = f.Close() // explicit discard: exempt
+
+	//lint:ignore errdiscard fixture exercising suppression
+	f.Sync()
+
+	os.Remove(f.Name()) // want `result of Remove contains an error that is discarded`
+}
+
+func main() { run() }

@@ -1,0 +1,76 @@
+// Package experiments is the panicsafe + exprloop golden fixture: it
+// replicates the sweep engine's forEach/sweepMap shapes and calls the
+// metrics stub by its scoped import path.
+package experiments
+
+import (
+	"math/rand"
+
+	"fix/internal/metrics"
+)
+
+// Options mirrors the real sweep engine's receiver type.
+type Options struct{ Workers int }
+
+// forEach mirrors the worker-pool fan-out entry point.
+func (o Options) forEach(n int, job func(i int) error) error {
+	for i := 0; i < n; i++ {
+		if err := job(i); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// sweepMap mirrors the mapping wrapper.
+func sweepMap(o Options, n int, f func(i int) (float64, error)) ([]float64, error) {
+	out := make([]float64, n)
+	err := o.forEach(n, func(i int) error {
+		r, err := f(i)
+		if err != nil {
+			return err
+		}
+		out[i] = r
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+func summarize(xs []float64) float64 {
+	m := metrics.Mean(xs) // want `metrics.Mean panics on empty data; call metrics.MeanOK`
+	if v, ok := metrics.MeanOK(xs); ok {
+		m += v
+	}
+	q := metrics.Quantiles(xs, 0.5) // want `metrics.Quantiles panics on empty data`
+	_ = metrics.Median(xs)          // want `metrics.Median panics on empty data`
+	_ = metrics.Box(xs)             // want `metrics.Box panics on empty data`
+	_ = metrics.Quantile(xs, 0.9)   // want `metrics.Quantile panics on empty data`
+	return m + q[0]
+}
+
+// sweep demonstrates the fixed-order RNG contract: seeds are pre-drawn
+// sequentially, worker closures build job-local generators.
+func sweep(o Options, rng *rand.Rand) error {
+	seeds := make([]int64, 4)
+	for i := range seeds {
+		seeds[i] = rng.Int63() // sequential pre-draw: fine
+	}
+	return o.forEach(len(seeds), func(i int) error {
+		r := rand.New(rand.NewSource(seeds[i])) // job-local RNG: fine
+		_ = r.Float64()
+		return nil
+	})
+}
+
+// badSweep consumes shared RNG state inside the worker closures.
+func badSweep(o Options, rng *rand.Rand) error {
+	_, err := sweepMap(o, 4, func(i int) (float64, error) {
+		v := rng.Float64() // want `rng.Float64 consumes RNG captured outside the sweep worker closure`
+		g := rand.Int()    // want `global math/rand.Int inside a sweep worker closure` `global math/rand.Int in the deterministic core`
+		return v + float64(g), nil
+	})
+	return err
+}

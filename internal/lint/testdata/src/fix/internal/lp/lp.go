@@ -1,0 +1,55 @@
+// Package lp is a floatcmp + nondeterminism golden fixture: its import
+// path ends in internal/lp, putting it inside both rules' scopes.
+package lp
+
+import "time"
+
+// Solve is on the nondeterminism timing allowlist for internal/lp.
+func Solve() time.Duration {
+	start := time.Now()
+	return time.Since(start)
+}
+
+// helper is not allowlisted: wall-clock reads are findings here.
+func helper() int64 {
+	t := time.Now() // want `time.Now in the deterministic core`
+	return t.UnixNano()
+}
+
+func cmp(a, b float64) bool {
+	if a == 0 { // exact-zero sparsity idiom: exempt
+		return false
+	}
+	if a == 0.0 || b != 0 { // still exempt: zero constants
+		return false
+	}
+	return a == b // want `float == float comparison accumulates rounding error`
+}
+
+func cmpNeq(a float32, b float32) bool {
+	return a != b // want `float != float comparison accumulates rounding error`
+}
+
+func intCmp(a, b int) bool { return a == b } // non-float: no finding
+
+// approxEq is an approved tolerance helper: its raw comparison is the
+// centralized implementation.
+func approxEq(a, b, tol float64) bool {
+	if a == b {
+		return true
+	}
+	d := a - b
+	return d < tol && -d < tol
+}
+
+// exactEq is likewise approved (documented exact-representation test).
+func exactEq(a, b float64) bool { return a == b }
+
+func suppressed(a, b float64) bool {
+	//lint:ignore floatcmp fixture exercising suppression on the line below
+	return a == b
+}
+
+func suppressedSameLine(a, b float64) bool {
+	return a == b //lint:ignore floatcmp fixture exercising same-line suppression
+}

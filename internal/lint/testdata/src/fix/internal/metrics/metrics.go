@@ -1,0 +1,54 @@
+// Package metrics is a stub of the real internal/metrics package so the
+// panicsafe fixture can call it by its scoped import path. Only the
+// signatures matter to the analyzer.
+package metrics
+
+// Quantile panics on empty input.
+func Quantile(xs []float64, q float64) float64 { return Quantiles(xs, q)[0] }
+
+// Quantiles panics on empty input.
+func Quantiles(xs []float64, qs ...float64) []float64 {
+	out, ok := QuantilesOK(xs, qs...)
+	if !ok {
+		panic("empty")
+	}
+	return out
+}
+
+// QuantilesOK reports ok=false on empty input.
+func QuantilesOK(xs []float64, qs ...float64) ([]float64, bool) {
+	if len(xs) == 0 {
+		return nil, false
+	}
+	return make([]float64, len(qs)), true
+}
+
+// Mean panics on empty input.
+func Mean(xs []float64) float64 {
+	m, ok := MeanOK(xs)
+	if !ok {
+		panic("empty")
+	}
+	return m
+}
+
+// MeanOK reports ok=false on empty input.
+func MeanOK(xs []float64) (float64, bool) {
+	if len(xs) == 0 {
+		return 0, false
+	}
+	var t float64
+	for _, x := range xs {
+		t += x
+	}
+	return t / float64(len(xs)), true
+}
+
+// Median panics on empty input.
+func Median(xs []float64) float64 { return Quantile(xs, 0.5) }
+
+// Box panics on empty input.
+func Box(xs []float64) [5]float64 {
+	q := Quantiles(xs, 0, 0.25, 0.5, 0.75, 1)
+	return [5]float64{q[0], q[1], q[2], q[3], q[4]}
+}

@@ -1,0 +1,92 @@
+// Package topology is a nondeterminism golden fixture for the map-range
+// and global-RNG checks.
+package topology
+
+import (
+	"fmt"
+	"io"
+	"math/rand"
+	"sort"
+	"strings"
+)
+
+// Keys leaks map iteration order into its result.
+func Keys(m map[string]int) []string {
+	var out []string
+	for k := range m {
+		out = append(out, k) // want `appending to out while ranging over a map without sorting afterwards`
+	}
+	return out
+}
+
+// SortedKeys restores determinism with the collect-then-sort idiom.
+func SortedKeys(m map[string]int) []string {
+	var out []string
+	for k := range m {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// SortedSliceKeys sorts through sort.Slice, also recognized.
+func SortedSliceKeys(m map[string]int) []string {
+	var out []string
+	for k := range m {
+		out = append(out, k)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// LocalAccumulator appends to a slice scoped to the loop body: each key
+// gets its own slice, so iteration order cannot leak.
+func LocalAccumulator(m map[string][]int) int {
+	total := 0
+	for _, vs := range m {
+		var acc []int
+		acc = append(acc, vs...)
+		total += len(acc)
+	}
+	return total
+}
+
+// Dump writes while ranging: ordering leaks straight into the stream.
+func Dump(w io.Writer, m map[string]int) {
+	for k, v := range m {
+		fmt.Fprintf(w, "%s=%d\n", k, v) // want `fmt.Fprintf inside a map range`
+	}
+}
+
+// Render builds output through a strings.Builder, which is an io.Writer.
+func Render(m map[string]int) string {
+	var sb strings.Builder
+	for k := range m {
+		sb.WriteString(k) // want `WriteString on an io.Writer inside a map range`
+	}
+	return sb.String()
+}
+
+// SliceRange ranges over a slice: no map, no finding.
+func SliceRange(xs []string) []string {
+	var out []string
+	for _, x := range xs {
+		out = append(out, x)
+	}
+	return out
+}
+
+// Jitter draws from the shared global RNG.
+func Jitter() float64 {
+	return rand.Float64() // want `global math/rand.Float64 in the deterministic core`
+}
+
+// Seeded builds a local seeded generator: the approved pattern.
+func Seeded(seed int64) *rand.Rand {
+	return rand.New(rand.NewSource(seed))
+}
+
+// Draw consumes a passed-in generator: fine, the caller owns the order.
+func Draw(rng *rand.Rand) float64 {
+	return rng.Float64()
+}

@@ -1,0 +1,21 @@
+// Package pos is a tiny fixture for position-reporting and suppression
+// tests of the framework itself.
+package pos
+
+func mark() {}
+
+func a() {
+	mark()
+}
+
+func b() {
+	//lint:ignore testrule unit-test suppression
+	mark()
+	mark() //lint:ignore testrule same-line unit-test suppression
+	mark()
+}
+
+//lint:ignore
+func c() {
+	mark()
+}

@@ -79,7 +79,7 @@ func SolveDense(p *Problem) *Solution {
 			}
 		}
 		lo, hi := p.rowLo[i], p.rowHi[i]
-		if lo == hi {
+		if exactEq(lo, hi) {
 			addRow(a, 0, lo-base)
 			continue
 		}

@@ -105,7 +105,7 @@ func Presolve(p *Problem) *Presolved {
 				ps.Decided = Infeasible
 				return ps
 			}
-			if c.lo == c.hi {
+			if exactEq(c.lo, c.hi) {
 				if !fixColumn(j, c.lo) {
 					ps.Decided = Infeasible
 					return ps

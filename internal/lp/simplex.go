@@ -379,7 +379,7 @@ func (s *simplex) price(phase1 bool, tol float64) (enter int, sigma float64) {
 	}
 	// Structural variables: rc = c_j − yᵀa_j.
 	for j := 0; j < s.n; j++ {
-		if s.state[j] == stBasic || s.lo[j] == s.hi[j] {
+		if s.state[j] == stBasic || exactEq(s.lo[j], s.hi[j]) {
 			continue
 		}
 		var dot float64
@@ -398,7 +398,7 @@ func (s *simplex) price(phase1 bool, tol float64) (enter int, sigma float64) {
 	// Logicals: column is −e_i, so rc = c − (−y_i) = c + y_i (c = 0).
 	for i := 0; i < s.m; i++ {
 		j := s.n + i
-		if s.state[j] == stBasic || s.lo[j] == s.hi[j] {
+		if s.state[j] == stBasic || exactEq(s.lo[j], s.hi[j]) {
 			continue
 		}
 		if consider(j, s.y[i]) {

@@ -120,6 +120,7 @@ func (l *Logger) log(level Level, msg string, kv ...any) {
 	}
 	b = append(b, '}', '\n')
 	l.mu.Lock()
+	//lint:ignore errdiscard logging is best-effort; a logger that dies on a full disk would take the run down with it
 	l.w.Write(b)
 	l.mu.Unlock()
 }

@@ -28,6 +28,7 @@ func StartProfiling(cpuPath, memPath string) (stop func() error, err error) {
 			return nil, fmt.Errorf("obs: cpu profile: %w", err)
 		}
 		if err := rtpprof.StartCPUProfile(cpuFile); err != nil {
+			//lint:ignore errdiscard error-path cleanup: the StartCPUProfile error is the one worth surfacing
 			cpuFile.Close()
 			return nil, fmt.Errorf("obs: cpu profile: %w", err)
 		}
@@ -46,6 +47,7 @@ func StartProfiling(cpuPath, memPath string) (stop func() error, err error) {
 			}
 			runtime.GC() // flush recently freed objects for an accurate picture
 			if err := rtpprof.WriteHeapProfile(f); err != nil {
+				//lint:ignore errdiscard error-path cleanup: the WriteHeapProfile error is the one worth surfacing
 				f.Close()
 				return fmt.Errorf("obs: heap profile: %w", err)
 			}

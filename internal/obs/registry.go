@@ -102,10 +102,10 @@ type HistogramSnapshot struct {
 func (h *Histogram) Snapshot() HistogramSnapshot {
 	h.mu.Lock()
 	defer h.mu.Unlock()
-	if len(h.xs) == 0 {
+	q, ok := metrics.QuantilesOK(h.xs, 0, 0.25, 0.5, 0.75, 0.9, 0.99, 1)
+	if !ok {
 		return HistogramSnapshot{}
 	}
-	q := metrics.Quantiles(h.xs, 0, 0.25, 0.5, 0.75, 0.9, 0.99, 1)
 	return HistogramSnapshot{
 		Count: len(h.xs),
 		Sum:   h.sum,
@@ -320,6 +320,7 @@ func (r *Registry) WriteJSONFile(path string, meta map[string]any) error {
 		return err
 	}
 	if err := r.WriteJSON(f, meta); err != nil {
+		//lint:ignore errdiscard error-path cleanup: the WriteJSON error is the one worth surfacing
 		f.Close()
 		return err
 	}

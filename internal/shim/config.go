@@ -155,6 +155,7 @@ func CompileConfigs(a *core.Assignment, seed uint32) map[int]*Config {
 		}
 		blended := make([]core.ActionFrac, 0, len(m))
 		for k, w := range m {
+			//lint:ignore nondeterminism PartitionClass totally orders actions by their unique (Node,Via) key, so the append order here is immaterial
 			blended = append(blended, core.ActionFrac{Node: k.node, Via: k.via, Frac: w / vol})
 		}
 		for _, r := range PartitionClass(blended) {

@@ -161,6 +161,7 @@ func (s *Server) acceptLoop() {
 		s.mu.Lock()
 		if s.closed {
 			s.mu.Unlock()
+			//lint:ignore errdiscard rejecting a connection that raced Close; its close error is of no use
 			conn.Close()
 			return
 		}
@@ -196,6 +197,7 @@ func (s *Server) Close() error {
 	s.mu.Unlock()
 	err := s.ln.Close()
 	for _, c := range conns {
+		//lint:ignore errdiscard best-effort shutdown; the listener close error is the one returned
 		c.Close()
 	}
 	s.wg.Wait()
