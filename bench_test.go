@@ -53,29 +53,81 @@ func BenchmarkTable1(b *testing.B) {
 	}
 }
 
-// BenchmarkFig10 runs the Emulab-style emulation comparison (per-node work
-// with and without replication).
-func BenchmarkFig10(b *testing.B) {
-	defer benchRecord(b)
-	for i := 0; i < b.N; i++ {
-		r, err := experiments.Fig10(experiments.Options{Quick: true})
-		if err != nil {
-			b.Fatal(err)
-		}
-		if r.MaxReduction < 1.2 {
-			b.Fatalf("fig10 reduction %.2f", r.MaxReduction)
-		}
+// benchWarmPair runs a cold/warm sub-benchmark pair and records the
+// observed cold/warm per-op ratio under bench.<name>.warm_speedup.
+func benchWarmPair(b *testing.B, name string, run func(b *testing.B, cold bool)) {
+	var coldSec, warmSec float64
+	b.Run("cold", func(b *testing.B) {
+		defer benchRecord(b)
+		run(b, true)
+		coldSec = b.Elapsed().Seconds() / float64(b.N)
+	})
+	b.Run("warm", func(b *testing.B) {
+		defer benchRecord(b)
+		run(b, false)
+		warmSec = b.Elapsed().Seconds() / float64(b.N)
+	})
+	if coldSec > 0 && warmSec > 0 {
+		benchReg.Gauge("bench." + name + ".warm_speedup").Max(coldSec / warmSec)
 	}
 }
 
-// BenchmarkFig11 sweeps MaxLinkLoad (max compute load vs allowed link load).
-func BenchmarkFig11(b *testing.B) {
+// BenchmarkFig10 runs the Emulab-style emulation comparison (per-node work
+// with and without replication), then isolates the LP layer's warm-start
+// win: lp-warm re-solves Fig 10's replication LP through a solver handle
+// (the §3 controller re-running on the same model), lp-cold from scratch.
+func BenchmarkFig10(b *testing.B) {
 	defer benchRecord(b)
-	for i := 0; i < b.N; i++ {
-		if _, err := experiments.Fig11(benchOpts()); err != nil {
+	b.Run("emulation", func(b *testing.B) {
+		defer benchRecord(b)
+		for i := 0; i < b.N; i++ {
+			r, err := experiments.Fig10(experiments.Options{Quick: true})
+			if err != nil {
+				b.Fatal(err)
+			}
+			if r.MaxReduction < 1.2 {
+				b.Fatalf("fig10 reduction %.2f", r.MaxReduction)
+			}
+		}
+	})
+	g := topology.ByName("Internet2")
+	s := core.NewScenario(g, traffic.GravityDefault(g), core.ScenarioOptions{})
+	cfg := core.ReplicationConfig{Mirror: core.MirrorDCOnly, DCCapacity: 8, MaxLinkLoad: 0.4}
+	benchWarmPair(b, "Fig10/lp", func(b *testing.B, cold bool) {
+		if cold {
+			for i := 0; i < b.N; i++ {
+				if _, err := core.SolveReplication(s, cfg); err != nil {
+					b.Fatal(err)
+				}
+			}
+			return
+		}
+		rs, err := core.NewReplicationSolver(s, cfg)
+		if err != nil {
 			b.Fatal(err)
 		}
-	}
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if _, err := rs.Solve(); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+// BenchmarkFig11 sweeps MaxLinkLoad (max compute load vs allowed link load)
+// with basis chaining along each topology's sweep, and cold per point.
+func BenchmarkFig11(b *testing.B) {
+	defer benchRecord(b)
+	benchWarmPair(b, "Fig11", func(b *testing.B, cold bool) {
+		opts := benchOpts()
+		opts.ColdLP = cold
+		for i := 0; i < b.N; i++ {
+			if _, err := experiments.Fig11(opts); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
 }
 
 // BenchmarkFig12 compares DC load to interior NIDS load across configs.
@@ -109,14 +161,19 @@ func BenchmarkFig14(b *testing.B) {
 }
 
 // BenchmarkFig15 re-optimizes the architectures across varying traffic
-// matrices (peak-load distribution).
+// matrices (peak-load distribution) — the sweep-heaviest figure, run at
+// full density so the LP time dominates: warm chains each architecture's
+// basis across the matrix sequence, cold solves every point from scratch.
 func BenchmarkFig15(b *testing.B) {
 	defer benchRecord(b)
-	for i := 0; i < b.N; i++ {
-		if _, err := experiments.Fig15(experiments.Options{Quick: true}); err != nil {
-			b.Fatal(err)
+	benchWarmPair(b, "Fig15", func(b *testing.B, cold bool) {
+		opts := experiments.Options{ColdLP: cold}
+		for i := 0; i < b.N; i++ {
+			if _, err := experiments.Fig15(opts); err != nil {
+				b.Fatal(err)
+			}
 		}
-	}
+	})
 }
 
 // BenchmarkFig16 and BenchmarkFig17 share the asymmetric-routing sweep
@@ -144,13 +201,44 @@ func BenchmarkFig17(b *testing.B) {
 }
 
 // BenchmarkFig18 sweeps β (compute/communication tradeoff of aggregation).
+// The figure run itself is dominated by scenario setup at quick density, so
+// the warm-start pair isolates the LP layer the way Fig10/lp does: lp-warm
+// chains one AggregationSolver handle along Fig 18's β axis (SetBeta is a
+// pure objective rewrite), lp-cold rebuilds and solves from scratch per β.
 func BenchmarkFig18(b *testing.B) {
 	defer benchRecord(b)
-	for i := 0; i < b.N; i++ {
-		if _, err := experiments.Fig18(benchOpts()); err != nil {
-			b.Fatal(err)
+	b.Run("figure", func(b *testing.B) {
+		defer benchRecord(b)
+		for i := 0; i < b.N; i++ {
+			if _, err := experiments.Fig18(benchOpts()); err != nil {
+				b.Fatal(err)
+			}
 		}
-	}
+	})
+	g := topology.ByName("Internet2")
+	s := core.NewScenario(g, traffic.GravityDefault(g), core.ScenarioOptions{})
+	betas := []float64{0.1, 0.2, 0.5, 1, 2, 5, 10}
+	benchWarmPair(b, "Fig18/lp", func(b *testing.B, cold bool) {
+		if cold {
+			for i := 0; i < b.N; i++ {
+				for _, beta := range betas {
+					if _, err := core.SolveAggregation(s, core.AggregationConfig{Beta: beta}); err != nil {
+						b.Fatal(err)
+					}
+				}
+			}
+			return
+		}
+		for i := 0; i < b.N; i++ {
+			as := core.NewAggregationSolver(s, core.AggregationConfig{Beta: betas[0]})
+			for _, beta := range betas {
+				as.SetBeta(beta)
+				if _, err := as.Solve(); err != nil {
+					b.Fatal(err)
+				}
+			}
+		}
+	})
 }
 
 // BenchmarkFig19 compares load imbalance with and without aggregation.

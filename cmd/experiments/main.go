@@ -37,6 +37,7 @@ func main() {
 	topos := flag.String("topologies", "", "comma-separated topology subset (default: all eight)")
 	seed := flag.Int64("seed", 1, "random seed")
 	verbose := flag.Bool("v", false, "log progress (JSONL on stderr)")
+	coldlp := flag.Bool("coldlp", false, "disable warm-start basis chaining; every LP solves from scratch (output must match the default)")
 	metricsOut := flag.String("metrics", "", "write run metrics to this JSON file")
 	cpuProfile := flag.String("cpuprofile", "", "write a CPU profile to this file")
 	memProfile := flag.String("memprofile", "", "write a heap profile to this file")
@@ -59,7 +60,7 @@ func main() {
 		os.Exit(1)
 	}
 
-	opts := experiments.Options{Quick: *quick, Seed: *seed, Workers: *workers, Logf: log.Logf(obs.LevelDebug)}
+	opts := experiments.Options{Quick: *quick, Seed: *seed, Workers: *workers, ColdLP: *coldlp, Logf: log.Logf(obs.LevelDebug)}
 	if *topos != "" {
 		opts.Topologies = strings.Split(*topos, ",")
 	}

@@ -129,7 +129,9 @@ func liveAggregation() {
 					}})
 				}
 			}
-			conn.Close()
+			if err := conn.Close(); err != nil {
+				log.Fatal(err)
+			}
 		}
 	}()
 
@@ -153,12 +155,18 @@ func liveAggregation() {
 			var row [8]byte
 			binary.BigEndian.PutUint32(row[0:], sc.Src)
 			binary.BigEndian.PutUint32(row[4:], uint32(sc.Count))
-			conn.Write(row[:])
+			if _, err := conn.Write(row[:]); err != nil {
+				log.Fatal(err)
+			}
 		}
-		conn.Close()
+		if err := conn.Close(); err != nil {
+			log.Fatal(err)
+		}
 	}
 	<-done
-	ln.Close()
+	if err := ln.Close(); err != nil {
+		log.Fatal(err)
+	}
 
 	got := agg.Alerts()
 	want := oracle.Report()

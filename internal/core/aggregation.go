@@ -54,12 +54,23 @@ func commScale(s *Scenario) float64 {
 	return vol * meanLen
 }
 
-// SolveAggregation solves the aggregation LP (§6, Figure 9): distribute a
-// topologically-constrained analysis (scan detection) across on-path nodes,
-// paying for intermediate reports sent back to each class's aggregation
-// point (its ingress) in byte-hops. Reports are assumed small relative to
-// link capacities, so no MaxLinkLoad constraint applies (§6).
-func SolveAggregation(s *Scenario, cfg AggregationConfig) (*AggregationResult, error) {
+// aggregationModel is a built (unsolved) aggregation LP. β multiplies only
+// the per-variable communication coefficients in the objective, so moving it
+// is a pure SetObj pass over commVars — the matrix never changes.
+type aggregationModel struct {
+	prob  *lp.Problem
+	lam   lp.Var
+	pVar  map[pKey]lp.Var
+	crash []lp.Var
+	scale float64
+	// commVars/commCoef pair each p variable with its β-free communication
+	// term |Tc|·Rec·D(c,j)/scale, in deterministic construction order.
+	commVars []lp.Var
+	commCoef []float64
+}
+
+// buildAggregationModel assembles the LP for the aggregation formulation.
+func buildAggregationModel(s *Scenario, cfg AggregationConfig) *aggregationModel {
 	s.validateFinite()
 	nR := s.NumResources()
 	caps := effCaps(s, false, ReplicationConfig{}.withDefaults())
@@ -82,35 +93,32 @@ func SolveAggregation(s *Scenario, cfg AggregationConfig) (*AggregationResult, e
 		}
 	}
 
-	type pKey struct{ c, j int }
-	pVar := make(map[pKey]lp.Var)
-	var crash []lp.Var
+	m := &aggregationModel{prob: prob, lam: lam, pVar: make(map[pKey]lp.Var), scale: scale}
 	for c := range s.Classes {
 		cl := &s.Classes[c]
 		agg := cl.Path.Ingress() // reports go back to the ingress (§6)
 		for _, j := range cl.Path.Nodes {
 			// Objective carries the communication term β·|Tc|·Rec·D(c,j)/scale.
 			d := float64(s.Routing.Dist(j, agg))
-			v := prob.AddVar(0, 1, cfg.Beta*cl.Sessions*cl.Rec*d/scale, fmt.Sprintf("p[%d,%d]", c, j))
-			pVar[pKey{c, j}] = v
+			comm := cl.Sessions * cl.Rec * d / scale
+			v := prob.AddVar(0, 1, cfg.Beta*comm, fmt.Sprintf("p[%d,%d]", c, j))
+			m.pVar[pKey{c, j}] = v
+			m.commVars = append(m.commVars, v)
+			m.commCoef = append(m.commCoef, comm)
 			prob.SetCoef(covRow[c], v, 1)
 			for r := 0; r < nR; r++ {
 				prob.SetCoef(loadRow[j][r], v, cl.Foot[r]*cl.Sessions/caps[j][r])
 			}
 			if j == agg {
-				crash = append(crash, v)
+				m.crash = append(m.crash, v)
 			}
 		}
 	}
+	return m
+}
 
-	opts := cfg.LP
-	opts.CrashBasis = crash
-	opts.AtUpper = append(opts.AtUpper, lam)
-	sol := lp.Solve(prob, opts)
-	if err := sol.Err(); err != nil {
-		return nil, fmt.Errorf("aggregation LP on %s: %w", s.Graph.Name(), err)
-	}
-
+// extract turns an optimal LP solution into the aggregation result.
+func (m *aggregationModel) extract(s *Scenario, sol *lp.Solution) *AggregationResult {
 	a := newAssignment(s, false, -1, ReplicationConfig{}.withDefaults())
 	a.Objective = sol.Objective
 	a.Iterations = sol.Iterations
@@ -121,16 +129,33 @@ func SolveAggregation(s *Scenario, cfg AggregationConfig) (*AggregationResult, e
 		cl := &s.Classes[c]
 		agg := cl.Path.Ingress()
 		for _, j := range cl.Path.Nodes {
-			f := sol.Value(pVar[pKey{c, j}])
+			f := sol.Value(m.pVar[pKey{c, j}])
 			a.addAction(c, ActionFrac{Node: j, Via: -1, Frac: f})
 			if f > 1e-9 {
 				res.CommCost += cl.Sessions * f * cl.Rec * float64(s.Routing.Dist(j, agg))
 			}
 		}
 	}
-	res.NormCommCost = res.CommCost / scale
+	res.NormCommCost = res.CommCost / m.scale
 	res.LoadCost = a.MaxLoad()
-	return res, nil
+	return res
+}
+
+// SolveAggregation solves the aggregation LP (§6, Figure 9): distribute a
+// topologically-constrained analysis (scan detection) across on-path nodes,
+// paying for intermediate reports sent back to each class's aggregation
+// point (its ingress) in byte-hops. Reports are assumed small relative to
+// link capacities, so no MaxLinkLoad constraint applies (§6).
+func SolveAggregation(s *Scenario, cfg AggregationConfig) (*AggregationResult, error) {
+	m := buildAggregationModel(s, cfg)
+	opts := cfg.LP
+	opts.CrashBasis = m.crash
+	opts.AtUpper = append(opts.AtUpper, m.lam)
+	sol := lp.Solve(m.prob, opts)
+	if err := sol.Err(); err != nil {
+		return nil, fmt.Errorf("aggregation LP on %s: %w", s.Graph.Name(), err)
+	}
+	return m.extract(s, sol), nil
 }
 
 // IngressAggregation is the "No Aggregation" baseline for Fig 19: without

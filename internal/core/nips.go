@@ -58,11 +58,25 @@ type NIPSResult struct {
 	MeanExtraHops float64
 }
 
-// SolveNIPS solves the rerouting variant: minimize the maximum NIPS load
-// subject to coverage, hairpin-detour link capacity, and per-class latency
-// budgets.
-func SolveNIPS(s *Scenario, cfg NIPSConfig) (*NIPSResult, error) {
-	cfg = cfg.withDefaults()
+// nipsModel is a built (unsolved) rerouting LP with the handles needed to
+// move the two row-bound knobs (MaxLinkLoad, LatencyBudget) in place.
+type nipsModel struct {
+	prob    *lp.Problem
+	lam     lp.Var
+	pVar    map[pKey]lp.Var
+	oVar    map[oKey]lp.Var
+	crash   []lp.Var
+	mirrors [][]int
+	hasDC   bool
+	attach  int
+	dcIdx   int
+	linkRow []lp.Row // -1 where no detour can use the link
+	latRow  []lp.Row // -1 for classes with no offload variables
+	repCfg  ReplicationConfig
+}
+
+// buildNIPSModel assembles the LP for a (defaulted) config.
+func buildNIPSModel(s *Scenario, cfg NIPSConfig) *nipsModel {
 	s.validateFinite()
 	n := s.Graph.NumNodes()
 	nR := s.NumResources()
@@ -142,8 +156,6 @@ func SolveNIPS(s *Scenario, cfg NIPSConfig) (*NIPSResult, error) {
 		return latRow[c]
 	}
 
-	type pKey struct{ c, j int }
-	type oKey struct{ c, j, jp int }
 	pVar := make(map[pKey]lp.Var)
 	oVar := make(map[oKey]lp.Var)
 	var crash []lp.Var
@@ -192,15 +204,17 @@ func SolveNIPS(s *Scenario, cfg NIPSConfig) (*NIPSResult, error) {
 		}
 	}
 
-	opts := cfg.LP
-	opts.CrashBasis = crash
-	opts.AtUpper = append(opts.AtUpper, lam)
-	sol := lp.Solve(prob, opts)
-	if err := sol.Err(); err != nil {
-		return nil, fmt.Errorf("NIPS LP on %s: %w", s.Graph.Name(), err)
+	return &nipsModel{
+		prob: prob, lam: lam, pVar: pVar, oVar: oVar, crash: crash,
+		mirrors: mirrors, hasDC: hasDC, attach: attach, dcIdx: dcIdx,
+		linkRow: linkRow, latRow: latRow, repCfg: repCfg,
 	}
+}
 
-	a := newAssignment(s, hasDC, attach, repCfg)
+// extract turns an optimal LP solution into the rerouting result, including
+// the hairpin second-traversal link accounting.
+func (m *nipsModel) extract(s *Scenario, cfg NIPSConfig, sol *lp.Solution) *NIPSResult {
+	a := newAssignment(s, m.hasDC, m.attach, m.repCfg)
 	a.Objective = sol.Objective
 	a.Iterations = sol.Iterations
 	a.SolveTime = sol.SolveTime
@@ -211,15 +225,15 @@ func SolveNIPS(s *Scenario, cfg NIPSConfig) (*NIPSResult, error) {
 		cl := &s.Classes[c]
 		onPath := cl.Path.NodeSet()
 		for _, j := range cl.Path.Nodes {
-			a.addAction(c, ActionFrac{Node: j, Via: -1, Frac: sol.Value(pVar[pKey{c, j}])})
+			a.addAction(c, ActionFrac{Node: j, Via: -1, Frac: sol.Value(m.pVar[pKey{c, j}])})
 		}
 		if cfg.Mirror != MirrorNone {
 			for _, j := range cl.Path.Nodes {
-				for _, jp := range mirrors[j] {
-					if jp != dcIdx && onPath[jp] {
+				for _, jp := range m.mirrors[j] {
+					if jp != m.dcIdx && onPath[jp] {
 						continue
 					}
-					v, ok := oVar[oKey{c, j, jp}]
+					v, ok := m.oVar[oKey{c, j, jp}]
 					if !ok {
 						continue
 					}
@@ -228,8 +242,8 @@ func SolveNIPS(s *Scenario, cfg NIPSConfig) (*NIPSResult, error) {
 						continue
 					}
 					dst := jp
-					if jp == dcIdx {
-						dst = attach
+					if jp == m.dcIdx {
+						dst = m.attach
 					}
 					res.ExtraHops[c] += 2 * float64(s.Routing.Dist(j, dst)) * f
 					// Account the detour's second traversal on top of what
@@ -247,5 +261,21 @@ func SolveNIPS(s *Scenario, cfg NIPSConfig) (*NIPSResult, error) {
 	if total > 0 {
 		res.MeanExtraHops = weighted / total
 	}
-	return res, nil
+	return res
+}
+
+// SolveNIPS solves the rerouting variant: minimize the maximum NIPS load
+// subject to coverage, hairpin-detour link capacity, and per-class latency
+// budgets.
+func SolveNIPS(s *Scenario, cfg NIPSConfig) (*NIPSResult, error) {
+	cfg = cfg.withDefaults()
+	m := buildNIPSModel(s, cfg)
+	opts := cfg.LP
+	opts.CrashBasis = m.crash
+	opts.AtUpper = append(opts.AtUpper, m.lam)
+	sol := lp.Solve(m.prob, opts)
+	if err := sol.Err(); err != nil {
+		return nil, fmt.Errorf("NIPS LP on %s: %w", s.Graph.Name(), err)
+	}
+	return m.extract(s, cfg, sol), nil
 }

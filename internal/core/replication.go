@@ -295,7 +295,8 @@ type pKey struct{ c, j int }
 type oKey struct{ c, j, jp int }
 
 // replicationModel is a built (unsolved) replication LP with the variable
-// maps needed to extract an assignment.
+// maps needed to extract an assignment and the row handles needed to refresh
+// coefficients in place when a sweep knob moves.
 type replicationModel struct {
 	prob    *lp.Problem
 	lam     lp.Var
@@ -306,6 +307,11 @@ type replicationModel struct {
 	hasDC   bool
 	attach  int
 	dcIdx   int
+
+	loadRow [][]lp.Row // [nids][resource]
+	linkRow []lp.Row   // -1 where no replication can use the link
+	caps    [][]float64
+	maxW    float64
 }
 
 // BuildReplicationProblem constructs the replication LP (§4, Figure 7)
@@ -457,26 +463,12 @@ func buildReplicationModel(s *Scenario, cfg ReplicationConfig) (*replicationMode
 	return &replicationModel{
 		prob: prob, lam: lam, pVar: pVar, oVar: oVar, crash: crash,
 		mirrors: mirrors, hasDC: hasDC, attach: attach, dcIdx: dcIdx,
+		loadRow: loadRow, linkRow: linkRow, caps: caps, maxW: maxW,
 	}, nil
 }
 
-// SolveReplication solves the replication LP (§4, Figure 7) and returns the
-// optimal assignment. With cfg.Mirror == MirrorNone this degenerates to the
-// prior work's on-path distribution [29].
-func SolveReplication(s *Scenario, cfg ReplicationConfig) (*Assignment, error) {
-	cfg = cfg.withDefaults()
-	m, err := buildReplicationModel(s, cfg)
-	if err != nil {
-		return nil, err
-	}
-	opts := cfg.LP
-	opts.CrashBasis = m.crash
-	opts.AtUpper = append(opts.AtUpper, m.lam)
-	sol := lp.Solve(m.prob, opts)
-	if err := sol.Err(); err != nil {
-		return nil, fmt.Errorf("replication LP on %s: %w", s.Graph.Name(), err)
-	}
-
+// extract turns an optimal LP solution into the controller's assignment.
+func (m *replicationModel) extract(s *Scenario, cfg ReplicationConfig, sol *lp.Solution) *Assignment {
 	a := newAssignment(s, m.hasDC, m.attach, cfg)
 	a.Objective = sol.Objective
 	a.Iterations = sol.Iterations
@@ -501,7 +493,26 @@ func SolveReplication(s *Scenario, cfg ReplicationConfig) (*Assignment, error) {
 			}
 		}
 	}
-	return a, nil
+	return a
+}
+
+// SolveReplication solves the replication LP (§4, Figure 7) and returns the
+// optimal assignment. With cfg.Mirror == MirrorNone this degenerates to the
+// prior work's on-path distribution [29].
+func SolveReplication(s *Scenario, cfg ReplicationConfig) (*Assignment, error) {
+	cfg = cfg.withDefaults()
+	m, err := buildReplicationModel(s, cfg)
+	if err != nil {
+		return nil, err
+	}
+	opts := cfg.LP
+	opts.CrashBasis = m.crash
+	opts.AtUpper = append(opts.AtUpper, m.lam)
+	sol := lp.Solve(m.prob, opts)
+	if err := sol.Err(); err != nil {
+		return nil, fmt.Errorf("replication LP on %s: %w", s.Graph.Name(), err)
+	}
+	return m.extract(s, cfg, sol), nil
 }
 
 // CoverageError returns the largest deviation of any class's total assigned

@@ -147,13 +147,25 @@ func IngressSplit(s *Scenario, classes []SplitClass) *SplitResult {
 	return res
 }
 
-// SolveSplit solves the split-traffic LP (§5): minimize LoadCost + γ·MissRate
-// where coverage of each class is the minimum of its forward and reverse
-// coverage. Common nodes process sessions locally; with UseDC, any forward
-// (reverse) path node may replicate its direction to the datacenter, whose
-// observation of both directions restores stateful coverage.
-func SolveSplit(s *Scenario, classes []SplitClass, cfg SplitConfig) (*SplitResult, error) {
-	cfg = cfg.withDefaults()
+// splitModel is a built (unsolved) split-traffic LP with the handles needed
+// to move γ (objective only) and MaxLinkLoad (link-row budgets) in place.
+type splitModel struct {
+	prob    *lp.Problem
+	lam     lp.Var
+	maxMiss lp.Var
+	covVar  []lp.Var
+	pVar    map[pKey]lp.Var
+	linkRow []lp.Row
+	caps    [][]float64
+	attach  int
+	total   float64
+	nNIDS   int
+	// covW[ci] is the γ-free miss weight w_c·|Tc|/total of class ci.
+	covW []float64
+}
+
+// buildSplitModel assembles the LP for a (defaulted) config.
+func buildSplitModel(s *Scenario, classes []SplitClass, cfg SplitConfig) (*splitModel, error) {
 	s.validateFinite()
 	n := s.Graph.NumNodes()
 	nR := s.NumResources()
@@ -220,14 +232,15 @@ func SolveSplit(s *Scenario, classes []SplitClass, cfg SplitConfig) (*SplitResul
 	}
 
 	covVar := make([]lp.Var, len(classes))
-	type pk struct{ c, j int }
-	pVar := make(map[pk]lp.Var)
+	covW := make([]float64, len(classes))
+	pVar := make(map[pKey]lp.Var)
 
 	for ci := range classes {
 		cl := &classes[ci]
 		// cov, with objective weight −γ·w_c·|Tc|/total (minimizing misses);
 		// under MaxMiss the per-class weight moves to the shared epigraph.
-		covObj := -cfg.Gamma * classWeight(ci) * cl.Sessions / total
+		covW[ci] = classWeight(ci) * cl.Sessions / total
+		covObj := -cfg.Gamma * covW[ci]
 		if cfg.MaxMiss {
 			covObj = 0
 		}
@@ -256,7 +269,7 @@ func SolveSplit(s *Scenario, classes []SplitClass, cfg SplitConfig) (*SplitResul
 		// Local processing at common nodes covers both directions.
 		for _, j := range cl.Common {
 			v := prob.AddVar(0, 1, 0, fmt.Sprintf("p[%d,%d]", ci, j))
-			pVar[pk{ci, j}] = v
+			pVar[pKey{ci, j}] = v
 			prob.SetCoef(defF, v, 1)
 			prob.SetCoef(defR, v, 1)
 			for r := 0; r < nR; r++ {
@@ -271,7 +284,7 @@ func SolveSplit(s *Scenario, classes []SplitClass, cfg SplitConfig) (*SplitResul
 		addDir := func(path topology.Path, defRow lp.Row, tag string) {
 			for _, j := range path.Nodes {
 				v := prob.AddVar(0, 1, 0, fmt.Sprintf("o%s[%d,%d]", tag, ci, j))
-				pVar[pk{ci, encodeDir(tag, j)}] = v
+				pVar[pKey{ci, encodeDir(tag, j)}] = v
 				prob.SetCoef(defRow, v, 1)
 				for r := 0; r < nR; r++ {
 					prob.SetCoef(loadRow[n][r], v, 0.5*cl.Foot[r]*cl.Sessions/caps[n][r])
@@ -285,17 +298,23 @@ func SolveSplit(s *Scenario, classes []SplitClass, cfg SplitConfig) (*SplitResul
 		addDir(cl.Rev, defR, "r")
 	}
 
-	sol := lp.Solve(prob, cfg.LP)
-	if err := sol.Err(); err != nil {
-		return nil, fmt.Errorf("split LP on %s: %w", s.Graph.Name(), err)
-	}
+	return &splitModel{
+		prob: prob, lam: lam, maxMiss: maxMiss, covVar: covVar, pVar: pVar,
+		linkRow: linkRow, caps: caps, attach: attach, total: total,
+		nNIDS: nNIDS, covW: covW,
+	}, nil
+}
 
+// extract turns an optimal LP solution into the split-traffic result.
+func (m *splitModel) extract(s *Scenario, classes []SplitClass, cfg SplitConfig, sol *lp.Solution) *SplitResult {
+	n := s.Graph.NumNodes()
+	nR := s.NumResources()
 	res := &SplitResult{
 		Coverage:   make([]float64, len(classes)),
-		NodeLoad:   make([][]float64, nNIDS),
+		NodeLoad:   make([][]float64, m.nNIDS),
 		LinkLoad:   append([]float64(nil), s.BG...),
 		HasDC:      cfg.UseDC,
-		DCAttach:   attach,
+		DCAttach:   m.attach,
 		Objective:  sol.Objective,
 		Iterations: sol.Iterations,
 		SolveTime:  sol.SolveTime,
@@ -307,18 +326,18 @@ func SolveSplit(s *Scenario, classes []SplitClass, cfg SplitConfig) (*SplitResul
 	var missed float64
 	for ci := range classes {
 		cl := &classes[ci]
-		res.Coverage[ci] = sol.Value(covVar[ci])
+		res.Coverage[ci] = sol.Value(m.covVar[ci])
 		missed += (1 - res.Coverage[ci]) * cl.Sessions
-		if m := 1 - res.Coverage[ci]; m > res.MaxClassMiss {
-			res.MaxClassMiss = m
+		if miss := 1 - res.Coverage[ci]; miss > res.MaxClassMiss {
+			res.MaxClassMiss = miss
 		}
 		for _, j := range cl.Common {
-			f := sol.Value(pVar[pk{ci, j}])
+			f := sol.Value(m.pVar[pKey{ci, j}])
 			if f <= 1e-9 {
 				continue
 			}
 			for r := 0; r < nR; r++ {
-				res.NodeLoad[j][r] += cl.Foot[r] * cl.Sessions * f / caps[j][r]
+				res.NodeLoad[j][r] += cl.Foot[r] * cl.Sessions * f / m.caps[j][r]
 			}
 		}
 		if !cfg.UseDC {
@@ -326,14 +345,14 @@ func SolveSplit(s *Scenario, classes []SplitClass, cfg SplitConfig) (*SplitResul
 		}
 		acctDir := func(path topology.Path, tag string) {
 			for _, j := range path.Nodes {
-				f := sol.Value(pVar[pk{ci, encodeDir(tag, j)}])
+				f := sol.Value(m.pVar[pKey{ci, encodeDir(tag, j)}])
 				if f <= 1e-9 {
 					continue
 				}
 				for r := 0; r < nR; r++ {
-					res.NodeLoad[n][r] += 0.5 * cl.Foot[r] * cl.Sessions * f / caps[n][r]
+					res.NodeLoad[n][r] += 0.5 * cl.Foot[r] * cl.Sessions * f / m.caps[n][r]
 				}
-				for _, l := range s.Routing.Path(j, attach).Links {
+				for _, l := range s.Routing.Path(j, m.attach).Links {
 					res.LinkLoad[l] += 0.5 * cl.Sessions * cl.Size * f / s.LinkCap[l]
 				}
 			}
@@ -341,9 +360,27 @@ func SolveSplit(s *Scenario, classes []SplitClass, cfg SplitConfig) (*SplitResul
 		acctDir(cl.Fwd, "f")
 		acctDir(cl.Rev, "r")
 	}
-	res.MissRate = missed / total
+	res.MissRate = missed / m.total
 	res.MaxLoad = maxOver(res.NodeLoad)
-	return res, nil
+	return res
+}
+
+// SolveSplit solves the split-traffic LP (§5): minimize LoadCost + γ·MissRate
+// where coverage of each class is the minimum of its forward and reverse
+// coverage. Common nodes process sessions locally; with UseDC, any forward
+// (reverse) path node may replicate its direction to the datacenter, whose
+// observation of both directions restores stateful coverage.
+func SolveSplit(s *Scenario, classes []SplitClass, cfg SplitConfig) (*SplitResult, error) {
+	cfg = cfg.withDefaults()
+	m, err := buildSplitModel(s, classes, cfg)
+	if err != nil {
+		return nil, err
+	}
+	sol := lp.Solve(m.prob, cfg.LP)
+	if err := sol.Err(); err != nil {
+		return nil, fmt.Errorf("split LP on %s: %w", s.Graph.Name(), err)
+	}
+	return m.extract(s, classes, cfg, sol), nil
 }
 
 // encodeDir packs a directional offload key so directional variables do not

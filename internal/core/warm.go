@@ -1,0 +1,420 @@
+package core
+
+import (
+	"fmt"
+
+	"nwids/internal/lp"
+)
+
+// This file holds the reusable solver handles that make sweep re-solves
+// cheap: each handle compiles its formulation's LP once, mutates only the
+// bounds and coefficients a parameter change actually touches, and threads
+// the previous optimal basis into the next solve via lp.Options.WarmStart.
+// The first Solve of a handle is bit-for-bit the same as the corresponding
+// one-shot function (same crash basis, same options), so a sweep that chains
+// a handle along its axis produces the same rendered output as cold solves.
+
+// ReplicationSolver is a reusable handle over the replication LP (§4,
+// Figure 7). Build it once per (scenario shape, mirror policy), then move
+// the sweep knob with SetMaxLinkLoad / SetScenario and call Solve for each
+// point; successive solves start from the previous optimal basis and
+// typically skip phase 1 outright.
+type ReplicationSolver struct {
+	s     *Scenario
+	cfg   ReplicationConfig
+	m     *replicationModel
+	basis *lp.Basis
+	// cache holds parked (model, basis) states keyed by DC attach node:
+	// when the preferred placement moves with the traffic and later moves
+	// back, the handle re-adopts the compiled model and chained basis for
+	// that attach point instead of rebuilding cold.
+	cache map[int]*replState
+}
+
+// replState is one parked model of a ReplicationSolver: the compiled LP,
+// the scenario whose coefficients it currently holds, and the basis chained
+// up to the point it was parked.
+type replState struct {
+	s     *Scenario
+	m     *replicationModel
+	basis *lp.Basis
+}
+
+// NewReplicationSolver builds the LP for s under cfg without solving it.
+func NewReplicationSolver(s *Scenario, cfg ReplicationConfig) (*ReplicationSolver, error) {
+	cfg = cfg.withDefaults()
+	m, err := buildReplicationModel(s, cfg)
+	if err != nil {
+		return nil, err
+	}
+	return &ReplicationSolver{s: s, cfg: cfg, m: m}, nil
+}
+
+// SetMaxLinkLoad moves the link-utilization budget (Eq 5) without touching
+// the constraint matrix: only the link rows' upper bounds change. A zero
+// value selects the documented 0.4 default.
+func (rs *ReplicationSolver) SetMaxLinkLoad(mll float64) {
+	rs.cfg.MaxLinkLoad = mll
+	rs.cfg = rs.cfg.withDefaults()
+	rs.refreshLinkBudgets()
+}
+
+// SetScenario swaps in a new traffic matrix over the same topology (the
+// Scenario.WithMatrix workflow): footprint and replication coefficients are
+// rewritten in place and the λ bound and link budgets move with the new
+// loads. When the new scenario's class structure differs — or the preferred
+// DC placement moves with the traffic — the model is rebuilt from scratch
+// and the chained basis dropped, so the handle stays correct for arbitrary
+// inputs and merely fast for the common sweep case.
+func (rs *ReplicationSolver) SetScenario(sv *Scenario) error {
+	if !rs.sameShape(sv) {
+		// When only the DC placement moved with the traffic, re-adopt the
+		// model previously compiled for the new attach point (if any) and
+		// rewrite its coefficients in place below; otherwise rebuild.
+		st := rs.cachedState(sv)
+		if st == nil {
+			return rs.rebuild(sv)
+		}
+		rs.park()
+		delete(rs.cache, st.m.attach)
+		rs.s, rs.m, rs.basis = st.s, st.m, st.basis
+	}
+	m := rs.m
+	rs.s = sv
+	m.caps = effCaps(sv, m.hasDC, rs.cfg)
+	m.prob.SetVarBounds(m.lam, 0, sv.MaxIngressLoad()*m.maxW*1.0000001+1e-9)
+	nR := sv.NumResources()
+	for c := range sv.Classes {
+		cl := &sv.Classes[c]
+		onPath := cl.Path.NodeSet()
+		for _, j := range cl.Path.Nodes {
+			v := m.pVar[pKey{c, j}]
+			for r := 0; r < nR; r++ {
+				if coef := cl.Foot[r] * cl.Sessions / m.caps[j][r]; coef != 0 {
+					m.prob.UpdateCoef(m.loadRow[j][r], v, coef)
+				}
+			}
+		}
+		if rs.cfg.Mirror == MirrorNone {
+			continue
+		}
+		for _, j := range cl.Path.Nodes {
+			for _, jp := range m.mirrors[j] {
+				if jp != m.dcIdx && onPath[jp] {
+					continue
+				}
+				v, ok := m.oVar[oKey{c, j, jp}]
+				if !ok {
+					continue
+				}
+				for r := 0; r < nR; r++ {
+					if coef := cl.Foot[r] * cl.Sessions / m.caps[jp][r]; coef != 0 {
+						m.prob.UpdateCoef(m.loadRow[jp][r], v, coef)
+					}
+				}
+				dst := jp
+				if jp == m.dcIdx {
+					dst = m.attach
+				}
+				for _, l := range sv.Routing.Path(j, dst).Links {
+					m.prob.UpdateCoef(m.linkRow[l], v, cl.Sessions*cl.Size/sv.LinkCap[l])
+				}
+			}
+		}
+	}
+	rs.refreshLinkBudgets()
+	return nil
+}
+
+// sameShape reports whether sv shares the LP's variable and sparsity
+// structure with the currently installed scenario.
+func (rs *ReplicationSolver) sameShape(sv *Scenario) bool {
+	return shapeMatches(rs.s, rs.m, rs.cfg, sv)
+}
+
+// cachedState returns the parked state whose compiled model matches sv's
+// preferred DC placement and shape, or nil.
+func (rs *ReplicationSolver) cachedState(sv *Scenario) *replState {
+	if rs.m == nil || !rs.m.hasDC || rs.cfg.DCAttachFixed {
+		return nil
+	}
+	st, ok := rs.cache[DCPlacement(sv)]
+	if !ok || !shapeMatches(st.s, st.m, rs.cfg, sv) {
+		return nil
+	}
+	return st
+}
+
+// park saves the current (scenario, model, basis) under its attach node so
+// a later placement flip back can re-adopt it.
+func (rs *ReplicationSolver) park() {
+	if rs.m == nil || !rs.m.hasDC || rs.cfg.DCAttachFixed {
+		return
+	}
+	if rs.cache == nil {
+		rs.cache = map[int]*replState{}
+	}
+	rs.cache[rs.m.attach] = &replState{s: rs.s, m: rs.m, basis: rs.basis}
+}
+
+// shapeMatches reports whether sv shares m's variable and sparsity
+// structure, where old is the scenario whose coefficients m currently holds.
+func shapeMatches(old *Scenario, m *replicationModel, cfg ReplicationConfig, sv *Scenario) bool {
+	if sv.Graph.NumNodes() != old.Graph.NumNodes() || sv.Graph.NumLinks() != old.Graph.NumLinks() ||
+		len(sv.Classes) != len(old.Classes) || sv.NumResources() != old.NumResources() {
+		return false
+	}
+	if m.hasDC && !cfg.DCAttachFixed && DCPlacement(sv) != m.attach {
+		return false // the preferred DC placement moved with the traffic
+	}
+	for c := range sv.Classes {
+		a, b := &sv.Classes[c], &old.Classes[c]
+		if a.Src != b.Src || a.Dst != b.Dst || a.Sessions <= 0 ||
+			len(a.Path.Nodes) != len(b.Path.Nodes) || len(a.Foot) != len(b.Foot) {
+			return false
+		}
+		for i, n := range a.Path.Nodes {
+			if n != b.Path.Nodes[i] {
+				return false
+			}
+		}
+		for r := range a.Foot {
+			if (a.Foot[r] == 0) != (b.Foot[r] == 0) {
+				return false
+			}
+		}
+		if (a.Size == 0) != (b.Size == 0) {
+			return false
+		}
+	}
+	return true
+}
+
+// refreshLinkBudgets rewrites every materialized link row's budget from the
+// current MaxLinkLoad and background loads.
+func (rs *ReplicationSolver) refreshLinkBudgets() {
+	for l, row := range rs.m.linkRow {
+		if row < 0 {
+			continue
+		}
+		budget := rs.cfg.MaxLinkLoad - rs.s.BG[l]
+		if budget < 0 {
+			budget = 0
+		}
+		rs.m.prob.SetRowBounds(row, -lp.Inf, budget)
+	}
+}
+
+// rebuild parks the current model, then compiles a fresh one and drops the
+// chained basis.
+func (rs *ReplicationSolver) rebuild(sv *Scenario) error {
+	m, err := buildReplicationModel(sv, rs.cfg)
+	if err != nil {
+		return err
+	}
+	rs.park()
+	rs.s, rs.m, rs.basis = sv, m, nil
+	return nil
+}
+
+// ResetBasis drops the chained basis so the next Solve starts cold; sweep
+// code uses it to open a fresh deterministic chain.
+func (rs *ReplicationSolver) ResetBasis() { rs.basis = nil }
+
+// Solve optimizes the current configuration. The first call (and any call
+// after a rebuild or ResetBasis) starts from the ingress crash basis exactly
+// like SolveReplication; later calls warm-start from the previous optimum.
+func (rs *ReplicationSolver) Solve() (*Assignment, error) {
+	opts := rs.cfg.LP
+	if rs.basis != nil && rs.basis.Compatible(rs.m.prob) {
+		opts.WarmStart = rs.basis
+	} else {
+		opts.CrashBasis = rs.m.crash
+		opts.AtUpper = append(opts.AtUpper, rs.m.lam)
+	}
+	sol := lp.Solve(rs.m.prob, opts)
+	if err := sol.Err(); err != nil {
+		return nil, fmt.Errorf("replication LP on %s: %w", rs.s.Graph.Name(), err)
+	}
+	rs.basis = sol.Basis
+	return rs.m.extract(rs.s, rs.cfg, sol), nil
+}
+
+// AggregationSolver is the reusable handle over the aggregation LP (§6,
+// Figure 9) for the β sweep (Fig 18): β scales only the communication terms
+// in the objective, so SetBeta is a pure objective rewrite and every solve
+// after the first warm-starts from the previous optimum.
+type AggregationSolver struct {
+	s     *Scenario
+	cfg   AggregationConfig
+	m     *aggregationModel
+	basis *lp.Basis
+}
+
+// NewAggregationSolver builds the LP for s under cfg without solving it.
+func NewAggregationSolver(s *Scenario, cfg AggregationConfig) *AggregationSolver {
+	return &AggregationSolver{s: s, cfg: cfg, m: buildAggregationModel(s, cfg)}
+}
+
+// SetBeta moves the communication-vs-load tradeoff weight. Only objective
+// coefficients change; the constraint matrix and bounds stay fixed.
+func (as *AggregationSolver) SetBeta(beta float64) {
+	as.cfg.Beta = beta
+	for i, v := range as.m.commVars {
+		as.m.prob.SetObj(v, beta*as.m.commCoef[i])
+	}
+}
+
+// ResetBasis drops the chained basis so the next Solve starts cold.
+func (as *AggregationSolver) ResetBasis() { as.basis = nil }
+
+// Solve optimizes at the current β, warm-starting when a basis is chained.
+func (as *AggregationSolver) Solve() (*AggregationResult, error) {
+	opts := as.cfg.LP
+	if as.basis != nil && as.basis.Compatible(as.m.prob) {
+		opts.WarmStart = as.basis
+	} else {
+		opts.CrashBasis = as.m.crash
+		opts.AtUpper = append(opts.AtUpper, as.m.lam)
+	}
+	sol := lp.Solve(as.m.prob, opts)
+	if err := sol.Err(); err != nil {
+		return nil, fmt.Errorf("aggregation LP on %s: %w", as.s.Graph.Name(), err)
+	}
+	as.basis = sol.Basis
+	return as.m.extract(as.s, sol), nil
+}
+
+// NIPSSolver is the reusable handle over the rerouting LP (§9). Both of its
+// sweep knobs — the link budget and the per-class latency budget — are pure
+// row-bound changes, so re-solves keep the compiled matrix and warm-start
+// from the previous optimum.
+type NIPSSolver struct {
+	s     *Scenario
+	cfg   NIPSConfig
+	m     *nipsModel
+	basis *lp.Basis
+}
+
+// NewNIPSSolver builds the LP for s under cfg without solving it.
+func NewNIPSSolver(s *Scenario, cfg NIPSConfig) *NIPSSolver {
+	cfg = cfg.withDefaults()
+	return &NIPSSolver{s: s, cfg: cfg, m: buildNIPSModel(s, cfg)}
+}
+
+// SetMaxLinkLoad moves the total-utilization budget on every detour link
+// row. A zero value selects the documented 0.4 default.
+func (ns *NIPSSolver) SetMaxLinkLoad(mll float64) {
+	ns.cfg.MaxLinkLoad = mll
+	ns.cfg = ns.cfg.withDefaults()
+	for l, row := range ns.m.linkRow {
+		if row < 0 {
+			continue
+		}
+		budget := ns.cfg.MaxLinkLoad - ns.s.BG[l]
+		if budget < 0 {
+			budget = 0
+		}
+		ns.m.prob.SetRowBounds(row, -lp.Inf, budget)
+	}
+}
+
+// SetLatencyBudget moves the expected-extra-hops cap of every class.
+func (ns *NIPSSolver) SetLatencyBudget(budget float64) {
+	ns.cfg.LatencyBudget = budget
+	for _, row := range ns.m.latRow {
+		if row >= 0 {
+			ns.m.prob.SetRowBounds(row, -lp.Inf, budget)
+		}
+	}
+}
+
+// ResetBasis drops the chained basis so the next Solve starts cold.
+func (ns *NIPSSolver) ResetBasis() { ns.basis = nil }
+
+// Solve optimizes the current configuration, warm-starting when possible.
+func (ns *NIPSSolver) Solve() (*NIPSResult, error) {
+	opts := ns.cfg.LP
+	if ns.basis != nil && ns.basis.Compatible(ns.m.prob) {
+		opts.WarmStart = ns.basis
+	} else {
+		opts.CrashBasis = ns.m.crash
+		opts.AtUpper = append(opts.AtUpper, ns.m.lam)
+	}
+	sol := lp.Solve(ns.m.prob, opts)
+	if err := sol.Err(); err != nil {
+		return nil, fmt.Errorf("NIPS LP on %s: %w", ns.s.Graph.Name(), err)
+	}
+	ns.basis = sol.Basis
+	return ns.m.extract(ns.s, ns.cfg, sol), nil
+}
+
+// SplitSolver is the reusable handle over the split-traffic LP (§5). γ is an
+// objective-only knob and MaxLinkLoad a row-bound knob, so both re-solve
+// without recompiling and warm-start from the previous optimum.
+type SplitSolver struct {
+	s       *Scenario
+	classes []SplitClass
+	cfg     SplitConfig
+	m       *splitModel
+	basis   *lp.Basis
+}
+
+// NewSplitSolver builds the LP for s and classes under cfg without solving.
+func NewSplitSolver(s *Scenario, classes []SplitClass, cfg SplitConfig) (*SplitSolver, error) {
+	cfg = cfg.withDefaults()
+	m, err := buildSplitModel(s, classes, cfg)
+	if err != nil {
+		return nil, err
+	}
+	return &SplitSolver{s: s, classes: classes, cfg: cfg, m: m}, nil
+}
+
+// SetGamma moves the miss-rate penalty weight. Only objective coefficients
+// change (the shared epigraph variable under MaxMiss, the per-class coverage
+// variables otherwise). A zero value selects the documented default of 100.
+func (ss *SplitSolver) SetGamma(gamma float64) {
+	ss.cfg.Gamma = gamma
+	ss.cfg = ss.cfg.withDefaults()
+	if ss.cfg.MaxMiss {
+		ss.m.prob.SetObj(ss.m.maxMiss, ss.cfg.Gamma)
+		return
+	}
+	for ci, v := range ss.m.covVar {
+		ss.m.prob.SetObj(v, -ss.cfg.Gamma*ss.m.covW[ci])
+	}
+}
+
+// SetMaxLinkLoad moves the replication link budget on every materialized
+// link row. A zero value selects the documented 0.4 default.
+func (ss *SplitSolver) SetMaxLinkLoad(mll float64) {
+	ss.cfg.MaxLinkLoad = mll
+	ss.cfg = ss.cfg.withDefaults()
+	for l, row := range ss.m.linkRow {
+		if row < 0 {
+			continue
+		}
+		budget := ss.cfg.MaxLinkLoad - ss.s.BG[l]
+		if budget < 0 {
+			budget = 0
+		}
+		ss.m.prob.SetRowBounds(row, -lp.Inf, budget)
+	}
+}
+
+// ResetBasis drops the chained basis so the next Solve starts cold.
+func (ss *SplitSolver) ResetBasis() { ss.basis = nil }
+
+// Solve optimizes the current configuration, warm-starting when possible.
+func (ss *SplitSolver) Solve() (*SplitResult, error) {
+	opts := ss.cfg.LP
+	if ss.basis != nil && ss.basis.Compatible(ss.m.prob) {
+		opts.WarmStart = ss.basis
+	}
+	sol := lp.Solve(ss.m.prob, opts)
+	if err := sol.Err(); err != nil {
+		return nil, fmt.Errorf("split LP on %s: %w", ss.s.Graph.Name(), err)
+	}
+	ss.basis = sol.Basis
+	return ss.m.extract(ss.s, ss.classes, ss.cfg, sol), nil
+}

@@ -1,0 +1,215 @@
+package core
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"nwids/internal/topology"
+	"nwids/internal/traffic"
+)
+
+// closeObj asserts two objectives agree within the LP tolerance scale.
+func closeObj(t *testing.T, what string, warm, cold float64) {
+	t.Helper()
+	if d := math.Abs(warm - cold); d > 1e-6*(1+math.Abs(cold)) {
+		t.Errorf("%s: warm objective %.9g vs cold %.9g (diff %.3g)", what, warm, cold, d)
+	}
+}
+
+// TestReplicationSolverMatchesCold chains a MaxLinkLoad sweep through one
+// ReplicationSolver and compares every point against an independent cold
+// solve: same objective, same max load (the rendered quantity).
+func TestReplicationSolverMatchesCold(t *testing.T) {
+	for _, topo := range []string{"Internet2", "Geant"} {
+		g := topology.ByName(topo)
+		if g == nil {
+			t.Fatalf("unknown topology %s", topo)
+		}
+		s := NewScenario(g, traffic.GravityDefault(g), ScenarioOptions{})
+		cfg := ReplicationConfig{Mirror: MirrorDCOnly, DCCapacity: 10}
+		rs, err := NewReplicationSolver(s, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		warmed := 0
+		for _, mll := range []float64{0.1, 0.2, 0.4, 0.8, 1.0} {
+			rs.SetMaxLinkLoad(mll)
+			warm, err := rs.Solve()
+			if err != nil {
+				t.Fatalf("%s mll=%.1f warm: %v", topo, mll, err)
+			}
+			coldCfg := cfg
+			coldCfg.MaxLinkLoad = mll
+			cold, err := SolveReplication(s, coldCfg)
+			if err != nil {
+				t.Fatalf("%s mll=%.1f cold: %v", topo, mll, err)
+			}
+			closeObj(t, topo, warm.Objective, cold.Objective)
+			if d := math.Abs(warm.MaxLoad() - cold.MaxLoad()); d > 1e-6 {
+				t.Errorf("%s mll=%.1f: MaxLoad warm %.9g cold %.9g", topo, mll, warm.MaxLoad(), cold.MaxLoad())
+			}
+			warmed += warm.LPStats.WarmStartHits
+		}
+		if warmed == 0 {
+			t.Errorf("%s: no solve in the chain warm-started", topo)
+		}
+	}
+}
+
+// TestReplicationSolverSetScenario chains a matrix sweep (the Fig 15
+// workflow) and compares against cold solves, covering both the in-place
+// refresh and the rebuild fallback when the DC placement moves.
+func TestReplicationSolverSetScenario(t *testing.T) {
+	s := internet2Scenario(t)
+	cfg := ReplicationConfig{Mirror: MirrorDCOnly, MaxLinkLoad: 0.4, DCCapacity: 10}
+	rs, err := NewReplicationSolver(s, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(17))
+	tms := traffic.VariabilityModel{Sigma: 0.5}.Generate(rng, traffic.GravityDefault(s.Graph), 6)
+	for i, tm := range tms {
+		sv := s.WithMatrix(tm)
+		if err := rs.SetScenario(sv); err != nil {
+			t.Fatalf("matrix %d: SetScenario: %v", i, err)
+		}
+		warm, err := rs.Solve()
+		if err != nil {
+			t.Fatalf("matrix %d warm: %v", i, err)
+		}
+		cold, err := SolveReplication(sv, cfg)
+		if err != nil {
+			t.Fatalf("matrix %d cold: %v", i, err)
+		}
+		closeObj(t, "matrix", warm.Objective, cold.Objective)
+		if d := math.Abs(warm.MaxLoad() - cold.MaxLoad()); d > 1e-6 {
+			t.Errorf("matrix %d: MaxLoad warm %.9g cold %.9g", i, warm.MaxLoad(), cold.MaxLoad())
+		}
+	}
+}
+
+// TestReplicationSolverAllMirrors covers every mirror policy once: warm
+// handle vs cold function on the same configuration.
+func TestReplicationSolverAllMirrors(t *testing.T) {
+	s := internet2Scenario(t)
+	for _, mir := range []MirrorPolicy{MirrorNone, MirrorDCOnly, MirrorOneHop, MirrorTwoHop, MirrorDCPlusOneHop} {
+		cfg := ReplicationConfig{Mirror: mir, MaxLinkLoad: 0.4, DCCapacity: 10}
+		rs, err := NewReplicationSolver(s, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Two solves: the first must equal the cold path bit-for-bit (same
+		// crash start), the second re-solves warm and must agree.
+		first, err := rs.Solve()
+		if err != nil {
+			t.Fatalf("%v first: %v", mir, err)
+		}
+		cold, err := SolveReplication(s, cfg)
+		if err != nil {
+			t.Fatalf("%v cold: %v", mir, err)
+		}
+		if first.Objective != cold.Objective {
+			t.Errorf("%v: first handle solve %.17g != cold %.17g", mir, first.Objective, cold.Objective)
+		}
+		again, err := rs.Solve()
+		if err != nil {
+			t.Fatalf("%v warm: %v", mir, err)
+		}
+		if again.LPStats.WarmStartHits != 1 || again.LPStats.Pivots() != 0 {
+			t.Errorf("%v: warm re-solve hits=%d pivots=%d, want 1/0",
+				mir, again.LPStats.WarmStartHits, again.LPStats.Pivots())
+		}
+		if again.MaxLoad() != first.MaxLoad() {
+			t.Errorf("%v: warm re-solve MaxLoad %.17g != %.17g", mir, again.MaxLoad(), first.MaxLoad())
+		}
+	}
+}
+
+// TestAggregationSolverMatchesCold chains the Fig 18 β sweep.
+func TestAggregationSolverMatchesCold(t *testing.T) {
+	s := internet2Scenario(t)
+	as := NewAggregationSolver(s, AggregationConfig{})
+	warmed := 0
+	for _, beta := range []float64{0.01, 0.1, 1, 10, 100} {
+		as.SetBeta(beta)
+		warm, err := as.Solve()
+		if err != nil {
+			t.Fatalf("beta=%g warm: %v", beta, err)
+		}
+		cold, err := SolveAggregation(s, AggregationConfig{Beta: beta})
+		if err != nil {
+			t.Fatalf("beta=%g cold: %v", beta, err)
+		}
+		closeObj(t, "aggregation", warm.Objective, cold.Objective)
+		if d := math.Abs(warm.LoadCost - cold.LoadCost); d > 1e-6 {
+			t.Errorf("beta=%g: LoadCost warm %.9g cold %.9g", beta, warm.LoadCost, cold.LoadCost)
+		}
+		if d := math.Abs(warm.NormCommCost - cold.NormCommCost); d > 1e-5 {
+			t.Errorf("beta=%g: NormCommCost warm %.9g cold %.9g", beta, warm.NormCommCost, cold.NormCommCost)
+		}
+		warmed += warm.Assignment.LPStats.WarmStartHits
+	}
+	if warmed == 0 {
+		t.Error("no solve in the β chain warm-started")
+	}
+}
+
+// TestNIPSSolverMatchesCold sweeps the latency budget through one handle.
+func TestNIPSSolverMatchesCold(t *testing.T) {
+	s := internet2Scenario(t)
+	ns := NewNIPSSolver(s, NIPSConfig{Mirror: MirrorDCOnly, LatencyBudget: 2})
+	warmed := 0
+	for _, lat := range []float64{0.5, 1, 2, 4} {
+		ns.SetLatencyBudget(lat)
+		warm, err := ns.Solve()
+		if err != nil {
+			t.Fatalf("lat=%g warm: %v", lat, err)
+		}
+		cold, err := SolveNIPS(s, NIPSConfig{Mirror: MirrorDCOnly, LatencyBudget: lat})
+		if err != nil {
+			t.Fatalf("lat=%g cold: %v", lat, err)
+		}
+		closeObj(t, "nips", warm.Assignment.Objective, cold.Assignment.Objective)
+		if d := math.Abs(warm.Assignment.MaxLoad() - cold.Assignment.MaxLoad()); d > 1e-6 {
+			t.Errorf("lat=%g: MaxLoad warm %.9g cold %.9g", lat, warm.Assignment.MaxLoad(), cold.Assignment.MaxLoad())
+		}
+		warmed += warm.Assignment.LPStats.WarmStartHits
+	}
+	if warmed == 0 {
+		t.Error("no solve in the latency chain warm-started")
+	}
+}
+
+// TestSplitSolverMatchesCold sweeps γ through one handle.
+func TestSplitSolverMatchesCold(t *testing.T) {
+	s := internet2Scenario(t)
+	rng := rand.New(rand.NewSource(23))
+	pool := topology.NewPathPool(s.Routing)
+	ar := topology.GenerateAsymmetric(s.Routing, pool, 0.5, rng)
+	classes := BuildSplitClasses(s, ar)
+	ss, err := NewSplitSolver(s, classes, SplitConfig{UseDC: true, MaxLinkLoad: 0.4, DCCapacity: 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	warmed := 0
+	for _, gamma := range []float64{1, 10, 100} {
+		ss.SetGamma(gamma)
+		warm, err := ss.Solve()
+		if err != nil {
+			t.Fatalf("gamma=%g warm: %v", gamma, err)
+		}
+		cold, err := SolveSplit(s, classes, SplitConfig{UseDC: true, MaxLinkLoad: 0.4, DCCapacity: 10, Gamma: gamma})
+		if err != nil {
+			t.Fatalf("gamma=%g cold: %v", gamma, err)
+		}
+		closeObj(t, "split", warm.Objective, cold.Objective)
+		if d := math.Abs(warm.MissRate - cold.MissRate); d > 1e-6 {
+			t.Errorf("gamma=%g: MissRate warm %.9g cold %.9g", gamma, warm.MissRate, cold.MissRate)
+		}
+		warmed += warm.LPStats.WarmStartHits
+	}
+	if warmed == 0 {
+		t.Error("no solve in the γ chain warm-started")
+	}
+}

@@ -42,39 +42,42 @@ func Ablation(opts Options) ([]AblationRow, error) {
 			return nil, err
 		}
 		type variant struct {
-			name string
-			run  func() *lp.Solution
+			name     string
+			opts     lp.Options
+			presolve bool
+			warm     bool // start from the default variant's optimal basis
 		}
 		variants := []variant{
-			{"crash+atUpper (default)", func() *lp.Solution {
-				return lp.Solve(prob, lp.Options{CrashBasis: crash, AtUpper: atUpper})
-			}},
-			{"no crash basis", func() *lp.Solution {
-				return lp.Solve(prob, lp.Options{AtUpper: atUpper})
-			}},
-			{"cold start", func() *lp.Solution {
-				return lp.Solve(prob, lp.Options{})
-			}},
-			{"refactor every 16", func() *lp.Solution {
-				return lp.Solve(prob, lp.Options{CrashBasis: crash, AtUpper: atUpper, RefactorEvery: 16})
-			}},
-			{"refactor every 512", func() *lp.Solution {
-				return lp.Solve(prob, lp.Options{CrashBasis: crash, AtUpper: atUpper, RefactorEvery: 512})
-			}},
-			{"presolve", func() *lp.Solution {
-				return lp.SolveWithPresolve(prob, lp.Options{CrashBasis: crash, AtUpper: atUpper})
-			}},
+			{name: "crash+atUpper (default)", opts: lp.Options{CrashBasis: crash, AtUpper: atUpper}},
+			{name: "no crash basis", opts: lp.Options{AtUpper: atUpper}},
+			{name: "cold start", opts: lp.Options{}},
+			{name: "refactor every 16", opts: lp.Options{CrashBasis: crash, AtUpper: atUpper, RefactorEvery: 16}},
+			{name: "refactor every 512", opts: lp.Options{CrashBasis: crash, AtUpper: atUpper, RefactorEvery: 512}},
+			{name: "presolve", opts: lp.Options{CrashBasis: crash, AtUpper: atUpper}, presolve: true},
+			{name: "warm re-solve (basis reuse)", warm: true},
 		}
 		var reference float64
+		var refBasis *lp.Basis
 		for vi, v := range variants {
+			if v.warm {
+				v.opts.WarmStart = refBasis
+			}
 			//lint:ignore nondeterminism the ablation table's wall-ms column is timing instrumentation; -notime strips it from gated output
 			start := time.Now()
-			sol := v.run()
+			var sol *lp.Solution
+			if v.presolve {
+				//lint:ignore coldsolve the ablation isolates solver start configurations by design
+				sol = lp.SolveWithPresolve(prob, v.opts)
+			} else {
+				//lint:ignore coldsolve the ablation isolates solver start configurations by design
+				sol = lp.Solve(prob, v.opts)
+			}
 			if err := sol.Err(); err != nil {
 				return nil, err
 			}
 			if vi == 0 {
 				reference = sol.Objective
+				refBasis = sol.Basis
 			} else if d := sol.Objective - reference; d > 1e-5 || d < -1e-5 {
 				opts.logf("ablation: %s %s objective drift %.3g", name, v.name, d)
 			}
@@ -136,7 +139,8 @@ func SigmaSweep(opts Options) (*VariabilitySigmaSweep, error) {
 	}
 	out := &VariabilitySigmaSweep{Sigmas: []float64{0.25, 0.5, 0.75, 1.0}}
 	// Matrix generation per σ consumes that σ's own RNG sequentially; the
-	// (σ, matrix) solve grid then fans out to the worker pool.
+	// flattened (σ, matrix) sequence then solves in fixed-order chunk
+	// chains on the worker pool.
 	type job struct {
 		sigmaIdx int
 		tm       *traffic.Matrix
@@ -149,16 +153,14 @@ func SigmaSweep(opts Options) (*VariabilitySigmaSweep, error) {
 			jobs = append(jobs, job{si, tm})
 		}
 	}
-	type sample struct{ ing, rep float64 }
-	samples, err := sweepMap(opts, jobs, func(_ int, j job) (sample, error) {
-		sv := s.WithMatrix(j.tm)
-		rep, err := core.SolveReplication(sv, core.ReplicationConfig{
-			Mirror: core.MirrorDCOnly, MaxLinkLoad: 0.4, DCCapacity: 10,
-		})
-		if err != nil {
-			return sample{}, err
-		}
-		return sample{ing: core.Ingress(sv).MaxLoad(), rep: rep.MaxLoad()}, nil
+	svs, err := sweepMap(opts, jobs, func(_ int, j job) (*core.Scenario, error) {
+		return s.WithMatrix(j.tm), nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	reps, err := chainReplication(opts, svs, core.ReplicationConfig{
+		Mirror: core.MirrorDCOnly, MaxLinkLoad: 0.4, DCCapacity: 10,
 	})
 	if err != nil {
 		return nil, err
@@ -166,11 +168,11 @@ func SigmaSweep(opts Options) (*VariabilitySigmaSweep, error) {
 	out.WorstIngress = make([]float64, len(out.Sigmas))
 	out.WorstReplicate = make([]float64, len(out.Sigmas))
 	for i, j := range jobs {
-		if samples[i].ing > out.WorstIngress[j.sigmaIdx] {
-			out.WorstIngress[j.sigmaIdx] = samples[i].ing
+		if ing := core.Ingress(svs[i]).MaxLoad(); ing > out.WorstIngress[j.sigmaIdx] {
+			out.WorstIngress[j.sigmaIdx] = ing
 		}
-		if samples[i].rep > out.WorstReplicate[j.sigmaIdx] {
-			out.WorstReplicate[j.sigmaIdx] = samples[i].rep
+		if rep := reps[i].MaxLoad(); rep > out.WorstReplicate[j.sigmaIdx] {
+			out.WorstReplicate[j.sigmaIdx] = rep
 		}
 	}
 	for si, sigma := range out.Sigmas {

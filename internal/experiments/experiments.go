@@ -33,6 +33,11 @@ type Options struct {
 	// aggregated in sweep-point order, so rendered output is identical for
 	// every value.
 	Workers int
+	// ColdLP disables warm-start basis chaining: every sweep point solves
+	// its LP from the crash basis, as if no earlier point existed. Rendered
+	// output must be byte-identical with and without it — the CI
+	// determinism gate diffs both modes (see warm.go for the contract).
+	ColdLP bool
 	// Logf, when non-nil, receives progress lines.
 	Logf func(format string, args ...any)
 	// Obs, when non-nil, accumulates run metrics (solver stats, per-node
@@ -82,6 +87,9 @@ func recordLPStats(reg *obs.Registry, iterations int, st lp.SolveStats) {
 	reg.Counter("lp.degenerate_steps").Add(uint64(st.DegenerateSteps))
 	reg.Counter("lp.bland_activations").Add(uint64(st.BlandActivations))
 	reg.Counter("lp.refactorizations").Add(uint64(st.Refactorizations))
+	reg.Counter("lp.warm.hits").Add(uint64(st.WarmStartHits))
+	reg.Counter("lp.warm.phase1_skips").Add(uint64(st.Phase1Skips))
+	reg.Counter("lp.devex_resets").Add(uint64(st.DevexResets))
 	reg.Gauge("lp.max_eta_at_refactor").Max(float64(st.MaxEtaAtRefactor))
 	reg.Gauge("lp.max_residual").Max(st.MaxResidual)
 	reg.Timer("lp.phase1").ObserveDuration(st.Phase1Time)
@@ -122,33 +130,43 @@ func solveArch(o Options, s *core.Scenario, arch string, mll, dcCap float64) (*c
 }
 
 func solveArchRaw(s *core.Scenario, arch string, mll, dcCap float64) (*core.Assignment, error) {
-	switch arch {
-	case ArchIngress:
+	if arch == ArchIngress {
 		return core.Ingress(s), nil
-	case ArchPathNoRep:
-		return core.SolveReplication(s, core.ReplicationConfig{Mirror: core.MirrorNone})
-	case ArchPathAugmented:
-		n := float64(s.Graph.NumNodes())
-		return core.SolveReplication(s, core.ReplicationConfig{
-			Mirror: core.MirrorNone, ExtraNodeCapacity: dcCap / n,
-		})
-	case ArchPathReplicate, ArchDCOnly:
-		return core.SolveReplication(s, core.ReplicationConfig{
-			Mirror: core.MirrorDCOnly, MaxLinkLoad: mll, DCCapacity: dcCap,
-		})
-	case ArchDCOneHop:
-		return core.SolveReplication(s, core.ReplicationConfig{
-			Mirror: core.MirrorDCPlusOneHop, MaxLinkLoad: mll, DCCapacity: dcCap,
-		})
-	case ArchOneHop:
-		return core.SolveReplication(s, core.ReplicationConfig{
-			Mirror: core.MirrorOneHop, MaxLinkLoad: mll,
-		})
-	case ArchTwoHop:
-		return core.SolveReplication(s, core.ReplicationConfig{
-			Mirror: core.MirrorTwoHop, MaxLinkLoad: mll,
-		})
-	default:
+	}
+	cfg, ok := archReplicationConfig(arch, mll, dcCap, s.Graph.NumNodes())
+	if !ok {
 		return nil, fmt.Errorf("experiments: unknown architecture %q", arch)
 	}
+	return core.SolveReplication(s, cfg)
+}
+
+// archReplicationConfig maps a named architecture to its replication-LP
+// configuration. ok is false for ArchIngress (closed form, no LP) and
+// unknown names.
+func archReplicationConfig(arch string, mll, dcCap float64, nodes int) (core.ReplicationConfig, bool) {
+	switch arch {
+	case ArchPathNoRep:
+		return core.ReplicationConfig{Mirror: core.MirrorNone}, true
+	case ArchPathAugmented:
+		return core.ReplicationConfig{
+			Mirror: core.MirrorNone, ExtraNodeCapacity: dcCap / float64(nodes),
+		}, true
+	case ArchPathReplicate, ArchDCOnly:
+		return core.ReplicationConfig{
+			Mirror: core.MirrorDCOnly, MaxLinkLoad: mll, DCCapacity: dcCap,
+		}, true
+	case ArchDCOneHop:
+		return core.ReplicationConfig{
+			Mirror: core.MirrorDCPlusOneHop, MaxLinkLoad: mll, DCCapacity: dcCap,
+		}, true
+	case ArchOneHop:
+		return core.ReplicationConfig{
+			Mirror: core.MirrorOneHop, MaxLinkLoad: mll,
+		}, true
+	case ArchTwoHop:
+		return core.ReplicationConfig{
+			Mirror: core.MirrorTwoHop, MaxLinkLoad: mll,
+		}, true
+	}
+	return core.ReplicationConfig{}, false
 }

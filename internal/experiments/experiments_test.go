@@ -342,7 +342,7 @@ func TestAblationAgreesOnOptimum(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if len(rows) != 6 {
+	if len(rows) != 7 {
 		t.Fatalf("rows = %d", len(rows))
 	}
 	ref := rows[0].Objective
@@ -350,22 +350,30 @@ func TestAblationAgreesOnOptimum(t *testing.T) {
 		if d := r.Objective - ref; d > 1e-5 || d < -1e-5 {
 			t.Fatalf("%s: objective %.8f deviates from reference %.8f", r.Variant, r.Objective, ref)
 		}
-		if r.Iterations <= 0 {
+		// Re-solving from the reference optimal basis legitimately takes
+		// zero pivots; every other variant must actually iterate.
+		if r.Iterations <= 0 && r.Variant != "warm re-solve (basis reuse)" {
 			t.Fatalf("%s: no iterations recorded", r.Variant)
 		}
 	}
-	// The crash basis must actually save work vs a cold start.
-	var crash, cold int
+	// The crash basis must actually save work vs a cold start, and the warm
+	// re-solve must beat everything.
+	var crash, cold, warm int
 	for _, r := range rows {
 		switch r.Variant {
 		case "crash+atUpper (default)":
 			crash = r.Iterations
 		case "cold start":
 			cold = r.Iterations
+		case "warm re-solve (basis reuse)":
+			warm = r.Iterations
 		}
 	}
 	if crash >= cold {
 		t.Fatalf("crash basis (%d iters) should beat cold start (%d iters)", crash, cold)
+	}
+	if warm >= crash {
+		t.Fatalf("warm re-solve (%d iters) should beat the crash basis (%d iters)", warm, crash)
 	}
 	if !strings.Contains(RenderAblation(rows), "cold start") {
 		t.Fatal("render")
@@ -421,5 +429,53 @@ func TestFootprintSensitivity(t *testing.T) {
 	}
 	if !strings.Contains(res.Render(), "Realized median") {
 		t.Fatal("render")
+	}
+}
+
+// TestWarmVsColdRenderIdentical is the determinism contract of the
+// warm-start layer: chaining bases across sweep points must not change a
+// single rendered byte relative to solving every point from scratch.
+func TestWarmVsColdRenderIdentical(t *testing.T) {
+	warm := Options{Quick: true, Seed: 1, Topologies: []string{"Internet2"}}
+	cold := warm
+	cold.ColdLP = true
+
+	renders := map[string]func(Options) (string, error){
+		"fig11": func(o Options) (string, error) {
+			r, err := Fig11(o)
+			if err != nil {
+				return "", err
+			}
+			return r.Render(), nil
+		},
+		"fig15": func(o Options) (string, error) {
+			r, err := Fig15(o)
+			if err != nil {
+				return "", err
+			}
+			return r.Render(), nil
+		},
+		"fig18": func(o Options) (string, error) {
+			r, err := Fig18(o)
+			if err != nil {
+				return "", err
+			}
+			return r.Render(), nil
+		},
+	}
+	for name, render := range renders {
+		t.Run(name, func(t *testing.T) {
+			w, err := render(warm)
+			if err != nil {
+				t.Fatal(err)
+			}
+			c, err := render(cold)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if w != c {
+				t.Fatalf("warm and cold renders differ:\nwarm:\n%s\ncold:\n%s", w, c)
+			}
+		})
 	}
 }

@@ -45,7 +45,8 @@ func Fig10(opts Options) (*Fig10Result, error) {
 		{Mirror: core.MirrorDCOnly, DCCapacity: 8, MaxLinkLoad: 0.4},
 	}
 	runs, err := sweepMap(opts, cfgs, func(_ int, cfg core.ReplicationConfig) (*emulation.Result, error) {
-		a, err := core.SolveReplication(s, cfg)
+		// Two unrelated configurations, one solve each: nothing to chain.
+		a, err := solveReplicationCold(s, cfg)
 		if err != nil {
 			return nil, err
 		}

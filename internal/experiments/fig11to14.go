@@ -33,34 +33,49 @@ func Fig11(opts Options) (*Fig11Result, error) {
 	if err != nil {
 		return nil, err
 	}
-	type job struct {
-		topo int
-		mll  float64
-	}
-	var jobs []job
-	for t := range opts.Topologies {
+	// One job per topology: the MLL sweep is that topology's basis chain.
+	// Only the link-budget row bounds change between points, so each solve
+	// warm-starts from the previous point's optimal vertex (cold per point
+	// under -coldlp). The chain is a fixed slice of the sweep axis, so
+	// output is byte-identical for every -workers value.
+	cfg := core.ReplicationConfig{Mirror: core.MirrorDCOnly, DCCapacity: 10}
+	perTopo, err := sweepMap(opts, scs, func(_ int, s *core.Scenario) ([]Fig11Point, error) {
+		var rs *core.ReplicationSolver
+		if !opts.ColdLP {
+			var err error
+			if rs, err = core.NewReplicationSolver(s, cfg); err != nil {
+				return nil, err
+			}
+		}
+		pts := make([]Fig11Point, 0, len(sweep))
 		for _, mll := range sweep {
-			jobs = append(jobs, job{t, mll})
+			var a *core.Assignment
+			var err error
+			if rs != nil {
+				rs.SetMaxLinkLoad(mll)
+				a, err = rs.Solve()
+			} else {
+				c := cfg
+				c.MaxLinkLoad = mll
+				a, err = solveReplicationCold(s, c)
+			}
+			if err != nil {
+				return nil, err
+			}
+			opts.observe(a)
+			pts = append(pts, Fig11Point{MaxLinkLoad: mll, MaxLoad: a.MaxLoad()})
 		}
-	}
-	pts, err := sweepMap(opts, jobs, func(_ int, j job) (Fig11Point, error) {
-		a, err := core.SolveReplication(scs[j.topo], core.ReplicationConfig{
-			Mirror: core.MirrorDCOnly, MaxLinkLoad: j.mll, DCCapacity: 10,
-		})
-		if err != nil {
-			return Fig11Point{}, err
-		}
-		opts.observe(a)
-		return Fig11Point{MaxLinkLoad: j.mll, MaxLoad: a.MaxLoad()}, nil
+		return pts, nil
 	})
 	if err != nil {
 		return nil, err
 	}
 	res := &Fig11Result{Sweep: sweep, Series: map[string][]Fig11Point{}}
-	for i, j := range jobs {
-		name := opts.Topologies[j.topo]
-		res.Series[name] = append(res.Series[name], pts[i])
-		opts.logf("fig11: %s MLL=%.2f → %.4f", name, j.mll, pts[i].MaxLoad)
+	for ti, name := range opts.Topologies {
+		res.Series[name] = perTopo[ti]
+		for _, p := range perTopo[ti] {
+			opts.logf("fig11: %s MLL=%.2f → %.4f", name, p.MaxLinkLoad, p.MaxLoad)
+		}
 	}
 	return res, nil
 }
@@ -120,9 +135,13 @@ func Fig12(opts Options) (*Fig12Result, error) {
 			jobs = append(jobs, job{t, c})
 		}
 	}
+	// Deliberately cold: the gap DCLoad − MaxLoadExDC depends on which
+	// optimal vertex the solver lands on, and only the objective — not the
+	// vertex — is unique. Every point starts from the same crash basis so
+	// the reported gaps never depend on sweep structure.
 	cells, err := sweepMap(opts, jobs, func(_ int, j job) (Fig12Cell, error) {
 		cfg := configs[j.cfg]
-		a, err := core.SolveReplication(scs[j.topo], core.ReplicationConfig{
+		a, err := solveReplicationCold(scs[j.topo], core.ReplicationConfig{
 			Mirror: core.MirrorDCOnly, MaxLinkLoad: cfg.MaxLinkLoad, DCCapacity: cfg.DCCapacity,
 		})
 		if err != nil {

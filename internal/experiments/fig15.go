@@ -1,8 +1,10 @@
 package experiments
 
 import (
+	"fmt"
 	"math/rand"
 
+	"nwids/internal/core"
 	"nwids/internal/metrics"
 	"nwids/internal/traffic"
 )
@@ -45,27 +47,60 @@ func Fig15(opts Options) (*Fig15Result, error) {
 		Boxes: map[string]metrics.BoxStats{},
 		Loads: map[string][]float64{},
 	}
-	// One job per matrix: each re-optimizes all four architectures against
-	// its own scenario view (the shared base scenario is never mutated).
-	perTM, err := sweepMap(opts, tms, func(_ int, tm *traffic.Matrix) ([]float64, error) {
-		sv := s.WithMatrix(tm)
-		loads := make([]float64, len(archs))
-		for ai, arch := range archs {
-			a, err := solveArch(opts, sv, arch, 0.4, 10)
-			if err != nil {
-				return nil, err
+	// Per-matrix scenario views, shared by every architecture's chain (the
+	// shared base scenario is never mutated).
+	svs, err := sweepMap(opts, tms, func(_ int, tm *traffic.Matrix) (*core.Scenario, error) {
+		return s.WithMatrix(tm), nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	// One job per (architecture, fixed matrix chunk): within a chunk, each
+	// re-optimization warm-starts from the previous matrix's optimal basis
+	// through one solver handle — SetScenario mutates only the coefficients
+	// the matrix change touches. The chunking depends on the run count
+	// alone, so results are byte-identical for every -workers value and
+	// for -coldlp. Ingress is closed-form and needs no LP.
+	type archChunk struct {
+		arch, lo, hi int
+	}
+	var jobs []archChunk
+	for ai := range archs {
+		for _, c := range warmChunks(len(svs)) {
+			jobs = append(jobs, archChunk{ai, c[0], c[1]})
+		}
+	}
+	perChunk, err := sweepMap(opts, jobs, func(_ int, j archChunk) ([]float64, error) {
+		chunk := svs[j.lo:j.hi]
+		loads := make([]float64, 0, len(chunk))
+		if archs[j.arch] == ArchIngress {
+			for _, sv := range chunk {
+				a := core.Ingress(sv)
+				opts.observe(a)
+				loads = append(loads, a.MaxLoad())
 			}
-			loads[ai] = a.MaxLoad()
+			return loads, nil
+		}
+		cfg, ok := archReplicationConfig(archs[j.arch], 0.4, 10, s.Graph.NumNodes())
+		if !ok {
+			return nil, fmt.Errorf("fig15: unknown architecture %q", archs[j.arch])
+		}
+		as, err := chainChunk(opts, chunk, cfg)
+		if err != nil {
+			return nil, err
+		}
+		for _, a := range as {
+			loads = append(loads, a.MaxLoad())
 		}
 		return loads, nil
 	})
 	if err != nil {
 		return nil, err
 	}
-	for i, loads := range perTM {
-		for ai, arch := range archs {
-			res.Loads[arch] = append(res.Loads[arch], loads[ai])
-		}
+	for ji, j := range jobs {
+		res.Loads[archs[j.arch]] = append(res.Loads[archs[j.arch]], perChunk[ji]...)
+	}
+	for i := 0; i < runs; i++ {
 		if (i+1)%10 == 0 {
 			opts.logf("fig15: %d/%d matrices", i+1, runs)
 		}

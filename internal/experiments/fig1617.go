@@ -84,13 +84,16 @@ func Fig1617(opts Options) (*Fig1617Result, error) {
 		ing := core.IngressSplit(s, classes)
 		out.miss[0], out.load[0] = ing.MissRate, ing.MaxLoad
 
-		path, err := core.SolveSplit(s, classes, core.SplitConfig{UseDC: false})
+		// Each configuration has its own split classes (the asymmetric
+		// routes differ), so there is no shared model to chain through:
+		// both solves are deliberately cold.
+		path, err := solveSplitCold(s, classes, core.SplitConfig{UseDC: false})
 		if err != nil {
 			return sample{}, err
 		}
 		out.miss[1], out.load[1] = path.MissRate, path.MaxLoad
 
-		dc, err := core.SolveSplit(s, classes, core.SplitConfig{UseDC: true, MaxLinkLoad: 0.4, DCCapacity: 10})
+		dc, err := solveSplitCold(s, classes, core.SplitConfig{UseDC: true, MaxLinkLoad: 0.4, DCCapacity: 10})
 		if err != nil {
 			return sample{}, err
 		}

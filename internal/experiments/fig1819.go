@@ -37,35 +37,42 @@ func Fig18(opts Options) (*Fig18Result, error) {
 	if err != nil {
 		return nil, err
 	}
-	type job struct {
-		topo, beta int
-	}
-	var jobs []job
-	for t := range opts.Topologies {
-		for b := range betas {
-			jobs = append(jobs, job{t, b})
+	// One job per topology: the β sweep is that topology's basis chain.
+	// SetBeta touches only objective coefficients, so each solve
+	// warm-starts from the previous β's optimal vertex (cold per point
+	// under -coldlp); the chain is a fixed slice of the sweep axis, so
+	// output is byte-identical for every -workers value.
+	perTopo, err := sweepMap(opts, scs, func(_ int, s *core.Scenario) ([]Fig18Point, error) {
+		var as *core.AggregationSolver
+		if !opts.ColdLP {
+			as = core.NewAggregationSolver(s, core.AggregationConfig{})
 		}
-	}
-	raw, err := sweepMap(opts, jobs, func(_ int, j job) (Fig18Point, error) {
-		r, err := core.SolveAggregation(scs[j.topo], core.AggregationConfig{Beta: betas[j.beta]})
-		if err != nil {
-			return Fig18Point{}, err
+		pts := make([]Fig18Point, 0, len(betas))
+		for _, beta := range betas {
+			var r *core.AggregationResult
+			var err error
+			if as != nil {
+				as.SetBeta(beta)
+				r, err = as.Solve()
+			} else {
+				r, err = solveAggregationCold(s, core.AggregationConfig{Beta: beta})
+			}
+			if err != nil {
+				return nil, err
+			}
+			opts.observe(r.Assignment)
+			pts = append(pts, Fig18Point{Beta: beta, LoadCost: r.LoadCost, CommCost: r.CommCost})
 		}
-		opts.observe(r.Assignment)
-		return Fig18Point{Beta: betas[j.beta], LoadCost: r.LoadCost, CommCost: r.CommCost}, nil
+		return pts, nil
 	})
 	if err != nil {
 		return nil, err
 	}
 	res := &Fig18Result{Betas: betas, Series: map[string][]Fig18Point{}}
 	for ti, name := range opts.Topologies {
-		var pts []Fig18Point
-		for i, j := range jobs {
-			if j.topo != ti {
-				continue
-			}
-			pts = append(pts, raw[i])
-			opts.logf("fig18: %s β=%g → load %.4f comm %.4g", name, raw[i].Beta, raw[i].LoadCost, raw[i].CommCost)
+		pts := perTopo[ti]
+		for _, p := range pts {
+			opts.logf("fig18: %s β=%g → load %.4f comm %.4g", name, p.Beta, p.LoadCost, p.CommCost)
 		}
 		maxLoad, maxComm := 0.0, 0.0
 		for _, p := range pts {
@@ -145,7 +152,8 @@ func Fig19(opts Options) ([]Fig19Row, error) {
 			return Fig19Row{}, err
 		}
 		beta, _ := f18.BestBeta(name)
-		with, err := core.SolveAggregation(s, core.AggregationConfig{Beta: beta})
+		// One solve per topology at its operating point: nothing to chain.
+		with, err := solveAggregationCold(s, core.AggregationConfig{Beta: beta})
 		if err != nil {
 			return Fig19Row{}, err
 		}

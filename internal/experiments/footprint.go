@@ -72,7 +72,9 @@ func FootprintSensitivity(opts Options) (*FootprintSensitivityResult, error) {
 	}
 	realizedAll, err := sweepMap(opts, jobs, func(_ int, j job) (float64, error) {
 		noisy := perturbFootprints(s, sigmas[j.sigmaIdx], rand.New(rand.NewSource(j.seed)))
-		a, err := core.SolveReplication(noisy, repCfg)
+		// Every trial perturbs the footprints, which changes the class
+		// shape: nothing to chain, deliberately cold.
+		a, err := solveReplicationCold(noisy, repCfg)
 		if err != nil {
 			return 0, err
 		}

@@ -43,7 +43,9 @@ func Placement(opts Options) ([]PlacementRow, error) {
 	cells, err := sweepMap(opts, jobs, func(_ int, j job) (cell, error) {
 		s := scs[j.topo]
 		loc := core.Place(s, strats[j.strat])
-		a, err := core.SolveReplication(s, core.ReplicationConfig{
+		// The DC attach point differs per strategy, which changes the
+		// mirror structure: nothing to chain, deliberately cold.
+		a, err := solveReplicationCold(s, core.ReplicationConfig{
 			Mirror: core.MirrorDCOnly, MaxLinkLoad: 0.4, DCCapacity: 10,
 			DCAttach: loc, DCAttachFixed: true,
 		})

@@ -1,0 +1,102 @@
+package experiments
+
+import (
+	"nwids/internal/core"
+)
+
+// This file wires the warm-start path (internal/lp basis snapshots threaded
+// through the internal/core solver handles) into the sweep engine. The
+// contract that keeps rendered output byte-identical for every -workers
+// value: a basis chain is always a fixed-order slice of the sweep axis —
+// one topology's sweep points, or one fixed-size chunk of a matrix
+// sequence — and each chain runs inside a single sweep job. Which basis a
+// solve starts from is therefore a function of the experiment definition
+// alone, never of worker scheduling. Options.ColdLP severs every chain
+// (each point solves from the crash basis, exactly as before warm-starting
+// existed); the CI determinism gate diffs both modes.
+
+// warmChunkSize is the fixed chain length for matrix sweeps: long enough
+// to amortize model construction across solves, short enough to keep
+// chunk-level parallelism on the worker pool.
+const warmChunkSize = 25
+
+// warmChunks splits n sweep points into fixed [lo, hi) runs of at most
+// warmChunkSize. The split depends only on n, never on -workers.
+func warmChunks(n int) [][2]int {
+	var out [][2]int
+	for lo := 0; lo < n; lo += warmChunkSize {
+		hi := lo + warmChunkSize
+		if hi > n {
+			hi = n
+		}
+		out = append(out, [2]int{lo, hi})
+	}
+	return out
+}
+
+// chainChunk solves the replication LP for every scenario of one
+// fixed-order chunk, threading each optimal basis forward through a single
+// solver handle (SetScenario mutates only the coefficients the matrix
+// change touches). Under o.ColdLP every point solves cold instead.
+func chainChunk(o Options, svs []*core.Scenario, cfg core.ReplicationConfig) ([]*core.Assignment, error) {
+	out := make([]*core.Assignment, 0, len(svs))
+	var rs *core.ReplicationSolver
+	for _, sv := range svs {
+		var a *core.Assignment
+		var err error
+		switch {
+		case o.ColdLP:
+			a, err = solveReplicationCold(sv, cfg)
+		case rs == nil:
+			if rs, err = core.NewReplicationSolver(sv, cfg); err == nil {
+				a, err = rs.Solve()
+			}
+		default:
+			if err = rs.SetScenario(sv); err == nil {
+				a, err = rs.Solve()
+			}
+		}
+		if err != nil {
+			return nil, err
+		}
+		o.observe(a)
+		out = append(out, a)
+	}
+	return out, nil
+}
+
+// chainReplication runs chainChunk over warmChunks(len(svs)) on the worker
+// pool and returns the assignments in scenario order.
+func chainReplication(o Options, svs []*core.Scenario, cfg core.ReplicationConfig) ([]*core.Assignment, error) {
+	per, err := sweepMap(o, warmChunks(len(svs)), func(_ int, c [2]int) ([]*core.Assignment, error) {
+		return chainChunk(o, svs[c[0]:c[1]], cfg)
+	})
+	if err != nil {
+		return nil, err
+	}
+	out := make([]*core.Assignment, 0, len(svs))
+	for _, as := range per {
+		out = append(out, as...)
+	}
+	return out, nil
+}
+
+// Cold wrappers. The coldsolve lint rule flags direct one-shot solve calls
+// inside sweep worker closures: a sweep point that solves cold when a
+// chained handle is available throws away the previous optimal basis.
+// These wrappers mark the sites where cold is the point — single-shot
+// configurations with nothing to chain, vertex-dependent outputs that must
+// not depend on the starting basis, timing measurements, and the -coldlp
+// verification path.
+
+func solveReplicationCold(s *core.Scenario, cfg core.ReplicationConfig) (*core.Assignment, error) {
+	return core.SolveReplication(s, cfg)
+}
+
+func solveAggregationCold(s *core.Scenario, cfg core.AggregationConfig) (*core.AggregationResult, error) {
+	return core.SolveAggregation(s, cfg)
+}
+
+func solveSplitCold(s *core.Scenario, classes []core.SplitClass, cfg core.SplitConfig) (*core.SplitResult, error) {
+	return core.SolveSplit(s, classes, cfg)
+}

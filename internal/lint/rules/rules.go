@@ -8,6 +8,8 @@
 //	panicsafe       *OK metrics variants outside internal/metrics
 //	errdiscard      no silently dropped errors (beyond go vet)
 //	exprloop        no RNG consumption inside sweep worker closures
+//	coldsolve       no one-shot solve calls inside sweep worker closures
+//	                that ignore an available warm-start handle
 package rules
 
 import (
@@ -28,6 +30,7 @@ func All() []*lint.Analyzer {
 		PanicSafe,
 		ErrDiscard,
 		ExprLoop,
+		ColdSolve,
 	}
 }
 

@@ -34,6 +34,11 @@ func TestErrDiscardFixture(t *testing.T) {
 	linttest.Run(t, fixtureRoot, []string{"fix/cmd/tool"}, rules.ByName("errdiscard"))
 }
 
+func TestColdSolveFixture(t *testing.T) {
+	linttest.Run(t, fixtureRoot, []string{"fix/internal/experiments"},
+		rules.ByName("coldsolve,exprloop,panicsafe,nondeterminism"))
+}
+
 func TestByName(t *testing.T) {
 	if got := rules.ByName("floatcmp,panicsafe"); len(got) != 2 {
 		t.Fatalf("ByName(floatcmp,panicsafe) = %d analyzers, want 2", len(got))
@@ -41,7 +46,7 @@ func TestByName(t *testing.T) {
 	if got := rules.ByName("nosuchrule"); got != nil {
 		t.Fatalf("ByName(nosuchrule) = %v, want nil", got)
 	}
-	if got, want := len(rules.All()), 5; got < want {
+	if got, want := len(rules.All()), 6; got < want {
 		t.Fatalf("All() = %d analyzers, want >= %d", got, want)
 	}
 }

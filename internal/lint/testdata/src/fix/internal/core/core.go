@@ -1,0 +1,13 @@
+// Package core is the coldsolve golden fixture's solve stub: its import
+// path ends in internal/core, putting its one-shot entry points inside the
+// rule's scope.
+package core
+
+// Assignment mirrors the real solve result shape.
+type Assignment struct{ Load float64 }
+
+// SolveReplication mirrors the one-shot replication entry point.
+func SolveReplication(mll float64) (*Assignment, error) { return &Assignment{Load: mll}, nil }
+
+// SolveAggregation mirrors the one-shot aggregation entry point.
+func SolveAggregation(beta float64) (*Assignment, error) { return &Assignment{Load: beta}, nil }

@@ -1,11 +1,13 @@
-// Package experiments is the panicsafe + exprloop golden fixture: it
-// replicates the sweep engine's forEach/sweepMap shapes and calls the
-// metrics stub by its scoped import path.
+// Package experiments is the panicsafe + exprloop + coldsolve golden
+// fixture: it replicates the sweep engine's forEach/sweepMap shapes and
+// calls the metrics/core/lp stubs by their scoped import paths.
 package experiments
 
 import (
 	"math/rand"
 
+	"fix/internal/core"
+	"fix/internal/lp"
 	"fix/internal/metrics"
 )
 
@@ -71,6 +73,45 @@ func badSweep(o Options, rng *rand.Rand) error {
 		v := rng.Float64() // want `rng.Float64 consumes RNG captured outside the sweep worker closure`
 		g := rand.Int()    // want `global math/rand.Int inside a sweep worker closure` `global math/rand.Int in the deterministic core`
 		return v + float64(g), nil
+	})
+	return err
+}
+
+// coldSweep calls one-shot solve entry points directly inside worker
+// closures: the coldsolve findings.
+func coldSweep(o Options) error {
+	_, err := sweepMap(o, 4, func(i int) (float64, error) {
+		a, err := core.SolveReplication(0.4) // want `one-shot SolveReplication inside a sweep worker closure`
+		if err != nil {
+			return 0, err
+		}
+		d := lp.Solve() // want `one-shot Solve inside a sweep worker closure`
+		return a.Load + d.Seconds(), nil
+	})
+	return err
+}
+
+// solveReplicationCold mirrors the real deliberate-cold wrapper: routing a
+// one-shot solve through a *Cold-named function is the sanctioned escape
+// hatch, so its top-level call site is not flagged.
+func solveReplicationCold(mll float64) (*core.Assignment, error) {
+	return core.SolveReplication(mll)
+}
+
+// warmSweep shows both sanctioned shapes — the cold wrapper and the
+// suppression directive — producing no findings.
+func warmSweep(o Options) error {
+	_, err := sweepMap(o, 4, func(i int) (float64, error) {
+		a, err := solveReplicationCold(0.4)
+		if err != nil {
+			return 0, err
+		}
+		//lint:ignore coldsolve fixture exercising suppression of a deliberate cold point
+		b, err := core.SolveAggregation(1)
+		if err != nil {
+			return 0, err
+		}
+		return a.Load + b.Load, nil
 	})
 	return err
 }

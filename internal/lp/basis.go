@@ -1,0 +1,105 @@
+package lp
+
+import "math"
+
+// Basis is a snapshot of a simplex basis: which variable (structural or
+// logical) occupies each basis position and the bound status of every
+// nonbasic variable. An optimal solve exports its final basis in
+// Solution.Basis; passing it back through Options.WarmStart makes the next
+// solve of the same-shaped problem start from that vertex instead of the
+// crash/logical start. When the basis is still primal feasible after the
+// rhs, bound or coefficient changes between the two solves, phase 1 is
+// skipped outright; otherwise the composite phase 1 repairs it from a point
+// that is usually only a few pivots from feasibility — the warm-start
+// workflow every sweep in internal/experiments chains along its axis.
+//
+// A Basis is immutable once created and safe to share between solves; the
+// solver copies what it needs at installation time.
+type Basis struct {
+	numVars int    // structural variables (n) of the originating problem
+	numRows int    // rows (m) of the originating problem
+	state   []int8 // per-variable status, length n+m, stBasic..stFree
+	order   []int32
+}
+
+// NumVars returns the structural-variable count of the originating problem.
+func (b *Basis) NumVars() int { return b.numVars }
+
+// NumRows returns the row count of the originating problem.
+func (b *Basis) NumRows() int { return b.numRows }
+
+// Compatible reports whether the basis can seed a solve of p: the problem
+// must have exactly the dimensions the basis was snapshotted from. (The
+// sweep handles in internal/core guarantee this by mutating one compiled
+// model in place; callers composing problems by hand get a cold start on
+// mismatch rather than an error.)
+func (b *Basis) Compatible(p *Problem) bool {
+	return b != nil && b.numVars == p.NumVars() && b.numRows == p.NumRows()
+}
+
+// snapshotBasis captures the simplex's current basis and nonbasic states.
+func (s *simplex) snapshotBasis() *Basis {
+	b := &Basis{
+		numVars: s.n,
+		numRows: s.m,
+		state:   make([]int8, s.nv),
+		order:   make([]int32, s.m),
+	}
+	copy(b.state, s.state)
+	for k, j := range s.basis {
+		b.order[k] = int32(j)
+	}
+	return b
+}
+
+// installBasis loads a warm-start basis into the simplex bookkeeping,
+// returning false (leaving no partial state behind the caller must undo —
+// pos/state/xv are fully rewritten by the fallback path) when the snapshot
+// is structurally unusable: wrong dimensions, out-of-range entries,
+// duplicated basic variables, or state/order disagreement.
+func (s *simplex) installBasis(b *Basis) bool {
+	if b == nil || b.numVars != s.n || b.numRows != s.m || len(b.state) != s.nv || len(b.order) != s.m {
+		return false
+	}
+	for j := range s.pos {
+		s.pos[j] = -1
+	}
+	for k, j32 := range b.order {
+		j := int(j32)
+		if j < 0 || j >= s.nv || s.pos[j] >= 0 || b.state[j] != stBasic {
+			return false
+		}
+		s.basis[k] = j
+		s.pos[j] = int32(k)
+	}
+	for j := 0; j < s.nv; j++ {
+		st := b.state[j]
+		if st == stBasic {
+			if s.pos[j] < 0 {
+				return false // basic per state but absent from order
+			}
+			s.state[j] = stBasic
+			continue
+		}
+		// Bounds may have moved since the snapshot (that is the point of
+		// warm-starting a sweep): remap states that no longer name a finite
+		// bound rather than rejecting the whole basis.
+		switch st {
+		case stLower:
+			if math.IsInf(s.lo[j], -1) {
+				st = s.nearestBoundState(j)
+			}
+		case stUpper:
+			if math.IsInf(s.hi[j], 1) {
+				st = s.nearestBoundState(j)
+			}
+		case stFree:
+			// Keep free variables pinned at zero.
+		default:
+			return false
+		}
+		s.state[j] = st
+		s.xv[j] = s.nonbasicValue(j)
+	}
+	return true
+}

@@ -169,15 +169,23 @@ func SolveDense(p *Problem) *Solution {
 	}
 
 	runPhase := func(c []float64, limit int) Status {
+		// Reduced costs d_j = c_j − c_Bᵀ·T_j are computed once at phase start
+		// and then maintained through pivots (d ← d − d_enter·row_r, using the
+		// normalized post-pivot row) instead of being rebuilt from the basis
+		// for every candidate column — that rebuild made each pivot quadratic
+		// and bounded how large the knownopt corpus problems could get.
+		d := make([]float64, limit)
+		for j := 0; j < limit; j++ {
+			var z float64
+			for i := 0; i < m; i++ {
+				z += c[basisv[i]] * T[i][j]
+			}
+			d[j] = c[j] - z
+		}
 		for iter := 0; iter < 20000; iter++ {
-			// Reduced costs via current basis (recomputed densely: z_j = c_j − c_Bᵀ T_j).
 			enter := -1
 			for j := 0; j < limit; j++ {
-				var z float64
-				for i := 0; i < m; i++ {
-					z += c[basisv[i]] * T[i][j]
-				}
-				if c[j]-z < -tol {
+				if d[j] < -tol {
 					enter = j // Bland: first improving index
 					break
 				}
@@ -199,7 +207,12 @@ func SolveDense(p *Problem) *Solution {
 			if leave < 0 {
 				return Unbounded
 			}
+			dEnter := d[enter]
 			pivot(leave, enter)
+			for j := 0; j < limit; j++ {
+				d[j] -= dEnter * T[leave][j]
+			}
+			d[enter] = 0 // exact: avoids tol-scale residue re-entering
 		}
 		return IterationLimit
 	}

@@ -1,0 +1,33 @@
+package lp_test
+
+import (
+	"fmt"
+
+	"nwids/internal/lp"
+)
+
+// ExampleOptions_warmStart demonstrates the sweep workflow: solve once,
+// mutate a bound in place, and re-solve from the previous optimal basis via
+// Options.WarmStart. The second solve starts at the old vertex, so when that
+// vertex is still feasible the solver skips phase 1 entirely.
+func ExampleOptions_warmStart() {
+	p := lp.NewProblem("budget-sweep")
+	x := p.AddVar(0, 10, -1, "x") // maximize x + y (minimize the negation)
+	y := p.AddVar(0, 10, -1, "y")
+	budget := p.AddRow(-lp.Inf, 8, "budget")
+	p.SetCoef(budget, x, 1)
+	p.SetCoef(budget, y, 1)
+
+	cold := lp.Solve(p, lp.Options{})
+	fmt.Printf("cold: objective %g\n", cold.Objective)
+
+	// Move the sweep knob and re-solve warm: only the row bound changed, so
+	// the previous basis is a few (here zero extra phase-1) pivots away.
+	p.SetRowBounds(budget, -lp.Inf, 12)
+	warm := lp.Solve(p, lp.Options{WarmStart: cold.Basis})
+	fmt.Printf("warm: objective %g, warm-start hits %d\n", warm.Objective, warm.Stats.WarmStartHits)
+
+	// Output:
+	// cold: objective -8
+	// warm: objective -12, warm-start hits 1
+}

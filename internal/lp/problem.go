@@ -143,6 +143,53 @@ func (p *Problem) RowName(r Row) string { return p.rowName[r] }
 // RowBounds returns the activity bounds of r.
 func (p *Problem) RowBounds(r Row) (lo, hi float64) { return p.rowLo[r], p.rowHi[r] }
 
+// SetRowBounds replaces the activity bounds of r. Row bounds live outside the
+// compiled matrix, so this never forces a recompile — it is the cheap
+// mutation the sweep handles in internal/core lean on when only a budget
+// (MaxLinkLoad, latency, DC capacity) moves between solves.
+func (p *Problem) SetRowBounds(r Row, lo, hi float64) {
+	p.rowLo[r] = lo
+	p.rowHi[r] = hi
+}
+
+// UpdateCoef overwrites the coefficient of variable v in row r in place,
+// without invalidating the compiled matrix. The (r, v) entry must already
+// exist with a nonzero compiled value and coef must be nonzero — the sparsity
+// pattern is fixed by construction, which is what keeps a warm-started basis
+// meaningful across the update. Use SetCoef before the first solve to create
+// entries; UpdateCoef afterwards to move them.
+func (p *Problem) UpdateCoef(r Row, v Var, coef float64) {
+	if coef == 0 {
+		panic(fmt.Sprintf("lp: UpdateCoef(%s, %s): zero coefficient would change the sparsity pattern", p.rowName[r], p.colName[v]))
+	}
+	p.compile()
+	// Patch the compiled column via binary search over its sorted row ids.
+	s, e := int(p.colPtr[v]), int(p.colPtr[v+1])
+	k := s + sort.Search(e-s, func(i int) bool { return p.rowIdx[s+i] >= int32(r) })
+	if k >= e || p.rowIdx[k] != int32(r) {
+		panic(fmt.Sprintf("lp: UpdateCoef(%s, %s): no existing nonzero entry", p.rowName[r], p.colName[v]))
+	}
+	p.val[k] = coef
+	// Keep the triplet list consistent so a later recompile (e.g. after new
+	// rows are added) reproduces the same matrix: the first duplicate takes
+	// the new value, the rest are zeroed. compile() sorted entries in place,
+	// so the duplicates for (v, r) are contiguous and binary-searchable.
+	es := p.entries
+	t := sort.Search(len(es), func(i int) bool {
+		if es[i].col != int32(v) {
+			return es[i].col > int32(v)
+		}
+		return es[i].row >= int32(r)
+	})
+	if t >= len(es) || es[t].col != int32(v) || es[t].row != int32(r) {
+		panic(fmt.Sprintf("lp: UpdateCoef(%s, %s): compiled entry has no triplet source", p.rowName[r], p.colName[v]))
+	}
+	es[t].val = coef
+	for t++; t < len(es) && es[t].col == int32(v) && es[t].row == int32(r); t++ {
+		es[t].val = 0
+	}
+}
+
 // compile sorts the triplet entries into compressed-column form, summing
 // duplicates and dropping exact zeros. It is idempotent.
 func (p *Problem) compile() {

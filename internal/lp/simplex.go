@@ -52,6 +52,12 @@ type simplex struct {
 	lr [1]int32 // logical column scratch
 	lv [1]float64
 
+	// devex pricing state: reference-framework weights per variable, the
+	// partial-pricing block cursor, and the Btran scratch for the pivot row.
+	dvx         []float64
+	priceCursor int
+	rho         []float64
+
 	iters    int
 	refacts  int
 	bland    bool
@@ -83,6 +89,7 @@ func newSimplex(p *Problem, opts Options) *simplex {
 	}
 	s.opt = opts.withDefaults(m, n)
 	s.maxIters = s.opt.MaxIterations
+	s.stats.Pricer = s.opt.Pricing.String()
 	copy(s.lo, p.colLo)
 	copy(s.hi, p.colHi)
 	copy(s.cost, p.obj)
@@ -132,9 +139,14 @@ func (s *simplex) nonbasicValue(j int) float64 {
 	}
 }
 
-// initBasis assembles the starting basis from the crash hint plus logicals
-// and factorizes it, repairing singularities by swapping in logicals.
+// initBasis assembles the starting basis — a warm-start snapshot when one
+// is supplied and installable, else the crash hint plus logicals — and
+// factorizes it, repairing singularities by swapping in logicals.
 func (s *simplex) initBasis() error {
+	if s.opt.WarmStart != nil && s.installBasis(s.opt.WarmStart) {
+		s.stats.WarmStartHits = 1
+		return s.refactorize()
+	}
 	for j := range s.pos {
 		s.pos[j] = -1
 	}
@@ -338,9 +350,21 @@ func (s *simplex) phaseCosts(phase1 bool) {
 	}
 }
 
-// price computes reduced costs against y and returns the entering variable
-// and its movement direction, or -1 if none is eligible.
+// price returns the entering variable and its movement direction, or -1 if
+// none is eligible. The devex path is the default; Dantzig keeps a full
+// most-negative scan, and a Bland stall forces first-index selection on the
+// full-scan path regardless of the configured rule (anti-cycling needs the
+// fixed index order).
 func (s *simplex) price(phase1 bool, tol float64) (enter int, sigma float64) {
+	if s.bland || s.opt.Pricing == PricingDantzig {
+		return s.priceFull(phase1, tol)
+	}
+	return s.priceDevex(phase1, tol)
+}
+
+// priceFull computes reduced costs against y over every nonbasic column:
+// Dantzig's most-negative rule, or first-eligible under Bland.
+func (s *simplex) priceFull(phase1 bool, tol float64) (enter int, sigma float64) {
 	best := -1
 	bestScore := tol
 	var bestSigma float64
@@ -406,6 +430,201 @@ func (s *simplex) price(phase1 bool, tol float64) (enter int, sigma float64) {
 		}
 	}
 	return best, bestSigma
+}
+
+// devexResetThreshold bounds the devex weights: once any weight outgrows
+// it, the reference framework has drifted too far from the weights'
+// steepest-edge approximation and the pricer re-anchors at the current
+// nonbasic set (all weights 1).
+const devexResetThreshold = 1e8
+
+// resetDevex re-initializes the devex reference framework. Resets forced by
+// weight overflow are counted in the stats; the phase-boundary and initial
+// resets are bookkeeping, not drift, and are not.
+func (s *simplex) resetDevex(counted bool) {
+	if s.dvx == nil {
+		s.dvx = make([]float64, s.nv)
+	}
+	for j := range s.dvx {
+		s.dvx[j] = 1
+	}
+	if counted {
+		s.stats.DevexResets++
+	}
+}
+
+// devexBlock is the partial-pricing block length: a fraction of the column
+// count, floored so small problems degenerate to a full scan.
+func (s *simplex) devexBlock() int {
+	b := s.nv / 8
+	if b < 64 {
+		b = 64
+	}
+	return b
+}
+
+// reducedCost computes the reduced cost of nonbasic variable j against the
+// Btran'd phase costs in s.y. Nonbasic variables have zero cost in phase 1
+// (the composite objective only charges basic infeasibilities), and the
+// logical column is −e_i, so its reduced cost is +y_i.
+func (s *simplex) reducedCost(j int, phase1 bool) float64 {
+	if j >= s.n {
+		return s.y[j-s.n]
+	}
+	var dot float64
+	rows, vals := s.p.column(j)
+	for k, r := range rows {
+		dot += vals[k] * s.y[r]
+	}
+	if phase1 {
+		return -dot
+	}
+	return s.cost[j] - dot
+}
+
+// eligSigma maps a nonbasic state and reduced cost to the improving
+// movement direction, or 0 when the variable is not eligible to enter.
+func eligSigma(state int8, rc, tol float64) float64 {
+	switch state {
+	case stLower:
+		if rc < -tol {
+			return 1
+		}
+	case stUpper:
+		if rc > tol {
+			return -1
+		}
+	case stFree:
+		if rc < -tol {
+			return 1
+		}
+		if rc > tol {
+			return -1
+		}
+	}
+	return 0
+}
+
+// priceDevex scans candidate columns in fixed-size blocks starting at the
+// rotating cursor and picks the best devex score rc²/w within the first
+// block that contains any eligible candidate. Only when every block comes
+// up empty — a full wrap over all nv columns — does it declare optimality,
+// so partial pricing never terminates early. The cursor advances across
+// calls, spreading pricing work over the column range deterministically.
+func (s *simplex) priceDevex(phase1 bool, tol float64) (enter int, sigma float64) {
+	if s.nv == 0 {
+		return -1, 0
+	}
+	if s.dvx == nil {
+		s.resetDevex(false)
+	}
+	best := -1
+	var bestSigma, bestScore float64
+	blk := s.devexBlock()
+	j := s.priceCursor % s.nv
+	for scanned := 0; scanned < s.nv; {
+		limit := scanned + blk
+		if limit > s.nv {
+			limit = s.nv
+		}
+		for ; scanned < limit; scanned++ {
+			cand := j
+			j++
+			if j == s.nv {
+				j = 0
+			}
+			if s.state[cand] == stBasic || exactEq(s.lo[cand], s.hi[cand]) {
+				continue
+			}
+			rc := s.reducedCost(cand, phase1)
+			sig := eligSigma(s.state[cand], rc, tol)
+			if sig == 0 {
+				continue
+			}
+			if score := rc * rc / s.dvx[cand]; score > bestScore {
+				best, bestSigma, bestScore = cand, sig, score
+			}
+		}
+		if best >= 0 {
+			s.priceCursor = j
+			return best, bestSigma
+		}
+	}
+	return -1, 0
+}
+
+// computeRho fills s.rho with the pivot row's Btran seed (Bᵀ)⁻¹·e_r. It
+// must run against the pre-pivot factorization, i.e. before f.Update.
+func (s *simplex) computeRho(blockPos int) {
+	if s.rho == nil {
+		s.rho = make([]float64, s.m)
+	}
+	for i := range s.rho {
+		s.rho[i] = 0
+	}
+	s.rho[blockPos] = 1
+	s.f.Btran(s.rho)
+}
+
+// devexUpdate applies the Forrest–Goldfarb reference-framework update after
+// a pivot: every nonbasic weight becomes max(w_j, (α_rj/α_rq)²·w_q) and the
+// leaving variable re-enters the nonbasic set with max(w_q/α_rq², 1).
+// Called with the pre-pivot bookkeeping (enter still nonbasic, leave still
+// basic) and the pre-pivot rho from computeRho.
+func (s *simplex) devexUpdate(enter, leave, blockPos int) {
+	arq := s.w[blockPos]
+	if arq == 0 {
+		return
+	}
+	wq := s.dvx[enter]
+	ratio := wq / (arq * arq)
+	var maxW float64
+	for j := 0; j < s.n; j++ {
+		if s.state[j] == stBasic || j == enter {
+			continue
+		}
+		var dot float64
+		rows, vals := s.p.column(j)
+		for k, r := range rows {
+			dot += vals[k] * s.rho[r]
+		}
+		if dot == 0 {
+			continue
+		}
+		if cand := dot * dot * ratio; cand > s.dvx[j] {
+			s.dvx[j] = cand
+		}
+		if s.dvx[j] > maxW {
+			maxW = s.dvx[j]
+		}
+	}
+	for i := 0; i < s.m; i++ {
+		j := s.n + i
+		if s.state[j] == stBasic || j == enter {
+			continue
+		}
+		dot := s.rho[i]
+		if dot == 0 {
+			continue
+		}
+		if cand := dot * dot * ratio; cand > s.dvx[j] {
+			s.dvx[j] = cand
+		}
+		if s.dvx[j] > maxW {
+			maxW = s.dvx[j]
+		}
+	}
+	lw := ratio
+	if lw < 1 {
+		lw = 1
+	}
+	s.dvx[leave] = lw
+	if lw > maxW {
+		maxW = lw
+	}
+	if maxW > devexResetThreshold {
+		s.resetDevex(true)
+	}
 }
 
 // ratioResult describes the outcome of the ratio test.
@@ -539,15 +758,26 @@ func (s *simplex) runLoop() Status {
 	}
 	s.lastObj = math.Inf(1)
 	lastPhase1 := true
+	first := true
 	for {
 		if s.iters >= s.maxIters {
 			return IterationLimit
 		}
 		infeas := s.totalInfeasibility()
 		phase1 := infeas > s.opt.FeasTol
+		if first {
+			if !phase1 {
+				// The starting basis (crash or warm) is already primal
+				// feasible: no phase-1 pivot will run.
+				s.stats.Phase1Skips = 1
+			}
+			first = false
+		}
 
 		// Stall detection drives the Bland fallback. The objective changes
 		// meaning across the phase boundary, so the tracker resets there.
+		// Devex weights approximate steepest-edge norms for the *current*
+		// objective, so the pricer re-anchors at the boundary too.
 		if phase1 != lastPhase1 {
 			s.lastObj = math.Inf(1)
 			s.stall = 0
@@ -555,6 +785,8 @@ func (s *simplex) runLoop() Status {
 			lastPhase1 = phase1
 			s.endPhase()
 			s.curPhase1 = phase1
+			s.resetDevex(false)
+			s.priceCursor = 0
 		}
 		obj := infeas
 		if !phase1 {
@@ -582,6 +814,15 @@ func (s *simplex) runLoop() Status {
 		if enter < 0 {
 			if phase1 {
 				return Infeasible
+			}
+			// Refactorize and recompute the basics once at optimality so the
+			// extracted point is a bitwise function of the final basis and
+			// bounds alone — independent of the pivot path and eta history.
+			// Warm and cold solves that end at the same vertex therefore
+			// return identical X, which the experiment sweeps' warm-vs-cold
+			// output gate relies on.
+			if err := s.refactorize(); err != nil {
+				return NumericalFailure
 			}
 			return Optimal
 		}
@@ -629,13 +870,21 @@ func (s *simplex) runLoop() Status {
 		}
 
 		// Pivot: try the factor update first so a failed update leaves the
-		// bookkeeping untouched.
+		// bookkeeping untouched. The devex pivot row must be extracted from
+		// the pre-pivot factorization, before the update appends its eta.
+		devex := !s.bland && s.opt.Pricing == PricingDevex
+		if devex {
+			s.computeRho(rt.blockPos)
+		}
 		if err := s.f.Update(rt.blockPos, s.w, s.opt.PivotTol); err != nil {
 			if err2 := s.refactorize(); err2 != nil {
 				return NumericalFailure
 			}
 			s.iters++
 			continue
+		}
+		if devex {
+			s.devexUpdate(enter, s.basis[rt.blockPos], rt.blockPos)
 		}
 		entVal := s.xv[enter] + sigma*rt.t
 		for k := range s.basis {
@@ -707,6 +956,7 @@ func (s *simplex) extract(status Status) *Solution {
 		copy(s.y, s.d)
 		s.f.Btran(s.y)
 		copy(sol.Dual, s.y)
+		sol.Basis = s.snapshotBasis()
 	}
 	return sol
 }

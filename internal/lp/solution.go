@@ -65,6 +65,10 @@ type Solution struct {
 	// Stats carries the deep per-solve instrumentation (§8's Table 1
 	// measurements rest on these being observable).
 	Stats SolveStats
+
+	// Basis is the final basis of an Optimal solve, nil otherwise. Feed it
+	// to the next solve's Options.WarmStart to start from this vertex.
+	Basis *Basis
 }
 
 // SolveStats is the detailed instrumentation record of one Solve call. The
@@ -90,6 +94,20 @@ type SolveStats struct {
 	// Phase1Time and Phase2Time split the solve wall time by phase.
 	Phase1Time time.Duration `json:"phase1_ns"`
 	Phase2Time time.Duration `json:"phase2_ns"`
+	// Pricer names the pricing rule the solve was configured with
+	// ("devex" or "dantzig"; Bland activations are counted above).
+	Pricer string `json:"pricer"`
+	// WarmStartHits is 1 when an Options.WarmStart basis was installed and
+	// factorized successfully, 0 otherwise (absent or incompatible bases
+	// fall back to the crash start and count 0).
+	WarmStartHits int `json:"warm_start_hits"`
+	// Phase1Skips is 1 when the starting point was already primal feasible
+	// so the solve ran no phase-1 pivots at all — the payoff of a good
+	// warm-start or crash basis.
+	Phase1Skips int `json:"phase1_skips"`
+	// DevexResets counts reference-framework resets of the devex pricer
+	// (weights re-initialized after growing past the trust threshold).
+	DevexResets int `json:"devex_resets"`
 }
 
 // Pivots returns the total basis changes across both phases.
@@ -134,8 +152,45 @@ type Options struct {
 	// Combined with CrashBasis this lets a formulation start primal
 	// feasible (e.g. the min-max load variable at a known safe value).
 	AtUpper []Var
+	// WarmStart, when non-nil and Compatible with the problem, seeds the
+	// solve with a previous solve's final basis instead of the
+	// CrashBasis/logical start. If the basis is still primal feasible under
+	// the problem's current bounds and coefficients, phase 1 is skipped
+	// entirely; otherwise the composite phase 1 repairs it from nearby.
+	// Incompatible or structurally broken snapshots are ignored (cold
+	// start), never an error. Takes precedence over CrashBasis and AtUpper.
+	WarmStart *Basis
+	// Pricing selects the entering-variable rule (default PricingDevex).
+	Pricing Pricing
 	// Logf, when non-nil, receives progress lines.
 	Logf func(format string, args ...any)
+}
+
+// Pricing selects the simplex pricing (entering variable) rule.
+type Pricing int
+
+// Pricing rules. Both fall back to Bland's anti-cycling rule after a stall.
+const (
+	// PricingDevex is the default: devex reference-framework pricing with
+	// partial (block-cursor) scanning — near steepest-edge pivot counts at
+	// Dantzig cost per iteration.
+	PricingDevex Pricing = iota
+	// PricingDantzig is the classic most-negative-reduced-cost rule with a
+	// full scan every iteration; retained for ablations and as a
+	// cross-check on the devex path.
+	PricingDantzig
+)
+
+// String implements fmt.Stringer.
+func (pr Pricing) String() string {
+	switch pr {
+	case PricingDevex:
+		return "devex"
+	case PricingDantzig:
+		return "dantzig"
+	default:
+		return fmt.Sprintf("pricing(%d)", int(pr))
+	}
 }
 
 func (o Options) withDefaults(m, n int) Options {

@@ -1,0 +1,228 @@
+package lp
+
+import (
+	"math"
+	"math/rand"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// TestWarmResolveIdentical re-solves every corpus problem from its own
+// optimal basis: the warm solve must make zero pivots, skip phase 1, and
+// return a bitwise-identical solution (the final refactorize at optimality
+// makes X a pure function of the final basis, which warm-starting preserves).
+func TestWarmResolveIdentical(t *testing.T) {
+	rng := rand.New(rand.NewSource(61))
+	sizes := [][2]int{{5, 3}, {12, 8}, {30, 20}, {80, 50}, {200, 120}}
+	for _, sz := range sizes {
+		for trial := 0; trial < 4; trial++ {
+			p, _, want := buildKnownOptimumLP(rng, sz[0], sz[1])
+			cold := Solve(p, Options{})
+			if cold.Status != Optimal {
+				t.Fatalf("n=%d m=%d trial %d: cold status %v", sz[0], sz[1], trial, cold.Status)
+			}
+			if cold.Basis == nil {
+				t.Fatalf("n=%d m=%d trial %d: optimal solve exported no basis", sz[0], sz[1], trial)
+			}
+			warm := Solve(p, Options{WarmStart: cold.Basis})
+			if warm.Status != Optimal {
+				t.Fatalf("n=%d m=%d trial %d: warm status %v", sz[0], sz[1], trial, warm.Status)
+			}
+			if warm.Stats.WarmStartHits != 1 {
+				t.Errorf("n=%d m=%d trial %d: warm start not recorded", sz[0], sz[1], trial)
+			}
+			if warm.Stats.Phase1Skips != 1 {
+				t.Errorf("n=%d m=%d trial %d: phase-1 skip not recorded", sz[0], sz[1], trial)
+			}
+			if warm.Stats.Pivots() != 0 {
+				t.Errorf("n=%d m=%d trial %d: warm re-solve made %d pivots, want 0",
+					sz[0], sz[1], trial, warm.Stats.Pivots())
+			}
+			if d := math.Abs(warm.Objective - want); d > 1e-6*(1+math.Abs(want)) {
+				t.Errorf("n=%d m=%d trial %d: warm objective %.9g, want %.9g", sz[0], sz[1], trial, warm.Objective, want)
+			}
+			for j := range cold.X {
+				if warm.X[j] != cold.X[j] {
+					t.Fatalf("n=%d m=%d trial %d: X[%d] differs: cold %v warm %v",
+						sz[0], sz[1], trial, j, cold.X[j], warm.X[j])
+				}
+			}
+		}
+	}
+}
+
+// TestWarmStartAfterBoundChange moves row bounds between solves — the sweep
+// workflow — and checks the warm solve agrees with a cold solve of the
+// modified problem.
+func TestWarmStartAfterBoundChange(t *testing.T) {
+	rng := rand.New(rand.NewSource(67))
+	for trial := 0; trial < 20; trial++ {
+		p, _, _ := buildKnownOptimumLP(rng, 30, 20)
+		first := Solve(p, Options{})
+		if first.Status != Optimal {
+			t.Fatalf("trial %d: first status %v", trial, first.Status)
+		}
+		// Relax/tighten every finite row bound by a small random amount.
+		for i := 0; i < p.NumRows(); i++ {
+			lo, hi := p.RowBounds(Row(i))
+			delta := (rng.Float64() - 0.5) * 0.4
+			if exactEq(lo, hi) {
+				p.SetRowBounds(Row(i), lo+delta, hi+delta)
+				continue
+			}
+			if !math.IsInf(lo, -1) {
+				lo += delta
+			}
+			if !math.IsInf(hi, 1) {
+				hi += delta
+			}
+			p.SetRowBounds(Row(i), lo, hi)
+		}
+		cold := Solve(p, Options{})
+		warm := Solve(p, Options{WarmStart: first.Basis})
+		if cold.Status != warm.Status {
+			t.Fatalf("trial %d: status cold %v warm %v", trial, cold.Status, warm.Status)
+		}
+		if cold.Status != Optimal {
+			continue // perturbation made it infeasible; agreement is enough
+		}
+		if warm.Stats.WarmStartHits != 1 {
+			t.Errorf("trial %d: warm start not recorded", trial)
+		}
+		if d := math.Abs(cold.Objective - warm.Objective); d > 1e-6*(1+math.Abs(cold.Objective)) {
+			t.Errorf("trial %d: objective cold %.9g warm %.9g", trial, cold.Objective, warm.Objective)
+		}
+	}
+}
+
+// TestWarmStartDegenerateRepair drives the repair path: after tightening a
+// binding constraint the snapshotted vertex is primal infeasible, so the
+// warm solve must run a (short) phase 1 and still reach the cold optimum.
+func TestWarmStartDegenerateRepair(t *testing.T) {
+	rng := rand.New(rand.NewSource(71))
+	repaired := 0
+	for trial := 0; trial < 40; trial++ {
+		p, _, _ := buildKnownOptimumLP(rng, 40, 25)
+		first := Solve(p, Options{})
+		if first.Status != Optimal {
+			t.Fatalf("trial %d: first status %v", trial, first.Status)
+		}
+		// Tighten every binding inequality past the current vertex.
+		act := p.Activity(first.X)
+		for i := 0; i < p.NumRows(); i++ {
+			lo, hi := p.RowBounds(Row(i))
+			if exactEq(lo, hi) {
+				continue
+			}
+			if !math.IsInf(hi, 1) && act[i] > hi-1e-7 {
+				p.SetRowBounds(Row(i), lo, hi-0.5)
+			} else if !math.IsInf(lo, -1) && act[i] < lo+1e-7 {
+				p.SetRowBounds(Row(i), lo+0.5, hi)
+			}
+		}
+		cold := Solve(p, Options{})
+		warm := Solve(p, Options{WarmStart: first.Basis})
+		if cold.Status != warm.Status {
+			t.Fatalf("trial %d: status cold %v warm %v", trial, cold.Status, warm.Status)
+		}
+		if cold.Status != Optimal {
+			continue
+		}
+		if warm.Stats.Phase1Pivots > 0 {
+			repaired++
+		}
+		if d := math.Abs(cold.Objective - warm.Objective); d > 1e-6*(1+math.Abs(cold.Objective)) {
+			t.Errorf("trial %d: objective cold %.9g warm %.9g", trial, cold.Objective, warm.Objective)
+		}
+	}
+	if repaired == 0 {
+		t.Error("no trial exercised the phase-1 repair path")
+	}
+}
+
+// TestWarmStartIncompatibleIgnored feeds a basis from a different problem
+// shape: the solver must fall back to a cold start, not fail.
+func TestWarmStartIncompatibleIgnored(t *testing.T) {
+	rng := rand.New(rand.NewSource(73))
+	p1, _, _ := buildKnownOptimumLP(rng, 20, 12)
+	p2, _, want := buildKnownOptimumLP(rng, 25, 15)
+	sol1 := Solve(p1, Options{})
+	if sol1.Status != Optimal {
+		t.Fatalf("p1 status %v", sol1.Status)
+	}
+	sol2 := Solve(p2, Options{WarmStart: sol1.Basis})
+	if sol2.Status != Optimal {
+		t.Fatalf("p2 status %v", sol2.Status)
+	}
+	if sol2.Stats.WarmStartHits != 0 {
+		t.Errorf("incompatible basis was counted as a warm-start hit")
+	}
+	if d := math.Abs(sol2.Objective - want); d > 1e-6*(1+math.Abs(want)) {
+		t.Errorf("objective %.9g, want %.9g", sol2.Objective, want)
+	}
+	if sol1.Basis.Compatible(p2) {
+		t.Errorf("Compatible returned true across problem shapes")
+	}
+}
+
+// TestWarmStartMPSFixtures warm-vs-cold checks every checked-in MPS fixture.
+func TestWarmStartMPSFixtures(t *testing.T) {
+	paths, err := filepath.Glob(filepath.Join("testdata", "*.mps"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(paths) == 0 {
+		t.Fatal("no MPS fixtures in testdata/")
+	}
+	for _, path := range paths {
+		f, err := os.Open(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		p, err := ReadMPS(f)
+		f.Close()
+		if err != nil {
+			t.Fatalf("%s: %v", path, err)
+		}
+		cold := Solve(p, Options{})
+		if cold.Status != Optimal {
+			t.Fatalf("%s: cold status %v", path, cold.Status)
+		}
+		warm := Solve(p, Options{WarmStart: cold.Basis})
+		if warm.Status != Optimal {
+			t.Fatalf("%s: warm status %v", path, warm.Status)
+		}
+		if warm.Stats.Pivots() != 0 || warm.Stats.Phase1Skips != 1 {
+			t.Errorf("%s: warm re-solve pivots=%d phase1skips=%d, want 0/1",
+				path, warm.Stats.Pivots(), warm.Stats.Phase1Skips)
+		}
+		for j := range cold.X {
+			if warm.X[j] != cold.X[j] {
+				t.Fatalf("%s: X[%d] differs", path, j)
+			}
+		}
+	}
+}
+
+// TestPricingAgreement cross-checks the devex default against Dantzig on the
+// corpus: both must reach the constructed optimum.
+func TestPricingAgreement(t *testing.T) {
+	rng := rand.New(rand.NewSource(79))
+	for trial := 0; trial < 15; trial++ {
+		p, _, want := buildKnownOptimumLP(rng, 40, 25)
+		devex := Solve(p, Options{Pricing: PricingDevex})
+		dantzig := Solve(p, Options{Pricing: PricingDantzig})
+		if devex.Status != Optimal || dantzig.Status != Optimal {
+			t.Fatalf("trial %d: status devex %v dantzig %v", trial, devex.Status, dantzig.Status)
+		}
+		if devex.Stats.Pricer != "devex" || dantzig.Stats.Pricer != "dantzig" {
+			t.Fatalf("trial %d: pricer labels %q/%q", trial, devex.Stats.Pricer, dantzig.Stats.Pricer)
+		}
+		for _, sol := range []*Solution{devex, dantzig} {
+			if d := math.Abs(sol.Objective - want); d > 1e-6*(1+math.Abs(want)) {
+				t.Errorf("trial %d: %s objective %.9g, want %.9g", trial, sol.Stats.Pricer, sol.Objective, want)
+			}
+		}
+	}
+}

@@ -114,6 +114,15 @@ type (
 	NIPSConfig = core.NIPSConfig
 	// NIPSResult carries its outcome.
 	NIPSResult = core.NIPSResult
+	// ReplicationSolver is the reusable warm-starting handle over the
+	// replication LP for parameter sweeps.
+	ReplicationSolver = core.ReplicationSolver
+	// AggregationSolver is the warm-starting handle for β sweeps.
+	AggregationSolver = core.AggregationSolver
+	// NIPSSolver is the warm-starting handle for the rerouting LP.
+	NIPSSolver = core.NIPSSolver
+	// SplitSolver is the warm-starting handle for the split-traffic LP.
+	SplitSolver = core.SplitSolver
 )
 
 // Mirror policies (§4).
@@ -136,6 +145,10 @@ const (
 // Controller entry points.
 var (
 	NewScenario              = core.NewScenario
+	NewReplicationSolver     = core.NewReplicationSolver
+	NewAggregationSolver     = core.NewAggregationSolver
+	NewNIPSSolver            = core.NewNIPSSolver
+	NewSplitSolver           = core.NewSplitSolver
 	SolveReplication         = core.SolveReplication
 	SolveAggregation         = core.SolveAggregation
 	SolveSplit               = core.SolveSplit
