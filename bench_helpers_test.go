@@ -3,6 +3,8 @@ package nwids_test
 import (
 	"fmt"
 	"os"
+	"os/exec"
+	"strings"
 	"testing"
 
 	"nwids/internal/obs"
@@ -14,10 +16,16 @@ import (
 // flag.
 var benchReg = obs.NewRegistry()
 
-// TestMain writes the collected benchmark metrics through the obs JSON
-// exporter when BENCH_METRICS names an output file:
+// TestMain writes the collected benchmark metrics when BENCH_METRICS names
+// an output file:
 //
 //	BENCH_METRICS=bench.json go test -bench=. -run=^$ .
+//
+// Two artifacts result: the full registry snapshot at the named path, and
+// a flat BENCH_<rev>.json trajectory artifact (bench name → value) in the
+// same directory, comparable across commits with cmd/benchdiff. The rev
+// comes from BENCH_REV, falling back to `git rev-parse --short HEAD`, then
+// to "dev".
 func TestMain(m *testing.M) {
 	code := m.Run()
 	if path := os.Getenv("BENCH_METRICS"); path != "" && code == 0 {
@@ -25,8 +33,31 @@ func TestMain(m *testing.M) {
 			fmt.Fprintln(os.Stderr, err)
 			code = 1
 		}
+		dir := "."
+		if i := strings.LastIndexByte(path, '/'); i >= 0 {
+			dir = path[:i]
+		}
+		if artPath, err := obs.WriteBenchArtifact(dir, benchRev(), benchReg.Snapshot(nil)); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			code = 1
+		} else {
+			fmt.Fprintln(os.Stderr, "bench artifact:", artPath)
+		}
 	}
 	os.Exit(code)
+}
+
+// benchRev identifies the code under test for the artifact filename.
+func benchRev() string {
+	if rev := os.Getenv("BENCH_REV"); rev != "" {
+		return rev
+	}
+	if out, err := exec.Command("git", "rev-parse", "--short", "HEAD").Output(); err == nil {
+		if rev := strings.TrimSpace(string(out)); rev != "" {
+			return rev
+		}
+	}
+	return "dev"
 }
 
 // benchRecord folds a benchmark invocation's per-op wall time into the

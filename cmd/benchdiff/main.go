@@ -1,0 +1,88 @@
+// Command benchdiff compares two benchmark artifacts (BENCH_<rev>.json,
+// written by the BENCH_METRICS path of `go test -bench`) and prints the
+// per-metric deltas:
+//
+//	benchdiff BENCH_abc1234.json BENCH_def5678.json
+//	benchdiff BENCH_def5678.json        # baseline: newest other BENCH_*.json
+//
+// With a single argument, the previous artifact is the most recently
+// modified BENCH_*.json in the same directory other than the argument.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"nwids/internal/obs"
+)
+
+func main() {
+	flag.Usage = func() {
+		fmt.Fprintln(os.Stderr, "usage: benchdiff [previous.json] current.json")
+		flag.PrintDefaults()
+	}
+	flag.Parse()
+
+	var prevPath, curPath string
+	switch flag.NArg() {
+	case 1:
+		curPath = flag.Arg(0)
+		var err error
+		prevPath, err = previousArtifact(curPath)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "benchdiff:", err)
+			os.Exit(1)
+		}
+	case 2:
+		prevPath, curPath = flag.Arg(0), flag.Arg(1)
+	default:
+		flag.Usage()
+		os.Exit(2)
+	}
+
+	prev, err := obs.ReadBenchArtifact(prevPath)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchdiff:", err)
+		os.Exit(1)
+	}
+	cur, err := obs.ReadBenchArtifact(curPath)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchdiff:", err)
+		os.Exit(1)
+	}
+	if err := obs.DiffBench(os.Stdout, prev, cur); err != nil {
+		fmt.Fprintln(os.Stderr, "benchdiff:", err)
+		os.Exit(1)
+	}
+}
+
+// previousArtifact picks the most recently modified BENCH_*.json in cur's
+// directory, excluding cur itself.
+func previousArtifact(cur string) (string, error) {
+	dir := filepath.Dir(cur)
+	matches, err := filepath.Glob(filepath.Join(dir, "BENCH_*.json"))
+	if err != nil {
+		return "", err
+	}
+	curAbs, _ := filepath.Abs(cur)
+	var best string
+	var bestMod int64
+	for _, m := range matches {
+		if abs, _ := filepath.Abs(m); abs == curAbs {
+			continue
+		}
+		fi, err := os.Stat(m)
+		if err != nil {
+			continue
+		}
+		if mod := fi.ModTime().UnixNano(); best == "" || mod > bestMod {
+			best, bestMod = m, mod
+		}
+	}
+	if best == "" {
+		return "", fmt.Errorf("no previous BENCH_*.json found next to %s", cur)
+	}
+	return best, nil
+}

@@ -4,13 +4,18 @@
 // node work units, shim counters and detection results. With -live,
 // replication uses real TCP tunnels on the loopback interface. With
 // -metrics, the run leaves a machine-readable JSON artifact (per-node work
-// histograms, shim dispatch counters, tunnel bytes, solver stats).
+// histograms, shim dispatch counters, tunnel bytes, solver stats, and the
+// tick-granularity timeline series). With -trace, the solve pipeline and
+// packet path are exported as a Chrome trace_event file; with -listen, the
+// registry is served live on /metrics (OpenMetrics) plus /healthz and
+// pprof, and the process stays up after the run until interrupted.
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"time"
 
 	"nwids"
 	"nwids/internal/core"
@@ -30,6 +35,8 @@ func main() {
 	saveTrace := flag.String("save-trace", "", "also write the generated session trace to this file")
 	verbose := flag.Bool("v", false, "log progress (JSONL on stderr)")
 	metricsOut := flag.String("metrics", "", "write run metrics to this JSON file")
+	traceOut := flag.String("trace", "", "write a Chrome trace_event file (about:tracing / Perfetto) to this path")
+	listen := flag.String("listen", "", "serve /metrics, /healthz and pprof on this address (e.g. localhost:9090) and stay up after the run")
 	cpuProfile := flag.String("cpuprofile", "", "write a CPU profile to this file")
 	memProfile := flag.String("memprofile", "", "write a heap profile to this file")
 	flag.Parse()
@@ -50,12 +57,28 @@ func main() {
 		log.Error("unknown topology", "topology", *topo)
 		os.Exit(2)
 	}
-	reg := obs.NewRegistry()
+	// One virtual clock drives the registry, the tracer and the emulation,
+	// so every exported timestamp is deterministic for a given workload.
+	vc := obs.NewVirtualClock(time.Unix(0, 0).UTC())
+	reg := obs.NewRegistryWithClock(vc)
+	var tracer *obs.Tracer
+	if *traceOut != "" {
+		tracer = obs.NewTracer(vc)
+	}
+	if *listen != "" {
+		addr, err := obs.ServeTelemetry(*listen, reg, nil)
+		if err != nil {
+			log.Error("telemetry server failed", "err", err.Error())
+			os.Exit(1)
+		}
+		fmt.Printf("telemetry serving on http://%s/metrics\n", addr)
+	}
 	sc := nwids.DefaultScenario(g)
 	cfg := core.ReplicationConfig{MaxLinkLoad: *mll, DCCapacity: *dcCap, Mirror: core.MirrorDCOnly}
 	if *dcCap == 0 {
 		cfg = core.ReplicationConfig{Mirror: core.MirrorNone}
 	}
+	cfg.Trace = tracer
 	a, err := core.SolveReplication(sc, cfg)
 	if err != nil {
 		log.Error("replication solve failed", "err", err.Error())
@@ -70,6 +93,8 @@ func main() {
 		Live:          *live,
 		Obs:           reg,
 		Log:           log,
+		Clock:         vc,
+		Trace:         tracer,
 	})
 	if err != nil {
 		log.Error("emulation failed", "err", err.Error())
@@ -121,7 +146,18 @@ func main() {
 		}
 		log.Info("metrics written", "path", *metricsOut)
 	}
+	if *traceOut != "" {
+		if err := tracer.WriteChromeTraceFile(*traceOut); err != nil {
+			log.Error("trace write failed", "err", err.Error())
+			os.Exit(1)
+		}
+		fmt.Printf("trace written to %s\n", *traceOut)
+	}
 	if err := stopProf(); err != nil {
 		log.Error("profile write failed", "err", err.Error())
+	}
+	if *listen != "" {
+		fmt.Println("run complete; telemetry endpoint stays up (interrupt to exit)")
+		select {}
 	}
 }

@@ -39,6 +39,7 @@ func main() {
 	verbose := flag.Bool("v", false, "log progress (JSONL on stderr)")
 	coldlp := flag.Bool("coldlp", false, "disable warm-start basis chaining; every LP solves from scratch (output must match the default)")
 	metricsOut := flag.String("metrics", "", "write run metrics to this JSON file")
+	traceOut := flag.String("trace", "", "write a Chrome trace_event file (one span per experiment) to this path")
 	cpuProfile := flag.String("cpuprofile", "", "write a CPU profile to this file")
 	memProfile := flag.String("memprofile", "", "write a heap profile to this file")
 	flag.Parse()
@@ -69,6 +70,10 @@ func main() {
 		reg = obs.NewRegistry()
 		opts.Obs = reg
 	}
+	var tracer *obs.Tracer
+	if *traceOut != "" {
+		tracer = obs.NewTracer(obs.Wall)
+	}
 
 	var names []string
 	for _, which := range flag.Args() {
@@ -78,9 +83,16 @@ func main() {
 		}
 		names = append(names, which)
 	}
-	if err := runAll(names, opts, os.Stdout, log, !*notime); err != nil {
+	if err := runAll(names, opts, os.Stdout, log, !*notime, tracer); err != nil {
 		log.Error("experiment failed", "err", err.Error())
 		os.Exit(1)
+	}
+	if *traceOut != "" {
+		if err := tracer.WriteChromeTraceFile(*traceOut); err != nil {
+			log.Error("trace write failed", "err", err.Error())
+			os.Exit(1)
+		}
+		log.Info("trace written", "path", *traceOut)
 	}
 	if *metricsOut != "" {
 		meta := map[string]any{
@@ -105,11 +117,14 @@ func main() {
 // runAll executes the named experiments in order, printing each rendering
 // to w. Per-experiment wall time is recorded into opts.Obs under
 // experiment.<name>; showTime controls whether it also appears in the
-// section header (disable it for byte-identical determinism diffs).
-func runAll(names []string, opts experiments.Options, w io.Writer, log *obs.Logger, showTime bool) error {
+// section header (disable it for byte-identical determinism diffs). A
+// non-nil tracer records one span per experiment.
+func runAll(names []string, opts experiments.Options, w io.Writer, log *obs.Logger, showTime bool, tracer *obs.Tracer) error {
 	for _, name := range names {
 		start := time.Now()
+		sp := tracer.StartSpan("experiment." + name)
 		out, err := run(name, opts)
+		sp.End()
 		if err != nil {
 			return fmt.Errorf("%s: %w", name, err)
 		}

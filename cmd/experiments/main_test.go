@@ -26,8 +26,13 @@ func TestMetricsArtifact(t *testing.T) {
 		Topologies: []string{"Internet2"},
 		Obs:        reg,
 	}
-	if err := runAll([]string{"table1", "fig10"}, opts, io.Discard, nil, true); err != nil {
+	if err := runAll([]string{"table1", "fig10"}, opts, io.Discard, nil, true, nil); err != nil {
 		t.Fatal(err)
+	}
+	// The timeline section exists even when no series were recorded, so
+	// downstream readers can rely on the key.
+	if snap := reg.Snapshot(nil); snap.Timeline == nil {
+		t.Error("snapshot timeline section missing")
 	}
 	path := filepath.Join(t.TempDir(), "out.json")
 	if err := reg.WriteJSONFile(path, map[string]any{"run": "test"}); err != nil {

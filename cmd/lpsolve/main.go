@@ -24,6 +24,7 @@ func main() {
 	maxIter := flag.Int("maxiter", 0, "iteration limit (0: automatic)")
 	printSol := flag.Bool("x", false, "print nonzero variable values")
 	metricsOut := flag.String("metrics", "", "write solve metrics to this JSON file")
+	traceOut := flag.String("trace", "", "write a Chrome trace_event file of the solve phases to this path")
 	cpuProfile := flag.String("cpuprofile", "", "write a CPU profile to this file")
 	memProfile := flag.String("memprofile", "", "write a heap profile to this file")
 	flag.Parse()
@@ -61,7 +62,15 @@ func main() {
 	}
 	log.Info("problem loaded", "stats", p.Stats())
 	opts := lp.Options{MaxIterations: *maxIter, Logf: log.Logf(obs.LevelDebug)}
+	var tracer *obs.Tracer
+	var solveSpan *obs.TraceSpan
+	if *traceOut != "" {
+		tracer = obs.NewTracer(obs.Wall)
+		solveSpan = tracer.StartSpan("lp.solve").Arg("problem", p.Name())
+		opts.StartSpan = solveSpan.Hook()
+	}
 	sol := lp.Solve(p, opts)
+	solveSpan.Arg("status", sol.Status.String()).End()
 	fmt.Printf("status:     %v\n", sol.Status)
 	if sol.Status == lp.Optimal {
 		fmt.Printf("objective:  %.10g\n", sol.Objective)
@@ -88,6 +97,13 @@ func main() {
 			os.Exit(1)
 		}
 		log.Info("metrics written", "path", *metricsOut)
+	}
+	if *traceOut != "" {
+		if err := tracer.WriteChromeTraceFile(*traceOut); err != nil {
+			log.Error("trace write failed", "err", err.Error())
+			os.Exit(1)
+		}
+		log.Info("trace written", "path", *traceOut)
 	}
 	if err := stopProf(); err != nil {
 		log.Error("profile write failed", "err", err.Error())

@@ -34,6 +34,8 @@ func main() {
 	mpsOut := flag.String("mps", "", "dump the LP instance to this file in MPS format instead of solving")
 	verbose := flag.Bool("v", false, "log solver progress (JSONL on stderr)")
 	metricsOut := flag.String("metrics", "", "write solve metrics to this JSON file")
+	traceOut := flag.String("trace", "", "write a Chrome trace_event file (about:tracing / Perfetto) to this path")
+	listen := flag.String("listen", "", "serve /metrics, /healthz and pprof on this address (e.g. localhost:9090) and stay up after the solve")
 	pprofAddr := flag.String("pprof", "", "serve net/http/pprof on this address (e.g. localhost:6060)")
 	cpuProfile := flag.String("cpuprofile", "", "write a CPU profile to this file")
 	memProfile := flag.String("memprofile", "", "write a heap profile to this file")
@@ -44,6 +46,15 @@ func main() {
 		level = obs.LevelDebug
 	}
 	log := obs.NewLogger(os.Stderr, level)
+	reg := obs.NewRegistry()
+	if *listen != "" {
+		addr, err := obs.ServeTelemetry(*listen, reg, nil)
+		if err != nil {
+			log.Error("telemetry server failed", "err", err.Error())
+			os.Exit(1)
+		}
+		fmt.Printf("telemetry serving on http://%s/metrics\n", addr)
+	}
 	if *pprofAddr != "" {
 		addr, err := obs.ServePprof(*pprofAddr)
 		if err != nil {
@@ -67,6 +78,11 @@ func main() {
 
 	cfg := core.ReplicationConfig{MaxLinkLoad: *mll, DCCapacity: *dcCap}
 	cfg.LP.Logf = log.Logf(obs.LevelDebug)
+	var tracer *obs.Tracer
+	if *traceOut != "" {
+		tracer = obs.NewTracer(obs.Wall)
+		cfg.Trace = tracer
+	}
 	if *mpsOut != "" {
 		dumpMPS(sc, *arch, cfg, *mpsOut, log)
 		if err := stopProf(); err != nil {
@@ -121,8 +137,7 @@ func main() {
 			st.Phase1Pivots, st.Phase1Time.Round(1000), st.Phase2Pivots, st.Phase2Time.Round(1000),
 			st.Refactorizations, st.MaxResidual)
 	}
-	if *metricsOut != "" {
-		reg := obs.NewRegistry()
+	{
 		st := a.LPStats
 		reg.Counter("lp.solves").Inc()
 		reg.Counter("lp.iterations").Add(uint64(a.Iterations))
@@ -140,6 +155,8 @@ func main() {
 			loads.Observe(a.NodeLoad[j][0])
 		}
 		reg.Gauge("node.load.max").Max(a.MaxLoad())
+	}
+	if *metricsOut != "" {
 		meta := map[string]any{
 			"run": "nidsctl", "topology": g.Name(), "arch": *arch,
 			"mll": *mll, "dc": *dcCap, "status": "optimal",
@@ -149,6 +166,13 @@ func main() {
 			os.Exit(1)
 		}
 		log.Info("metrics written", "path", *metricsOut)
+	}
+	if *traceOut != "" {
+		if err := tracer.WriteChromeTraceFile(*traceOut); err != nil {
+			log.Error("trace write failed", "err", err.Error())
+			os.Exit(1)
+		}
+		fmt.Printf("trace written to %s\n", *traceOut)
 	}
 
 	t := metrics.NewTable("Node", "Name", "Load")
@@ -188,6 +212,10 @@ func main() {
 	}
 	if err := stopProf(); err != nil {
 		log.Error("profile write failed", "err", err.Error())
+	}
+	if *listen != "" {
+		fmt.Println("solve complete; telemetry endpoint stays up (interrupt to exit)")
+		select {}
 	}
 }
 

@@ -6,6 +6,7 @@ import (
 	"time"
 
 	"nwids/internal/lp"
+	"nwids/internal/obs"
 	"nwids/internal/topology"
 )
 
@@ -75,6 +76,9 @@ type ReplicationConfig struct {
 	NodeWeights []float64
 	// LP passes through solver options.
 	LP lp.Options
+	// Trace, when non-nil, records the solve pipeline (model build → LP
+	// phases → extract) as nested spans. nil disables tracing at zero cost.
+	Trace *obs.Tracer
 }
 
 func (c ReplicationConfig) withDefaults() ReplicationConfig {
@@ -501,18 +505,32 @@ func (m *replicationModel) extract(s *Scenario, cfg ReplicationConfig, sol *lp.S
 // prior work's on-path distribution [29].
 func SolveReplication(s *Scenario, cfg ReplicationConfig) (*Assignment, error) {
 	cfg = cfg.withDefaults()
+	root := cfg.Trace.StartSpan("replication.solve").
+		Arg("graph", s.Graph.Name()).Arg("mirror", cfg.Mirror.String())
+	defer root.End()
+
+	build := root.Child("model.build")
 	m, err := buildReplicationModel(s, cfg)
+	build.End()
 	if err != nil {
 		return nil, err
 	}
 	opts := cfg.LP
 	opts.CrashBasis = m.crash
 	opts.AtUpper = append(opts.AtUpper, m.lam)
+	lpSpan := root.Child("lp.solve")
+	if opts.StartSpan == nil {
+		opts.StartSpan = lpSpan.Hook()
+	}
 	sol := lp.Solve(m.prob, opts)
+	lpSpan.Arg("iterations", sol.Iterations).Arg("status", sol.Status.String()).End()
 	if err := sol.Err(); err != nil {
 		return nil, fmt.Errorf("replication LP on %s: %w", s.Graph.Name(), err)
 	}
-	return m.extract(s, cfg, sol), nil
+	extract := root.Child("extract")
+	a := m.extract(s, cfg, sol)
+	extract.End()
+	return a, nil
 }
 
 // CoverageError returns the largest deviation of any class's total assigned

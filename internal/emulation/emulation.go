@@ -14,6 +14,7 @@ import (
 	"math"
 	"os"
 	"sync"
+	"time"
 
 	"nwids/internal/core"
 	"nwids/internal/nids"
@@ -46,11 +47,28 @@ type Config struct {
 	// instead of direct in-process delivery.
 	Live bool
 	// Obs, when non-nil, receives run metrics: per-node work-unit
-	// histograms, shim dispatch counters and tunnel byte counters (see
-	// recordMetrics for the key schema).
+	// histograms, shim dispatch counters, tunnel byte counters (see
+	// recordMetrics for the key schema) and the tick-granularity timeline
+	// series (per-node work/dispatch deltas, per-class bytes).
 	Obs *obs.Registry
-	// Log, when non-nil, receives structured progress events.
+	// Log, when non-nil, receives structured progress events, including the
+	// drift events fired by the per-node load watchers.
 	Log *obs.Logger
+	// Clock is the virtual tick clock stamping the run's telemetry. When
+	// nil Run creates one at the Unix epoch. Binaries that also trace or
+	// serve the registry live should create the clock themselves and share
+	// it with the tracer/registry so all timestamps agree.
+	Clock *obs.VirtualClock
+	// Trace, when non-nil, records the run and the packet path (ingress →
+	// dispatch → analysis/replicate → aggregation) as spans. Only the first
+	// TraceSessions sessions get per-packet spans; the virtual clock
+	// advances identically whether or not a tracer is attached.
+	Trace *obs.Tracer
+	// TraceSessions bounds the per-packet-span sessions (default 8).
+	TraceSessions int
+	// TickSessions is the session count between telemetry ticks (default
+	// DefaultTickSessions).
+	TickSessions int
 }
 
 func (c Config) withDefaults() Config {
@@ -77,6 +95,12 @@ func (c Config) withDefaults() Config {
 	}
 	if c.MaliciousFraction == 0 {
 		c.MaliciousFraction = 0.02
+	}
+	if c.Clock == nil {
+		c.Clock = obs.NewVirtualClock(time.Unix(0, 0).UTC())
+	}
+	if c.TraceSessions == 0 {
+		c.TraceSessions = defaultTraceSessions
 	}
 	return c
 }
@@ -204,34 +228,72 @@ func Run(cfg Config) (*Result, error) {
 	cfg.Log.Debug("emulation start",
 		"topology", sc.Graph.Name(), "nodes", nNIDS, "sessions", len(sessions), "live", cfg.Live)
 
+	// Telemetry: the virtual clock ticks per unit of simulated work, the
+	// tick recorder samples per-node and per-class load into timeline
+	// series, and the first TraceSessions sessions get per-packet spans.
+	vc := cfg.Clock
+	tel := newTelemetry(cfg, vc, sc, nNIDS,
+		func(j int) uint64 {
+			engMu[j].Lock()
+			defer engMu[j].Unlock()
+			return engines[j].Stats().WorkUnits()
+		},
+		func(j int) shim.Counters { return shims[j].Counters })
+	runSpan := cfg.Trace.StartSpan("emulation.run").
+		Arg("topology", sc.Graph.Name()).Arg("sessions", len(sessions))
+	defer runSpan.End()
+
 	res := &Result{Sessions: len(sessions)}
 	preAlerts := make([]int, nNIDS)
 
-	for _, sess := range sessions {
+	for si, sess := range sessions {
 		if sess.Malicious {
 			res.MaliciousSessions++
 		}
+		var sessSpan *obs.TraceSpan // nil past the traced prefix; nil-safe
+		if si < cfg.TraceSessions {
+			sessSpan = runSpan.Child("session").
+				Arg("session", si).Arg("src", sess.SrcPoP).Arg("dst", sess.DstPoP)
+		}
 		owner := make(map[int]bool)
 		for _, p := range sess.Packets {
+			ingress := sessSpan.Child("ingress")
+			vc.Advance(packetTick)
+			ingress.End()
+			tel.addClassBytes(sess.SrcPoP, sess.DstPoP, uint64(len(p.Payload)))
 			path := sc.Routing.Path(sess.SrcPoP, sess.DstPoP)
 			if p.Dir == packet.Reverse {
 				path = path.Reverse()
 			}
 			for _, node := range path.Nodes {
-				switch d := shims[node].Decide(p); d.Act {
+				dsp := sessSpan.Child("dispatch").Arg("node", node)
+				d := shims[node].Decide(p)
+				vc.Advance(dispatchTick)
+				dsp.End()
+				switch d.Act {
 				case shim.Process:
+					an := sessSpan.Child("analysis").Arg("node", node)
+					vc.Advance(actionTick)
 					engMu[node].Lock()
 					engines[node].ProcessPacket(p)
 					engMu[node].Unlock()
+					an.End()
 					owner[node] = true
 				case shim.Replicate:
-					if err := deliver(node, d.Mirror, p); err != nil {
+					rp := sessSpan.Child("replicate").
+						Arg("node", node).Arg("mirror", d.Mirror)
+					vc.Advance(actionTick)
+					err := deliver(node, d.Mirror, p)
+					rp.End()
+					if err != nil {
 						return nil, err
 					}
 					owner[d.Mirror] = true
 				}
 			}
 		}
+		sessSpan.End()
+		tel.sessionDone(si)
 		if len(owner) != 1 {
 			res.OwnershipErrors++
 		}
@@ -292,6 +354,10 @@ func Run(cfg Config) (*Result, error) {
 		}
 	}
 
+	tel.finish(len(sessions))
+
+	agg := runSpan.Child("aggregation")
+	defer agg.End()
 	res.Nodes = make([]NodeStats, nNIDS)
 	for j := 0; j < nNIDS; j++ {
 		engMu[j].Lock()

@@ -10,6 +10,8 @@
 //	exprloop        no RNG consumption inside sweep worker closures
 //	coldsolve       no one-shot solve calls inside sweep worker closures
 //	                that ignore an available warm-start handle
+//	clocksafe       no direct wall-clock calls in the telemetry plane;
+//	                time flows through the injectable obs.Clock
 package rules
 
 import (
@@ -31,6 +33,7 @@ func All() []*lint.Analyzer {
 		ErrDiscard,
 		ExprLoop,
 		ColdSolve,
+		Clocksafe,
 	}
 }
 

@@ -39,6 +39,10 @@ func TestColdSolveFixture(t *testing.T) {
 		rules.ByName("coldsolve,exprloop,panicsafe,nondeterminism"))
 }
 
+func TestClocksafeFixture(t *testing.T) {
+	linttest.Run(t, fixtureRoot, []string{"fix/internal/obs"}, rules.ByName("clocksafe"))
+}
+
 func TestByName(t *testing.T) {
 	if got := rules.ByName("floatcmp,panicsafe"); len(got) != 2 {
 		t.Fatalf("ByName(floatcmp,panicsafe) = %d analyzers, want 2", len(got))
@@ -46,7 +50,7 @@ func TestByName(t *testing.T) {
 	if got := rules.ByName("nosuchrule"); got != nil {
 		t.Fatalf("ByName(nosuchrule) = %v, want nil", got)
 	}
-	if got, want := len(rules.All()), 6; got < want {
+	if got, want := len(rules.All()), 7; got < want {
 		t.Fatalf("All() = %d analyzers, want >= %d", got, want)
 	}
 }

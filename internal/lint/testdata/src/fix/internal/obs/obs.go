@@ -1,0 +1,66 @@
+// Package obs is a clocksafe golden fixture: the telemetry plane must
+// read time through the injectable Clock, never straight off the wall.
+package obs
+
+import "time"
+
+// Clock mirrors the real telemetry clock abstraction.
+type Clock interface {
+	Now() time.Time
+}
+
+// wallClock is the sanctioned wall-time implementation: its Now method is
+// the allowlisted single point where the telemetry plane touches the real
+// clock.
+type wallClock struct{}
+
+func (wallClock) Now() time.Time { return time.Now() }
+
+// VirtualClock stands in for the emulation's tick clock.
+type VirtualClock struct{ t time.Time }
+
+// Now reads the virtual time; no wall-clock call, nothing to allow.
+func (c *VirtualClock) Now() time.Time { return c.t }
+
+// Series records samples stamped by an injected clock.
+type Series struct {
+	clock Clock
+	last  time.Time
+}
+
+// Record stamps through the injected clock: the approved pattern.
+func (s *Series) Record() {
+	s.last = s.clock.Now()
+}
+
+// RecordWall stamps straight off the wall clock inside an instrument.
+func (s *Series) RecordWall() {
+	s.last = time.Now() // want `time.Now in the telemetry plane`
+}
+
+// Age measures elapsed wall time directly.
+func (s *Series) Age() time.Duration {
+	return time.Since(s.last) // want `time.Since in the telemetry plane`
+}
+
+// tickDeferred hides the wall-clock read inside a function literal; the
+// rule descends into literals, so it is still flagged.
+func tickDeferred(s *Series) func() {
+	return func() {
+		s.last = time.Now() // want `time.Now in the telemetry plane`
+	}
+}
+
+// NewLogger stores time.Now as an injectable function value — a reference,
+// not a call, so components that deliberately stamp wall time (the JSONL
+// logger) keep their escape hatch.
+func NewLogger() func() time.Time {
+	return time.Now
+}
+
+// legacyStamp suppresses the finding with a directive; linttest asserts
+// suppression works because the line carries no want comment.
+func legacyStamp() time.Time {
+	//lint:ignore clocksafe fixture: demonstrates directive-based suppression
+	return time.Now()
+}

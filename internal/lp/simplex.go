@@ -68,6 +68,7 @@ type simplex struct {
 	stats      SolveStats
 	curPhase1  bool
 	phaseStart time.Time
+	spanEnd    func()    // closes the open phase trace span, if any
 	resid      []float64 // refactorization residual scratch, length m
 }
 
@@ -737,13 +738,36 @@ func (s *simplex) ratioTest(j int, sigma float64, phase1 bool) ratioResult {
 	return res
 }
 
+// startPhaseSpan opens a trace span for the phase the solver just entered
+// (no-op without an Options.StartSpan hook).
+func (s *simplex) startPhaseSpan() {
+	if s.opt.StartSpan == nil {
+		return
+	}
+	name := "lp.phase2"
+	if s.curPhase1 {
+		name = "lp.phase1"
+	}
+	s.spanEnd = s.opt.StartSpan(name)
+}
+
+// endPhaseSpan closes the open phase trace span, if any.
+func (s *simplex) endPhaseSpan() {
+	if s.spanEnd != nil {
+		s.spanEnd()
+		s.spanEnd = nil
+	}
+}
+
 // run executes the simplex loop and returns the final status, charging
 // wall time to the phase the solver was in.
 func (s *simplex) run() Status {
 	s.curPhase1 = true
 	s.phaseStart = time.Now()
+	s.startPhaseSpan()
 	status := s.runLoop()
 	s.endPhase()
+	s.endPhaseSpan()
 	return status
 }
 
@@ -785,6 +809,8 @@ func (s *simplex) runLoop() Status {
 			lastPhase1 = phase1
 			s.endPhase()
 			s.curPhase1 = phase1
+			s.endPhaseSpan()
+			s.startPhaseSpan()
 			s.resetDevex(false)
 			s.priceCursor = 0
 		}

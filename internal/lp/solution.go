@@ -164,6 +164,12 @@ type Options struct {
 	Pricing Pricing
 	// Logf, when non-nil, receives progress lines.
 	Logf func(format string, args ...any)
+	// StartSpan, when non-nil, receives the solve's internal phase
+	// boundaries for tracing: it is called with a span name ("lp.phase1",
+	// "lp.phase2") and returns the function that closes the span. The
+	// callback shape keeps this package free of an obs dependency; wire it
+	// to (*obs.TraceSpan).Hook(). A nil hook costs nothing.
+	StartSpan func(name string) func()
 }
 
 // Pricing selects the simplex pricing (entering variable) rule.

@@ -1,0 +1,122 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// The bench trajectory: every instrumented benchmark run can leave a
+// BENCH_<rev>.json artifact — a flat bench-name → value map — committed
+// alongside the code, so performance history travels with the repository
+// and a regression shows up as a diff, not an anecdote. The comparator
+// (cmd/benchdiff) prints deltas between two artifacts.
+
+// BenchSchema versions the benchmark artifact layout.
+const BenchSchema = "nwids.bench.v1"
+
+// BenchArtifact is one benchmark run reduced to comparable scalars.
+type BenchArtifact struct {
+	Schema string `json:"schema"`
+	// Rev identifies the code under test (git short hash, or "dev").
+	Rev string `json:"rev"`
+	// Values maps flattened instrument names to representative scalars:
+	// gauges and counters verbatim, histograms and timers by median.
+	Values map[string]float64 `json:"values"`
+}
+
+// BenchValues flattens a registry snapshot into the artifact's value map:
+// counters and gauges as-is, histograms and timers collapsed to their
+// median (bench.*.sec_per_op histograms therefore report the typical
+// per-op time across calibration passes, robust to a slow first run).
+func BenchValues(snap RegistrySnapshot) map[string]float64 {
+	vals := make(map[string]float64)
+	for name, v := range snap.Counters {
+		vals[name] = float64(v)
+	}
+	for name, v := range snap.Gauges {
+		vals[name] = v
+	}
+	for name, h := range snap.Histograms {
+		vals[name] = h.P50
+	}
+	for name, h := range snap.Timers {
+		vals[name] = h.P50
+	}
+	return vals
+}
+
+// WriteBenchArtifact writes the artifact for rev to dir/BENCH_<rev>.json
+// and returns the path. The JSON is rendered with sorted keys (the
+// encoding/json map behavior), so regenerating an artifact from identical
+// measurements yields identical bytes.
+func WriteBenchArtifact(dir, rev string, snap RegistrySnapshot) (string, error) {
+	art := BenchArtifact{Schema: BenchSchema, Rev: rev, Values: BenchValues(snap)}
+	data, err := json.MarshalIndent(art, "", "  ")
+	if err != nil {
+		return "", err
+	}
+	path := filepath.Join(dir, "BENCH_"+rev+".json")
+	return path, os.WriteFile(path, append(data, '\n'), 0o644)
+}
+
+// ReadBenchArtifact loads one artifact, rejecting unknown schemas.
+func ReadBenchArtifact(path string) (BenchArtifact, error) {
+	var art BenchArtifact
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return art, err
+	}
+	if err := json.Unmarshal(data, &art); err != nil {
+		return art, fmt.Errorf("%s: %w", path, err)
+	}
+	if art.Schema != BenchSchema {
+		return art, fmt.Errorf("%s: schema %q, want %q", path, art.Schema, BenchSchema)
+	}
+	return art, nil
+}
+
+// DiffBench writes a line-per-metric comparison of two artifacts to w:
+// old value, new value and relative delta, with added and removed metrics
+// called out. Keys print in sorted order so the report is deterministic.
+func DiffBench(w io.Writer, prev, cur BenchArtifact) error {
+	keys := make(map[string]bool, len(prev.Values)+len(cur.Values))
+	for k := range prev.Values {
+		keys[k] = true
+	}
+	for k := range cur.Values {
+		keys[k] = true
+	}
+	sorted := make([]string, 0, len(keys))
+	for k := range keys {
+		sorted = append(sorted, k)
+	}
+	sort.Strings(sorted)
+
+	var b strings.Builder
+	fmt.Fprintf(&b, "benchdiff %s -> %s\n", prev.Rev, cur.Rev)
+	for _, k := range sorted {
+		ov, inOld := prev.Values[k]
+		nv, inNew := cur.Values[k]
+		switch {
+		case !inOld:
+			fmt.Fprintf(&b, "%-48s %14s -> %-14g (added)\n", k, "-", nv)
+		case !inNew:
+			fmt.Fprintf(&b, "%-48s %14g -> %-14s (removed)\n", k, ov, "-")
+		default:
+			delta := "n/a"
+			if ov != 0 {
+				delta = fmt.Sprintf("%+.1f%%", 100*(nv-ov)/ov)
+			} else if nv == 0 {
+				delta = "+0.0%"
+			}
+			fmt.Fprintf(&b, "%-48s %14g -> %-14g (%s)\n", k, ov, nv, delta)
+		}
+	}
+	_, err := io.WriteString(w, b.String())
+	return err
+}

@@ -1,0 +1,95 @@
+package obs
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestBenchArtifactRoundTrip(t *testing.T) {
+	reg := NewRegistry()
+	reg.Gauge("bench.WarmVsCold.warm_speedup").Max(3.5)
+	for _, v := range []float64{1, 2, 3} {
+		reg.Histogram("bench.ShimDispatch.sec_per_op").Observe(v * 1e-7)
+	}
+	reg.Counter("bench.runs").Inc()
+	reg.Timer("bench.setup").ObserveDuration(2 * time.Second)
+
+	dir := t.TempDir()
+	path, err := WriteBenchArtifact(dir, "abc1234", reg.Snapshot(nil))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if filepath.Base(path) != "BENCH_abc1234.json" {
+		t.Errorf("artifact path = %s", path)
+	}
+	art, err := ReadBenchArtifact(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if art.Schema != BenchSchema || art.Rev != "abc1234" {
+		t.Errorf("artifact header = %q %q", art.Schema, art.Rev)
+	}
+	if art.Values["bench.WarmVsCold.warm_speedup"] != 3.5 {
+		t.Errorf("gauge value = %g", art.Values["bench.WarmVsCold.warm_speedup"])
+	}
+	if art.Values["bench.ShimDispatch.sec_per_op"] != 2e-7 {
+		t.Errorf("histogram median = %g", art.Values["bench.ShimDispatch.sec_per_op"])
+	}
+	if art.Values["bench.runs"] != 1 {
+		t.Errorf("counter value = %g", art.Values["bench.runs"])
+	}
+	if art.Values["bench.setup"] != 2 {
+		t.Errorf("timer median = %g", art.Values["bench.setup"])
+	}
+}
+
+func TestBenchArtifactSchemaGate(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "BENCH_x.json")
+	if err := os.WriteFile(path, []byte(`{"schema":"nwids.bench.v999","rev":"x","values":{}}`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ReadBenchArtifact(path); err == nil {
+		t.Fatal("unknown schema accepted")
+	}
+}
+
+func TestDiffBench(t *testing.T) {
+	prev := BenchArtifact{Schema: BenchSchema, Rev: "aaa", Values: map[string]float64{
+		"bench.A.sec_per_op": 2e-7,
+		"bench.gone":         1,
+		"bench.zero":         0,
+	}}
+	cur := BenchArtifact{Schema: BenchSchema, Rev: "bbb", Values: map[string]float64{
+		"bench.A.sec_per_op": 1e-7,
+		"bench.new":          5,
+		"bench.zero":         0,
+	}}
+	var sb strings.Builder
+	if err := DiffBench(&sb, prev, cur); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, want := range []string{
+		"benchdiff aaa -> bbb",
+		"-50.0%",    // bench.A halved
+		"(added)",   // bench.new
+		"(removed)", // bench.gone
+		"+0.0%",     // bench.zero stayed zero
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("diff output missing %q:\n%s", want, out)
+		}
+	}
+	// Deterministic: same inputs render the same report.
+	var sb2 strings.Builder
+	if err := DiffBench(&sb2, prev, cur); err != nil {
+		t.Fatal(err)
+	}
+	if sb2.String() != out {
+		t.Error("diff output not deterministic")
+	}
+}

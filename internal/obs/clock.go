@@ -1,0 +1,72 @@
+package obs
+
+import (
+	"sync"
+	"time"
+)
+
+// Clock is the time source behind every obs instrument that stamps
+// timestamps (Series samples, Timer spans, trace spans, the logger). The
+// indirection is what lets the determinism gates hold with telemetry
+// enabled: real binaries inject Wall, while the emulation injects a
+// VirtualClock it advances one tick per unit of simulated work, so every
+// exported timestamp is a pure function of the workload.
+type Clock interface {
+	// Now returns the current time of this clock.
+	Now() time.Time
+}
+
+// Wall is the real-time clock. It is the default for every instrument that
+// was not given an explicit Clock.
+var Wall Clock = wallClock{}
+
+type wallClock struct{}
+
+// Now returns the wall-clock time. This is the single sanctioned wall-time
+// read in the telemetry plane (see the clocksafe lint rule).
+func (wallClock) Now() time.Time { return time.Now() }
+
+// clockOrWall substitutes Wall for a nil clock.
+func clockOrWall(c Clock) Clock {
+	if c == nil {
+		return Wall
+	}
+	return c
+}
+
+// VirtualClock is a manually advanced Clock for deterministic telemetry:
+// it only moves when Advance or Set is called, so timestamps recorded
+// against it are byte-identical run to run. The zero value starts at the
+// Unix epoch; NewVirtualClock picks an explicit origin.
+type VirtualClock struct {
+	mu sync.Mutex
+	t  time.Time
+}
+
+// NewVirtualClock returns a virtual clock starting at origin.
+func NewVirtualClock(origin time.Time) *VirtualClock {
+	return &VirtualClock{t: origin}
+}
+
+// Now returns the clock's current virtual time.
+func (c *VirtualClock) Now() time.Time {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.t
+}
+
+// Advance moves the clock forward by d (or backward for negative d) and
+// returns the new time.
+func (c *VirtualClock) Advance(d time.Duration) time.Time {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.t = c.t.Add(d)
+	return c.t
+}
+
+// Set jumps the clock to t.
+func (c *VirtualClock) Set(t time.Time) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.t = t
+}

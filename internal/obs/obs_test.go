@@ -61,18 +61,46 @@ func TestConcurrentInstruments(t *testing.T) {
 	}
 }
 
-// TestNilRegistry checks that a nil registry is a usable no-op sink.
+// TestNilRegistry checks that a nil registry is a usable no-op sink for
+// every instrument, including the telemetry-plane additions (Series, the
+// registry clock) and the span API reachable from a nil tracer.
 func TestNilRegistry(t *testing.T) {
 	var reg *Registry
 	reg.Counter("x").Inc()
 	reg.Gauge("x").Set(1)
 	reg.Histogram("x").Observe(1)
 	reg.Timer("x").Start().Stop()
+
+	// Series from a nil registry is live but unregistered: recording works,
+	// nothing shows up in snapshots.
+	s := reg.Series("x")
+	s.Record(1)
+	s.RecordAt(time.Unix(0, 0), 2)
+	if s.Len() != 2 || s.Total() != 2 {
+		t.Errorf("nil-registry series len/total = %d/%d", s.Len(), s.Total())
+	}
+	if _, cur := s.Since(0); cur != 2 {
+		t.Errorf("nil-registry series cursor = %d", cur)
+	}
+	s.Stats(0)
+	s.Snapshot()
+
+	// Watching an unregistered series is equally safe, as is a nil watcher.
+	WatchSeries("x", s, nil, &EWMADetector{}).Poll()
+	var w *Watcher
+	w.Poll()
+	if w.Events() != nil {
+		t.Error("nil watcher has events")
+	}
+
+	if reg.Clock() != Wall {
+		t.Error("nil registry clock should be Wall")
+	}
 	if names := reg.Names(); names != nil {
 		t.Errorf("nil registry has instruments %v", names)
 	}
 	snap := reg.Snapshot(nil)
-	if snap.Schema != Schema || len(snap.Counters) != 0 {
+	if snap.Schema != Schema || len(snap.Counters) != 0 || len(snap.Timeline) != 0 {
 		t.Errorf("nil registry snapshot = %+v", snap)
 	}
 }

@@ -1,10 +1,18 @@
-// Package obs is the repository's observability layer: a lightweight,
+// Package obs is the repository's live telemetry plane: a lightweight,
 // dependency-free metrics registry (counters, gauges, histograms with
-// quantile export, and span-style timers), a leveled structured logger that
-// emits JSONL events, and standard Go profiling hooks. Every binary and the
-// hot subsystems (LP solver, emulation, shim, aggregation) record into a
-// Registry so that each run can leave a machine-readable metrics artifact —
-// the reproduction's analog of the paper's PAPI/byte-hop measurements (§8).
+// quantile export, span-style timers, and ring-buffer time series), drift
+// detectors that watch any series, a span tracer exporting Chrome
+// trace_event timelines, a leveled structured logger that emits JSONL
+// events, an OpenMetrics exposition endpoint, and standard Go profiling
+// hooks. Every binary and the hot subsystems (LP solver, emulation, shim,
+// aggregation) record into a Registry so that each run can leave a
+// machine-readable metrics artifact — the reproduction's analog of the
+// paper's PAPI/byte-hop measurements (§8) — and, with -listen, be scraped
+// live mid-run.
+//
+// Everything that stamps a timestamp goes through an injectable Clock:
+// real binaries use Wall, the emulation injects its VirtualClock, which is
+// how the determinism CI gates keep holding with telemetry enabled.
 //
 // All instruments are safe for concurrent use. A nil *Registry is a valid
 // no-op sink: lookups on it return live but unregistered instruments, so
@@ -25,8 +33,9 @@ import (
 )
 
 // Schema identifies the JSON layout written by WriteJSON; bump when the
-// export shape changes incompatibly.
-const Schema = "nwids.obs.v1"
+// export shape changes incompatibly. v2 added the timeline section (Series
+// snapshots) and the sampled/retained histogram fields.
+const Schema = "nwids.obs.v2"
 
 // Counter is a monotonically increasing uint64.
 type Counter struct{ v atomic.Uint64 }
@@ -62,39 +71,88 @@ func (g *Gauge) Max(v float64) {
 // Value returns the current value.
 func (g *Gauge) Value() float64 { return math.Float64frombits(g.bits.Load()) }
 
+// HistogramRetain is the number of observations a Histogram keeps exactly.
+// Up to this many samples the exported quantiles are exact; beyond it the
+// histogram switches to a fixed-size uniform reservoir (Algorithm R driven
+// by a seeded splitmix64 stream, never the global math/rand), so quantiles
+// become estimates over HistogramRetain samples while count, sum, mean,
+// min and max stay exact. The switch is visible in the export via the
+// sampled/retained fields. This bounds memory for million-session runs;
+// the reservoir content is deterministic for a fixed observation order.
+const HistogramRetain = 4096
+
+// histogramSeed seeds every histogram's reservoir stream. A fixed constant
+// keeps sampled exports reproducible run to run.
+const histogramSeed = 0x6e77696473_0b5e55
+
 // Histogram accumulates float64 observations and exports count, sum,
-// extremes, mean and quantiles. Observations are retained exactly (the
-// workloads here observe at most a few thousand points per run), so the
-// quantiles are exact rather than sketched.
+// extremes, mean and quantiles. The first HistogramRetain observations are
+// retained exactly; see HistogramRetain for the sampling regime past that.
 type Histogram struct {
-	mu  sync.Mutex
-	xs  []float64
-	sum float64
+	mu    sync.Mutex
+	xs    []float64
+	count uint64
+	sum   float64
+	min   float64
+	max   float64
+	rng   uint64 // splitmix64 state for the reservoir, lazily seeded
+}
+
+// splitmix64 advances *state and returns the next value of the stream.
+func splitmix64(state *uint64) uint64 {
+	*state += 0x9e3779b97f4a7c15
+	z := *state
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
 }
 
 // Observe records one sample.
 func (h *Histogram) Observe(x float64) {
 	h.mu.Lock()
-	h.xs = append(h.xs, x)
+	h.count++
 	h.sum += x
+	if h.count == 1 || x < h.min {
+		h.min = x
+	}
+	if h.count == 1 || x > h.max {
+		h.max = x
+	}
+	if len(h.xs) < HistogramRetain {
+		h.xs = append(h.xs, x)
+	} else {
+		// Algorithm R: keep each of the count samples with equal
+		// probability HistogramRetain/count.
+		if h.rng == 0 {
+			h.rng = histogramSeed
+		}
+		if j := splitmix64(&h.rng) % h.count; j < HistogramRetain {
+			h.xs[j] = x
+		}
+	}
 	h.mu.Unlock()
 }
 
 // ObserveDuration records a duration in seconds.
 func (h *Histogram) ObserveDuration(d time.Duration) { h.Observe(d.Seconds()) }
 
-// HistogramSnapshot is the exported summary of a histogram.
+// HistogramSnapshot is the exported summary of a histogram. Count, Sum,
+// Mean, Min and Max are always exact; once Sampled is set the quantiles
+// are estimated from a Retained-sized uniform reservoir (the switch point
+// is HistogramRetain observations).
 type HistogramSnapshot struct {
-	Count int     `json:"count"`
-	Sum   float64 `json:"sum"`
-	Min   float64 `json:"min"`
-	Max   float64 `json:"max"`
-	Mean  float64 `json:"mean"`
-	P25   float64 `json:"p25"`
-	P50   float64 `json:"p50"`
-	P75   float64 `json:"p75"`
-	P90   float64 `json:"p90"`
-	P99   float64 `json:"p99"`
+	Count    int     `json:"count"`
+	Sum      float64 `json:"sum"`
+	Min      float64 `json:"min"`
+	Max      float64 `json:"max"`
+	Mean     float64 `json:"mean"`
+	P25      float64 `json:"p25"`
+	P50      float64 `json:"p50"`
+	P75      float64 `json:"p75"`
+	P90      float64 `json:"p90"`
+	P99      float64 `json:"p99"`
+	Sampled  bool    `json:"sampled,omitempty"`
+	Retained int     `json:"retained,omitempty"`
 }
 
 // Snapshot summarizes the observations so far. The zero snapshot is
@@ -106,22 +164,35 @@ func (h *Histogram) Snapshot() HistogramSnapshot {
 	if !ok {
 		return HistogramSnapshot{}
 	}
-	return HistogramSnapshot{
-		Count: len(h.xs),
+	snap := HistogramSnapshot{
+		Count: int(h.count),
 		Sum:   h.sum,
-		Min:   q[0],
+		Min:   h.min,
 		P25:   q[1],
 		P50:   q[2],
 		P75:   q[3],
 		P90:   q[4],
 		P99:   q[5],
-		Max:   q[6],
-		Mean:  h.sum / float64(len(h.xs)),
+		Max:   h.max,
+		Mean:  h.sum / float64(h.count),
 	}
+	if h.count > uint64(len(h.xs)) {
+		snap.Sampled = true
+		snap.Retained = len(h.xs)
+	}
+	return snap
 }
 
-// Timer records span durations into a histogram of seconds.
-type Timer struct{ h Histogram }
+// Timer records span durations into a histogram of seconds. Timestamps
+// come from the timer's clock (the registry's clock for registry-created
+// timers, Wall for zero values).
+type Timer struct {
+	h     Histogram
+	clock Clock
+}
+
+// now reads the timer's clock, defaulting to Wall.
+func (t *Timer) now() time.Time { return clockOrWall(t.clock).Now() }
 
 // Span is one in-flight timed region.
 type Span struct {
@@ -130,11 +201,11 @@ type Span struct {
 }
 
 // Start opens a span; Stop on the returned value records it.
-func (t *Timer) Start() Span { return Span{t: t, start: time.Now()} }
+func (t *Timer) Start() Span { return Span{t: t, start: t.now()} }
 
 // Stop closes the span and returns its duration.
 func (s Span) Stop() time.Duration {
-	d := time.Since(s.start)
+	d := s.t.now().Sub(s.start)
 	s.t.h.ObserveDuration(d)
 	return d
 }
@@ -155,17 +226,35 @@ func (t *Timer) Snapshot() HistogramSnapshot { return t.h.Snapshot() }
 
 // Registry holds named instruments. Instruments are created on first use
 // and shared by name thereafter. The zero value is ready to use; a nil
-// *Registry is a valid no-op sink.
+// *Registry is a valid no-op sink. Time-stamping instruments (timers,
+// series) created by the registry read its clock.
 type Registry struct {
 	mu       sync.Mutex
+	clock    Clock
 	counters map[string]*Counter
 	gauges   map[string]*Gauge
 	hists    map[string]*Histogram
 	timers   map[string]*Timer
+	series   map[string]*Series
 }
 
-// NewRegistry returns an empty registry.
+// NewRegistry returns an empty registry on the wall clock.
 func NewRegistry() *Registry { return &Registry{} }
+
+// NewRegistryWithClock returns an empty registry whose time-stamping
+// instruments read clock (nil means Wall). The emulation passes its
+// VirtualClock here so every exported timestamp is deterministic.
+func NewRegistryWithClock(clock Clock) *Registry {
+	return &Registry{clock: clock}
+}
+
+// Clock returns the registry's clock; a nil registry reports Wall.
+func (r *Registry) Clock() Clock {
+	if r == nil {
+		return Wall
+	}
+	return clockOrWall(r.clock)
+}
 
 // Counter returns the named counter, creating it if needed.
 func (r *Registry) Counter(name string) *Counter {
@@ -233,14 +322,35 @@ func (r *Registry) Timer(name string) *Timer {
 	}
 	t, ok := r.timers[name]
 	if !ok {
-		t = new(Timer)
+		t = &Timer{clock: r.clock}
 		r.timers[name] = t
 	}
 	return t
 }
 
+// Series returns the named time series, creating it (default capacity, the
+// registry's clock) if needed.
+func (r *Registry) Series(name string) *Series {
+	if r == nil {
+		return NewSeries(0, nil)
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.series == nil {
+		r.series = make(map[string]*Series)
+	}
+	s, ok := r.series[name]
+	if !ok {
+		s = NewSeries(0, r.clock)
+		r.series[name] = s
+	}
+	return s
+}
+
 // Snapshot captures every instrument into a JSON-ready structure. Map keys
-// are instrument names; histogram and timer values are their summaries.
+// are instrument names; histogram and timer values are their summaries;
+// timeline holds each Series' retained history so load-vs-time can be
+// replotted from the artifact.
 type RegistrySnapshot struct {
 	Schema     string                       `json:"schema"`
 	Meta       map[string]any               `json:"meta,omitempty"`
@@ -248,6 +358,7 @@ type RegistrySnapshot struct {
 	Gauges     map[string]float64           `json:"gauges"`
 	Histograms map[string]HistogramSnapshot `json:"histograms"`
 	Timers     map[string]HistogramSnapshot `json:"timers"`
+	Timeline   map[string]SeriesSnapshot    `json:"timeline"`
 }
 
 // Snapshot captures the registry's current state. meta is attached verbatim
@@ -260,6 +371,7 @@ func (r *Registry) Snapshot(meta map[string]any) RegistrySnapshot {
 		Gauges:     map[string]float64{},
 		Histograms: map[string]HistogramSnapshot{},
 		Timers:     map[string]HistogramSnapshot{},
+		Timeline:   map[string]SeriesSnapshot{},
 	}
 	if r == nil {
 		return snap
@@ -277,6 +389,9 @@ func (r *Registry) Snapshot(meta map[string]any) RegistrySnapshot {
 	}
 	for name, t := range r.timers {
 		snap.Timers[name] = t.Snapshot()
+	}
+	for name, s := range r.series {
+		snap.Timeline[name] = s.Snapshot()
 	}
 	return snap
 }
@@ -300,6 +415,9 @@ func (r *Registry) Names() []string {
 		out = append(out, n)
 	}
 	for n := range r.timers {
+		out = append(out, n)
+	}
+	for n := range r.series {
 		out = append(out, n)
 	}
 	sort.Strings(out)

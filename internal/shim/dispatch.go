@@ -19,6 +19,18 @@ type Counters struct {
 	NoClass uint64
 }
 
+// Sub returns the per-field deltas of c since prev. The emulation's
+// telemetry ticks use it to turn cumulative counters into per-tick rates.
+func (c Counters) Sub(prev Counters) Counters {
+	return Counters{
+		Seen:       c.Seen - prev.Seen,
+		Processed:  c.Processed - prev.Processed,
+		Replicated: c.Replicated - prev.Replicated,
+		Skipped:    c.Skipped - prev.Skipped,
+		NoClass:    c.NoClass - prev.NoClass,
+	}
+}
+
 // Shim executes a Config: it hashes each packet's canonical 5-tuple, looks
 // up the owning hash range for the packet's class, and decides whether to
 // hand the packet to the local NIDS, replicate it to a mirror, or skip it.
