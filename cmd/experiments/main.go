@@ -5,7 +5,8 @@
 //	experiments [-quick] [-workers N] [-topologies a,b,c] [-seed N] [-metrics out.json] <experiment>...
 //
 // where each <experiment> is one of: table1, fig10, fig11, fig12, fig13,
-// fig14, fig15, fig16, fig17, fig18, fig19, placement, all.
+// fig14, fig15, fig16, fig17, fig18, fig19, placement, robustness, drift,
+// all.
 //
 // Sweep points run on a bounded worker pool (-workers; default GOMAXPROCS)
 // and aggregate in deterministic sweep order, so rendered output is
@@ -78,7 +79,7 @@ func main() {
 	var names []string
 	for _, which := range flag.Args() {
 		if which == "all" {
-			names = append(names, "table1", "fig10", "fig11", "fig12", "fig13", "fig14", "fig15", "fig16", "fig17", "fig18", "fig19", "placement", "robustness")
+			names = append(names, "table1", "fig10", "fig11", "fig12", "fig13", "fig14", "fig15", "fig16", "fig17", "fig18", "fig19", "placement", "robustness", "drift")
 			continue
 		}
 		names = append(names, which)
@@ -234,6 +235,12 @@ func run(name string, opts experiments.Options) (string, error) {
 		return r.Render(), nil
 	case "footprint":
 		r, err := experiments.FootprintSensitivity(opts)
+		if err != nil {
+			return "", err
+		}
+		return r.Render(), nil
+	case "drift":
+		r, err := experiments.Drift(opts)
 		if err != nil {
 			return "", err
 		}

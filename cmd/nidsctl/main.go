@@ -6,18 +6,29 @@
 // Usage:
 //
 //	nidsctl -topology Internet2 -arch replicate -mll 0.4 -dc 10 [-ranges]
+//	nidsctl -topology Internet2 -watch flash [-sessions 480]
 //
 // Architectures: ingress, onpath, replicate, onehop, twohop, dc+onehop,
 // augmented.
+//
+// With -watch, nidsctl runs as the online-controller service against an
+// emulated drifting workload (diurnal, flash or drain): drift detectors
+// over per-class load series trigger warm LP re-solves, and each
+// reconfiguration rolls out two-phase make-before-break. The run's epoch
+// timeline and churn/detection statistics are printed at the end; -listen
+// and -metrics expose the controller.* and drift.* instruments.
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"time"
 
 	"nwids"
+	"nwids/internal/controller"
 	"nwids/internal/core"
+	"nwids/internal/emulation"
 	"nwids/internal/lp"
 	"nwids/internal/metrics"
 	"nwids/internal/obs"
@@ -31,6 +42,9 @@ func main() {
 	mll := flag.Float64("mll", 0.4, "maximum allowed link load for replication")
 	dcCap := flag.Float64("dc", 10, "datacenter capacity as a multiple of one NIDS node")
 	ranges := flag.Bool("ranges", false, "print per-node hash-range shim configurations")
+	watch := flag.String("watch", "", "run the online controller against a drifting workload: diurnal | flash | drain")
+	sessions := flag.Int("sessions", 480, "sessions per workload phase in -watch mode")
+	naive := flag.Bool("naive", false, "use the naive full-recompute planner in -watch mode (baseline)")
 	mpsOut := flag.String("mps", "", "dump the LP instance to this file in MPS format instead of solving")
 	verbose := flag.Bool("v", false, "log solver progress (JSONL on stderr)")
 	metricsOut := flag.String("metrics", "", "write solve metrics to this JSON file")
@@ -73,6 +87,17 @@ func main() {
 	if g == nil {
 		log.Error("unknown topology", "topology", *topo, "choices", topology.EvaluationNames())
 		os.Exit(2)
+	}
+	if *watch != "" {
+		runWatch(g, *watch, *sessions, *naive, reg, log, *metricsOut)
+		if err := stopProf(); err != nil {
+			log.Error("profile write failed", "err", err.Error())
+		}
+		if *listen != "" {
+			fmt.Println("watch run complete; telemetry endpoint stays up (interrupt to exit)")
+			select {}
+		}
+		return
 	}
 	sc := nwids.DefaultScenario(g)
 
@@ -216,6 +241,69 @@ func main() {
 	if *listen != "" {
 		fmt.Println("solve complete; telemetry endpoint stays up (interrupt to exit)")
 		select {}
+	}
+}
+
+// runWatch runs the online-controller service mode: the selected drifting
+// workload is emulated on a virtual clock while the controller watches
+// per-class load series, warm re-solves the LP on drift events, and pushes
+// reconfigurations two-phase make-before-break onto the shim fleet.
+func runWatch(g *topology.Graph, scenario string, sessions int, naive bool, reg *obs.Registry, log *obs.Logger, metricsOut string) {
+	cfg, err := emulation.DriftScenario(scenario, g, sessions)
+	if err != nil {
+		log.Error("watch setup failed", "err", err.Error())
+		os.Exit(2)
+	}
+	if naive {
+		cfg.Planner = controller.NaivePlanner{}
+	}
+	cfg.Obs = reg
+	cfg.Log = log
+	res, err := emulation.RunDrift(*cfg)
+	if err != nil {
+		log.Error("watch run failed", "err", err.Error())
+		os.Exit(1)
+	}
+	fmt.Printf("%s / watch %s: %d sessions, planner %s\n", g.Name(), scenario, res.Sessions, res.Planner)
+	fmt.Printf("reconfigurations: %d (drift events: %d)\n", len(res.Reconfigs), res.DriftEvents)
+	fmt.Printf("sessions moved:   %d (expected %.1f)\n", res.SessionsMoved, res.ExpectedSessionsMoved)
+	fmt.Printf("detection parity: fleet %d / oracle %d (missed %d)\n", res.FleetDetected, res.OracleDetected, res.Missed)
+	fmt.Printf("ownership errors: %d, counters reconciled: %v\n", res.OwnershipErrors, res.Reconciled)
+
+	t := metrics.NewTable("Epoch", "Trigger", "Churn", "Moved", "Remaining", "Classes")
+	for _, rc := range res.Reconfigs {
+		t.AddRow(fmt.Sprintf("%d", rc.Epoch), rc.Trigger,
+			fmt.Sprintf("%.4f", rc.PlannedChurn),
+			fmt.Sprintf("%d", rc.SessionsMoved),
+			fmt.Sprintf("%d", rc.SessionsRemaining),
+			fmt.Sprintf("%d", rc.ClassesChanged))
+	}
+	fmt.Println()
+	fmt.Print(t.String())
+
+	fmt.Println("\ntimeline (virtual time):")
+	epoch := time.Unix(0, 0).UTC()
+	shown := res.Timeline
+	const maxLines = 50
+	if len(shown) > maxLines {
+		shown = shown[:maxLines]
+	}
+	for _, ev := range shown {
+		fmt.Printf("  %12s  %-8s %s\n", ev.T.Sub(epoch).Round(time.Microsecond), ev.Kind, ev.Detail)
+	}
+	if len(res.Timeline) > len(shown) {
+		fmt.Printf("  ... (%d more events)\n", len(res.Timeline)-len(shown))
+	}
+	if metricsOut != "" {
+		meta := map[string]any{
+			"run": "nidsctl-watch", "topology": g.Name(), "scenario": scenario,
+			"planner": res.Planner, "sessions": res.Sessions,
+		}
+		if err := reg.WriteJSONFile(metricsOut, meta); err != nil {
+			log.Error("metrics write failed", "err", err.Error())
+			os.Exit(1)
+		}
+		log.Info("metrics written", "path", metricsOut)
 	}
 }
 

@@ -1,0 +1,316 @@
+package controller
+
+import (
+	"fmt"
+	"sort"
+
+	"nwids/internal/core"
+	"nwids/internal/obs"
+	"nwids/internal/shim"
+)
+
+// FleetPhase labels which kind of configuration an epoch push carries.
+type FleetPhase int
+
+// Phases of the two-phase make-before-break rollout (§9): the merged
+// transition configs go out first so every session keeps at least one owner
+// no matter how the pushes interleave across nodes; only after every shim
+// acknowledged the merged epoch does the clean next-epoch config follow.
+const (
+	// PhaseMerged carries prev∪next transition configs.
+	PhaseMerged FleetPhase = iota
+	// PhaseClean carries the next epoch's final configs.
+	PhaseClean
+)
+
+// String implements fmt.Stringer.
+func (p FleetPhase) String() string {
+	switch p {
+	case PhaseMerged:
+		return "merged"
+	case PhaseClean:
+		return "clean"
+	default:
+		return fmt.Sprintf("phase(%d)", p)
+	}
+}
+
+// Fleet is the controller's view of the shim fleet: push one epoch's
+// configs to every node and report when all of them acknowledged. An error
+// means at least one node did not ack; the controller then leaves its state
+// unchanged (for PhaseMerged) or keeps the transition pending (PhaseClean)
+// so the caller can retry.
+type Fleet interface {
+	Apply(epoch int, phase FleetPhase, cfgs map[int]*shim.Config) error
+}
+
+// Config parameterizes a Controller. The zero value is usable: seed 0,
+// default replication config, churn-minimizing planner, no telemetry.
+type Config struct {
+	// Seed is the session-hash seed shared by every shim config.
+	Seed uint32
+	// Replication configures the LP (mirror policy, link budget, ...).
+	Replication core.ReplicationConfig
+	// Planner lays class partitions out against the previous epoch; nil
+	// selects ChurnMinPlanner.
+	Planner Planner
+	// Registry receives controller.* counters; nil is a no-op sink.
+	Registry *obs.Registry
+	// Log receives structured epoch/drift lines; nil is a no-op sink.
+	Log *obs.Logger
+}
+
+// Transition reports one committed (or pending) reconfiguration.
+type Transition struct {
+	// Epoch is the epoch number the transition moves the fleet to.
+	Epoch int
+	// Trigger records why the re-solve ran (e.g. "drift:class-2-7").
+	Trigger string
+	// Planner is the planner's Name.
+	Planner string
+	// Churn is the volume-weighted expected fraction of live sessions whose
+	// owning node changes under the new partitions.
+	Churn float64
+	// ClassesChanged counts classes whose partition differs from the
+	// previous epoch.
+	ClassesChanged int
+	// Assignment is the new epoch's LP solution.
+	Assignment *core.Assignment
+}
+
+// Controller is the online control loop: it owns the warm LP solver handle,
+// the fleet's current epoch of shim configs, and the drift watchers that
+// trigger re-solves. It is single-threaded by design — the emulation drives
+// it from the deterministic virtual-clock loop, nidsctl from one goroutine.
+type Controller struct {
+	cfg    Config
+	fleet  Fleet
+	solver *core.ReplicationSolver
+
+	epoch  int
+	assign *core.Assignment
+	parts  map[shim.ClassKey][]shim.OwnedRange
+	cfgs   map[int]*shim.Config
+
+	pending  *Transition
+	nextCfg  map[int]*shim.Config
+	nextPart map[shim.ClassKey][]shim.OwnedRange
+
+	watchers []*obs.Watcher
+}
+
+// New solves the initial assignment for sv, compiles epoch 0's configs, and
+// pushes them clean to the fleet (there is no previous epoch to merge with).
+func New(sv *core.Scenario, fleet Fleet, cfg Config) (*Controller, error) {
+	if cfg.Planner == nil {
+		cfg.Planner = ChurnMinPlanner{}
+	}
+	if fleet == nil {
+		return nil, fmt.Errorf("controller: nil fleet")
+	}
+	solver, err := core.NewReplicationSolver(sv, cfg.Replication)
+	if err != nil {
+		return nil, err
+	}
+	a, err := solver.Solve()
+	if err != nil {
+		return nil, err
+	}
+	parts := shim.PartitionAll(a)
+	cfgs := shim.ConfigsFromPartitions(a, cfg.Seed, parts)
+	if err := fleet.Apply(0, PhaseClean, cfgs); err != nil {
+		return nil, fmt.Errorf("controller: initial epoch push: %w", err)
+	}
+	c := &Controller{cfg: cfg, fleet: fleet, solver: solver, assign: a, parts: parts, cfgs: cfgs}
+	c.cfg.Registry.Counter("controller.epochs").Inc()
+	c.log("epoch", "epoch", 0, "phase", "clean", "trigger", "initial")
+	return c, nil
+}
+
+// Epoch returns the committed epoch number.
+func (c *Controller) Epoch() int { return c.epoch }
+
+// Assignment returns the committed epoch's LP solution.
+func (c *Controller) Assignment() *core.Assignment { return c.assign }
+
+// Configs returns the committed epoch's per-node shim configs.
+func (c *Controller) Configs() map[int]*shim.Config { return c.cfgs }
+
+// Partitions returns the committed epoch's per-class hash partitions.
+func (c *Controller) Partitions() map[shim.ClassKey][]shim.OwnedRange { return c.parts }
+
+// Pending returns the in-flight transition, or nil when the fleet is on a
+// clean epoch.
+func (c *Controller) Pending() *Transition { return c.pending }
+
+// PendingPartitions returns the in-flight transition's per-class hash
+// partitions, or nil when nothing is pending.
+func (c *Controller) PendingPartitions() map[shim.ClassKey][]shim.OwnedRange { return c.nextPart }
+
+// Propose warm re-solves the LP for the new scenario, plans next-epoch
+// partitions against the current layout, and pushes the merged transition
+// configs (phase 1 of make-before-break). On any error — infeasible LP,
+// invalid planned partition, fleet nack — the controller's committed state
+// is unchanged and the transition is rejected.
+func (c *Controller) Propose(sv *core.Scenario, trigger string) (*Transition, error) {
+	if c.pending != nil {
+		return nil, fmt.Errorf("controller: transition to epoch %d still pending", c.pending.Epoch)
+	}
+	reject := func(err error) (*Transition, error) {
+		c.cfg.Registry.Counter("controller.rejected").Inc()
+		c.log("reject", "trigger", trigger, "error", err.Error())
+		return nil, err
+	}
+	if err := c.solver.SetScenario(sv); err != nil {
+		return reject(err)
+	}
+	a, err := c.solver.Solve()
+	if err != nil {
+		return reject(err)
+	}
+	c.cfg.Registry.Counter("controller.resolves").Inc()
+
+	blended := shim.BlendedActions(a)
+	keys := make([]shim.ClassKey, 0, len(blended))
+	for key := range blended {
+		//lint:ignore nondeterminism keys are sorted immediately below
+		keys = append(keys, key)
+	}
+	sort.Slice(keys, func(i, j int) bool {
+		if keys[i].SrcPoP != keys[j].SrcPoP {
+			return keys[i].SrcPoP < keys[j].SrcPoP
+		}
+		return keys[i].DstPoP < keys[j].DstPoP
+	})
+
+	volume := make(map[shim.ClassKey]float64, len(keys))
+	for ci := range a.Scenario.Classes {
+		cl := &a.Scenario.Classes[ci]
+		volume[shim.ClassKey{SrcPoP: uint8(cl.Src), DstPoP: uint8(cl.Dst)}] += cl.Sessions
+	}
+
+	parts := make(map[shim.ClassKey][]shim.OwnedRange, len(keys))
+	churn, vol := 0.0, 0.0
+	changed := 0
+	for _, key := range keys {
+		p := c.cfg.Planner.PlanClass(c.parts[key], blended[key])
+		if p == nil {
+			continue
+		}
+		if err := shim.CheckPartition(p); err != nil {
+			return reject(fmt.Errorf("controller: planned partition for class %v: %w", key, err))
+		}
+		parts[key] = p
+		moved := OwnerChurn(c.parts[key], p)
+		churn += moved * volume[key]
+		vol += volume[key]
+		if moved > 0 || !samePartition(c.parts[key], p) {
+			changed++
+		}
+	}
+	if vol > 0 {
+		churn /= vol
+	}
+
+	next := shim.ConfigsFromPartitions(a, c.cfg.Seed, parts)
+	merged := make(map[int]*shim.Config, len(next))
+	for node, nc := range next {
+		pc, ok := c.cfgs[node]
+		if !ok {
+			// A node the previous epoch did not configure starts directly on
+			// the next config: it owned nothing, so nothing can be dropped.
+			merged[node] = nc
+			continue
+		}
+		m, err := shim.MergeConfigs(pc, nc)
+		if err != nil {
+			return reject(fmt.Errorf("controller: merge for node %d: %w", node, err))
+		}
+		merged[node] = m
+	}
+	for node, pc := range c.cfgs {
+		if _, ok := merged[node]; !ok {
+			// A node leaving the fleet keeps serving its old ranges through
+			// the transition window; the clean push will clear it.
+			merged[node] = pc
+		}
+	}
+
+	if err := c.fleet.Apply(c.epoch+1, PhaseMerged, merged); err != nil {
+		return reject(fmt.Errorf("controller: merged epoch push: %w", err))
+	}
+	tr := &Transition{
+		Epoch: c.epoch + 1, Trigger: trigger, Planner: c.cfg.Planner.Name(),
+		Churn: churn, ClassesChanged: changed, Assignment: a,
+	}
+	c.pending, c.nextCfg, c.nextPart = tr, next, parts
+	c.log("epoch", "epoch", tr.Epoch, "phase", "merged", "trigger", trigger,
+		"planner", tr.Planner, "churn", tr.Churn, "classes_changed", tr.ClassesChanged)
+	return tr, nil
+}
+
+// Confirm pushes the pending epoch's clean configs (phase 2) and commits
+// the transition. On a fleet nack the transition stays pending — the fleet
+// is still consistent on the merged configs — and Confirm can be retried.
+func (c *Controller) Confirm() (*Transition, error) {
+	if c.pending == nil {
+		return nil, fmt.Errorf("controller: no transition pending")
+	}
+	if err := c.fleet.Apply(c.pending.Epoch, PhaseClean, c.nextCfg); err != nil {
+		return nil, fmt.Errorf("controller: clean epoch push: %w", err)
+	}
+	tr := c.pending
+	c.epoch, c.assign, c.parts, c.cfgs = tr.Epoch, tr.Assignment, c.nextPart, c.nextCfg
+	c.pending, c.nextCfg, c.nextPart = nil, nil, nil
+	c.cfg.Registry.Counter("controller.epochs").Inc()
+	c.log("epoch", "epoch", tr.Epoch, "phase", "clean", "trigger", tr.Trigger)
+	return tr, nil
+}
+
+// Watch registers drift detectors over a named load series. With no
+// explicit detectors it installs the default pair: an EWMA band for fast
+// single-sample excursions plus a CUSUM for slow sustained creep.
+func (c *Controller) Watch(name string, s *obs.Series, detectors ...obs.Detector) *obs.Watcher {
+	if len(detectors) == 0 {
+		detectors = []obs.Detector{&obs.EWMADetector{}, &obs.CUSUMDetector{}}
+	}
+	w := obs.WatchSeries(name, s, c.cfg.Log, detectors...)
+	c.watchers = append(c.watchers, w)
+	return w
+}
+
+// PollDrift polls every registered watcher in registration order and
+// returns the drift events fired since the previous poll. The caller
+// decides how to react — typically Propose with a drift trigger, subject to
+// its own cooldown.
+func (c *Controller) PollDrift() []obs.DriftEvent {
+	var fired []obs.DriftEvent
+	for _, w := range c.watchers {
+		fired = append(fired, w.Poll()...)
+	}
+	if len(fired) > 0 {
+		c.cfg.Registry.Counter("controller.drift_events").Add(uint64(len(fired)))
+	}
+	return fired
+}
+
+// log emits one structured controller line when a logger is configured.
+func (c *Controller) log(event string, kv ...any) {
+	if c.cfg.Log == nil {
+		return
+	}
+	c.cfg.Log.Info("controller."+event, kv...)
+}
+
+// samePartition reports whether two partitions are identical range lists.
+func samePartition(a, b []shim.OwnedRange) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,372 @@
+package controller
+
+import (
+	"errors"
+	"math"
+	"testing"
+	"time"
+
+	"nwids/internal/core"
+	"nwids/internal/obs"
+	"nwids/internal/shim"
+	"nwids/internal/topology"
+	"nwids/internal/traffic"
+)
+
+// tvDistance returns the total-variation distance between the normalized
+// owner widths of a partition and a target fraction vector — the lower
+// bound on owner churn any repartition can achieve.
+func tvDistance(old []shim.OwnedRange, target []core.ActionFrac) float64 {
+	oldW := map[int]float64{}
+	for _, r := range old {
+		oldW[r.Node] += r.Hi - r.Lo
+	}
+	sum := 0.0
+	for _, a := range target {
+		if a.Frac > 0 {
+			sum += a.Frac
+		}
+	}
+	newW := map[int]float64{}
+	for _, a := range target {
+		if a.Frac > 0 {
+			newW[a.Node] += a.Frac / sum
+		}
+	}
+	tv := 0.0
+	for node, w := range oldW {
+		if d := w - newW[node]; d > 0 {
+			tv += d
+		}
+	}
+	return tv
+}
+
+func ownerWidths(p []shim.OwnedRange) map[ownerKey]float64 {
+	w := map[ownerKey]float64{}
+	for _, r := range p {
+		w[ownerKey{r.Node, r.Via}] += r.Hi - r.Lo
+	}
+	return w
+}
+
+// TestRepartitionChurnOptimal: across shrink/grow/appear/vanish cases, the
+// churn-minimizing planner must produce a valid partition whose per-owner
+// widths match the target and whose owner churn equals the total-variation
+// lower bound — and never exceeds the naive full-recompute churn.
+func TestRepartitionChurnOptimal(t *testing.T) {
+	old := []shim.OwnedRange{
+		{Lo: 0, Hi: 0.3, Node: 0, Via: -1},
+		{Lo: 0.3, Hi: 0.55, Node: 1, Via: -1},
+		{Lo: 0.55, Hi: 0.8, Node: 2, Via: -1},
+		{Lo: 0.8, Hi: 1, Node: 3, Via: 0},
+	}
+	cases := []struct {
+		name   string
+		target []core.ActionFrac
+	}{
+		{"small-shift", []core.ActionFrac{
+			{Node: 0, Via: -1, Frac: 0.32}, {Node: 1, Via: -1, Frac: 0.23},
+			{Node: 2, Via: -1, Frac: 0.25}, {Node: 3, Via: 0, Frac: 0.2},
+		}},
+		{"owner-vanishes", []core.ActionFrac{
+			{Node: 0, Via: -1, Frac: 0.5}, {Node: 1, Via: -1, Frac: 0.3},
+			{Node: 3, Via: 0, Frac: 0.2},
+		}},
+		{"owner-appears", []core.ActionFrac{
+			{Node: 0, Via: -1, Frac: 0.25}, {Node: 1, Via: -1, Frac: 0.2},
+			{Node: 2, Via: -1, Frac: 0.2}, {Node: 3, Via: 0, Frac: 0.15},
+			{Node: 4, Via: -1, Frac: 0.2},
+		}},
+		{"drifted-sum", []core.ActionFrac{
+			{Node: 0, Via: -1, Frac: 0.31}, {Node: 1, Via: -1, Frac: 0.22},
+			{Node: 2, Via: -1, Frac: 0.26}, {Node: 3, Via: 0, Frac: 0.185},
+		}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			got := ChurnMinPlanner{}.PlanClass(old, tc.target)
+			if err := shim.CheckPartition(got); err != nil {
+				t.Fatal(err)
+			}
+			// Per-owner widths must realize the (normalized) target.
+			wantW := ownerWidths(NaivePlanner{}.PlanClass(nil, tc.target))
+			gotW := ownerWidths(got)
+			for k, w := range wantW {
+				if math.Abs(gotW[k]-w) > 1e-9 {
+					t.Fatalf("owner %+v width = %g, want %g", k, gotW[k], w)
+				}
+			}
+			churn := OwnerChurn(old, got)
+			tv := tvDistance(old, tc.target)
+			if churn > tv+1e-9 {
+				t.Fatalf("churn-min churn %g exceeds TV lower bound %g", churn, tv)
+			}
+			naive := OwnerChurn(old, NaivePlanner{}.PlanClass(old, tc.target))
+			if churn > naive+1e-9 {
+				t.Fatalf("churn-min churn %g exceeds naive churn %g", churn, naive)
+			}
+		})
+	}
+}
+
+// TestRepartitionIdentity: replaying the same fractions must not move any
+// hash space at all, even when the old layout's range order differs from
+// the fresh cumulative layout.
+func TestRepartitionIdentity(t *testing.T) {
+	// Deliberately not in PartitionClass's sort order.
+	old := []shim.OwnedRange{
+		{Lo: 0, Hi: 0.4, Node: 2, Via: -1},
+		{Lo: 0.4, Hi: 0.7, Node: 0, Via: -1},
+		{Lo: 0.7, Hi: 1, Node: 1, Via: 0},
+	}
+	target := []core.ActionFrac{
+		{Node: 0, Via: -1, Frac: 0.3}, {Node: 1, Via: 0, Frac: 0.3},
+		{Node: 2, Via: -1, Frac: 0.4},
+	}
+	got := ChurnMinPlanner{}.PlanClass(old, target)
+	if err := shim.CheckPartition(got); err != nil {
+		t.Fatal(err)
+	}
+	if churn := OwnerChurn(old, got); churn != 0 {
+		t.Fatalf("identity repartition churned %g of the hash space", churn)
+	}
+	// The naive planner, by contrast, reshuffles this layout completely.
+	if naive := OwnerChurn(old, NaivePlanner{}.PlanClass(old, target)); naive == 0 {
+		t.Fatal("naive baseline unexpectedly churn-free; test premise broken")
+	}
+}
+
+// TestRepartitionFreshClass: with no previous layout both planners fall
+// back to the deterministic cumulative layout.
+func TestRepartitionFreshClass(t *testing.T) {
+	target := []core.ActionFrac{
+		{Node: 1, Via: -1, Frac: 0.5}, {Node: 0, Via: -1, Frac: 0.5},
+	}
+	a := ChurnMinPlanner{}.PlanClass(nil, target)
+	b := NaivePlanner{}.PlanClass(nil, target)
+	if len(a) != len(b) {
+		t.Fatalf("fresh-class layouts differ: %v vs %v", a, b)
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("fresh-class layouts differ at %d: %+v vs %+v", i, a[i], b[i])
+		}
+	}
+	if got := (ChurnMinPlanner{}).PlanClass(old0(), nil); got != nil {
+		t.Fatalf("empty target must yield nil, got %v", got)
+	}
+}
+
+func old0() []shim.OwnedRange {
+	return []shim.OwnedRange{{Lo: 0, Hi: 1, Node: 0, Via: -1}}
+}
+
+// push records one Fleet.Apply call.
+type push struct {
+	epoch int
+	phase FleetPhase
+	cfgs  map[int]*shim.Config
+}
+
+// recordFleet is a test fleet: it records pushes and can be told to nack.
+type recordFleet struct {
+	pushes []push
+	fail   bool
+}
+
+func (f *recordFleet) Apply(epoch int, phase FleetPhase, cfgs map[int]*shim.Config) error {
+	if f.fail {
+		return errors.New("nack")
+	}
+	f.pushes = append(f.pushes, push{epoch, phase, cfgs})
+	return nil
+}
+
+func testScenario(t testing.TB) *core.Scenario {
+	t.Helper()
+	g := topology.Internet2()
+	return core.NewScenario(g, traffic.GravityDefault(g), core.ScenarioOptions{})
+}
+
+// shiftMatrix returns a copy of the gravity matrix with one hot destination
+// scaled up — a localized load shift that changes the LP solution.
+func shiftMatrix(s *core.Scenario, factor float64) *traffic.Matrix {
+	tm := traffic.GravityDefault(s.Graph)
+	for a := 0; a < tm.N; a++ {
+		if a != 3 {
+			tm.Sessions[a][3] *= factor
+		}
+	}
+	return tm
+}
+
+// TestControllerTwoPhase drives a full reconfiguration and pins the §9
+// make-before-break order: merged push first, clean push only on Confirm,
+// committed state unchanged while pending.
+func TestControllerTwoPhase(t *testing.T) {
+	s := testScenario(t)
+	fleet := &recordFleet{}
+	c, err := New(s, fleet, Config{Seed: 7, Replication: core.ReplicationConfig{Mirror: core.MirrorNone}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(fleet.pushes) != 1 || fleet.pushes[0].epoch != 0 || fleet.pushes[0].phase != PhaseClean {
+		t.Fatalf("initial push = %+v, want clean epoch 0", fleet.pushes)
+	}
+	for key, p := range c.Partitions() {
+		if err := shim.CheckPartition(p); err != nil {
+			t.Fatalf("class %v: %v", key, err)
+		}
+	}
+
+	sv := s.WithMatrix(shiftMatrix(s, 2.5))
+	tr, err := c.Propose(sv, "test-shift")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tr.Epoch != 1 || c.Pending() != tr {
+		t.Fatalf("pending transition = %+v", tr)
+	}
+	if c.Epoch() != 0 {
+		t.Fatalf("committed epoch advanced to %d before Confirm", c.Epoch())
+	}
+	if n := len(fleet.pushes); n != 2 || fleet.pushes[1].phase != PhaseMerged || fleet.pushes[1].epoch != 1 {
+		t.Fatalf("after Propose pushes = %+v", fleet.pushes)
+	}
+	// A second Propose while one is in flight must be refused.
+	if _, err := c.Propose(sv, "overlap"); err == nil {
+		t.Fatal("overlapping Propose must fail")
+	}
+
+	tr2, err := c.Confirm()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tr2 != tr || c.Epoch() != 1 || c.Pending() != nil {
+		t.Fatalf("Confirm: epoch=%d pending=%v", c.Epoch(), c.Pending())
+	}
+	if n := len(fleet.pushes); n != 3 || fleet.pushes[2].phase != PhaseClean || fleet.pushes[2].epoch != 1 {
+		t.Fatalf("after Confirm pushes = %+v", fleet.pushes)
+	}
+	// The merged config of each node must be the §9 union of its clean
+	// prev/next configs.
+	for node, mc := range fleet.pushes[1].cfgs {
+		prev, okP := fleet.pushes[0].cfgs[node]
+		next, okN := fleet.pushes[2].cfgs[node]
+		if !okP || !okN {
+			continue
+		}
+		want, err := shim.MergeConfigs(prev, next)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(want.Rules) != len(mc.Rules) {
+			t.Fatalf("node %d merged config has %d classes, want %d", node, len(mc.Rules), len(want.Rules))
+		}
+	}
+	if _, err := c.Confirm(); err == nil {
+		t.Fatal("Confirm with nothing pending must fail")
+	}
+}
+
+// TestControllerRejectedProposalKeepsState: a fleet nack during the merged
+// push must leave the committed epoch, configs, and partitions untouched
+// and count a rejection.
+func TestControllerRejectedProposalKeepsState(t *testing.T) {
+	s := testScenario(t)
+	fleet := &recordFleet{}
+	reg := obs.NewRegistry()
+	c, err := New(s, fleet, Config{Seed: 7, Registry: reg})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfgs, parts := c.Configs(), c.Partitions()
+	fleet.fail = true
+	if _, err := c.Propose(s.WithMatrix(shiftMatrix(s, 2.5)), "nacked"); err == nil {
+		t.Fatal("Propose must surface the fleet nack")
+	}
+	if c.Pending() != nil || c.Epoch() != 0 {
+		t.Fatal("rejected proposal left a pending transition")
+	}
+	if len(c.Configs()) != len(cfgs) || len(c.Partitions()) != len(parts) {
+		t.Fatal("rejected proposal mutated committed state")
+	}
+	if got := reg.Counter("controller.rejected").Value(); got != 1 {
+		t.Fatalf("controller.rejected = %d, want 1", got)
+	}
+	// The fleet recovers: the same proposal then goes through.
+	fleet.fail = false
+	if _, err := c.Propose(s.WithMatrix(shiftMatrix(s, 2.5)), "retry"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Confirm(); err != nil {
+		t.Fatal(err)
+	}
+	if c.Epoch() != 1 {
+		t.Fatalf("epoch = %d after recovered transition, want 1", c.Epoch())
+	}
+}
+
+// TestControllerChurnMinBeatsNaive runs the same load shift through both
+// planners and asserts the tentpole property: the churn-minimizing planner
+// moves strictly less hash space than the full recompute.
+func TestControllerChurnMinBeatsNaive(t *testing.T) {
+	s := testScenario(t)
+	churnOf := func(p Planner) float64 {
+		c, err := New(s, &recordFleet{}, Config{Seed: 7, Planner: p})
+		if err != nil {
+			t.Fatal(err)
+		}
+		total := 0.0
+		for _, factor := range []float64{1.8, 2.6, 1.2} {
+			tr, err := c.Propose(s.WithMatrix(shiftMatrix(s, factor)), "shift")
+			if err != nil {
+				t.Fatal(err)
+			}
+			if _, err := c.Confirm(); err != nil {
+				t.Fatal(err)
+			}
+			total += tr.Churn
+		}
+		return total
+	}
+	cm, nv := churnOf(ChurnMinPlanner{}), churnOf(NaivePlanner{})
+	if cm >= nv {
+		t.Fatalf("churn-min moved %g of session volume, naive %g; want strictly less", cm, nv)
+	}
+	if cm <= 0 {
+		t.Fatal("churn-min churn is zero across real load shifts; measurement broken")
+	}
+	t.Logf("churn: churn-min %.4f vs naive %.4f", cm, nv)
+}
+
+// TestControllerWatchPollDrift wires a watcher to a synthetic series and
+// checks a level shift surfaces through PollDrift exactly once.
+func TestControllerWatchPollDrift(t *testing.T) {
+	s := testScenario(t)
+	c, err := New(s, &recordFleet{}, Config{Seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	series := obs.NewSeries(0, nil)
+	c.Watch("class-0-3", series)
+	t0 := time.Unix(0, 0).UTC()
+	for i := 0; i < 12; i++ {
+		series.RecordAt(t0.Add(time.Duration(i)*time.Second), 100+float64(i%2))
+	}
+	if ev := c.PollDrift(); len(ev) != 0 {
+		t.Fatalf("drift fired on a flat baseline: %+v", ev)
+	}
+	series.RecordAt(t0.Add(13*time.Second), 500)
+	ev := c.PollDrift()
+	if len(ev) == 0 {
+		t.Fatal("level shift did not fire a drift event")
+	}
+	if ev[0].Series != "class-0-3" || ev[0].Direction != 1 {
+		t.Fatalf("event = %+v, want upward shift on class-0-3", ev[0])
+	}
+	if again := c.PollDrift(); len(again) != 0 {
+		t.Fatalf("re-poll without new samples fired %+v", again)
+	}
+}

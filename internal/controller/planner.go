@@ -1,0 +1,237 @@
+// Package controller implements the online control loop the paper's §7/§9
+// sketch and the roadmap's top open item call for: watch per-class load
+// series for drift, warm re-solve the replication LP through the reusable
+// solver handles, compute a churn-minimizing delta between the old and new
+// assignments, and roll the new configuration out two-phase
+// make-before-break through the §9 merged transition configs — so sessions
+// are never dropped and as few as possible change their owning node.
+package controller
+
+import (
+	"sort"
+
+	"nwids/internal/core"
+	"nwids/internal/shim"
+)
+
+// Planner maps one class's new fractional assignment onto hash ranges,
+// given the previous epoch's partition of the same class. Implementations
+// must return a partition passing shim.CheckPartition whenever the target
+// fractions have positive sum; they differ only in how much of the hash
+// space changes its owning node.
+type Planner interface {
+	// Name labels the planner in reports and experiment output.
+	Name() string
+	// PlanClass lays out the target fractions. old is nil for a class the
+	// previous epoch did not carry.
+	PlanClass(old []shim.OwnedRange, target []core.ActionFrac) []shim.OwnedRange
+}
+
+// NaivePlanner recomputes every class partition from scratch, ignoring the
+// previous layout — the full-recompute baseline. Because the cumulative
+// layout re-derives every boundary from the new fractions, a small change
+// in one class fraction shifts every boundary after it, moving sessions
+// that did not need to move.
+type NaivePlanner struct{}
+
+// Name implements Planner.
+func (NaivePlanner) Name() string { return "naive" }
+
+// PlanClass implements Planner by full recomputation.
+func (NaivePlanner) PlanClass(_ []shim.OwnedRange, target []core.ActionFrac) []shim.OwnedRange {
+	return shim.PartitionClass(target)
+}
+
+// ChurnMinPlanner reuses the previous partition's range layout and moves
+// only the fractional slack: each owner keeps the longest prefix of every
+// range it already holds (up to its new total width), and only the freed
+// slivers are granted to owners that grew or appeared. The hash measure
+// that changes owner equals the total-variation distance between the old
+// and new fraction vectors — the minimum any repartition can achieve — so
+// the number of sessions whose owning node changes is minimized rather
+// than an artifact of layout order.
+type ChurnMinPlanner struct{}
+
+// Name implements Planner.
+func (ChurnMinPlanner) Name() string { return "churn-min" }
+
+// ownerKey identifies one (processing node, replicator) share of a class.
+type ownerKey struct{ node, via int }
+
+// PlanClass implements Planner by trim-and-grant over the old layout.
+func (ChurnMinPlanner) PlanClass(old []shim.OwnedRange, target []core.ActionFrac) []shim.OwnedRange {
+	if len(old) == 0 {
+		return shim.PartitionClass(target)
+	}
+	sum := 0.0
+	for _, a := range target {
+		if a.Frac > 0 {
+			sum += a.Frac
+		}
+	}
+	if sum <= 0 {
+		return nil
+	}
+	// Normalized target width per owner (duplicate keys merged).
+	want := make(map[ownerKey]float64, len(target))
+	for _, a := range target {
+		if a.Frac <= 0 {
+			continue
+		}
+		want[ownerKey{a.Node, a.Via}] += a.Frac / sum
+	}
+	// Grant order: owners in the order they first appear in the old layout,
+	// then brand-new owners in PartitionClass's deterministic sort order.
+	var order []ownerKey
+	seen := make(map[ownerKey]bool, len(old))
+	for _, r := range old {
+		k := ownerKey{r.Node, r.Via}
+		if !seen[k] {
+			seen[k] = true
+			if _, ok := want[k]; ok {
+				order = append(order, k)
+			}
+		}
+	}
+	var fresh []core.ActionFrac
+	for k := range want {
+		if !seen[k] {
+			//lint:ignore nondeterminism SortActions below totally orders the fresh keys, so the append order here is immaterial
+			fresh = append(fresh, core.ActionFrac{Node: k.node, Via: k.via})
+		}
+	}
+	shim.SortActions(fresh)
+	for _, a := range fresh {
+		order = append(order, ownerKey{a.Node, a.Via})
+	}
+
+	// Pass 1 — trim: every old range keeps its low end up to the owner's
+	// remaining new width; the tail of the range is freed.
+	remaining := make(map[ownerKey]float64, len(want))
+	for k, w := range want {
+		remaining[k] = w
+	}
+	type segment struct {
+		lo, hi float64
+		k      ownerKey
+		free   bool
+	}
+	var segs []segment
+	for _, r := range old {
+		k := ownerKey{r.Node, r.Via}
+		width := r.Hi - r.Lo
+		keep := remaining[k] // zero for vanished owners
+		if keep > width {
+			keep = width
+		}
+		if keep > 0 {
+			segs = append(segs, segment{lo: r.Lo, hi: r.Lo + keep, k: k, free: false})
+			remaining[k] -= keep
+		}
+		if keep < width {
+			segs = append(segs, segment{lo: r.Lo + keep, hi: r.Hi, k: k, free: true})
+		}
+	}
+
+	// Pass 2 — grant: freed slivers go to owners still short of their new
+	// width, in grant order. The final needy owner absorbs float crumbs so
+	// coverage stays exact.
+	needy := order[:0:0]
+	for _, k := range order {
+		if remaining[k] > 0 {
+			needy = append(needy, k)
+		}
+	}
+	var out []shim.OwnedRange
+	emit := func(lo, hi float64, k ownerKey) {
+		if n := len(out); n > 0 && out[n-1].Node == k.node && out[n-1].Via == k.via && out[n-1].Hi == lo {
+			out[n-1].Hi = hi // coalesce adjacent same-owner ranges
+			return
+		}
+		out = append(out, shim.OwnedRange{Lo: lo, Hi: hi, Node: k.node, Via: k.via})
+	}
+	ni := 0
+	for _, sg := range segs {
+		if !sg.free {
+			emit(sg.lo, sg.hi, sg.k)
+			continue
+		}
+		lo := sg.lo
+		for lo < sg.hi {
+			for ni < len(needy) && remaining[needy[ni]] <= 0 {
+				ni++
+			}
+			if ni >= len(needy) {
+				break
+			}
+			k := needy[ni]
+			take := remaining[k]
+			if take > sg.hi-lo {
+				take = sg.hi - lo
+			}
+			if ni == len(needy)-1 && sg.hi-lo-take < slackTolerance {
+				take = sg.hi - lo // last needy owner absorbs the crumbs
+			}
+			emit(lo, lo+take, k)
+			remaining[k] -= take
+			lo += take
+		}
+		if lo < sg.hi {
+			// No needy owner left (pure float residue): extend whatever
+			// owner precedes so the partition stays contiguous.
+			if len(out) > 0 {
+				out[len(out)-1].Hi = sg.hi
+			}
+		}
+	}
+	if len(out) == 0 {
+		return shim.PartitionClass(target)
+	}
+	out[0].Lo = 0
+	out[len(out)-1].Hi = 1
+	return out
+}
+
+// slackTolerance is the float-crumb width below which a sliver is not
+// worth fragmenting a range over; it is far below any real session share.
+const slackTolerance = 1e-12
+
+// OwnerChurn returns the fraction of the hash space whose processing node
+// differs between two partitions of the same class — the expected fraction
+// of the class's sessions that change owner under the reconfiguration.
+// Ranges are matched on the processing node only: a session whose range
+// switches replicator but keeps its owner is not moved.
+func OwnerChurn(old, next []shim.OwnedRange) float64 {
+	if len(old) == 0 || len(next) == 0 {
+		return 0
+	}
+	cuts := make([]float64, 0, len(old)+len(next)+2)
+	cuts = append(cuts, 0, 1)
+	for _, r := range old {
+		cuts = append(cuts, r.Lo, r.Hi)
+	}
+	for _, r := range next {
+		cuts = append(cuts, r.Lo, r.Hi)
+	}
+	sort.Float64s(cuts)
+	ownerAt := func(ranges []shim.OwnedRange, h float64) int {
+		for _, r := range ranges {
+			if h >= r.Lo && h < r.Hi {
+				return r.Node
+			}
+		}
+		return -1
+	}
+	churn := 0.0
+	for i := 0; i+1 < len(cuts); i++ {
+		lo, hi := cuts[i], cuts[i+1]
+		if hi <= lo {
+			continue
+		}
+		mid := lo + (hi-lo)/2
+		if ownerAt(old, mid) != ownerAt(next, mid) {
+			churn += hi - lo
+		}
+	}
+	return churn
+}

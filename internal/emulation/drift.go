@@ -1,0 +1,685 @@
+package emulation
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"time"
+
+	"nwids/internal/controller"
+	"nwids/internal/core"
+	"nwids/internal/nids"
+	"nwids/internal/obs"
+	"nwids/internal/packet"
+	"nwids/internal/shim"
+	"nwids/internal/topology"
+	"nwids/internal/traffic"
+)
+
+// This file is the online-controller scenario driver: a deterministic
+// virtual-clock emulation whose traffic shifts across phases (diurnal
+// cycle, flash crowd, rolling node drain) while a controller.Controller
+// watches per-class load series, warm re-solves the LP on drift, and rolls
+// reconfigurations out two-phase make-before-break onto the in-process shim
+// fleet. Every quantity the run reports — drift events, epoch pushes,
+// sessions moved, detection parity against a centralized oracle — is a pure
+// function of the seeds, so the CI determinism gate can diff timelines
+// byte-for-byte across worker counts.
+
+// DriftPhase is one phase of a drifting workload.
+type DriftPhase struct {
+	// Label names the phase in timelines ("night", "flash-peak", ...).
+	Label string
+	// Matrix is the traffic matrix in force during the phase.
+	Matrix *traffic.Matrix
+	// CapScale, when non-nil, scales each node's capacity (rolling drain);
+	// missing entries mean 1.
+	CapScale map[int]float64
+	// Sessions is the number of sessions injected during the phase.
+	Sessions int
+	// Reconfigure requests an operator-triggered re-solve at phase entry —
+	// capacity drains move no traffic, so no drift detector will fire for
+	// them; the operator announces the drain instead.
+	Reconfigure bool
+}
+
+// DriftConfig parameterizes a drifting-workload run.
+type DriftConfig struct {
+	// Base is the calibrated scenario; its matrix should match the first
+	// phase.
+	Base *core.Scenario
+	// Phases is the workload sequence.
+	Phases []DriftPhase
+	// Planner picks the repartition strategy; nil means churn-minimizing.
+	Planner controller.Planner
+	// Replication configures the LP the controller re-solves.
+	Replication core.ReplicationConfig
+
+	// HashSeed / GenSeed seed the shim hash and trace generation
+	// (defaults 1 / 1).
+	HashSeed uint32
+	GenSeed  int64
+	// Rules / ScanK / PacketsPerSession / PayloadBytes / MaliciousFraction
+	// configure engines and trace generation as in Config.
+	Rules             []nids.Rule
+	ScanK             int
+	PacketsPerSession int
+	PayloadBytes      int
+	MaliciousFraction float64
+
+	// TickSessions is the session count between telemetry ticks (default
+	// 16 — finer than the offline default so detectors arm within a phase).
+	TickSessions int
+	// WatchClasses bounds how many classes (heaviest first) get drift
+	// watchers (default 8).
+	WatchClasses int
+	// WindowSessions is the trailing-window size for the empirical traffic
+	// matrix the controller re-solves against (default 256).
+	WindowSessions int
+	// CooldownSessions is the minimum session count between committed
+	// reconfigurations (default 192).
+	CooldownSessions int
+	// TransitionSessions is how long the fleet runs on merged transition
+	// configs before the controller confirms the clean epoch (default 32).
+	TransitionSessions int
+
+	// Obs / Log / Clock as in Config.
+	Obs   *obs.Registry
+	Log   *obs.Logger
+	Clock *obs.VirtualClock
+}
+
+func (c DriftConfig) withDefaults() DriftConfig {
+	if c.Planner == nil {
+		c.Planner = controller.ChurnMinPlanner{}
+	}
+	if c.HashSeed == 0 {
+		c.HashSeed = 1
+	}
+	if c.GenSeed == 0 {
+		c.GenSeed = 1
+	}
+	if c.Rules == nil {
+		c.Rules = nids.DefaultRules()
+	}
+	if c.ScanK == 0 {
+		c.ScanK = 20
+	}
+	if c.PacketsPerSession == 0 {
+		c.PacketsPerSession = 6
+	}
+	if c.PayloadBytes == 0 {
+		c.PayloadBytes = 256
+	}
+	if c.MaliciousFraction == 0 {
+		c.MaliciousFraction = 0.05
+	}
+	if c.TickSessions == 0 {
+		c.TickSessions = 16
+	}
+	if c.WatchClasses == 0 {
+		c.WatchClasses = 8
+	}
+	if c.WindowSessions == 0 {
+		c.WindowSessions = 256
+	}
+	if c.CooldownSessions == 0 {
+		c.CooldownSessions = 192
+	}
+	if c.TransitionSessions == 0 {
+		c.TransitionSessions = 32
+	}
+	if c.Clock == nil {
+		c.Clock = obs.NewVirtualClock(time.Unix(0, 0).UTC())
+	}
+	return c
+}
+
+// TimelineEvent is one timestamped entry of a drift run's event log.
+type TimelineEvent struct {
+	// T is the virtual time of the event.
+	T time.Time
+	// Kind is "phase", "drift", "propose", "confirm" or "reject".
+	Kind string
+	// Detail is a short human-readable description.
+	Detail string
+}
+
+// ReconfigStat reports one committed reconfiguration.
+type ReconfigStat struct {
+	Epoch   int
+	Trigger string
+	Planner string
+	// PlannedChurn is the controller's volume-weighted hash-space estimate.
+	PlannedChurn float64
+	// SessionsMoved counts remaining-trace sessions whose owning node
+	// changes under the new partitions — the empirical churn.
+	SessionsMoved int
+	// ExpectedMoved is the per-class hash-measure churn weighted by the
+	// remaining sessions of each class: the expected value of SessionsMoved,
+	// free of the finite-population hash noise of the raw count.
+	ExpectedMoved float64
+	// SessionsRemaining is the denominator for SessionsMoved.
+	SessionsRemaining int
+	ClassesChanged    int
+}
+
+// DriftResult summarizes a drifting-workload run.
+type DriftResult struct {
+	Planner  string
+	Sessions int
+	// Reconfigs lists committed reconfigurations in order.
+	Reconfigs []ReconfigStat
+	// SessionsMoved sums the empirical churn over all reconfigurations;
+	// ExpectedSessionsMoved sums its deterministic expectation.
+	SessionsMoved         int
+	ExpectedSessionsMoved float64
+	// DriftEvents counts detector firings (including ignored ones).
+	DriftEvents int
+	// Timeline is the ordered event log (phases, drift, epoch pushes).
+	Timeline []TimelineEvent
+	// Detection parity against the centralized oracle engine: Missed is the
+	// number of sessions the oracle flagged but the fleet did not.
+	MaliciousSessions int
+	OracleDetected    int
+	FleetDetected     int
+	Missed            int
+	// OwnershipErrors counts sessions with no owner, or with >1 owner
+	// outside a transition window (must be 0).
+	OwnershipErrors int
+	// Counters is the fleet-wide shim counter sum; Reconciled is the
+	// Seen + Dual = Processed + Replicated + Skipped identity over it.
+	Counters   shim.Counters
+	Reconciled bool
+}
+
+// shimFleet applies controller epoch pushes to the in-process shims.
+type shimFleet struct {
+	shims map[int]*shim.Shim
+}
+
+// Apply implements controller.Fleet: every node installs its config; any
+// rejection nacks the push. Node order is sorted so the run is
+// deterministic.
+func (f *shimFleet) Apply(_ int, _ controller.FleetPhase, cfgs map[int]*shim.Config) error {
+	nodes := make([]int, 0, len(cfgs))
+	for node := range cfgs {
+		//lint:ignore nondeterminism nodes are sorted immediately below
+		nodes = append(nodes, node)
+	}
+	sort.Ints(nodes)
+	for _, node := range nodes {
+		sh, ok := f.shims[node]
+		if !ok {
+			f.shims[node] = shim.New(cfgs[node])
+			continue
+		}
+		if err := sh.SetConfig(cfgs[node]); err != nil {
+			return fmt.Errorf("node %d: %w", node, err)
+		}
+	}
+	return nil
+}
+
+// RunDrift executes a drifting workload under the online controller and
+// returns the run's reconfiguration and detection statistics.
+func RunDrift(cfg DriftConfig) (*DriftResult, error) {
+	cfg = cfg.withDefaults()
+	if cfg.Base == nil || len(cfg.Phases) == 0 {
+		return nil, fmt.Errorf("emulation: drift run needs a base scenario and phases")
+	}
+	base := cfg.Base
+	nPoP := base.Graph.NumNodes()
+
+	// Generate the full trace up front: phase boundaries are session
+	// indices, and the controller's empirical churn is measured against the
+	// remaining trace at each reconfiguration.
+	gen := packet.NewGenerator(packet.GeneratorConfig{
+		PacketsPerSession: cfg.PacketsPerSession,
+		PayloadBytes:      cfg.PayloadBytes,
+		MaliciousFraction: cfg.MaliciousFraction,
+		Signatures:        sigsOf(cfg.Rules),
+	}, cfg.GenSeed)
+	type phaseRun struct {
+		DriftPhase
+		sessions []packet.Session
+	}
+	var phases []phaseRun
+	var trace []packet.Session
+	for _, ph := range cfg.Phases {
+		sv := base.WithMatrix(ph.Matrix)
+		sessions := gen.Matrix(sessionCounts(sv, ph.Sessions))
+		phases = append(phases, phaseRun{DriftPhase: ph, sessions: sessions})
+		trace = append(trace, sessions...)
+	}
+
+	// Controller over the in-process fleet.
+	fleet := &shimFleet{shims: make(map[int]*shim.Shim)}
+	ctl, err := controller.New(base, fleet, controller.Config{
+		Seed: cfg.HashSeed, Replication: cfg.Replication,
+		Planner: cfg.Planner, Registry: cfg.Obs, Log: cfg.Log,
+	})
+	if err != nil {
+		return nil, err
+	}
+	nNIDS := ctl.Assignment().NumNIDS()
+	engines := make(map[int]*nids.Engine, nNIDS)
+	engineOf := func(node int) *nids.Engine {
+		e, ok := engines[node]
+		if !ok {
+			e = nids.NewEngine(cfg.Rules, cfg.ScanK)
+			engines[node] = e
+		}
+		return e
+	}
+	oracle := nids.NewEngine(cfg.Rules, cfg.ScanK)
+
+	// Drift watchers over the heaviest classes' per-tick byte series. The
+	// series live on a private per-run registry: the shared cfg.Obs registry
+	// is reused across concurrent sweep jobs, and sharing mutable series
+	// between runs would cross-contaminate the detectors (the controller's
+	// behavior must be a pure function of this run's trace).
+	runObs := obs.NewRegistryWithClock(cfg.Clock)
+	classKeys := watchedClasses(base, cfg.WatchClasses)
+	classSeries := make(map[shim.ClassKey]*obs.Series, len(classKeys))
+	classBytes := make(map[shim.ClassKey]uint64, len(classKeys))
+	for _, key := range classKeys {
+		name := fmt.Sprintf("drift.class.%d-%d.bytes", key.SrcPoP, key.DstPoP)
+		s := runObs.Series(name)
+		classSeries[key] = s
+		ctl.Watch(name, s)
+	}
+
+	// Trailing window of session classes for the empirical traffic matrix.
+	window := make([][2]int, 0, cfg.WindowSessions)
+
+	res := &DriftResult{Planner: cfg.Planner.Name(), Sessions: len(trace)}
+	vc := cfg.Clock
+	event := func(kind, detail string) {
+		res.Timeline = append(res.Timeline, TimelineEvent{T: vc.Now(), Kind: kind, Detail: detail})
+	}
+
+	// estimateScenario builds the scenario the controller re-solves: the
+	// trailing-window traffic estimate (floored at a small share of the
+	// base matrix so no class vanishes from the LP), scaled to the base
+	// volume, with the current phase's capacity scaling applied.
+	baseTM := matrixOf(base, nPoP)
+	estimateScenario := func(capScale map[int]float64) *core.Scenario {
+		tm := traffic.NewMatrix(nPoP)
+		var winTotal float64
+		counts := map[[2]int]float64{}
+		for _, sd := range window {
+			counts[sd]++
+			winTotal++
+		}
+		baseTotal := base.TotalSessions()
+		for a := 0; a < nPoP; a++ {
+			for b := 0; b < nPoP; b++ {
+				if baseTM.Volume(a, b) == 0 {
+					continue
+				}
+				est := 0.0
+				if winTotal > 0 {
+					est = counts[[2]int{a, b}] / winTotal * baseTotal
+				}
+				if floor := 0.05 * baseTM.Volume(a, b); est < floor {
+					est = floor
+				}
+				tm.Sessions[a][b] = est
+			}
+		}
+		sv := base.WithMatrix(tm)
+		if len(capScale) > 0 {
+			caps := make([][]float64, len(sv.NodeCap))
+			for j := range caps {
+				caps[j] = append([]float64(nil), sv.NodeCap[j]...)
+				if s, ok := capScale[j]; ok {
+					for r := range caps[j] {
+						caps[j][r] *= s
+					}
+				}
+			}
+			sv.NodeCap = caps
+		}
+		return sv
+	}
+
+	// sessionOwner resolves which node a session's hash lands on under a
+	// partition set (empirical churn measurement).
+	sessionOwner := func(parts map[shim.ClassKey][]shim.OwnedRange, sess packet.Session) int {
+		key := shim.ClassKey{SrcPoP: uint8(sess.SrcPoP), DstPoP: uint8(sess.DstPoP)}
+		h := shim.HashFraction(sess.Tuple, cfg.HashSeed)
+		for _, r := range parts[key] {
+			if h >= r.Lo && h < r.Hi {
+				return r.Node
+			}
+		}
+		return -1
+	}
+
+	propose := func(trigger string, capScale map[int]float64, injected int) {
+		oldParts := ctl.Partitions()
+		tr, err := ctl.Propose(estimateScenario(capScale), trigger)
+		if err != nil {
+			event("reject", fmt.Sprintf("%s: %v", trigger, err))
+			return
+		}
+		// Empirical churn: remaining-trace sessions whose owner changes,
+		// plus its deterministic expectation (per-class hash-measure churn
+		// weighted by that class's remaining sessions).
+		moved, remaining := 0, 0
+		newParts := partsOfTransition(ctl)
+		classCount := map[shim.ClassKey]int{}
+		for _, sess := range trace[injected:] {
+			remaining++
+			classCount[shim.ClassKey{SrcPoP: uint8(sess.SrcPoP), DstPoP: uint8(sess.DstPoP)}]++
+			if o := sessionOwner(oldParts, sess); o >= 0 && o != sessionOwner(newParts, sess) {
+				moved++
+			}
+		}
+		countKeys := make([]shim.ClassKey, 0, len(classCount))
+		for key := range classCount {
+			//lint:ignore nondeterminism keys are sorted immediately below (float summation is order-sensitive)
+			countKeys = append(countKeys, key)
+		}
+		sort.Slice(countKeys, func(i, j int) bool {
+			if countKeys[i].SrcPoP != countKeys[j].SrcPoP {
+				return countKeys[i].SrcPoP < countKeys[j].SrcPoP
+			}
+			return countKeys[i].DstPoP < countKeys[j].DstPoP
+		})
+		expected := 0.0
+		for _, key := range countKeys {
+			expected += controller.OwnerChurn(oldParts[key], newParts[key]) * float64(classCount[key])
+		}
+		res.Reconfigs = append(res.Reconfigs, ReconfigStat{
+			Epoch: tr.Epoch, Trigger: trigger, Planner: tr.Planner,
+			PlannedChurn: tr.Churn, SessionsMoved: moved, ExpectedMoved: expected,
+			SessionsRemaining: remaining, ClassesChanged: tr.ClassesChanged,
+		})
+		res.SessionsMoved += moved
+		res.ExpectedSessionsMoved += expected
+		event("propose", fmt.Sprintf("epoch %d merged (%s, churn %.4f, moved %d/%d)",
+			tr.Epoch, trigger, tr.Churn, moved, remaining))
+	}
+
+	injected := 0
+	lastReconfig := -cfg.CooldownSessions
+	transitionLeft := 0
+	detectedBy := func(e *nids.Engine) map[packet.FiveTuple]bool {
+		out := make(map[packet.FiveTuple]bool)
+		for _, al := range e.Alerts() {
+			out[al.Tuple.Canonical()] = true
+		}
+		return out
+	}
+
+	for _, ph := range phases {
+		event("phase", ph.Label)
+		if ph.Reconfigure && ctl.Pending() == nil {
+			propose("operator:"+ph.Label, ph.CapScale, injected)
+			if ctl.Pending() != nil {
+				transitionLeft = cfg.TransitionSessions
+			}
+		}
+		for _, sess := range ph.sessions {
+			if sess.Malicious {
+				res.MaliciousSessions++
+			}
+			inTransition := ctl.Pending() != nil
+			owner := make(map[int]bool)
+			for _, p := range sess.Packets {
+				vc.Advance(packetTick)
+				if key := (shim.ClassKey{SrcPoP: uint8(sess.SrcPoP), DstPoP: uint8(sess.DstPoP)}); classSeries[key] != nil {
+					classBytes[key] += uint64(len(p.Payload))
+				}
+				oracle.ProcessPacket(p)
+				path := base.Routing.Path(sess.SrcPoP, sess.DstPoP)
+				if p.Dir == packet.Reverse {
+					path = path.Reverse()
+				}
+				for _, node := range path.Nodes {
+					sh, ok := fleet.shims[node]
+					if !ok {
+						continue
+					}
+					vc.Advance(dispatchTick)
+					for _, d := range sh.DecideAll(p) {
+						vc.Advance(actionTick)
+						switch d.Act {
+						case shim.Process:
+							engineOf(node).ProcessPacket(p)
+							owner[node] = true
+						case shim.Replicate:
+							engineOf(d.Mirror).ProcessPacket(p)
+							owner[d.Mirror] = true
+						}
+					}
+				}
+			}
+			if len(owner) == 0 || (!inTransition && len(owner) != 1) {
+				res.OwnershipErrors++
+			}
+			injected++
+			window = append(window, [2]int{sess.SrcPoP, sess.DstPoP})
+			if len(window) > cfg.WindowSessions {
+				window = window[1:]
+			}
+
+			// Two-phase rollout: after the transition window, confirm the
+			// clean epoch.
+			if ctl.Pending() != nil {
+				if transitionLeft--; transitionLeft <= 0 {
+					tr, err := ctl.Confirm()
+					if err != nil {
+						return nil, err
+					}
+					lastReconfig = injected
+					event("confirm", fmt.Sprintf("epoch %d clean (%s)", tr.Epoch, tr.Trigger))
+				}
+			}
+
+			// Telemetry tick: record class byte deltas, poll drift.
+			if injected%cfg.TickSessions == 0 {
+				now := vc.Now()
+				for _, key := range classKeys {
+					classSeries[key].RecordAt(now, float64(classBytes[key]))
+					classBytes[key] = 0
+				}
+				fired := ctl.PollDrift()
+				res.DriftEvents += len(fired)
+				for _, ev := range fired {
+					event("drift", fmt.Sprintf("%s %s dir %+d score %.1f",
+						ev.Series, ev.Detector, ev.Direction, ev.Score))
+				}
+				if len(fired) > 0 && ctl.Pending() == nil && injected-lastReconfig >= cfg.CooldownSessions {
+					propose("drift:"+fired[0].Series, ph.CapScale, injected)
+					if ctl.Pending() != nil {
+						transitionLeft = cfg.TransitionSessions
+					}
+				}
+			}
+		}
+	}
+	// Confirm any still-pending transition so the run ends on a clean epoch.
+	if ctl.Pending() != nil {
+		tr, err := ctl.Confirm()
+		if err != nil {
+			return nil, err
+		}
+		event("confirm", fmt.Sprintf("epoch %d clean (%s, end of trace)", tr.Epoch, tr.Trigger))
+	}
+
+	// Detection parity: every session the centralized oracle flagged must be
+	// flagged by some fleet engine.
+	oracleHits := detectedBy(oracle)
+	fleetHits := make(map[packet.FiveTuple]bool)
+	nodes := make([]int, 0, len(engines))
+	for node := range engines {
+		//lint:ignore nondeterminism nodes are sorted immediately below
+		nodes = append(nodes, node)
+	}
+	sort.Ints(nodes)
+	for _, node := range nodes {
+		for tu := range detectedBy(engines[node]) {
+			fleetHits[tu] = true
+		}
+	}
+	for _, sess := range trace {
+		can := sess.Tuple.Canonical()
+		if oracleHits[can] {
+			res.OracleDetected++
+			if fleetHits[can] {
+				res.FleetDetected++
+			} else {
+				res.Missed++
+			}
+		}
+	}
+
+	for node := range fleet.shims {
+		//lint:ignore nondeterminism counter addition is commutative
+		res.Counters = res.Counters.Add(fleet.shims[node].Counters)
+	}
+	res.Reconciled = res.Counters.Reconciled()
+	if cfg.Obs != nil {
+		cfg.Obs.Counter("drift.sessions_moved").Add(uint64(res.SessionsMoved))
+		cfg.Obs.Counter("drift.missed").Add(uint64(res.Missed))
+	}
+	cfg.Log.Debug("drift run done",
+		"planner", res.Planner, "sessions", res.Sessions,
+		"reconfigs", len(res.Reconfigs), "moved", res.SessionsMoved,
+		"drift_events", res.DriftEvents, "missed", res.Missed,
+		"ownership_errors", res.OwnershipErrors, "reconciled", res.Reconciled)
+	return res, nil
+}
+
+// partsOfTransition returns the pending next-epoch partitions; falls back
+// to the committed partitions when nothing is pending.
+func partsOfTransition(ctl *controller.Controller) map[shim.ClassKey][]shim.OwnedRange {
+	if p := ctl.PendingPartitions(); p != nil {
+		return p
+	}
+	return ctl.Partitions()
+}
+
+// watchedClasses returns the top-n classes by base session volume in
+// deterministic order (volume desc, then key).
+func watchedClasses(sc *core.Scenario, n int) []shim.ClassKey {
+	vol := map[shim.ClassKey]float64{}
+	for i := range sc.Classes {
+		cl := &sc.Classes[i]
+		vol[shim.ClassKey{SrcPoP: uint8(cl.Src), DstPoP: uint8(cl.Dst)}] += cl.Sessions
+	}
+	keys := make([]shim.ClassKey, 0, len(vol))
+	for key := range vol {
+		//lint:ignore nondeterminism keys are sorted immediately below
+		keys = append(keys, key)
+	}
+	sort.Slice(keys, func(i, j int) bool {
+		if vol[keys[i]] != vol[keys[j]] {
+			return vol[keys[i]] > vol[keys[j]]
+		}
+		if keys[i].SrcPoP != keys[j].SrcPoP {
+			return keys[i].SrcPoP < keys[j].SrcPoP
+		}
+		return keys[i].DstPoP < keys[j].DstPoP
+	})
+	if len(keys) > n {
+		keys = keys[:n]
+	}
+	return keys
+}
+
+// matrixOf reconstructs the session-volume matrix of a scenario's classes.
+func matrixOf(sc *core.Scenario, n int) *traffic.Matrix {
+	tm := traffic.NewMatrix(n)
+	for i := range sc.Classes {
+		cl := &sc.Classes[i]
+		tm.Sessions[cl.Src][cl.Dst] += cl.Sessions
+	}
+	return tm
+}
+
+// DriftScenario builds a named preset drifting workload over a topology:
+// "diurnal" (sinusoidal per-ingress modulation across a day cycle), "flash"
+// (one destination's traffic spikes 8× and recedes) or "drain" (a node's
+// capacity is drained to 30% for maintenance and restored, with
+// operator-triggered reconfigurations). sessionsPerPhase scales run length.
+func DriftScenario(name string, g *topology.Graph, sessionsPerPhase int) (*DriftConfig, error) {
+	if sessionsPerPhase <= 0 {
+		sessionsPerPhase = 480
+	}
+	baseTM := traffic.GravityDefault(g)
+	base := core.NewScenario(g, baseTM, core.ScenarioOptions{})
+	n := g.NumNodes()
+	cfg := &DriftConfig{Base: base}
+	switch name {
+	case "diurnal":
+		// A day in K phases: ingress i's volume swings ±60% around the base,
+		// phase-shifted per node so load moves around the network.
+		const K = 6
+		for k := 0; k < K; k++ {
+			tm := traffic.NewMatrix(n)
+			for a := 0; a < n; a++ {
+				f := 1 + 0.6*math.Sin(2*math.Pi*float64(k)/K+2*math.Pi*float64(a)/float64(n))
+				for b := 0; b < n; b++ {
+					tm.Sessions[a][b] = baseTM.Volume(a, b) * f
+				}
+			}
+			cfg.Phases = append(cfg.Phases, DriftPhase{
+				Label: fmt.Sprintf("hour-%02d", k*24/K), Matrix: tm, Sessions: sessionsPerPhase,
+			})
+		}
+	case "flash":
+		hot := hottestDst(baseTM, n)
+		scaleTo := func(f float64) *traffic.Matrix {
+			tm := baseTM.Clone()
+			for a := 0; a < n; a++ {
+				if a != hot {
+					tm.Sessions[a][hot] *= f
+				}
+			}
+			return tm
+		}
+		cfg.Phases = []DriftPhase{
+			{Label: "calm", Matrix: baseTM.Clone(), Sessions: sessionsPerPhase},
+			{Label: "ramp", Matrix: scaleTo(4), Sessions: sessionsPerPhase},
+			{Label: "peak", Matrix: scaleTo(8), Sessions: sessionsPerPhase},
+			{Label: "recede", Matrix: scaleTo(2), Sessions: sessionsPerPhase},
+			{Label: "calm-again", Matrix: baseTM.Clone(), Sessions: sessionsPerPhase},
+		}
+	case "drain":
+		// Capacity changes move no traffic, so these phases carry operator
+		// triggers instead of relying on drift detectors; link budgets get
+		// headroom so the LP stays feasible with a drained node.
+		drained := hottestDst(baseTM, n)
+		cfg.Replication = core.ReplicationConfig{MaxLinkLoad: 0.6}
+		cfg.Phases = []DriftPhase{
+			{Label: "steady", Matrix: baseTM.Clone(), Sessions: sessionsPerPhase},
+			{Label: fmt.Sprintf("drain-node-%d", drained), Matrix: baseTM.Clone(),
+				CapScale: map[int]float64{drained: 0.3}, Sessions: sessionsPerPhase, Reconfigure: true},
+			{Label: "restore", Matrix: baseTM.Clone(), Sessions: sessionsPerPhase, Reconfigure: true},
+		}
+	default:
+		return nil, fmt.Errorf("emulation: unknown drift scenario %q (want diurnal, flash or drain)", name)
+	}
+	return cfg, nil
+}
+
+// hottestDst returns the destination PoP with the highest inbound volume.
+func hottestDst(tm *traffic.Matrix, n int) int {
+	best, bestVol := 0, -1.0
+	for b := 0; b < n; b++ {
+		v := 0.0
+		for a := 0; a < n; a++ {
+			if a != b {
+				v += tm.Volume(a, b)
+			}
+		}
+		if v > bestVol {
+			best, bestVol = b, v
+		}
+	}
+	return best
+}

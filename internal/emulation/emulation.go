@@ -407,6 +407,7 @@ func recordMetrics(reg *obs.Registry, res *Result, shims []*shim.Shim) {
 		reg.Counter("shim.replicated").Add(c.Replicated)
 		reg.Counter("shim.skipped").Add(c.Skipped)
 		reg.Counter("shim.noclass").Add(c.NoClass)
+		reg.Counter("shim.dual").Add(c.Dual)
 	}
 	reg.Counter("emulation.sessions").Add(uint64(res.Sessions))
 	reg.Counter("emulation.malicious").Add(uint64(res.MaliciousSessions))

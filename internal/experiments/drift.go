@@ -1,0 +1,102 @@
+package experiments
+
+import (
+	"fmt"
+	"time"
+
+	"nwids/internal/controller"
+	"nwids/internal/emulation"
+	"nwids/internal/metrics"
+	"nwids/internal/topology"
+)
+
+// DriftResult holds the online-controller evaluation: the three preset
+// drifting workloads (diurnal cycle, flash crowd, rolling node drain) each
+// run under the churn-minimizing planner and the naive full-recompute
+// baseline, charting sessions moved and detection parity.
+type DriftResult struct {
+	// Runs[i] pairs with Labels[i] ("diurnal/churn-min", ...).
+	Labels []string
+	Runs   []*emulation.DriftResult
+	// Timeline is the flash/churn-min run's event log, capped for rendering.
+	Timeline      []emulation.TimelineEvent
+	TimelineTotal int
+}
+
+// timelineCap bounds the rendered event-log lines.
+const timelineCap = 40
+
+// Drift runs the drifting-workload emulation grid on Internet2. The six
+// (scenario × planner) runs are independent sweep jobs; each generates its
+// own trace from the shared seed, so results are scheduling-independent.
+func Drift(opts Options) (*DriftResult, error) {
+	opts = opts.withDefaults()
+	sessions := 480
+	if opts.Quick {
+		sessions = 160
+	}
+	type job struct {
+		scenario string
+		planner  controller.Planner
+	}
+	var jobs []job
+	for _, sc := range []string{"diurnal", "flash", "drain"} {
+		for _, pl := range []controller.Planner{controller.ChurnMinPlanner{}, controller.NaivePlanner{}} {
+			jobs = append(jobs, job{sc, pl})
+		}
+	}
+	opts.logf("drift: %d sessions per phase, %d runs", sessions, len(jobs))
+	runs, err := sweepMap(opts, jobs, func(_ int, j job) (*emulation.DriftResult, error) {
+		cfg, err := emulation.DriftScenario(j.scenario, topology.Internet2(), sessions)
+		if err != nil {
+			return nil, err
+		}
+		cfg.Planner = j.planner
+		cfg.GenSeed = opts.Seed
+		cfg.Obs = opts.Obs
+		return emulation.RunDrift(*cfg)
+	})
+	if err != nil {
+		return nil, err
+	}
+	res := &DriftResult{Runs: runs}
+	for i, j := range jobs {
+		res.Labels = append(res.Labels, j.scenario+"/"+j.planner.Name())
+		if j.scenario == "flash" && j.planner.Name() == "churn-min" {
+			res.TimelineTotal = len(runs[i].Timeline)
+			tl := runs[i].Timeline
+			if len(tl) > timelineCap {
+				tl = tl[:timelineCap]
+			}
+			res.Timeline = tl
+		}
+	}
+	return res, nil
+}
+
+// Render formats the per-run comparison table plus the flash-crowd event
+// timeline (virtual timestamps, so reruns are byte-identical).
+func (r *DriftResult) Render() string {
+	t := metrics.NewTable("Scenario/Planner", "Reconfigs", "Drift", "Moved", "E[Moved]", "Oracle", "Missed", "OwnErr", "Reconciled")
+	for i, run := range r.Runs {
+		t.AddRow(r.Labels[i],
+			fmt.Sprintf("%d", len(run.Reconfigs)),
+			fmt.Sprintf("%d", run.DriftEvents),
+			fmt.Sprintf("%d", run.SessionsMoved),
+			fmt.Sprintf("%.1f", run.ExpectedSessionsMoved),
+			fmt.Sprintf("%d", run.OracleDetected),
+			fmt.Sprintf("%d", run.Missed),
+			fmt.Sprintf("%d", run.OwnershipErrors),
+			fmt.Sprintf("%v", run.Reconciled))
+	}
+	out := t.String()
+	out += "\nflash crowd timeline (churn-min planner, virtual time):\n"
+	epoch := time.Unix(0, 0).UTC()
+	for _, ev := range r.Timeline {
+		out += fmt.Sprintf("  %12s  %-8s %s\n", ev.T.Sub(epoch).Round(time.Microsecond), ev.Kind, ev.Detail)
+	}
+	if r.TimelineTotal > len(r.Timeline) {
+		out += fmt.Sprintf("  ... (%d more events)\n", r.TimelineTotal-len(r.Timeline))
+	}
+	return out
+}

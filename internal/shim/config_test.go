@@ -1,0 +1,170 @@
+package shim
+
+import (
+	"math"
+	"testing"
+
+	"nwids/internal/core"
+)
+
+// TestPartitionClassRenormalizesShortSum: fractions summing below 1 (float
+// drift or a buggy upstream) must be renormalized so interior bounds keep
+// their proportional share instead of the last range silently absorbing
+// the shortfall.
+func TestPartitionClassRenormalizesShortSum(t *testing.T) {
+	out := PartitionClass([]core.ActionFrac{
+		{Node: 0, Via: -1, Frac: 0.49},
+		{Node: 1, Via: -1, Frac: 0.49},
+	})
+	if err := CheckPartition(out); err != nil {
+		t.Fatal(err)
+	}
+	if len(out) != 2 {
+		t.Fatalf("got %d ranges, want 2", len(out))
+	}
+	// Equal fractions must split the space equally after renormalization.
+	if math.Abs(out[0].Hi-0.5) > 1e-12 {
+		t.Fatalf("interior bound = %g, want 0.5 (renormalized)", out[0].Hi)
+	}
+}
+
+// TestPartitionClassRenormalizesLongSum: fractions summing above 1 used to
+// push interior bounds past 1, and the final snap then inverted the last
+// range, leaving part of the hash space uncovered.
+func TestPartitionClassRenormalizesLongSum(t *testing.T) {
+	out := PartitionClass([]core.ActionFrac{
+		{Node: 0, Via: -1, Frac: 0.6},
+		{Node: 1, Via: -1, Frac: 0.6},
+		{Node: 2, Via: -1, Frac: 0.6},
+	})
+	if err := CheckPartition(out); err != nil {
+		t.Fatal(err)
+	}
+	for i, r := range out {
+		if r.Hi <= r.Lo {
+			t.Fatalf("range %d inverted: %+v", i, r)
+		}
+		if r.Hi > 1 || r.Lo < 0 {
+			t.Fatalf("range %d outside [0,1): %+v", i, r)
+		}
+	}
+	if math.Abs(out[0].Hi-1.0/3) > 1e-12 {
+		t.Fatalf("first bound = %g, want 1/3", out[0].Hi)
+	}
+}
+
+// TestPartitionClassBoundaryLookup places hash values just below every
+// range edge and checks each lands in exactly one range — the uncovered-
+// sliver regression for drifted fraction sums.
+func TestPartitionClassBoundaryLookup(t *testing.T) {
+	for _, sum := range []float64{0.97, 1.0, 1.03} {
+		fr := sum / 4
+		out := PartitionClass([]core.ActionFrac{
+			{Node: 0, Via: -1, Frac: fr},
+			{Node: 1, Via: -1, Frac: fr},
+			{Node: 2, Via: 0, Frac: fr},
+			{Node: 3, Via: 1, Frac: fr},
+		})
+		if err := CheckPartition(out); err != nil {
+			t.Fatalf("sum %g: %v", sum, err)
+		}
+		probes := []float64{0}
+		for _, r := range out {
+			probes = append(probes, math.Nextafter(r.Hi, 0), r.Lo)
+			if r.Hi < 1 {
+				probes = append(probes, r.Hi)
+			}
+		}
+		probes = append(probes, math.Nextafter(1, 0))
+		for _, h := range probes {
+			owners := 0
+			for _, r := range out {
+				if h >= r.Lo && h < r.Hi {
+					owners++
+				}
+			}
+			if owners != 1 {
+				t.Fatalf("sum %g: h=%.17g has %d owning ranges, want 1", sum, h, owners)
+			}
+		}
+	}
+}
+
+// TestPartitionClassExactSumUnchanged pins that well-formed inputs (sum
+// exactly 1) keep the historical layout byte-for-byte: renormalization must
+// not perturb the common case.
+func TestPartitionClassExactSumUnchanged(t *testing.T) {
+	out := PartitionClass([]core.ActionFrac{
+		{Node: 2, Via: -1, Frac: 0.25},
+		{Node: 0, Via: -1, Frac: 0.5},
+		{Node: 1, Via: 0, Frac: 0.25},
+	})
+	want := []OwnedRange{
+		{Lo: 0, Hi: 0.5, Node: 0, Via: -1},
+		{Lo: 0.5, Hi: 0.75, Node: 2, Via: -1},
+		{Lo: 0.75, Hi: 1, Node: 1, Via: 0},
+	}
+	if len(out) != len(want) {
+		t.Fatalf("got %d ranges, want %d", len(out), len(want))
+	}
+	for i := range want {
+		if out[i] != want[i] {
+			t.Fatalf("range %d = %+v, want %+v", i, out[i], want[i])
+		}
+	}
+}
+
+func TestPartitionClassEmptyAndZero(t *testing.T) {
+	if out := PartitionClass(nil); out != nil {
+		t.Fatalf("PartitionClass(nil) = %v, want nil", out)
+	}
+	if out := PartitionClass([]core.ActionFrac{{Node: 0, Via: -1, Frac: 0}}); out != nil {
+		t.Fatalf("all-zero fractions = %v, want nil", out)
+	}
+}
+
+func TestCheckPartition(t *testing.T) {
+	bad := [][]OwnedRange{
+		nil,
+		{{Lo: 0, Hi: 0.5, Node: 0, Via: -1}}, // uncovered tail
+		{{Lo: 0.1, Hi: 1, Node: 0, Via: -1}}, // uncovered head
+		{{Lo: 0, Hi: 0.6, Node: 0, Via: -1}, {Lo: 0.5, Hi: 1, Node: 1, Via: -1}},   // overlap
+		{{Lo: 0, Hi: 0.4, Node: 0, Via: -1}, {Lo: 0.5, Hi: 1, Node: 1, Via: -1}},   // gap
+		{{Lo: 0, Hi: 0.5, Node: 0, Via: -1}, {Lo: 0.5, Hi: 0.5, Node: 1, Via: -1}}, // empty range
+	}
+	for i, ranges := range bad {
+		if err := CheckPartition(ranges); err == nil {
+			t.Fatalf("case %d: want error for %v", i, ranges)
+		}
+	}
+	good := []OwnedRange{{Lo: 0, Hi: 0.25, Node: 0, Via: -1}, {Lo: 0.25, Hi: 1, Node: 1, Via: 0}}
+	if err := CheckPartition(good); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestSetConfigGuards pins the epoch-push validation: a config for another
+// node or hash seed is rejected and the previous config stays installed.
+func TestSetConfigGuards(t *testing.T) {
+	base := &Config{NodeID: 3, Seed: 9, Rules: map[ClassKey][]RangeRule{}}
+	s := New(base)
+	if err := s.SetConfig(&Config{NodeID: 4, Seed: 9}); err == nil {
+		t.Fatal("want error for wrong node")
+	}
+	if err := s.SetConfig(&Config{NodeID: 3, Seed: 8}); err == nil {
+		t.Fatal("want error for wrong seed")
+	}
+	if err := s.SetConfig(nil); err == nil {
+		t.Fatal("want error for nil config")
+	}
+	if s.Config() != base {
+		t.Fatal("rejected push must not replace the config")
+	}
+	next := &Config{NodeID: 3, Seed: 9, Rules: map[ClassKey][]RangeRule{}}
+	if err := s.SetConfig(next); err != nil {
+		t.Fatal(err)
+	}
+	if s.Config() != next {
+		t.Fatal("accepted push must install the config")
+	}
+}

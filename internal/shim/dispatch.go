@@ -1,6 +1,10 @@
 package shim
 
-import "nwids/internal/packet"
+import (
+	"fmt"
+
+	"nwids/internal/packet"
+)
 
 // Decision is the outcome of a shim lookup for one packet.
 type Decision struct {
@@ -8,7 +12,12 @@ type Decision struct {
 	Mirror int
 }
 
-// Counters tallies shim activity.
+// Counters tallies shim activity. Processed and Replicated count emitted
+// decisions (work performed), Skipped counts packets with no decision, and
+// Dual counts the extra decisions beyond the first that a merged §9
+// transition configuration prescribes for one packet; under a single
+// configuration Dual is always zero and Seen = Processed + Replicated +
+// Skipped holds exactly.
 type Counters struct {
 	Seen       uint64
 	Processed  uint64
@@ -17,6 +26,10 @@ type Counters struct {
 	// NoClass counts packets whose class had no rules at this node (still
 	// skipped, tracked separately to surface misconfigurations).
 	NoClass uint64
+	// Dual counts decisions beyond the first emitted for a single packet:
+	// the duplicated work a merged transition configuration performs so no
+	// session is dropped while an epoch rolls out.
+	Dual uint64
 }
 
 // Sub returns the per-field deltas of c since prev. The emulation's
@@ -28,7 +41,28 @@ func (c Counters) Sub(prev Counters) Counters {
 		Replicated: c.Replicated - prev.Replicated,
 		Skipped:    c.Skipped - prev.Skipped,
 		NoClass:    c.NoClass - prev.NoClass,
+		Dual:       c.Dual - prev.Dual,
 	}
+}
+
+// Add returns the field-wise sum of c and other, for fleet-wide rollups.
+func (c Counters) Add(other Counters) Counters {
+	return Counters{
+		Seen:       c.Seen + other.Seen,
+		Processed:  c.Processed + other.Processed,
+		Replicated: c.Replicated + other.Replicated,
+		Skipped:    c.Skipped + other.Skipped,
+		NoClass:    c.NoClass + other.NoClass,
+		Dual:       c.Dual + other.Dual,
+	}
+}
+
+// Reconciled reports whether the counter identity holds: every packet seen
+// was either skipped or produced decisions, and every decision beyond the
+// first was tallied as Dual. Under a single (non-transition) configuration
+// this reduces to Seen = Processed + Replicated + Skipped.
+func (c Counters) Reconciled() bool {
+	return c.Seen+c.Dual == c.Processed+c.Replicated+c.Skipped
 }
 
 // Shim executes a Config: it hashes each packet's canonical 5-tuple, looks
@@ -46,6 +80,29 @@ func New(cfg *Config) *Shim { return &Shim{cfg: cfg} }
 
 // NodeID returns the NIDS node this shim serves.
 func (s *Shim) NodeID() int { return s.cfg.NodeID }
+
+// Config returns the currently installed configuration.
+func (s *Shim) Config() *Config { return s.cfg }
+
+// SetConfig installs a new configuration epoch, preserving counters. The
+// controller's two-phase rollout calls this twice per reconfiguration:
+// first with the merged §9 transition config, then — once every shim has
+// acknowledged — with the clean next-epoch config. An attempt to install a
+// config for a different node or hash seed is rejected so a misaddressed
+// push cannot silently corrupt range ownership.
+func (s *Shim) SetConfig(cfg *Config) error {
+	if cfg == nil {
+		return fmt.Errorf("shim: SetConfig with nil config")
+	}
+	if cfg.NodeID != s.cfg.NodeID {
+		return fmt.Errorf("shim: SetConfig for node %d on node %d", cfg.NodeID, s.cfg.NodeID)
+	}
+	if cfg.Seed != s.cfg.Seed {
+		return fmt.Errorf("shim: SetConfig with hash seed %d, shim uses %d", cfg.Seed, s.cfg.Seed)
+	}
+	s.cfg = cfg
+	return nil
+}
 
 // Decide classifies one packet. The hash is computed on the canonical
 // tuple, so both directions of a session always land in the same range and

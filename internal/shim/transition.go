@@ -1,6 +1,10 @@
 package shim
 
-import "nwids/internal/packet"
+import (
+	"fmt"
+
+	"nwids/internal/packet"
+)
 
 // This file implements the §9 "Consistent configurations" mechanism: when
 // the controller pushes a new configuration, each shim honors both the
@@ -10,13 +14,18 @@ import "nwids/internal/packet"
 
 // MergeConfigs builds the transition configuration for one node from its
 // previous and next configurations. Both must share the node ID and hash
-// seed (ranges are only comparable under the same hash).
-func MergeConfigs(prev, next *Config) *Config {
+// seed (ranges are only comparable under the same hash); a mismatch returns
+// an error so a controller pushing a stale or misaddressed epoch sees a
+// rejected transition instead of a crashed shim.
+func MergeConfigs(prev, next *Config) (*Config, error) {
+	if prev == nil || next == nil {
+		return nil, fmt.Errorf("shim: MergeConfigs with nil config")
+	}
 	if prev.NodeID != next.NodeID {
-		panic("shim: MergeConfigs across different nodes")
+		return nil, fmt.Errorf("shim: MergeConfigs across different nodes (%d vs %d)", prev.NodeID, next.NodeID)
 	}
 	if prev.Seed != next.Seed {
-		panic("shim: MergeConfigs across different hash seeds")
+		return nil, fmt.Errorf("shim: MergeConfigs across different hash seeds (%d vs %d)", prev.Seed, next.Seed)
 	}
 	out := &Config{NodeID: prev.NodeID, Seed: prev.Seed, Rules: make(map[ClassKey][]RangeRule)}
 	for key, rules := range prev.Rules {
@@ -33,7 +42,7 @@ func MergeConfigs(prev, next *Config) *Config {
 			out.Rules[key] = append(out.Rules[key], r)
 		}
 	}
-	return out
+	return out, nil
 }
 
 // DecideAll returns every action the shim's configuration prescribes for
@@ -41,6 +50,14 @@ func MergeConfigs(prev, next *Config) *Config {
 // disjoint and at most one action matches; under a merged transition
 // configuration both the old and the new owner ranges can match, and the
 // shim performs all of them.
+//
+// Counters are charged per emitted Decision, after deduplication: Processed
+// plus Replicated always equals the total number of decisions returned, so
+// the load the controller reads during a transition reflects work actually
+// performed, not how many overlapping rules happened to match. Decisions
+// beyond the first for one packet are additionally tallied in Dual, keeping
+// the Seen + Dual = Processed + Replicated + Skipped identity exact under
+// merged configurations (see Counters.Reconciled).
 func (s *Shim) DecideAll(p packet.Packet) []Decision {
 	s.Counters.Seen++
 	rules, ok := s.cfg.Rules[KeyForPacket(p)]
@@ -53,12 +70,7 @@ func (s *Shim) DecideAll(p packet.Packet) []Decision {
 	var out []Decision
 	for _, r := range rules {
 		if h >= r.Lo && h < r.Hi {
-			switch r.Act {
-			case Process:
-				s.Counters.Processed++
-			case Replicate:
-				s.Counters.Replicated++
-			default:
+			if r.Act != Process && r.Act != Replicate {
 				continue
 			}
 			d := Decision{Act: r.Act, Mirror: r.Mirror}
@@ -74,8 +86,18 @@ func (s *Shim) DecideAll(p packet.Packet) []Decision {
 			}
 		}
 	}
+	for _, d := range out {
+		switch d.Act {
+		case Process:
+			s.Counters.Processed++
+		case Replicate:
+			s.Counters.Replicated++
+		}
+	}
 	if len(out) == 0 {
 		s.Counters.Skipped++
+	} else if len(out) > 1 {
+		s.Counters.Dual += uint64(len(out) - 1)
 	}
 	return out
 }

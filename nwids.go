@@ -21,6 +21,7 @@
 package nwids
 
 import (
+	"nwids/internal/controller"
 	"nwids/internal/core"
 	"nwids/internal/emulation"
 	"nwids/internal/nids"
@@ -240,4 +241,38 @@ var (
 	ParseTopology = topology.Parse
 	// FormatTopology writes it.
 	FormatTopology = topology.Format
+)
+
+// Online controller (§9): drift-triggered warm re-solves rolled out as
+// two-phase make-before-break reconfigurations.
+type (
+	// Controller owns the reconfiguration state machine.
+	Controller = controller.Controller
+	// ControllerConfig parameterizes it.
+	ControllerConfig = controller.Config
+	// Planner turns per-class target fractions into hash-range layouts.
+	Planner = controller.Planner
+	// ChurnMinPlanner moves only the fractional slack between epochs.
+	ChurnMinPlanner = controller.ChurnMinPlanner
+	// NaivePlanner recomputes every layout from scratch (the baseline).
+	NaivePlanner = controller.NaivePlanner
+	// Fleet receives two-phase config pushes from the controller.
+	Fleet = controller.Fleet
+	// DriftEmulationConfig parameterizes a drifting-workload run.
+	DriftEmulationConfig = emulation.DriftConfig
+	// DriftEmulationResult carries churn, parity and counter statistics.
+	DriftEmulationResult = emulation.DriftResult
+)
+
+// Online-controller entry points.
+var (
+	// NewController solves epoch 0 and pushes the initial clean configs.
+	NewController = controller.New
+	// OwnerChurn measures the hash fraction whose owner changes between
+	// two layouts of one class.
+	OwnerChurn = controller.OwnerChurn
+	// EmulateDrift runs a drifting workload under the online controller.
+	EmulateDrift = emulation.RunDrift
+	// DriftScenario builds the preset diurnal / flash / drain workloads.
+	DriftScenario = emulation.DriftScenario
 )
