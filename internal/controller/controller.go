@@ -40,6 +40,15 @@ func (p FleetPhase) String() string {
 // means at least one node did not ack; the controller then leaves its state
 // unchanged (for PhaseMerged) or keeps the transition pending (PhaseClean)
 // so the caller can retry.
+//
+// Apply must be all-or-nothing: validate every config before installing
+// any, so a nacked push leaves every node on its previous configuration and
+// the controller's committed state still describes the fleet. Partial
+// application cannot drop session ownership — merged configs are supersets
+// of the previous epoch, and a node still on merged after a failed clean
+// push only duplicates work — but it silently diverges the fleet from what
+// the controller believes, so implementations must not install past the
+// first failure.
 type Fleet interface {
 	Apply(epoch int, phase FleetPhase, cfgs map[int]*shim.Config) error
 }
@@ -213,6 +222,15 @@ func (c *Controller) Propose(sv *core.Scenario, trigger string) (*Transition, er
 	}
 
 	next := shim.ConfigsFromPartitions(a, c.cfg.Seed, parts)
+	for node := range c.cfgs {
+		if _, ok := next[node]; !ok {
+			// A node leaving the fleet gets an empty (rule-free) next config:
+			// merging keeps it serving its old ranges through the transition
+			// window, and the clean push then actually clears it instead of
+			// leaving its shim on the stale previous epoch.
+			next[node] = &shim.Config{NodeID: node, Seed: c.cfg.Seed, Rules: make(map[shim.ClassKey][]shim.RangeRule)}
+		}
+	}
 	merged := make(map[int]*shim.Config, len(next))
 	for node, nc := range next {
 		pc, ok := c.cfgs[node]
@@ -227,13 +245,6 @@ func (c *Controller) Propose(sv *core.Scenario, trigger string) (*Transition, er
 			return reject(fmt.Errorf("controller: merge for node %d: %w", node, err))
 		}
 		merged[node] = m
-	}
-	for node, pc := range c.cfgs {
-		if _, ok := merged[node]; !ok {
-			// A node leaving the fleet keeps serving its old ranges through
-			// the transition window; the clean push will clear it.
-			merged[node] = pc
-		}
 	}
 
 	if err := c.fleet.Apply(c.epoch+1, PhaseMerged, merged); err != nil {

@@ -121,15 +121,20 @@ func (ChurnMinPlanner) PlanClass(old []shim.OwnedRange, target []core.ActionFrac
 		k := ownerKey{r.Node, r.Via}
 		width := r.Hi - r.Lo
 		keep := remaining[k] // zero for vanished owners
-		if keep > width {
+		// The cut must be the exact range bound when the keep consumes the
+		// whole range: recomputing it as r.Lo+keep can land 1 ulp off r.Hi,
+		// and CheckPartition compares adjacent bounds exactly.
+		cut := r.Lo + keep
+		if keep >= width {
 			keep = width
+			cut = r.Hi
 		}
 		if keep > 0 {
-			segs = append(segs, segment{lo: r.Lo, hi: r.Lo + keep, k: k, free: false})
+			segs = append(segs, segment{lo: r.Lo, hi: cut, k: k, free: false})
 			remaining[k] -= keep
 		}
 		if keep < width {
-			segs = append(segs, segment{lo: r.Lo + keep, hi: r.Hi, k: k, free: true})
+			segs = append(segs, segment{lo: cut, hi: r.Hi, k: k, free: true})
 		}
 	}
 
@@ -166,15 +171,18 @@ func (ChurnMinPlanner) PlanClass(old []shim.OwnedRange, target []core.ActionFrac
 			}
 			k := needy[ni]
 			take := remaining[k]
-			if take > sg.hi-lo {
-				take = sg.hi - lo
+			// When the grant is capped by the free segment's end, emit the
+			// exact boundary sg.hi: recomputing it as lo+take can land 1 ulp
+			// off, and the next segment starts at exactly sg.hi — a gap
+			// CheckPartition's exact comparison would reject.
+			hi := lo + take
+			if take >= sg.hi-lo || (ni == len(needy)-1 && sg.hi-lo-take < slackTolerance) {
+				take = sg.hi - lo // last needy owner also absorbs the crumbs
+				hi = sg.hi
 			}
-			if ni == len(needy)-1 && sg.hi-lo-take < slackTolerance {
-				take = sg.hi - lo // last needy owner absorbs the crumbs
-			}
-			emit(lo, lo+take, k)
+			emit(lo, hi, k)
 			remaining[k] -= take
-			lo += take
+			lo = hi
 		}
 		if lo < sg.hi {
 			// No needy owner left (pure float residue): extend whatever

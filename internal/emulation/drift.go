@@ -198,8 +198,10 @@ type shimFleet struct {
 	shims map[int]*shim.Shim
 }
 
-// Apply implements controller.Fleet: every node installs its config; any
-// rejection nacks the push. Node order is sorted so the run is
+// Apply implements controller.Fleet all-or-nothing: every config is
+// validated against its shim before any is installed, so a nacked push
+// leaves every node on its previous epoch and the controller's committed
+// state still describes the fleet. Node order is sorted so the run is
 // deterministic.
 func (f *shimFleet) Apply(_ int, _ controller.FleetPhase, cfgs map[int]*shim.Config) error {
 	nodes := make([]int, 0, len(cfgs))
@@ -209,13 +211,20 @@ func (f *shimFleet) Apply(_ int, _ controller.FleetPhase, cfgs map[int]*shim.Con
 	}
 	sort.Ints(nodes)
 	for _, node := range nodes {
+		if sh, ok := f.shims[node]; ok {
+			if err := sh.CheckConfig(cfgs[node]); err != nil {
+				return fmt.Errorf("node %d: %w", node, err)
+			}
+		}
+	}
+	for _, node := range nodes {
 		sh, ok := f.shims[node]
 		if !ok {
 			f.shims[node] = shim.New(cfgs[node])
 			continue
 		}
 		if err := sh.SetConfig(cfgs[node]); err != nil {
-			return fmt.Errorf("node %d: %w", node, err)
+			return fmt.Errorf("node %d: %w", node, err) // unreachable: checked above
 		}
 	}
 	return nil

@@ -91,6 +91,18 @@ func (s *Shim) Config() *Config { return s.cfg }
 // config for a different node or hash seed is rejected so a misaddressed
 // push cannot silently corrupt range ownership.
 func (s *Shim) SetConfig(cfg *Config) error {
+	if err := s.CheckConfig(cfg); err != nil {
+		return err
+	}
+	s.cfg = cfg
+	return nil
+}
+
+// CheckConfig validates a config against this shim without installing it:
+// exactly the checks SetConfig applies. A fleet pushing one epoch to many
+// shims can check every config first and only then install, so a nacked
+// push leaves no shim switched to the new epoch.
+func (s *Shim) CheckConfig(cfg *Config) error {
 	if cfg == nil {
 		return fmt.Errorf("shim: SetConfig with nil config")
 	}
@@ -100,7 +112,6 @@ func (s *Shim) SetConfig(cfg *Config) error {
 	if cfg.Seed != s.cfg.Seed {
 		return fmt.Errorf("shim: SetConfig with hash seed %d, shim uses %d", cfg.Seed, s.cfg.Seed)
 	}
-	s.cfg = cfg
 	return nil
 }
 
