@@ -82,6 +82,25 @@ func (b *Baseline) WriteFile(path string) error {
 	return os.WriteFile(path, []byte(sb.String()), 0o644)
 }
 
+// Prune drops accepted keys that no current finding matches — entries for
+// findings that stopped firing or files that no longer exist — and
+// returns the removed keys, sorted. A pruned baseline only shrinks, so
+// running prune can never mask a new violation.
+func (b *Baseline) Prune(findings []Finding) (stale []string) {
+	live := make(map[string]bool, len(findings))
+	for _, f := range findings {
+		live[f.Key()] = true
+	}
+	for k := range b.keys {
+		if !live[k] {
+			stale = append(stale, k)
+			delete(b.keys, k)
+		}
+	}
+	sort.Strings(stale)
+	return stale
+}
+
 // Len reports the number of accepted keys.
 func (b *Baseline) Len() int { return len(b.keys) }
 

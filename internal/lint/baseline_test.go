@@ -82,6 +82,24 @@ func TestBaselineFileFormat(t *testing.T) {
 	}
 }
 
+func TestBaselinePrune(t *testing.T) {
+	live := Finding{Rule: "floatcmp", File: "a.go", Message: "still fires"}
+	dead := Finding{Rule: "errdiscard", File: "gone.go", Message: "file deleted"}
+	b := NewBaseline([]Finding{live, dead})
+	stale := b.Prune([]Finding{live})
+	if len(stale) != 1 || stale[0] != dead.Key() {
+		t.Fatalf("Prune = %v, want exactly the dead key %q", stale, dead.Key())
+	}
+	if b.Len() != 1 || !b.Contains(live) || b.Contains(dead) {
+		t.Fatalf("after Prune: Len=%d Contains(live)=%v Contains(dead)=%v, want 1/true/false",
+			b.Len(), b.Contains(live), b.Contains(dead))
+	}
+	// A current baseline prunes nothing.
+	if stale := b.Prune([]Finding{live}); len(stale) != 0 {
+		t.Fatalf("second Prune = %v, want empty", stale)
+	}
+}
+
 func TestBaselineSortedOutput(t *testing.T) {
 	findings := []Finding{
 		{Rule: "z", File: "b.go", Message: "m2"},

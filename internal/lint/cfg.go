@@ -1,0 +1,557 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// cfg.go is the flow-aware layer's foundation: an intra-procedural control
+// flow graph over go/ast. Each function body becomes a graph of basic
+// blocks — a control transfer (branch, return, panic, goto, loop edge)
+// always ends a block, so a block's statements execute in order whenever
+// the block is entered. The builder models the constructs that matter to
+// path-sensitive rules:
+//
+//   - if/else, for (all three clauses), range;
+//   - switch/type switch with fallthrough, select with and without default;
+//   - labeled statements, labeled break/continue, goto (forward and back);
+//   - return and explicit terminators (panic, os.Exit, log.Fatal*,
+//     runtime.Goexit), which edge straight to the exit block — a panic
+//     path is therefore a real path rules must account for;
+//   - defer, recorded both in its block (for ordering) and in the CFG's
+//     Defers list (deferred calls run on every exit, including panics).
+//
+// Implicit panics (nil derefs, index errors inside arbitrary calls) are
+// deliberately not modeled; rules that care about panic-safety key off
+// deferred calls, which cover them, and explicit panic statements.
+
+// A Block is one basic block: statements that execute sequentially, plus
+// successor/predecessor edges. Stmts holds ast.Stmt and ast.Expr nodes
+// (conditions and switch tags appear as bare expressions) in execution
+// order.
+type Block struct {
+	// Index is the block's position in CFG.Blocks (creation order).
+	Index int
+	// Kind labels the block's structural role ("entry", "for.head",
+	// "select.default", ...) for dumps and debugging.
+	Kind  string
+	Stmts []ast.Node
+	Succs []*Block
+	Preds []*Block
+}
+
+// A CFG is the control flow graph of one function body.
+type CFG struct {
+	Entry  *Block
+	Exit   *Block
+	Blocks []*Block
+	// Defers lists deferred calls in registration order. Deferred calls
+	// execute on every exit path, including panic unwinding.
+	Defers []*ast.DeferStmt
+
+	dom [][]uint64 // lazily computed dominator sets, bit i of dom[b] = block i dominates b
+}
+
+// BuildCFG constructs the CFG of body. info may be nil; when present it is
+// used to recognize terminating calls (panic, os.Exit, ...) precisely.
+func BuildCFG(body *ast.BlockStmt, info *types.Info) *CFG {
+	b := &cfgBuilder{info: info, labels: map[string]*Block{}}
+	b.cfg = &CFG{}
+	b.cfg.Entry = b.block("entry")
+	b.cfg.Exit = b.block("exit")
+	b.cur = b.cfg.Entry
+	b.stmt(body)
+	b.endIn(b.cfg.Exit)
+	for _, g := range b.gotos {
+		if target, ok := b.labels[g.label]; ok {
+			b.edge(g.from, target)
+		}
+	}
+	return b.cfg
+}
+
+type pendingGoto struct {
+	from  *Block
+	label string
+}
+
+// frame is one enclosing breakable/continuable construct.
+type frame struct {
+	label string // enclosing statement label, "" if none
+	brk   *Block // break target
+	cont  *Block // continue target, nil for switch/select
+}
+
+type cfgBuilder struct {
+	cfg    *CFG
+	cur    *Block
+	info   *types.Info
+	frames []frame
+	labels map[string]*Block
+	gotos  []pendingGoto
+	// pendingLabel is the label of a LabeledStmt whose inner statement is
+	// about to be built; loops consume it for labeled break/continue.
+	pendingLabel string
+	// fallTargets tracks the next case clause per enclosing switch, for
+	// fallthrough statements.
+	fallTargets []*Block
+}
+
+func (b *cfgBuilder) block(kind string) *Block {
+	blk := &Block{Index: len(b.cfg.Blocks), Kind: kind}
+	b.cfg.Blocks = append(b.cfg.Blocks, blk)
+	return blk
+}
+
+// edge connects from -> to, deduplicating repeats.
+func (b *cfgBuilder) edge(from, to *Block) {
+	for _, s := range from.Succs {
+		if s == to {
+			return
+		}
+	}
+	from.Succs = append(from.Succs, to)
+	to.Preds = append(to.Preds, from)
+}
+
+// endIn closes the current block into target unless the current block is
+// unreachable dead code with nothing in it (the tail after a return).
+func (b *cfgBuilder) endIn(target *Block) {
+	if b.cur == target {
+		return
+	}
+	if len(b.cur.Preds) == 0 && b.cur != b.cfg.Entry && len(b.cur.Stmts) == 0 {
+		return
+	}
+	b.edge(b.cur, target)
+}
+
+// dead replaces the current block with an unreachable successor, after a
+// statement that never falls through (return, goto, break, panic).
+func (b *cfgBuilder) dead() {
+	b.cur = b.block("dead")
+}
+
+func (b *cfgBuilder) add(n ast.Node) {
+	b.cur.Stmts = append(b.cur.Stmts, n)
+}
+
+// takeLabel consumes the pending statement label.
+func (b *cfgBuilder) takeLabel() string {
+	l := b.pendingLabel
+	b.pendingLabel = ""
+	return l
+}
+
+// findFrame resolves a break/continue target. For continue, only frames
+// with a continue target (loops) qualify.
+func (b *cfgBuilder) findFrame(label string, needCont bool) *frame {
+	for i := len(b.frames) - 1; i >= 0; i-- {
+		f := &b.frames[i]
+		if needCont && f.cont == nil {
+			continue
+		}
+		if label == "" || f.label == label {
+			return f
+		}
+	}
+	return nil
+}
+
+func (b *cfgBuilder) stmt(s ast.Stmt) {
+	switch s := s.(type) {
+	case nil:
+	case *ast.BlockStmt:
+		for _, t := range s.List {
+			b.stmt(t)
+		}
+	case *ast.LabeledStmt:
+		lb := b.block("label." + s.Label.Name)
+		b.endIn(lb)
+		b.cur = lb
+		b.labels[s.Label.Name] = lb
+		b.pendingLabel = s.Label.Name
+		b.stmt(s.Stmt)
+	case *ast.IfStmt:
+		b.takeLabel()
+		if s.Init != nil {
+			b.stmt(s.Init)
+		}
+		b.add(s.Cond)
+		head := b.cur
+		then := b.block("if.then")
+		var els *Block
+		if s.Else != nil {
+			els = b.block("if.else")
+		}
+		done := b.block("if.done")
+		b.edge(head, then)
+		if els != nil {
+			b.edge(head, els)
+		} else {
+			b.edge(head, done)
+		}
+		b.cur = then
+		b.stmt(s.Body)
+		b.endIn(done)
+		if els != nil {
+			b.cur = els
+			b.stmt(s.Else)
+			b.endIn(done)
+		}
+		b.cur = done
+	case *ast.ForStmt:
+		label := b.takeLabel()
+		if s.Init != nil {
+			b.stmt(s.Init)
+		}
+		head := b.block("for.head")
+		b.endIn(head)
+		b.cur = head
+		if s.Cond != nil {
+			b.add(s.Cond)
+		}
+		body := b.block("for.body")
+		var post *Block
+		if s.Post != nil {
+			post = b.block("for.post")
+		}
+		done := b.block("for.done")
+		b.edge(head, body)
+		if s.Cond != nil {
+			b.edge(head, done)
+		}
+		cont := head
+		if post != nil {
+			cont = post
+		}
+		b.frames = append(b.frames, frame{label: label, brk: done, cont: cont})
+		b.cur = body
+		b.stmt(s.Body)
+		b.endIn(cont)
+		if post != nil {
+			b.cur = post
+			b.stmt(s.Post)
+			b.endIn(head)
+		}
+		b.frames = b.frames[:len(b.frames)-1]
+		b.cur = done
+	case *ast.RangeStmt:
+		label := b.takeLabel()
+		head := b.block("range.head")
+		b.endIn(head)
+		b.cur = head
+		b.add(s) // the RangeStmt itself carries the per-iteration defs
+		body := b.block("range.body")
+		done := b.block("range.done")
+		b.edge(head, body)
+		b.edge(head, done)
+		b.frames = append(b.frames, frame{label: label, brk: done, cont: head})
+		b.cur = body
+		b.stmt(s.Body)
+		b.endIn(head)
+		b.frames = b.frames[:len(b.frames)-1]
+		b.cur = done
+	case *ast.SwitchStmt:
+		label := b.takeLabel()
+		if s.Init != nil {
+			b.stmt(s.Init)
+		}
+		if s.Tag != nil {
+			b.add(s.Tag)
+		}
+		b.caseClauses(label, s.Body, nil)
+	case *ast.TypeSwitchStmt:
+		label := b.takeLabel()
+		if s.Init != nil {
+			b.stmt(s.Init)
+		}
+		b.caseClauses(label, s.Body, s.Assign)
+	case *ast.SelectStmt:
+		label := b.takeLabel()
+		head := b.cur
+		done := b.block("select.done")
+		b.frames = append(b.frames, frame{label: label, brk: done})
+		anyClause := false
+		for _, c := range s.Body.List {
+			cc, ok := c.(*ast.CommClause)
+			if !ok {
+				continue
+			}
+			anyClause = true
+			kind := "select.case"
+			if cc.Comm == nil {
+				kind = "select.default"
+			}
+			cb := b.block(kind)
+			b.edge(head, cb)
+			b.cur = cb
+			if cc.Comm != nil {
+				b.stmt(cc.Comm)
+			}
+			for _, t := range cc.Body {
+				b.stmt(t)
+			}
+			b.endIn(done)
+		}
+		if !anyClause {
+			b.edge(head, done)
+		}
+		b.frames = b.frames[:len(b.frames)-1]
+		b.cur = done
+	case *ast.BranchStmt:
+		b.add(s)
+		switch s.Tok.String() {
+		case "break":
+			label := ""
+			if s.Label != nil {
+				label = s.Label.Name
+			}
+			if f := b.findFrame(label, false); f != nil {
+				b.edge(b.cur, f.brk)
+			}
+			b.dead()
+		case "continue":
+			label := ""
+			if s.Label != nil {
+				label = s.Label.Name
+			}
+			if f := b.findFrame(label, true); f != nil {
+				b.edge(b.cur, f.cont)
+			}
+			b.dead()
+		case "goto":
+			if s.Label != nil {
+				b.gotos = append(b.gotos, pendingGoto{from: b.cur, label: s.Label.Name})
+			}
+			b.dead()
+		case "fallthrough":
+			if n := len(b.fallTargets); n > 0 && b.fallTargets[n-1] != nil {
+				b.edge(b.cur, b.fallTargets[n-1])
+			}
+			b.dead()
+		}
+	case *ast.ReturnStmt:
+		b.add(s)
+		b.edge(b.cur, b.cfg.Exit)
+		b.dead()
+	case *ast.DeferStmt:
+		b.add(s)
+		b.cfg.Defers = append(b.cfg.Defers, s)
+	case *ast.ExprStmt:
+		b.add(s)
+		if call, ok := ast.Unparen(s.X).(*ast.CallExpr); ok && b.isTerminalCall(call) {
+			b.edge(b.cur, b.cfg.Exit)
+			b.dead()
+		}
+	default:
+		// Assignments, declarations, sends, inc/dec, go statements, empty
+		// statements: straight-line code.
+		b.add(s)
+	}
+}
+
+// caseClauses builds the shared switch/type-switch clause structure.
+// assign, when non-nil, is the type switch's `x := y.(type)` statement,
+// replicated into every clause block (each clause has its own implicit
+// definition of x).
+func (b *cfgBuilder) caseClauses(label string, body *ast.BlockStmt, assign ast.Stmt) {
+	head := b.cur
+	done := b.block("switch.done")
+	b.frames = append(b.frames, frame{label: label, brk: done})
+	var clauses []*ast.CaseClause
+	for _, c := range body.List {
+		if cc, ok := c.(*ast.CaseClause); ok {
+			clauses = append(clauses, cc)
+		}
+	}
+	blocks := make([]*Block, len(clauses))
+	hasDefault := false
+	for i, cc := range clauses {
+		kind := "case"
+		if cc.List == nil {
+			kind = "case.default"
+			hasDefault = true
+		}
+		blocks[i] = b.block(kind)
+		b.edge(head, blocks[i])
+	}
+	if !hasDefault {
+		b.edge(head, done)
+	}
+	for i, cc := range clauses {
+		b.cur = blocks[i]
+		if assign != nil {
+			b.add(assign)
+		}
+		for _, e := range cc.List {
+			b.add(e)
+		}
+		var fall *Block
+		if i+1 < len(blocks) {
+			fall = blocks[i+1]
+		}
+		b.fallTargets = append(b.fallTargets, fall)
+		for _, t := range cc.Body {
+			b.stmt(t)
+		}
+		b.fallTargets = b.fallTargets[:len(b.fallTargets)-1]
+		b.endIn(done)
+	}
+	b.frames = b.frames[:len(b.frames)-1]
+	b.cur = done
+}
+
+// isTerminalCall reports whether the call never returns: the panic builtin
+// or a recognized process/goroutine terminator.
+func (b *cfgBuilder) isTerminalCall(call *ast.CallExpr) bool {
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		if fun.Name != "panic" {
+			return false
+		}
+		if b.info == nil {
+			return true
+		}
+		obj := b.info.Uses[fun]
+		_, isBuiltin := obj.(*types.Builtin)
+		return isBuiltin
+	case *ast.SelectorExpr:
+		if b.info == nil {
+			return false
+		}
+		f, ok := b.info.Uses[fun.Sel].(*types.Func)
+		if !ok || f.Pkg() == nil {
+			return false
+		}
+		switch f.Pkg().Path() {
+		case "os":
+			return f.Name() == "Exit"
+		case "runtime":
+			return f.Name() == "Goexit"
+		case "log":
+			return strings.HasPrefix(f.Name(), "Fatal") || strings.HasPrefix(f.Name(), "Panic")
+		}
+	}
+	return false
+}
+
+// ReachableWithout reports whether `to` can be reached from `from` along
+// edges avoiding blocks for which avoid returns true. from and to
+// themselves are not filtered: the caller decides their role.
+func (c *CFG) ReachableWithout(from, to *Block, avoid func(*Block) bool) bool {
+	if from == to {
+		return true
+	}
+	seen := make([]bool, len(c.Blocks))
+	stack := []*Block{from}
+	seen[from.Index] = true
+	for len(stack) > 0 {
+		blk := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		for _, s := range blk.Succs {
+			if s == to {
+				return true
+			}
+			if !seen[s.Index] && !avoid(s) {
+				seen[s.Index] = true
+				stack = append(stack, s)
+			}
+		}
+	}
+	return false
+}
+
+// Dominates reports whether block a dominates block b: every path from the
+// entry to b passes through a. Unreachable blocks are dominated by
+// everything (the standard convention), which is harmless for rules since
+// unreachable code has no paths to reason about.
+func (c *CFG) Dominates(a, b *Block) bool {
+	if c.dom == nil {
+		c.computeDominators()
+	}
+	return c.dom[b.Index][a.Index/64]&(1<<(a.Index%64)) != 0
+}
+
+func (c *CFG) computeDominators() {
+	n := len(c.Blocks)
+	words := (n + 63) / 64
+	full := make([]uint64, words)
+	for i := 0; i < n; i++ {
+		full[i/64] |= 1 << (i % 64)
+	}
+	c.dom = make([][]uint64, n)
+	for i := range c.dom {
+		c.dom[i] = make([]uint64, words)
+		copy(c.dom[i], full)
+	}
+	entry := c.Entry.Index
+	for w := range c.dom[entry] {
+		c.dom[entry][w] = 0
+	}
+	c.dom[entry][entry/64] = 1 << (entry % 64)
+	changed := true
+	for changed {
+		changed = false
+		for _, blk := range c.Blocks {
+			if blk == c.Entry {
+				continue
+			}
+			tmp := make([]uint64, words)
+			copy(tmp, full)
+			any := false
+			for _, p := range blk.Preds {
+				any = true
+				for w := range tmp {
+					tmp[w] &= c.dom[p.Index][w]
+				}
+			}
+			if !any {
+				// Unreachable: keep the full set.
+				continue
+			}
+			tmp[blk.Index/64] |= 1 << (blk.Index % 64)
+			for w := range tmp {
+				if tmp[w] != c.dom[blk.Index][w] {
+					c.dom[blk.Index] = tmp
+					changed = true
+					break
+				}
+			}
+		}
+	}
+}
+
+// Dump renders the graph as one line per block with its kind, successor
+// and predecessor sets — the golden-test format:
+//
+//	b0 entry -> b2 ; preds:
+//	b2 for.head -> b3 b4 ; preds: b0 b3
+func (c *CFG) Dump() string {
+	var sb strings.Builder
+	for _, blk := range c.Blocks {
+		// Omit unreachable empty dead blocks; they carry no information.
+		if blk.Kind == "dead" && len(blk.Preds) == 0 && len(blk.Stmts) == 0 {
+			continue
+		}
+		fmt.Fprintf(&sb, "b%d %s ->", blk.Index, blk.Kind)
+		for _, s := range sortedByIndex(blk.Succs) {
+			fmt.Fprintf(&sb, " b%d", s.Index)
+		}
+		sb.WriteString(" ; preds:")
+		for _, p := range sortedByIndex(blk.Preds) {
+			fmt.Fprintf(&sb, " b%d", p.Index)
+		}
+		sb.WriteByte('\n')
+	}
+	return sb.String()
+}
+
+func sortedByIndex(bs []*Block) []*Block {
+	out := append([]*Block(nil), bs...)
+	sort.Slice(out, func(i, j int) bool { return out[i].Index < out[j].Index })
+	return out
+}

@@ -1,0 +1,336 @@
+package lint
+
+import (
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"strings"
+	"testing"
+)
+
+// cfgFixture is a package of adversarially shaped functions; each function
+// gets its CFG built and compared against a golden successor/predecessor
+// dump in cfgGoldens.
+const cfgFixture = `package p
+
+import "sync"
+
+func straight(a int) int {
+	b := a + 1
+	return b
+}
+
+func ifElse(a int) int {
+	if a > 0 {
+		a++
+	} else {
+		a--
+	}
+	return a
+}
+
+func labeledBreak(xs [][]int) int {
+	total := 0
+outer:
+	for i := 0; i < len(xs); i++ {
+		for _, v := range xs[i] {
+			if v < 0 {
+				break outer
+			}
+			if v == 0 {
+				continue outer
+			}
+			total += v
+		}
+	}
+	return total
+}
+
+func gotoLoop(n int) int {
+	i := 0
+loop:
+	if i < n {
+		i++
+		goto loop
+	}
+	goto done
+done:
+	return i
+}
+
+func selectDefault(ch chan int) int {
+	select {
+	case v := <-ch:
+		return v
+	case ch <- 1:
+	default:
+		return -1
+	}
+	return 0
+}
+
+func deferredUnlock(mu *sync.Mutex, m map[string]int, k string) int {
+	mu.Lock()
+	defer mu.Unlock()
+	if v, ok := m[k]; ok {
+		return v
+	}
+	return 0
+}
+
+func panicRecover(f func() error) (err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			err = nil
+		}
+	}()
+	if f == nil {
+		panic("nil f")
+	}
+	return f()
+}
+
+func switchFall(n int) string {
+	s := ""
+	switch n {
+	case 0:
+		s = "zero"
+		fallthrough
+	case 1:
+		s += "one"
+	default:
+		s = "many"
+	}
+	return s
+}
+`
+
+// cfgGoldens pins the successor/predecessor sets per fixture function.
+var cfgGoldens = map[string]string{
+	"straight": `b0 entry -> b1 ; preds:
+b1 exit -> ; preds: b0
+`,
+	"ifElse": `b0 entry -> b2 b3 ; preds:
+b1 exit -> ; preds: b4
+b2 if.then -> b4 ; preds: b0
+b3 if.else -> b4 ; preds: b0
+b4 if.done -> b1 ; preds: b2 b3
+`,
+	// break outer edges to the outer loop's for.done (b10 -> b6); continue
+	// outer edges to the outer loop's post statement (b13 -> b5).
+	"labeledBreak": `b0 entry -> b2 ; preds:
+b1 exit -> ; preds: b6
+b2 label.outer -> b3 ; preds: b0
+b3 for.head -> b4 b6 ; preds: b2 b5
+b4 for.body -> b7 ; preds: b3
+b5 for.post -> b3 ; preds: b9 b13
+b6 for.done -> b1 ; preds: b3 b10
+b7 range.head -> b8 b9 ; preds: b4 b14
+b8 range.body -> b10 b11 ; preds: b7
+b9 range.done -> b5 ; preds: b7
+b10 if.then -> b6 ; preds: b8
+b11 if.done -> b13 b14 ; preds: b8
+b13 if.then -> b5 ; preds: b11
+b14 if.done -> b7 ; preds: b11
+`,
+	// The backward goto (b3 -> b2) closes the loop; the forward goto lands
+	// on the label.done block; unreachable empty blocks are omitted.
+	"gotoLoop": `b0 entry -> b2 ; preds:
+b1 exit -> ; preds: b7
+b2 label.loop -> b3 b4 ; preds: b0 b3
+b3 if.then -> b2 ; preds: b2
+b4 if.done -> b7 ; preds: b2
+b7 label.done -> b1 ; preds: b4
+`,
+	// Returning cases (b3, b6) edge straight to exit; the empty send case
+	// (b5) falls through to select.done, which carries the trailing return.
+	"selectDefault": `b0 entry -> b3 b5 b6 ; preds:
+b1 exit -> ; preds: b2 b3 b6
+b2 select.done -> b1 ; preds: b5
+b3 select.case -> b1 ; preds: b0
+b5 select.case -> b2 ; preds: b0
+b6 select.default -> b1 ; preds: b0
+`,
+	"deferredUnlock": `b0 entry -> b2 b3 ; preds:
+b1 exit -> ; preds: b2 b3
+b2 if.then -> b1 ; preds: b0
+b3 if.done -> b1 ; preds: b0
+`,
+	"panicRecover": `b0 entry -> b2 b3 ; preds:
+b1 exit -> ; preds: b2 b3
+b2 if.then -> b1 ; preds: b0
+b3 if.done -> b1 ; preds: b0
+`,
+	// fallthrough edges case 0's block into case 1's block (b3 -> b4).
+	"switchFall": `b0 entry -> b3 b4 b5 ; preds:
+b1 exit -> ; preds: b2
+b2 switch.done -> b1 ; preds: b4 b5
+b3 case -> b4 ; preds: b0
+b4 case -> b2 ; preds: b0 b3
+b5 case.default -> b2 ; preds: b0
+`,
+}
+
+// buildFixtureCFGs type-checks cfgFixture and returns the CFG per function.
+func buildFixtureCFGs(t *testing.T) (map[string]*CFG, map[string]*ast.FuncDecl) {
+	t.Helper()
+	fset := token.NewFileSet()
+	file, err := parser.ParseFile(fset, "cfgfixture.go", cfgFixture, parser.ParseComments)
+	if err != nil {
+		t.Fatalf("parse fixture: %v", err)
+	}
+	info := &types.Info{
+		Types: make(map[ast.Expr]types.TypeAndValue),
+		Defs:  make(map[*ast.Ident]types.Object),
+		Uses:  make(map[*ast.Ident]types.Object),
+	}
+	conf := types.Config{Importer: importer.ForCompiler(fset, "source", nil)}
+	if _, err := conf.Check("p", fset, []*ast.File{file}, info); err != nil {
+		t.Fatalf("type-check fixture: %v", err)
+	}
+	cfgs := make(map[string]*CFG)
+	decls := make(map[string]*ast.FuncDecl)
+	for _, d := range file.Decls {
+		fd, ok := d.(*ast.FuncDecl)
+		if !ok || fd.Body == nil {
+			continue
+		}
+		cfgs[fd.Name.Name] = BuildCFG(fd.Body, info)
+		decls[fd.Name.Name] = fd
+	}
+	return cfgs, decls
+}
+
+func TestCFGGoldens(t *testing.T) {
+	cfgs, _ := buildFixtureCFGs(t)
+	for name, want := range cfgGoldens {
+		cfg, ok := cfgs[name]
+		if !ok {
+			t.Errorf("fixture function %s not found", name)
+			continue
+		}
+		if got := cfg.Dump(); got != want {
+			t.Errorf("%s: CFG mismatch\n--- got ---\n%s--- want ---\n%s", name, got, want)
+		}
+	}
+	for name := range cfgs {
+		if _, ok := cfgGoldens[name]; !ok {
+			t.Errorf("fixture function %s has no golden", name)
+		}
+	}
+}
+
+// TestCFGInvariants checks structural properties that must hold for every
+// fixture CFG: edge symmetry, entry/exit identity, and reachability of the
+// exit for functions that return.
+func TestCFGInvariants(t *testing.T) {
+	cfgs, _ := buildFixtureCFGs(t)
+	for name, cfg := range cfgs {
+		if cfg.Entry.Kind != "entry" || cfg.Exit.Kind != "exit" {
+			t.Errorf("%s: entry/exit kinds = %q/%q", name, cfg.Entry.Kind, cfg.Exit.Kind)
+		}
+		for _, blk := range cfg.Blocks {
+			for _, s := range blk.Succs {
+				if !containsBlock(s.Preds, blk) {
+					t.Errorf("%s: edge b%d->b%d missing from preds", name, blk.Index, s.Index)
+				}
+			}
+			for _, p := range blk.Preds {
+				if !containsBlock(p.Succs, blk) {
+					t.Errorf("%s: pred b%d of b%d missing succ edge", name, p.Index, blk.Index)
+				}
+			}
+		}
+		if !cfg.ReachableWithout(cfg.Entry, cfg.Exit, func(*Block) bool { return false }) {
+			t.Errorf("%s: exit unreachable from entry", name)
+		}
+	}
+}
+
+func TestCFGDefers(t *testing.T) {
+	cfgs, _ := buildFixtureCFGs(t)
+	if n := len(cfgs["deferredUnlock"].Defers); n != 1 {
+		t.Errorf("deferredUnlock: %d deferred calls, want 1", n)
+	}
+	if n := len(cfgs["panicRecover"].Defers); n != 1 {
+		t.Errorf("panicRecover: %d deferred calls, want 1", n)
+	}
+	if n := len(cfgs["straight"].Defers); n != 0 {
+		t.Errorf("straight: %d deferred calls, want 0", n)
+	}
+}
+
+// TestCFGPanicEdge checks that an explicit panic statement edges to the
+// exit block: the then-branch of panicRecover must reach exit without
+// passing the return statement's block.
+func TestCFGPanicEdge(t *testing.T) {
+	cfgs, _ := buildFixtureCFGs(t)
+	cfg := cfgs["panicRecover"]
+	var panicBlock *Block
+	for _, blk := range cfg.Blocks {
+		for _, st := range blk.Stmts {
+			es, ok := st.(*ast.ExprStmt)
+			if !ok {
+				continue
+			}
+			if call, ok := es.X.(*ast.CallExpr); ok {
+				if id, ok := call.Fun.(*ast.Ident); ok && id.Name == "panic" {
+					panicBlock = blk
+				}
+			}
+		}
+	}
+	if panicBlock == nil {
+		t.Fatal("no panic block found")
+	}
+	if !containsBlock(panicBlock.Succs, cfg.Exit) {
+		t.Errorf("panic block b%d does not edge to exit", panicBlock.Index)
+	}
+}
+
+func TestCFGDominators(t *testing.T) {
+	cfgs, _ := buildFixtureCFGs(t)
+	cfg := cfgs["ifElse"]
+	if !cfg.Dominates(cfg.Entry, cfg.Exit) {
+		t.Error("entry must dominate exit")
+	}
+	for _, blk := range cfg.Blocks {
+		if blk.Kind == "if.then" && cfg.Dominates(blk, cfg.Exit) {
+			t.Error("if.then must not dominate exit (else path exists)")
+		}
+		if blk.Kind == "if.done" && !cfg.Dominates(blk, cfg.Exit) {
+			t.Error("if.done must dominate exit")
+		}
+	}
+	// In deferredUnlock both the early return and the fallthrough return
+	// reach exit, so neither branch block dominates it, but entry does.
+	cfg = cfgs["deferredUnlock"]
+	if !cfg.Dominates(cfg.Entry, cfg.Exit) {
+		t.Error("deferredUnlock: entry must dominate exit")
+	}
+}
+
+func containsBlock(bs []*Block, b *Block) bool {
+	for _, x := range bs {
+		if x == b {
+			return true
+		}
+	}
+	return false
+}
+
+// TestCFGDumpStable ensures Dump is deterministic (sorted edges).
+func TestCFGDumpStable(t *testing.T) {
+	cfgs, _ := buildFixtureCFGs(t)
+	for name, cfg := range cfgs {
+		a, b := cfg.Dump(), cfg.Dump()
+		if a != b {
+			t.Errorf("%s: Dump not deterministic", name)
+		}
+		if !strings.HasPrefix(a, "b0 entry") {
+			t.Errorf("%s: dump does not start with entry: %q", name, a[:min(len(a), 40)])
+		}
+	}
+}

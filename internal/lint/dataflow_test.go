@@ -1,0 +1,307 @@
+package lint
+
+import (
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+	"testing"
+)
+
+const dfFixture = `package p
+
+import "sync"
+
+func reassign(a int) int {
+	x := a
+	if a > 0 {
+		x = 1
+	}
+	y := x // marker:useX
+	return y
+}
+
+func loopCarried(n int) int {
+	s := 0
+	for i := 0; i < n; i++ {
+		s = s + i // marker:useS
+	}
+	return s // marker:useSAfter
+}
+
+func boundary(lo, take, end float64) float64 {
+	hi := lo + take
+	if take >= end-lo {
+		hi = end
+	}
+	return hi // marker:useHi
+}
+
+func selfRef(x int) int {
+	x = x + 1 // marker:selfX
+	return x
+}
+
+type server struct {
+	mu sync.Mutex
+	wg sync.WaitGroup
+	n  int
+}
+
+func (s *server) lockWrapper()   { s.mu.Lock() }
+func (s *server) unlockWrapper() { s.mu.Unlock() }
+
+func (s *server) loop() {
+	defer s.wg.Done()
+	for i := 0; i < 3; i++ {
+		s.n++
+	}
+}
+
+func (s *server) maybeDone(ok bool) {
+	if ok {
+		s.wg.Done()
+	}
+}
+
+func (s *server) branchDone(ok bool) {
+	if ok {
+		s.wg.Done()
+		return
+	}
+	s.wg.Done()
+}
+
+func sender(ch chan int, v int) {
+	ch <- v
+}
+
+func condSender(ch chan int, v int) {
+	if v > 0 {
+		ch <- v
+	}
+}
+`
+
+type dfPackage struct {
+	fset  *token.FileSet
+	file  *ast.File
+	info  *types.Info
+	funcs map[string]*ast.FuncDecl
+}
+
+func loadDFFixture(t *testing.T) *dfPackage {
+	t.Helper()
+	fset := token.NewFileSet()
+	file, err := parser.ParseFile(fset, "dffixture.go", dfFixture, parser.ParseComments)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	info := &types.Info{
+		Types:      make(map[ast.Expr]types.TypeAndValue),
+		Defs:       make(map[*ast.Ident]types.Object),
+		Uses:       make(map[*ast.Ident]types.Object),
+		Selections: make(map[*ast.SelectorExpr]*types.Selection),
+	}
+	conf := types.Config{Importer: importer.ForCompiler(fset, "source", nil)}
+	if _, err := conf.Check("p", fset, []*ast.File{file}, info); err != nil {
+		t.Fatalf("type-check: %v", err)
+	}
+	funcs := map[string]*ast.FuncDecl{}
+	for _, d := range file.Decls {
+		if fd, ok := d.(*ast.FuncDecl); ok {
+			funcs[fd.Name.Name] = fd
+		}
+	}
+	return &dfPackage{fset: fset, file: file, info: info, funcs: funcs}
+}
+
+// identAtMarker finds the first identifier named name on the line carrying
+// the given // marker comment.
+func (p *dfPackage) identAtMarker(t *testing.T, marker, name string) *ast.Ident {
+	t.Helper()
+	var markerLine int
+	for _, cg := range p.file.Comments {
+		for _, c := range cg.List {
+			if strings.Contains(c.Text, marker) {
+				markerLine = p.fset.Position(c.Pos()).Line
+			}
+		}
+	}
+	if markerLine == 0 {
+		t.Fatalf("marker %q not found", marker)
+	}
+	var found *ast.Ident
+	ast.Inspect(p.file, func(n ast.Node) bool {
+		if id, ok := n.(*ast.Ident); ok && id.Name == name &&
+			p.fset.Position(id.Pos()).Line == markerLine && found == nil {
+			found = id
+		}
+		return true
+	})
+	if found == nil {
+		t.Fatalf("ident %q on marker line %d not found", name, markerLine)
+	}
+	return found
+}
+
+// defKinds summarizes a def list as sorted strings: "param" for entry
+// definitions, otherwise the RHS rendering or the node type.
+func defKinds(t *testing.T, fset *token.FileSet, defs []*Def) []string {
+	t.Helper()
+	var out []string
+	for _, d := range defs {
+		switch {
+		case d.IsParam():
+			out = append(out, "param")
+		case d.Rhs != nil:
+			out = append(out, exprString(fset, d.Rhs))
+		default:
+			out = append(out, "other")
+		}
+	}
+	sort.Strings(out)
+	return out
+}
+
+// exprString slices the expression's source text out of the fixture.
+func exprString(fset *token.FileSet, e ast.Expr) string {
+	f := fset.File(e.Pos())
+	return dfFixture[f.Offset(e.Pos()):f.Offset(e.End())]
+}
+
+func buildDF(t *testing.T, p *dfPackage, fn string) *Dataflow {
+	t.Helper()
+	fd := p.funcs[fn]
+	if fd == nil {
+		t.Fatalf("function %s not found", fn)
+	}
+	return NewDataflow(fd, BuildCFG(fd.Body, p.info), p.info)
+}
+
+func TestReachingDefsMerge(t *testing.T) {
+	p := loadDFFixture(t)
+	df := buildDF(t, p, "reassign")
+	use := p.identAtMarker(t, "marker:useX", "x")
+	got := defKinds(t, p.fset, df.DefsOf(use))
+	want := []string{"1", "a"}
+	if strings.Join(got, ",") != strings.Join(want, ",") {
+		t.Errorf("defs of x = %v, want %v", got, want)
+	}
+}
+
+func TestReachingDefsLoop(t *testing.T) {
+	p := loadDFFixture(t)
+	df := buildDF(t, p, "loopCarried")
+	// Inside the loop body, s's defs are the init 0 and the loop-carried
+	// s+i from the previous iteration.
+	use := p.identAtMarker(t, "marker:useS", "s")
+	got := defKinds(t, p.fset, df.DefsOf(use))
+	want := []string{"0", "s + i"}
+	if strings.Join(got, ",") != strings.Join(want, ",") {
+		t.Errorf("defs of s in loop = %v, want %v", got, want)
+	}
+	// After the loop both still reach (zero-iteration path).
+	after := p.identAtMarker(t, "marker:useSAfter", "s")
+	got = defKinds(t, p.fset, df.DefsOf(after))
+	if strings.Join(got, ",") != strings.Join(want, ",") {
+		t.Errorf("defs of s after loop = %v, want %v", got, want)
+	}
+}
+
+func TestReachingDefsBoundary(t *testing.T) {
+	p := loadDFFixture(t)
+	df := buildDF(t, p, "boundary")
+	// At the return, hi is either lo+take or the exact endpoint `end` —
+	// the shape boundaryexact keys on.
+	use := p.identAtMarker(t, "marker:useHi", "hi")
+	got := defKinds(t, p.fset, df.DefsOf(use))
+	want := []string{"end", "lo + take"}
+	if strings.Join(got, ",") != strings.Join(want, ",") {
+		t.Errorf("defs of hi = %v, want %v", got, want)
+	}
+	// The uses of lo and take inside `hi := lo + take` see only params.
+	defs := df.DefsOf(p.identAtMarker(t, "marker:useHi", "hi"))
+	for _, d := range defs {
+		if d.Rhs == nil {
+			continue
+		}
+		ast.Inspect(d.Rhs, func(n ast.Node) bool {
+			if id, ok := n.(*ast.Ident); ok {
+				for _, dd := range df.DefsOf(id) {
+					if !dd.IsParam() {
+						t.Errorf("def of %s inside RHS should be a param, got %T", id.Name, dd.Node)
+					}
+				}
+			}
+			return true
+		})
+	}
+}
+
+func TestReachingDefsSelfReference(t *testing.T) {
+	p := loadDFFixture(t)
+	df := buildDF(t, p, "selfRef")
+	// In `x = x + 1`, the RHS use of x sees only the parameter definition,
+	// not the assignment it appears in.
+	var rhsX *ast.Ident
+	ast.Inspect(p.funcs["selfRef"].Body, func(n ast.Node) bool {
+		if as, ok := n.(*ast.AssignStmt); ok {
+			ast.Inspect(as.Rhs[0], func(m ast.Node) bool {
+				if id, ok := m.(*ast.Ident); ok && id.Name == "x" {
+					rhsX = id
+				}
+				return true
+			})
+		}
+		return true
+	})
+	if rhsX == nil {
+		t.Fatal("no RHS x found")
+	}
+	defs := df.DefsOf(rhsX)
+	if len(defs) != 1 || !defs[0].IsParam() {
+		t.Errorf("defs of RHS x = %v (want exactly the param)", defKinds(t, p.fset, defs))
+	}
+}
+
+func TestSummaries(t *testing.T) {
+	p := loadDFFixture(t)
+	sums := BuildSummaries([]*ast.File{p.file}, p.info)
+	get := func(name string) *Effects {
+		t.Helper()
+		obj := p.info.Defs[p.funcs[name].Name]
+		e := sums[obj]
+		if e == nil {
+			t.Fatalf("no summary for %s", name)
+		}
+		return e
+	}
+	if e := get("lockWrapper"); len(e.Locks) != 1 || e.Locks[0] != "recv.mu" {
+		t.Errorf("lockWrapper.Locks = %v, want [recv.mu]", e.Locks)
+	}
+	if e := get("unlockWrapper"); len(e.Unlocks) != 1 || e.Unlocks[0] != "recv.mu" {
+		t.Errorf("unlockWrapper.Unlocks = %v, want [recv.mu]", e.Unlocks)
+	}
+	if e := get("loop"); !e.HasDoneOnField("wg") || !e.HasAnyDone() {
+		t.Errorf("loop should Done recv.wg on all paths: %v", e.Dones)
+	}
+	if e := get("maybeDone"); e.HasAnyDone() {
+		t.Errorf("maybeDone completes wg only conditionally, got %v", e.Dones)
+	}
+	if e := get("branchDone"); !e.HasDoneOnField("wg") {
+		t.Errorf("branchDone completes wg on both branches, got %v", e.Dones)
+	}
+	if e := get("sender"); !e.Sends {
+		t.Error("sender should send on all paths")
+	}
+	if e := get("condSender"); e.Sends {
+		t.Error("condSender sends only conditionally")
+	}
+	if e := get("reassign"); e.HasAnyDone() || e.Sends || len(e.Locks)+len(e.Unlocks) != 0 {
+		t.Errorf("reassign should have an empty summary: %+v", e)
+	}
+}

@@ -1,0 +1,134 @@
+package lint
+
+import (
+	"fmt"
+	"go/token"
+	"os"
+	"path/filepath"
+	"sort"
+)
+
+// fix.go carries machine-applicable suggested edits from analyzers to the
+// driver. An analyzer attaches a SuggestedFix (position-based text edits)
+// via Pass.ReportFix; the framework renders it into a serializable Fix
+// (file + byte offsets + line/column) on the finding, and ApplyFixes
+// rewrites the files. Fixes must be idempotent by construction: applying
+// one removes the finding, so a second -fix pass has nothing to change.
+
+// A TextEdit replaces the source range [Pos, End) with NewText. Pos == End
+// is a pure insertion.
+type TextEdit struct {
+	Pos, End token.Pos
+	NewText  string
+}
+
+// A SuggestedFix is a machine-applicable repair proposed by an analyzer.
+type SuggestedFix struct {
+	// Message describes the repair ("assign the discarded error to _").
+	Message string
+	Edits   []TextEdit
+}
+
+// An Edit is one serialized text replacement: byte offsets for machine
+// application, line/column for renderers (SARIF regions).
+type Edit struct {
+	File      string `json:"file"`
+	Offset    int    `json:"offset"`
+	Length    int    `json:"length"`
+	Line      int    `json:"line"`
+	Column    int    `json:"column"`
+	EndLine   int    `json:"endLine"`
+	EndColumn int    `json:"endColumn"`
+	NewText   string `json:"newText"`
+}
+
+// A Fix is the serialized form of a SuggestedFix attached to a Finding.
+type Fix struct {
+	Message string `json:"message"`
+	Edits   []Edit `json:"edits"`
+}
+
+// ReportFix records a finding at pos carrying a machine-applicable fix.
+func (p *Pass) ReportFix(pos token.Pos, fix *SuggestedFix, format string, args ...any) {
+	p.report(pos, p.renderFix(fix), format, args...)
+}
+
+// renderFix converts position-based edits to file/offset form, using the
+// same base-dir-relative file spelling as findings.
+func (p *Pass) renderFix(fix *SuggestedFix) *Fix {
+	if fix == nil {
+		return nil
+	}
+	out := &Fix{Message: fix.Message}
+	for _, e := range fix.Edits {
+		start := p.Fset.Position(e.Pos)
+		end := p.Fset.Position(e.End)
+		out.Edits = append(out.Edits, Edit{
+			File:      p.relPath(start.Filename),
+			Offset:    start.Offset,
+			Length:    end.Offset - start.Offset,
+			Line:      start.Line,
+			Column:    start.Column,
+			EndLine:   end.Line,
+			EndColumn: end.Column,
+			NewText:   e.NewText,
+		})
+	}
+	return out
+}
+
+// ApplyFixes applies every finding's fix to the files under root (the
+// load root findings' relative paths resolve against). Overlapping fixes
+// are resolved first-come: a fix touching a byte range an earlier fix
+// already modified is skipped and counted. It returns the rewritten file
+// paths (root-relative, sorted) and the number of fixes applied/skipped.
+func ApplyFixes(root string, findings []Finding) (changed []string, applied, skipped int, err error) {
+	type span struct {
+		off, end int
+		text     string
+	}
+	perFile := map[string][]span{}
+	for _, f := range findings {
+		if f.Fix == nil {
+			continue
+		}
+		// All edits of one fix apply or none do.
+		ok := true
+		for _, e := range f.Fix.Edits {
+			for _, s := range perFile[e.File] {
+				if e.Offset < s.end && s.off < e.Offset+e.Length ||
+					(e.Length == 0 && s.off == e.Offset && s.end == e.Offset) {
+					ok = false
+				}
+			}
+		}
+		if !ok {
+			skipped++
+			continue
+		}
+		applied++
+		for _, e := range f.Fix.Edits {
+			perFile[e.File] = append(perFile[e.File], span{off: e.Offset, end: e.Offset + e.Length, text: e.NewText})
+		}
+	}
+	for file, spans := range perFile {
+		path := filepath.Join(root, filepath.FromSlash(file))
+		src, rerr := os.ReadFile(path)
+		if rerr != nil {
+			return nil, 0, 0, fmt.Errorf("applying fixes: %w", rerr)
+		}
+		sort.Slice(spans, func(i, j int) bool { return spans[i].off > spans[j].off })
+		for _, s := range spans {
+			if s.off < 0 || s.end > len(src) || s.off > s.end {
+				return nil, 0, 0, fmt.Errorf("applying fixes: edit [%d,%d) out of range for %s", s.off, s.end, file)
+			}
+			src = append(src[:s.off], append([]byte(s.text), src[s.end:]...)...)
+		}
+		if werr := os.WriteFile(path, src, 0o644); werr != nil {
+			return nil, 0, 0, fmt.Errorf("applying fixes: %w", werr)
+		}
+		changed = append(changed, file)
+	}
+	sort.Strings(changed)
+	return changed, applied, skipped, nil
+}

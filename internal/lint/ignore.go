@@ -66,7 +66,26 @@ func parseDirectives(fset *token.FileSet, file *ast.File, baseDir string) ([]dir
 			}
 			rest := strings.TrimPrefix(c.Text, ignorePrefix)
 			fields := strings.Fields(rest)
-			if len(fields) < 2 {
+			// The rule list may be written with spaces after the commas
+			// ("rulea, ruleb reason"), which splits it across fields: keep
+			// consuming fields into the rule set while the previous one ends
+			// with a comma, then everything left is the reason.
+			rules := make(map[string]bool)
+			i := 0
+			for i < len(fields) {
+				f := fields[i]
+				for _, r := range strings.Split(f, ",") {
+					if r != "" {
+						rules[r] = true
+					}
+				}
+				i++
+				if !strings.HasSuffix(f, ",") {
+					break
+				}
+			}
+			reason := strings.TrimSpace(strings.Join(fields[i:], " "))
+			if len(rules) == 0 || reason == "" {
 				bad = append(bad, Finding{
 					Rule:    "lint",
 					File:    fname,
@@ -75,12 +94,6 @@ func parseDirectives(fset *token.FileSet, file *ast.File, baseDir string) ([]dir
 					Message: "malformed //lint:ignore directive: want //lint:ignore <rule[,rule]> <reason>",
 				})
 				continue
-			}
-			rules := make(map[string]bool)
-			for _, r := range strings.Split(fields[0], ",") {
-				if r != "" {
-					rules[r] = true
-				}
 			}
 			sameLine, nextLine := true, true
 			if tf := fset.File(c.Pos()); tf != nil && src != nil {
@@ -100,7 +113,7 @@ func parseDirectives(fset *token.FileSet, file *ast.File, baseDir string) ([]dir
 				sameLine: sameLine,
 				nextLine: nextLine,
 				rules:    rules,
-				reason:   strings.Join(fields[1:], " "),
+				reason:   reason,
 			})
 		}
 	}

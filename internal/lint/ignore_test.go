@@ -46,6 +46,42 @@ var c int
 	}
 }
 
+// TestParseDirectivesCommaSpace pins the fix for the rule-list split bug:
+// "rulea, ruleb" (space after the comma) used to silence only rulea and
+// swallow "ruleb" into the reason.
+func TestParseDirectivesCommaSpace(t *testing.T) {
+	src := `package p
+
+//lint:ignore rulea, ruleb spaced list reason
+var a int
+
+//lint:ignore rulea,
+var b int
+
+//lint:ignore rulea,ruleb, rulec three rules
+var c int
+`
+	_, dirs, bad := parseSrc(t, src)
+	if len(dirs) != 2 {
+		t.Fatalf("parsed %d directives, want 2: %v", len(dirs), dirs)
+	}
+	d0 := dirs[0]
+	if !d0.rules["rulea"] || !d0.rules["ruleb"] || len(d0.rules) != 2 {
+		t.Errorf("directive[0].rules = %v, want {rulea, ruleb}", d0.rules)
+	}
+	if d0.reason != "spaced list reason" {
+		t.Errorf("directive[0].reason = %q, want the full reason after the rule list", d0.reason)
+	}
+	d1 := dirs[1]
+	if !d1.rules["rulea"] || !d1.rules["ruleb"] || !d1.rules["rulec"] || d1.reason != "three rules" {
+		t.Errorf("directive[1] = %+v, want three rules and reason %q", d1, "three rules")
+	}
+	// "rulea," with nothing after it has an empty reason: malformed.
+	if len(bad) != 1 || bad[0].Rule != "lint" || bad[0].Line != 6 {
+		t.Fatalf("malformed directives = %v, want one lint finding at line 6", bad)
+	}
+}
+
 func TestDirectiveMatching(t *testing.T) {
 	d := directive{file: "x.go", line: 10, sameLine: true, nextLine: true, rules: map[string]bool{"r": true}}
 	cases := []struct {

@@ -26,6 +26,7 @@ import (
 	"path/filepath"
 	"sort"
 	"strings"
+	"sync"
 )
 
 // An Analyzer is one named rule. Run inspects a single type-checked
@@ -57,28 +58,40 @@ type Pass struct {
 // Reportf records a finding at pos. The position is rendered relative to
 // the load root so reports and baselines are stable across machines.
 func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	p.report(pos, nil, format, args...)
+}
+
+func (p *Pass) report(pos token.Pos, fix *Fix, format string, args ...any) {
 	position := p.Fset.Position(pos)
-	if p.baseDir != "" {
-		if rel, err := filepath.Rel(p.baseDir, position.Filename); err == nil && !strings.HasPrefix(rel, "..") {
-			position.Filename = filepath.ToSlash(rel)
-		}
-	}
 	*p.findings = append(*p.findings, Finding{
 		Rule:    p.Analyzer.Name,
-		File:    position.Filename,
+		File:    p.relPath(position.Filename),
 		Line:    position.Line,
 		Column:  position.Column,
 		Message: fmt.Sprintf(format, args...),
+		Fix:     fix,
 	})
 }
 
-// A Finding is one reported rule violation.
+// relPath renders filename relative to the load root when possible.
+func (p *Pass) relPath(filename string) string {
+	if p.baseDir != "" {
+		if rel, err := filepath.Rel(p.baseDir, filename); err == nil && !strings.HasPrefix(rel, "..") {
+			return filepath.ToSlash(rel)
+		}
+	}
+	return filename
+}
+
+// A Finding is one reported rule violation, optionally carrying a
+// machine-applicable fix.
 type Finding struct {
 	Rule    string `json:"rule"`
 	File    string `json:"file"`
 	Line    int    `json:"line"`
 	Column  int    `json:"column"`
 	Message string `json:"message"`
+	Fix     *Fix   `json:"fix,omitempty"`
 }
 
 // String renders the finding in the conventional file:line:col style.
@@ -94,32 +107,48 @@ func (f Finding) Key() string {
 }
 
 // Run executes every analyzer over every package and returns the surviving
-// findings, sorted by file, line, column and rule. Findings silenced by a
+// findings, sorted by file, line, column and rule. Packages are analyzed
+// in parallel (the type-checked packages are read-only and FileSet
+// position lookups are safe concurrently); per-package findings land in
+// index-addressed slots merged in package order, so the output is
+// byte-identical to a sequential run. Findings silenced by a
 // //lint:ignore directive are dropped here; malformed directives are
 // themselves reported under the "lint" pseudo-rule so a typo cannot
 // silently disable a rule.
 func Run(pkgs []*Package, analyzers []*Analyzer) []Finding {
+	perPkg := make([][]Finding, len(pkgs))
+	perDirs := make([][]directive, len(pkgs))
+	var wg sync.WaitGroup
+	for i, pkg := range pkgs {
+		wg.Add(1)
+		go func(i int, pkg *Package) {
+			defer wg.Done()
+			for _, a := range analyzers {
+				pass := &Pass{
+					Analyzer: a,
+					Fset:     pkg.Fset,
+					Path:     pkg.Path,
+					Files:    pkg.Files,
+					Pkg:      pkg.Types,
+					Info:     pkg.Info,
+					findings: &perPkg[i],
+					baseDir:  pkg.BaseDir,
+				}
+				a.Run(pass)
+			}
+			for _, f := range pkg.Files {
+				ds, bad := parseDirectives(pkg.Fset, f, pkg.BaseDir)
+				perDirs[i] = append(perDirs[i], ds...)
+				perPkg[i] = append(perPkg[i], bad...)
+			}
+		}(i, pkg)
+	}
+	wg.Wait()
 	var findings []Finding
 	var dirs []directive
-	for _, pkg := range pkgs {
-		for _, a := range analyzers {
-			pass := &Pass{
-				Analyzer: a,
-				Fset:     pkg.Fset,
-				Path:     pkg.Path,
-				Files:    pkg.Files,
-				Pkg:      pkg.Types,
-				Info:     pkg.Info,
-				findings: &findings,
-				baseDir:  pkg.BaseDir,
-			}
-			a.Run(pass)
-		}
-		for _, f := range pkg.Files {
-			ds, bad := parseDirectives(pkg.Fset, f, pkg.BaseDir)
-			dirs = append(dirs, ds...)
-			findings = append(findings, bad...)
-		}
+	for i := range pkgs {
+		findings = append(findings, perPkg[i]...)
+		dirs = append(dirs, perDirs[i]...)
 	}
 	findings = applyIgnores(findings, dirs)
 	sort.Slice(findings, func(i, j int) bool {

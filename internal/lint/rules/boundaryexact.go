@@ -1,0 +1,242 @@
+package rules
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+
+	"nwids/internal/lint"
+)
+
+// BoundaryexactScope lists the packages that lay out hash-space
+// partitions: the shim's compiled configs, the controller's planners, and
+// the emulation that replays them.
+var BoundaryexactScope = []string{
+	"internal/controller",
+	"internal/shim",
+	"internal/emulation",
+}
+
+// boundaryNames are the field/parameter names that denote a partition or
+// range bound.
+var boundaryNames = map[string]bool{"Lo": true, "Hi": true, "lo": true, "hi": true}
+
+// Boundaryexact flags float values flowing into a partition/range bound
+// whose every reaching definition recomputes the bound arithmetically
+// from an exact endpoint that is in scope. Recomputed float arithmetic
+// (`lo + take` when the take is capped at `sg.hi - lo`) can land 1 ulp
+// off the true endpoint `sg.hi`, and adjacent bounds are compared
+// exactly — the ChurnMinPlanner bug PR 7 fixed. The capping path must
+// assign the endpoint variable itself; once one reaching definition is
+// the exact endpoint (or the value can come from anywhere else), the
+// sink is clean.
+var Boundaryexact = &lint.Analyzer{
+	Name: "boundaryexact",
+	Doc:  "a float flowing into a partition bound must be the exact endpoint when one is in scope, not recomputed arithmetic",
+	Run:  runBoundaryexact,
+}
+
+func runBoundaryexact(pass *lint.Pass) {
+	if !pathHasAnySegment(pass.Path, BoundaryexactScope) {
+		return
+	}
+	for _, file := range pass.Files {
+		for _, decl := range file.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			checkBoundaryFunc(pass, fd, fd.Body)
+			ast.Inspect(fd.Body, func(n ast.Node) bool {
+				if lit, ok := n.(*ast.FuncLit); ok {
+					checkBoundaryFunc(pass, lit, lit.Body)
+				}
+				return true
+			})
+		}
+	}
+}
+
+// checkBoundaryFunc scans one function unit (declaration or literal) for
+// bound sinks and tests each against the unit's reaching definitions.
+func checkBoundaryFunc(pass *lint.Pass, fn ast.Node, body *ast.BlockStmt) {
+	df := lint.NewDataflow(fn, lint.BuildCFG(body, pass.Info), pass.Info)
+	sink := func(e ast.Expr) {
+		checkBoundarySink(pass, df, e)
+	}
+	inspectShallow(body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.CompositeLit:
+			tv, ok := pass.Info.Types[n]
+			if !ok {
+				return true
+			}
+			if _, ok := tv.Type.Underlying().(*types.Struct); !ok {
+				return true
+			}
+			for _, elt := range n.Elts {
+				kv, ok := elt.(*ast.KeyValueExpr)
+				if !ok {
+					continue
+				}
+				if key, ok := kv.Key.(*ast.Ident); ok && boundaryNames[key.Name] {
+					sink(kv.Value)
+				}
+			}
+		case *ast.AssignStmt:
+			if len(n.Lhs) != len(n.Rhs) {
+				return true
+			}
+			for i, lhs := range n.Lhs {
+				sel, ok := ast.Unparen(lhs).(*ast.SelectorExpr)
+				if !ok || !boundaryNames[sel.Sel.Name] {
+					continue
+				}
+				if s, ok := pass.Info.Selections[sel]; !ok || s.Kind() != types.FieldVal {
+					continue
+				}
+				sink(n.Rhs[i])
+			}
+		case *ast.CallExpr:
+			tv, ok := pass.Info.Types[n.Fun]
+			if !ok {
+				return true
+			}
+			sig, ok := tv.Type.Underlying().(*types.Signature)
+			if !ok {
+				return true
+			}
+			for i, arg := range n.Args {
+				if i >= sig.Params().Len() || (sig.Variadic() && i >= sig.Params().Len()-1) {
+					break
+				}
+				p := sig.Params().At(i)
+				if boundaryNames[p.Name()] && isFloat(p.Type()) {
+					sink(arg)
+				}
+			}
+		}
+		return true
+	})
+}
+
+// checkBoundarySink classifies the value flowing into a bound position.
+// It fires only when every reaching definition is float arithmetic
+// derived (within one hop through use-def chains) from an exact endpoint
+// that is in scope, and none is the endpoint itself.
+func checkBoundarySink(pass *lint.Pass, df *lint.Dataflow, e ast.Expr) {
+	e = ast.Unparen(e)
+	tv, ok := pass.Info.Types[e]
+	if !ok || tv.Type == nil || !isFloat(tv.Type) {
+		return
+	}
+	if id, ok := e.(*ast.Ident); ok {
+		defs := df.DefsOf(id)
+		if len(defs) == 0 {
+			return
+		}
+		endpoint := ""
+		for _, d := range defs {
+			if d.Rhs == nil {
+				return // parameter, range binding, multi-assign: unknowable
+			}
+			rhs := ast.Unparen(d.Rhs)
+			if isExactBound(rhs) {
+				return // some path assigns the exact endpoint: clean
+			}
+			ep, derived := arithFromEndpoint(pass, df, rhs)
+			if !derived {
+				return // a definition the endpoint story does not cover
+			}
+			endpoint = ep
+		}
+		pass.Reportf(e.Pos(),
+			"bound %s is recomputed float arithmetic on every path; 1 ulp off the exact endpoint %s breaks exact adjacency — assign %s on the capping path",
+			id.Name, endpoint, endpoint)
+		return
+	}
+	if ep, derived := arithFromEndpoint(pass, df, e); derived {
+		pass.Reportf(e.Pos(),
+			"bound recomputed as %s can land 1 ulp off the exact endpoint %s; assign %s on the capping path instead",
+			types.ExprString(e), ep, ep)
+	}
+}
+
+// isExactBound reports whether the expression is an exact endpoint: a
+// selector or identifier carrying a bound name (r.Hi, sg.hi, hi).
+func isExactBound(e ast.Expr) bool {
+	switch e := ast.Unparen(e).(type) {
+	case *ast.SelectorExpr:
+		return boundaryNames[e.Sel.Name]
+	case *ast.Ident:
+		return boundaryNames[e.Name]
+	}
+	return false
+}
+
+// arithFromEndpoint reports whether e is float arithmetic derived from an
+// exact endpoint selector: the expression (or, one hop away, a reaching
+// definition of one of its operand variables) mentions a float selector
+// with a bound name. It returns the rendered endpoint for the report.
+func arithFromEndpoint(pass *lint.Pass, df *lint.Dataflow, e ast.Expr) (string, bool) {
+	bin, ok := ast.Unparen(e).(*ast.BinaryExpr)
+	if !ok || !isArithOp(bin.Op) {
+		return "", false
+	}
+	if ep, ok := boundSelectorIn(pass, e); ok {
+		return ep, true
+	}
+	var found string
+	inspectShallow(e, func(n ast.Node) bool {
+		if found != "" {
+			return false
+		}
+		id, ok := n.(*ast.Ident)
+		if !ok {
+			return true
+		}
+		if _, isVar := pass.Info.Uses[id].(*types.Var); !isVar {
+			return true
+		}
+		for _, d := range df.DefsOf(id) {
+			if d.Rhs == nil {
+				continue
+			}
+			if ep, ok := boundSelectorIn(pass, d.Rhs); ok {
+				found = ep
+				return false
+			}
+		}
+		return true
+	})
+	return found, found != ""
+}
+
+func isArithOp(op token.Token) bool {
+	switch op {
+	case token.ADD, token.SUB, token.MUL, token.QUO:
+		return true
+	}
+	return false
+}
+
+// boundSelectorIn finds a float selector with a bound name (sg.hi, r.Lo)
+// inside e and returns its rendering.
+func boundSelectorIn(pass *lint.Pass, e ast.Expr) (string, bool) {
+	var found string
+	inspectShallow(e, func(n ast.Node) bool {
+		if found != "" {
+			return false
+		}
+		sel, ok := n.(*ast.SelectorExpr)
+		if !ok || !boundaryNames[sel.Sel.Name] {
+			return true
+		}
+		if tv, ok := pass.Info.Types[sel]; ok && tv.Type != nil && isFloat(tv.Type) {
+			found = types.ExprString(sel)
+			return false
+		}
+		return true
+	})
+	return found, found != ""
+}

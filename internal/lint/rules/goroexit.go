@@ -1,0 +1,270 @@
+package rules
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+
+	"nwids/internal/lint"
+)
+
+// Goroexit flags pool goroutines that can exit without completing their
+// WaitGroup: after a `wg.Add` in the enclosing function, every `go`
+// statement's body must reach a matching `wg.Done()` (or deliver a result
+// over a channel send) on every path — early returns and explicit panic
+// edges included. A deferred Done registered on a block that dominates
+// the exit covers all paths, panics included, and is the recommended
+// shape. Method launches (`go s.acceptLoop()`) are credited through the
+// callee's per-function summary, so a helper whose body starts with
+// `defer s.wg.Done()` satisfies the rule at the launch site.
+var Goroexit = &lint.Analyzer{
+	Name: "goroexit",
+	Doc:  "pool goroutine must reach wg.Done()/result-send on all paths, panic and early-return edges included",
+	Run:  runGoroexit,
+}
+
+func runGoroexit(pass *lint.Pass) {
+	sums := lint.BuildSummaries(pass.Files, pass.Info)
+	for _, file := range pass.Files {
+		for _, decl := range file.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			checkGoroexitFunc(pass, sums, fd)
+		}
+	}
+}
+
+// poolAdd is one wg.Add call in the enclosing function.
+type poolAdd struct {
+	path string
+	pos  token.Pos
+}
+
+func checkGoroexitFunc(pass *lint.Pass, sums lint.Summaries, fd *ast.FuncDecl) {
+	recvObj := funcRecvObj(pass, fd)
+
+	// Collect every WaitGroup Add in the declaration (nested literals
+	// included — the pool pattern often wraps the Add in a loop body).
+	var adds []poolAdd
+	ast.Inspect(fd, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		if name, path, ok := lint.SyncMethodCall(call, pass.Info, recvObj); ok && name == "Add" {
+			adds = append(adds, poolAdd{path: path, pos: call.Pos()})
+		}
+		return true
+	})
+	if len(adds) == 0 {
+		return
+	}
+
+	ast.Inspect(fd, func(n ast.Node) bool {
+		g, ok := n.(*ast.GoStmt)
+		if !ok {
+			return true
+		}
+		// Pool membership: some Add precedes the launch lexically.
+		var pool []string
+		for _, a := range adds {
+			if a.pos < g.Pos() {
+				pool = append(pool, a.path)
+			}
+		}
+		if len(pool) == 0 {
+			return true
+		}
+		completes := false
+		if lit, ok := ast.Unparen(g.Call.Fun).(*ast.FuncLit); ok {
+			completes = litCompletes(pass, sums, recvObj, lit, pool)
+		} else if eff := sums.Lookup(pass.Info, g.Call); eff != nil {
+			completes = effectCompletes(pass, eff, g.Call, recvObj, pool)
+		} else {
+			// Callee outside the package or an indirect call: no visibility,
+			// stay silent rather than guess.
+			return true
+		}
+		if !completes {
+			var fix *lint.SuggestedFix
+			if lit, ok := ast.Unparen(g.Call.Fun).(*ast.FuncLit); ok {
+				fix = goroexitFix(pass, recvObj, lit, pool)
+			}
+			// Render the summary-normalized "recv." prefix as the actual
+			// receiver name so the message reads like the source.
+			wg := pool[len(pool)-1]
+			if rest, ok := strings.CutPrefix(wg, "recv."); ok && recvObj != nil {
+				wg = recvObj.Name() + "." + rest
+			}
+			pass.ReportFix(g.Pos(), fix,
+				"pool goroutine launched after %s.Add can exit without completing it on some path; defer %s.Done() so early returns and panics still complete",
+				wg, wg)
+		}
+		return true
+	})
+}
+
+// litCompletes reports whether the launched function literal's body
+// completes the pool on every path: a matching Done / channel send / call
+// to a summarized completing helper on all entry-to-exit paths, or a
+// deferred completion whose registration dominates the exit.
+func litCompletes(pass *lint.Pass, sums lint.Summaries, recvObj types.Object, lit *ast.FuncLit, pool []string) bool {
+	cfg := lint.BuildCFG(lit.Body, pass.Info)
+	inPool := func(p string) bool {
+		for _, q := range pool {
+			if p == q {
+				return true
+			}
+		}
+		return false
+	}
+	isCompletion := func(call *ast.CallExpr) bool {
+		if name, path, ok := lint.SyncMethodCall(call, pass.Info, recvObj); ok {
+			return name == "Done" && inPool(path)
+		}
+		if eff := sums.Lookup(pass.Info, call); eff != nil {
+			return eff.HasAnyDone() || eff.Sends
+		}
+		return false
+	}
+	var compBlocks []*lint.Block
+	for _, blk := range cfg.Blocks {
+		for _, st := range blk.Stmts {
+			switch st := st.(type) {
+			case *ast.SendStmt:
+				compBlocks = append(compBlocks, blk)
+			case *ast.ExprStmt:
+				if call, ok := ast.Unparen(st.X).(*ast.CallExpr); ok && isCompletion(call) {
+					compBlocks = append(compBlocks, blk)
+				}
+			case *ast.DeferStmt:
+				if isCompletion(st.Call) {
+					if cfg.Dominates(blk, cfg.Exit) {
+						return true
+					}
+					compBlocks = append(compBlocks, blk)
+				}
+			}
+		}
+	}
+	return allPathsHit(cfg, compBlocks)
+}
+
+// effectCompletes reports whether a method launch completes the pool via
+// the callee's summary: a Done on the callee's receiver translates to the
+// launch receiver's path and must match a pool WaitGroup; a Done on a
+// non-receiver path (a WaitGroup handed in as a parameter) or a
+// guaranteed result send is accepted as-is.
+func effectCompletes(pass *lint.Pass, eff *lint.Effects, call *ast.CallExpr, recvObj types.Object, pool []string) bool {
+	if eff.Sends {
+		return true
+	}
+	base := ""
+	if sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr); ok {
+		if p, ok := lint.ExprPath(sel.X, pass.Info, recvObj); ok {
+			base = p
+		}
+	}
+	for _, d := range eff.Dones {
+		if rest, ok := strings.CutPrefix(d, "recv."); ok {
+			if base == "" {
+				continue
+			}
+			d = base + "." + rest
+			for _, q := range pool {
+				if d == q {
+					return true
+				}
+			}
+			continue
+		}
+		// Parameter-rooted Done: accept without path matching.
+		return true
+	}
+	return false
+}
+
+// goroexitFix builds the mechanical repair when it is unambiguous: the
+// literal body contains exactly one non-deferred matching Done statement
+// sitting on its own line. The fix deletes that line and registers the
+// same call as a defer at the top of the body, which dominates the exit
+// and therefore completes the pool on every path — so the rule no longer
+// fires on the rewritten code and a second -fix pass is a no-op.
+func goroexitFix(pass *lint.Pass, recvObj types.Object, lit *ast.FuncLit, pool []string) *lint.SuggestedFix {
+	if len(lit.Body.List) == 0 {
+		return nil
+	}
+	inPool := func(p string) bool {
+		for _, q := range pool {
+			if p == q {
+				return true
+			}
+		}
+		return false
+	}
+	var done *ast.ExprStmt
+	var doneCall *ast.CallExpr
+	ambiguous := false
+	ast.Inspect(lit.Body, func(n ast.Node) bool {
+		st, ok := n.(*ast.ExprStmt)
+		if !ok {
+			return true
+		}
+		call, ok := ast.Unparen(st.X).(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		if name, path, ok := lint.SyncMethodCall(call, pass.Info, recvObj); ok && name == "Done" && inPool(path) {
+			if done != nil {
+				ambiguous = true // more than one Done site: no mechanical repair
+				return false
+			}
+			done, doneCall = st, call
+		}
+		return true
+	})
+	if done == nil || ambiguous {
+		return nil
+	}
+	file := pass.Fset.File(done.Pos())
+	start, end := file.Position(done.Pos()), file.Position(done.End())
+	if start.Line != end.Line || start.Line >= file.LineCount() {
+		return nil // multi-line or last-line statement: punt rather than mangle
+	}
+	first := lit.Body.List[0]
+	indent := strings.Repeat("\t", pass.Fset.Position(first.Pos()).Column-1)
+	return &lint.SuggestedFix{
+		Message: "defer " + types.ExprString(doneCall) + " at the top of the goroutine body",
+		Edits: []lint.TextEdit{
+			{Pos: first.Pos(), End: first.Pos(), NewText: "defer " + types.ExprString(doneCall) + "\n" + indent},
+			{Pos: file.LineStart(start.Line), End: file.LineStart(start.Line + 1)},
+		},
+	}
+}
+
+// funcRecvObj returns the declaration's receiver variable, or nil.
+func funcRecvObj(pass *lint.Pass, fd *ast.FuncDecl) types.Object {
+	if fd.Recv == nil || len(fd.Recv.List) != 1 || len(fd.Recv.List[0].Names) != 1 {
+		return nil
+	}
+	return pass.Info.Defs[fd.Recv.List[0].Names[0]]
+}
+
+// allPathsHit reports whether every entry-to-exit path passes through at
+// least one of blks.
+func allPathsHit(cfg *lint.CFG, blks []*lint.Block) bool {
+	if len(blks) == 0 {
+		return false
+	}
+	avoid := make(map[*lint.Block]bool, len(blks))
+	for _, b := range blks {
+		avoid[b] = true
+	}
+	if avoid[cfg.Entry] {
+		return true
+	}
+	return !cfg.ReachableWithout(cfg.Entry, cfg.Exit, func(b *lint.Block) bool { return avoid[b] })
+}

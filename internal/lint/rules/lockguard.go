@@ -1,0 +1,364 @@
+package rules
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+
+	"nwids/internal/lint"
+)
+
+// LockguardScope lists the path segments of the packages whose shared
+// mutable state the rule audits: the telemetry registry/series, the
+// controller's committed state, the shim fleet, and the emulation engine.
+var LockguardScope = []string{
+	"internal/obs",
+	"internal/controller",
+	"internal/shim",
+	"internal/emulation",
+}
+
+// Lockguard infers guarded-by relations and flags inconsistent lock use:
+// a struct field of a mutex-bearing struct that is accessed under the
+// mutex at most sites must be accessed under it at every site. The
+// inference is flow-aware — a forward must-analysis of lock state over
+// the CFG decides whether each receiver-rooted field access happens with
+// the mutex held — and crosses helper boundaries two ways: per-function
+// summaries recognize lock/unlock wrapper methods, and a caller-context
+// pass analyzes helpers that are only ever invoked with the lock already
+// held (the `fooLocked` idiom) with that entry state, so they do not
+// produce false positives.
+var Lockguard = &lint.Analyzer{
+	Name: "lockguard",
+	Doc:  "struct field guarded by a mutex at most access sites must be guarded at all of them",
+	Run:  runLockguard,
+}
+
+// lockAccess is one receiver-rooted read or write of a candidate field.
+type lockAccess struct {
+	field   types.Object
+	mutex   string // "Type.muField" for the report
+	pos     token.Pos
+	fn      string
+	guarded bool
+}
+
+func runLockguard(pass *lint.Pass) {
+	if !pathHasAnySegment(pass.Path, LockguardScope) {
+		return
+	}
+	sums := lint.BuildSummaries(pass.Files, pass.Info)
+
+	var methods []*ast.FuncDecl
+	declObjs := map[types.Object]bool{}
+	for _, file := range pass.Files {
+		for _, decl := range file.Decls {
+			if fd, ok := decl.(*ast.FuncDecl); ok && fd.Body != nil {
+				if obj := pass.Info.Defs[fd.Name]; obj != nil {
+					declObjs[obj] = true
+				}
+				if fd.Recv != nil {
+					methods = append(methods, fd)
+				}
+			}
+		}
+	}
+
+	// Caller-context pass: a helper's entry lock state is the intersection
+	// of the lock states at its receiver-rooted intra-package call sites.
+	// Three rounds propagate held-locks down short helper chains.
+	entryHeld := map[types.Object]map[string]bool{}
+	for round := 0; round < 3; round++ {
+		next := map[types.Object]map[string]bool{}
+		seen := map[types.Object]bool{}
+		for _, fd := range methods {
+			fdObj := pass.Info.Defs[fd.Name]
+			sim := newLockSim(pass, fd, sums, entryHeld[fdObj])
+			sim.run(func(st ast.Node, held map[string]bool) {
+				inspectShallow(st, func(n ast.Node) bool {
+					call, ok := n.(*ast.CallExpr)
+					if !ok {
+						return true
+					}
+					callee := calleeFunc(pass.Info, call)
+					if callee == nil || !declObjs[callee] {
+						return true
+					}
+					sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+					if !ok {
+						return true
+					}
+					// Only receiver-rooted sites: the callee sees the same
+					// object, so held recv.m paths transfer verbatim.
+					if p, ok := lint.ExprPath(sel.X, pass.Info, sim.recv); !ok || p != "recv" {
+						return true
+					}
+					siteHeld := map[string]bool{}
+					for p := range held {
+						if strings.HasPrefix(p, "recv.") {
+							siteHeld[p] = true
+						}
+					}
+					if !seen[callee] {
+						seen[callee] = true
+						next[callee] = siteHeld
+					} else {
+						for p := range next[callee] {
+							if !siteHeld[p] {
+								delete(next[callee], p)
+							}
+						}
+					}
+					return true
+				})
+			})
+		}
+		entryHeld = next
+	}
+
+	// Access pass: record every receiver-rooted field access with its
+	// must-held lock state, then vote per field.
+	byField := map[types.Object][]lockAccess{}
+	var fieldOrder []types.Object
+	for _, fd := range methods {
+		fdObj := pass.Info.Defs[fd.Name]
+		sim := newLockSim(pass, fd, sums, entryHeld[fdObj])
+		if sim.recv == nil {
+			continue
+		}
+		muFields := mutexFields(sim.recv.Type())
+		if len(muFields) == 0 {
+			continue
+		}
+		typeName := derefNamed(sim.recv.Type()).Obj().Name()
+		sim.run(func(st ast.Node, held map[string]bool) {
+			inspectShallow(st, func(n ast.Node) bool {
+				sel, ok := n.(*ast.SelectorExpr)
+				if !ok {
+					return true
+				}
+				selection, ok := pass.Info.Selections[sel]
+				if !ok || selection.Kind() != types.FieldVal {
+					return true
+				}
+				if p, ok := lint.ExprPath(sel.X, pass.Info, sim.recv); !ok || p != "recv" {
+					return true
+				}
+				fieldObj := selection.Obj()
+				if isSyncType(fieldObj.Type()) {
+					return true
+				}
+				guarded, mutex := false, muFields[0]
+				for _, m := range muFields {
+					if held["recv."+m] {
+						guarded, mutex = true, m
+					}
+				}
+				if _, ok := byField[fieldObj]; !ok {
+					fieldOrder = append(fieldOrder, fieldObj)
+				}
+				byField[fieldObj] = append(byField[fieldObj], lockAccess{
+					field:   fieldObj,
+					mutex:   typeName + "." + mutex,
+					pos:     sel.Pos(),
+					fn:      fd.Name.Name,
+					guarded: guarded,
+				})
+				return true
+			})
+		})
+	}
+
+	for _, field := range fieldOrder {
+		accs := byField[field]
+		guarded := 0
+		for _, a := range accs {
+			if a.guarded {
+				guarded++
+			}
+		}
+		unguarded := len(accs) - guarded
+		if guarded < 2 || guarded <= unguarded {
+			continue
+		}
+		for _, a := range accs {
+			if a.guarded {
+				continue
+			}
+			pass.Reportf(a.pos,
+				"field %s accessed in %s without %s held; %d of %d accesses hold it (inferred guarded-by)",
+				field.Name(), a.fn, a.mutex, guarded, len(accs))
+		}
+	}
+}
+
+// lockSim runs the forward must-analysis of lock state over one method.
+type lockSim struct {
+	pass  *lint.Pass
+	cfg   *lint.CFG
+	recv  types.Object
+	sums  lint.Summaries
+	entry map[string]bool
+}
+
+func newLockSim(pass *lint.Pass, fd *ast.FuncDecl, sums lint.Summaries, entry map[string]bool) *lockSim {
+	var recv types.Object
+	if fd.Recv != nil && len(fd.Recv.List) == 1 && len(fd.Recv.List[0].Names) == 1 {
+		recv = pass.Info.Defs[fd.Recv.List[0].Names[0]]
+	}
+	return &lockSim{
+		pass:  pass,
+		cfg:   lint.BuildCFG(fd.Body, pass.Info),
+		recv:  recv,
+		sums:  sums,
+		entry: entry,
+	}
+}
+
+// run solves the per-block states to a fixpoint (meet = intersection over
+// predecessors), then replays each block calling visit with the set of
+// mutex paths known held before every statement.
+func (ls *lockSim) run(visit func(st ast.Node, held map[string]bool)) {
+	n := len(ls.cfg.Blocks)
+	in := make([]map[string]bool, n)
+	out := make([]map[string]bool, n)
+	in[ls.cfg.Entry.Index] = copyLockSet(ls.entry)
+	for changed := true; changed; {
+		changed = false
+		for _, blk := range ls.cfg.Blocks {
+			bi := blk.Index
+			if blk != ls.cfg.Entry {
+				var meet map[string]bool
+				for _, p := range blk.Preds {
+					if out[p.Index] == nil {
+						continue // not yet computed: optimistic top
+					}
+					if meet == nil {
+						meet = copyLockSet(out[p.Index])
+					} else {
+						for p2 := range meet {
+							if !out[p.Index][p2] {
+								delete(meet, p2)
+							}
+						}
+					}
+				}
+				if meet == nil {
+					meet = map[string]bool{}
+				}
+				in[bi] = meet
+			}
+			state := copyLockSet(in[bi])
+			for _, st := range blk.Stmts {
+				ls.transfer(state, st)
+			}
+			if !equalLockSet(out[bi], state) {
+				out[bi] = state
+				changed = true
+			}
+		}
+	}
+	for _, blk := range ls.cfg.Blocks {
+		if in[blk.Index] == nil {
+			continue
+		}
+		state := copyLockSet(in[blk.Index])
+		for _, st := range blk.Stmts {
+			visit(st, state)
+			ls.transfer(state, st)
+		}
+	}
+}
+
+// transfer applies one statement's lock effects: direct Lock/Unlock calls
+// and calls to summarized lock/unlock wrapper helpers. Deferred unlocks
+// run at exit and leave the in-function state held.
+func (ls *lockSim) transfer(state map[string]bool, st ast.Node) {
+	es, ok := st.(*ast.ExprStmt)
+	if !ok {
+		return
+	}
+	call, ok := ast.Unparen(es.X).(*ast.CallExpr)
+	if !ok {
+		return
+	}
+	if name, path, ok := lint.SyncMethodCall(call, ls.pass.Info, ls.recv); ok {
+		switch name {
+		case "Lock", "RLock":
+			state[path] = true
+		case "Unlock", "RUnlock":
+			delete(state, path)
+		}
+		return
+	}
+	// A call to a lock/unlock wrapper helper on a known receiver path.
+	eff := ls.sums.Lookup(ls.pass.Info, call)
+	if eff == nil {
+		return
+	}
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok {
+		return
+	}
+	base, ok := lint.ExprPath(sel.X, ls.pass.Info, ls.recv)
+	if !ok {
+		return
+	}
+	for _, p := range eff.Locks {
+		if rest, ok := strings.CutPrefix(p, "recv."); ok {
+			state[base+"."+rest] = true
+		}
+	}
+	for _, p := range eff.Unlocks {
+		if rest, ok := strings.CutPrefix(p, "recv."); ok {
+			delete(state, base+"."+rest)
+		}
+	}
+}
+
+func copyLockSet(s map[string]bool) map[string]bool {
+	out := make(map[string]bool, len(s))
+	for k := range s {
+		out[k] = true
+	}
+	return out
+}
+
+func equalLockSet(a, b map[string]bool) bool {
+	if a == nil || len(a) != len(b) {
+		return false
+	}
+	for k := range a {
+		if !b[k] {
+			return false
+		}
+	}
+	return true
+}
+
+// mutexFields returns the names of t's sync.Mutex/RWMutex fields.
+func mutexFields(t types.Type) []string {
+	n := derefNamed(t)
+	if n == nil {
+		return nil
+	}
+	st, ok := n.Underlying().(*types.Struct)
+	if !ok {
+		return nil
+	}
+	var out []string
+	for i := 0; i < st.NumFields(); i++ {
+		f := st.Field(i)
+		if isNamedType(f.Type(), "sync", "Mutex") || isNamedType(f.Type(), "sync", "RWMutex") {
+			out = append(out, f.Name())
+		}
+	}
+	return out
+}
+
+// isSyncType reports whether t (after deref) is declared in package sync.
+func isSyncType(t types.Type) bool {
+	n := derefNamed(t)
+	return n != nil && n.Obj().Pkg() != nil && n.Obj().Pkg().Path() == "sync"
+}

@@ -12,6 +12,13 @@
 //	                that ignore an available warm-start handle
 //	clocksafe       no direct wall-clock calls in the telemetry plane;
 //	                time flows through the injectable obs.Clock
+//	lockguard       a field guarded by a mutex at most access sites must
+//	                be guarded at all of them (flow-aware, CFG-based)
+//	goroexit        pool goroutines reach wg.Done()/result-send on all
+//	                paths, panic and early-return edges included
+//	boundaryexact   floats flowing into partition bounds are the exact
+//	                endpoint when one is in scope, never recomputed
+//	                arithmetic that can land 1 ulp off
 package rules
 
 import (
@@ -34,6 +41,9 @@ func All() []*lint.Analyzer {
 		ExprLoop,
 		ColdSolve,
 		Clocksafe,
+		Lockguard,
+		Goroexit,
+		Boundaryexact,
 	}
 }
 

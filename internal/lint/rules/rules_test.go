@@ -40,7 +40,17 @@ func TestColdSolveFixture(t *testing.T) {
 }
 
 func TestClocksafeFixture(t *testing.T) {
-	linttest.Run(t, fixtureRoot, []string{"fix/internal/obs"}, rules.ByName("clocksafe"))
+	// registry.go in the same fixture package carries lockguard wants, so
+	// both rules run together.
+	linttest.Run(t, fixtureRoot, []string{"fix/internal/obs"}, rules.ByName("clocksafe,lockguard"))
+}
+
+func TestBoundaryexactFixture(t *testing.T) {
+	linttest.Run(t, fixtureRoot, []string{"fix/internal/controller"}, rules.ByName("boundaryexact"))
+}
+
+func TestGoroexitFixture(t *testing.T) {
+	linttest.Run(t, fixtureRoot, []string{"fix/internal/shim"}, rules.ByName("goroexit"))
 }
 
 func TestByName(t *testing.T) {
@@ -50,7 +60,7 @@ func TestByName(t *testing.T) {
 	if got := rules.ByName("nosuchrule"); got != nil {
 		t.Fatalf("ByName(nosuchrule) = %v, want nil", got)
 	}
-	if got, want := len(rules.All()), 7; got < want {
+	if got, want := len(rules.All()), 10; got < want {
 		t.Fatalf("All() = %d analyzers, want >= %d", got, want)
 	}
 }

@@ -1,0 +1,170 @@
+package lint
+
+import (
+	"encoding/json"
+)
+
+// sarif.go renders findings as SARIF 2.1.0 (the Static Analysis Results
+// Interchange Format) for GitHub code scanning and other SARIF
+// consumers. One run per report; every analyzer is listed as a driver
+// rule so results can reference rules by index, and findings' suggested
+// edits are exported as SARIF fixes with byte-precise deleted regions.
+
+// sarifLog is the document root.
+type sarifLog struct {
+	Version string     `json:"version"`
+	Schema  string     `json:"$schema"`
+	Runs    []sarifRun `json:"runs"`
+}
+
+type sarifRun struct {
+	Tool    sarifTool     `json:"tool"`
+	Results []sarifResult `json:"results"`
+}
+
+type sarifTool struct {
+	Driver sarifDriver `json:"driver"`
+}
+
+type sarifDriver struct {
+	Name           string      `json:"name"`
+	InformationURI string      `json:"informationUri,omitempty"`
+	Rules          []sarifRule `json:"rules"`
+}
+
+type sarifRule struct {
+	ID               string       `json:"id"`
+	ShortDescription sarifMessage `json:"shortDescription"`
+}
+
+type sarifMessage struct {
+	Text string `json:"text"`
+}
+
+type sarifResult struct {
+	RuleID    string          `json:"ruleId"`
+	RuleIndex int             `json:"ruleIndex"`
+	Level     string          `json:"level"`
+	Message   sarifMessage    `json:"message"`
+	Locations []sarifLocation `json:"locations"`
+	Fixes     []sarifFix      `json:"fixes,omitempty"`
+}
+
+type sarifLocation struct {
+	PhysicalLocation sarifPhysicalLocation `json:"physicalLocation"`
+}
+
+type sarifPhysicalLocation struct {
+	ArtifactLocation sarifArtifactLocation `json:"artifactLocation"`
+	Region           sarifRegion           `json:"region"`
+}
+
+type sarifArtifactLocation struct {
+	URI       string `json:"uri"`
+	URIBaseID string `json:"uriBaseId,omitempty"`
+}
+
+type sarifRegion struct {
+	StartLine   int `json:"startLine"`
+	StartColumn int `json:"startColumn,omitempty"`
+	EndLine     int `json:"endLine,omitempty"`
+	EndColumn   int `json:"endColumn,omitempty"`
+	CharOffset  int `json:"charOffset,omitempty"`
+	CharLength  int `json:"charLength,omitempty"`
+}
+
+type sarifFix struct {
+	Description     sarifMessage          `json:"description"`
+	ArtifactChanges []sarifArtifactChange `json:"artifactChanges"`
+}
+
+type sarifArtifactChange struct {
+	ArtifactLocation sarifArtifactLocation `json:"artifactLocation"`
+	Replacements     []sarifReplacement    `json:"replacements"`
+}
+
+type sarifReplacement struct {
+	DeletedRegion   sarifRegion   `json:"deletedRegion"`
+	InsertedContent *sarifContent `json:"insertedContent,omitempty"`
+}
+
+type sarifContent struct {
+	Text string `json:"text"`
+}
+
+// SARIF renders the findings as an indented SARIF 2.1.0 document. The
+// analyzer list populates the driver's rule metadata; the "lint"
+// pseudo-rule (malformed directives) is appended when referenced.
+func SARIF(analyzers []*Analyzer, findings []Finding) ([]byte, error) {
+	ruleIndex := map[string]int{}
+	var rules []sarifRule
+	addRule := func(id, doc string) {
+		if _, ok := ruleIndex[id]; ok {
+			return
+		}
+		ruleIndex[id] = len(rules)
+		rules = append(rules, sarifRule{ID: id, ShortDescription: sarifMessage{Text: doc}})
+	}
+	for _, a := range analyzers {
+		addRule(a.Name, a.Doc)
+	}
+	results := []sarifResult{}
+	for _, f := range findings {
+		if _, ok := ruleIndex[f.Rule]; !ok {
+			addRule(f.Rule, "framework diagnostics (malformed //lint:ignore directives, stale baselines)")
+		}
+		r := sarifResult{
+			RuleID:    f.Rule,
+			RuleIndex: ruleIndex[f.Rule],
+			Level:     "warning",
+			Message:   sarifMessage{Text: f.Message},
+			Locations: []sarifLocation{{
+				PhysicalLocation: sarifPhysicalLocation{
+					ArtifactLocation: sarifArtifactLocation{URI: f.File, URIBaseID: "%SRCROOT%"},
+					Region:           sarifRegion{StartLine: f.Line, StartColumn: f.Column},
+				},
+			}},
+		}
+		if f.Fix != nil {
+			byFile := map[string]*sarifArtifactChange{}
+			var order []string
+			for _, e := range f.Fix.Edits {
+				ch, ok := byFile[e.File]
+				if !ok {
+					ch = &sarifArtifactChange{
+						ArtifactLocation: sarifArtifactLocation{URI: e.File, URIBaseID: "%SRCROOT%"},
+					}
+					byFile[e.File] = ch
+					order = append(order, e.File)
+				}
+				rep := sarifReplacement{DeletedRegion: sarifRegion{
+					StartLine:   e.Line,
+					StartColumn: e.Column,
+					EndLine:     e.EndLine,
+					EndColumn:   e.EndColumn,
+					CharOffset:  e.Offset,
+					CharLength:  e.Length,
+				}}
+				if e.NewText != "" {
+					rep.InsertedContent = &sarifContent{Text: e.NewText}
+				}
+				ch.Replacements = append(ch.Replacements, rep)
+			}
+			fix := sarifFix{Description: sarifMessage{Text: f.Fix.Message}}
+			for _, file := range order {
+				fix.ArtifactChanges = append(fix.ArtifactChanges, *byFile[file])
+			}
+			r.Fixes = []sarifFix{fix}
+		}
+		results = append(results, r)
+	}
+	doc := sarifLog{
+		Version: "2.1.0",
+		Schema:  "https://raw.githubusercontent.com/oasis-tcs/sarif-spec/master/Schemata/sarif-schema-2.1.0.json",
+		Runs: []sarifRun{{
+			Tool:    sarifTool{Driver: sarifDriver{Name: "nwidslint", Rules: rules}},
+			Results: results,
+		}},
+	}
+	return json.MarshalIndent(&doc, "", "  ")
+}

@@ -1,0 +1,300 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// summary.go computes lightweight per-function call summaries so flow
+// rules can reason across helper boundaries within a package. A summary
+// records only the effects the concurrency rules need:
+//
+//   - mutex paths the function net-locks on all paths (a lock wrapper:
+//     every entry-to-exit path passes x.Lock() and never x.Unlock());
+//   - mutex paths it unlocks on all paths (an unlock wrapper);
+//   - sync.WaitGroup paths it completes on all paths — a deferred
+//     x.Done() registered on a block dominating the exit, or direct
+//     x.Done() calls no exit path avoids;
+//   - whether every path performs a channel send (a result-reporting
+//     worker body).
+//
+// Paths are rendered as selector chains rooted at an identifier, with the
+// method receiver normalized to "recv" — so `func (s *Server) acceptLoop()
+// { defer s.wg.Done(); ... }` summarizes as Dones={"recv.wg"}, and a
+// caller seeing `go s.acceptLoop()` can credit the launch with completing
+// s's WaitGroup field "wg" regardless of the receiver's spelled name.
+
+// Effects is one function's flow summary.
+type Effects struct {
+	// Locks are mutex paths held on all paths at exit and never released.
+	Locks []string
+	// Unlocks are mutex paths released on all paths and never acquired.
+	Unlocks []string
+	// Dones are WaitGroup paths completed on all paths, panic included
+	// when the completion is deferred.
+	Dones []string
+	// Sends reports whether every entry-to-exit path performs a channel
+	// send (treated as goroutine completion by result delivery).
+	Sends bool
+}
+
+// HasDoneOnField reports whether the summary completes a WaitGroup that
+// is the named field of the receiver (path "recv.<field>...").
+func (e *Effects) HasDoneOnField(field string) bool {
+	for _, p := range e.Dones {
+		if strings.HasPrefix(p, "recv.") && strings.HasSuffix(p, "."+field) {
+			return true
+		}
+	}
+	return false
+}
+
+// HasAnyDone reports whether the summary completes any WaitGroup.
+func (e *Effects) HasAnyDone() bool { return len(e.Dones) > 0 }
+
+// Summaries maps each declared function to its effects.
+type Summaries map[types.Object]*Effects
+
+// BuildSummaries computes effect summaries for every function declaration
+// in files. Function literals are not summarized (rules analyze them
+// in-line at the launch site).
+func BuildSummaries(files []*ast.File, info *types.Info) Summaries {
+	s := Summaries{}
+	for _, f := range files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			obj := info.Defs[fd.Name]
+			if obj == nil {
+				continue
+			}
+			s[obj] = summarizeFunc(fd, info)
+		}
+	}
+	return s
+}
+
+// Lookup resolves a call expression to its callee's summary, or nil.
+func (s Summaries) Lookup(info *types.Info, call *ast.CallExpr) *Effects {
+	var id *ast.Ident
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		id = fun
+	case *ast.SelectorExpr:
+		id = fun.Sel
+	default:
+		return nil
+	}
+	obj := info.Uses[id]
+	if obj == nil {
+		return nil
+	}
+	return s[obj]
+}
+
+// syncOp is one Lock/Unlock/Done call found in a block.
+type syncOp struct {
+	path     string
+	block    *Block
+	deferred bool
+}
+
+func summarizeFunc(fd *ast.FuncDecl, info *types.Info) *Effects {
+	cfg := BuildCFG(fd.Body, info)
+	recv := recvObject(fd, info)
+
+	locks := map[string][]*Block{}
+	unlocks := map[string][]*Block{}
+	var dones []syncOp
+	sendBlocks := map[*Block]bool{}
+
+	for _, blk := range cfg.Blocks {
+		for _, st := range blk.Stmts {
+			var call *ast.CallExpr
+			deferred := false
+			switch st := st.(type) {
+			case *ast.ExprStmt:
+				call, _ = ast.Unparen(st.X).(*ast.CallExpr)
+			case *ast.DeferStmt:
+				call = st.Call
+				deferred = true
+			case *ast.SendStmt:
+				sendBlocks[blk] = true
+			}
+			if call == nil {
+				continue
+			}
+			name, path, ok := SyncMethodCall(call, info, recv)
+			if !ok {
+				continue
+			}
+			switch name {
+			case "Lock", "RLock":
+				locks[path] = append(locks[path], blk)
+			case "Unlock", "RUnlock":
+				unlocks[path] = append(unlocks[path], blk)
+			case "Done":
+				dones = append(dones, syncOp{path: path, block: blk, deferred: deferred})
+			}
+		}
+	}
+
+	e := &Effects{}
+	// Lock wrapper: locked on all paths, never unlocked here.
+	for path, blks := range locks {
+		if len(unlocks[path]) > 0 {
+			continue
+		}
+		if allPathsPass(cfg, blks) {
+			e.Locks = append(e.Locks, path)
+		}
+	}
+	// Unlock wrapper: unlocked on all paths, never locked here.
+	for path, blks := range unlocks {
+		if len(locks[path]) > 0 {
+			continue
+		}
+		if allPathsPass(cfg, blks) {
+			e.Unlocks = append(e.Unlocks, path)
+		}
+	}
+	// Done on all paths: a deferred Done whose registration block
+	// dominates the exit covers every path including panics; direct
+	// Dones must cover every exit path collectively.
+	donePaths := map[string]bool{}
+	for _, op := range dones {
+		if op.deferred && cfg.Dominates(op.block, cfg.Exit) {
+			donePaths[op.path] = true
+		}
+	}
+	byPath := map[string][]*Block{}
+	for _, op := range dones {
+		if !op.deferred {
+			byPath[op.path] = append(byPath[op.path], op.block)
+		}
+	}
+	for path, blks := range byPath {
+		if !donePaths[path] && allPathsPass(cfg, blks) {
+			donePaths[path] = true
+		}
+	}
+	for path := range donePaths {
+		e.Dones = append(e.Dones, path)
+	}
+	sort.Strings(e.Locks)
+	sort.Strings(e.Unlocks)
+	sort.Strings(e.Dones)
+	// Sends on all paths.
+	if len(sendBlocks) > 0 {
+		var blks []*Block
+		for b := range sendBlocks {
+			blks = append(blks, b)
+		}
+		e.Sends = allPathsPass(cfg, blks)
+	}
+	return e
+}
+
+// allPathsPass reports whether every entry-to-exit path passes through at
+// least one of blks: the exit must be unreachable when those blocks are
+// avoided.
+func allPathsPass(cfg *CFG, blks []*Block) bool {
+	if len(blks) == 0 {
+		return false
+	}
+	avoid := make(map[*Block]bool, len(blks))
+	for _, b := range blks {
+		avoid[b] = true
+	}
+	if avoid[cfg.Entry] {
+		return true
+	}
+	return !cfg.ReachableWithout(cfg.Entry, cfg.Exit, func(b *Block) bool { return avoid[b] })
+}
+
+// recvObject returns the receiver variable of a method, or nil.
+func recvObject(fd *ast.FuncDecl, info *types.Info) types.Object {
+	if fd.Recv == nil || len(fd.Recv.List) == 0 || len(fd.Recv.List[0].Names) == 0 {
+		return nil
+	}
+	return info.Defs[fd.Recv.List[0].Names[0]]
+}
+
+// SyncMethodCall matches a call of the form <path>.<Name>(...) where Name
+// is one of the sync.Mutex/RWMutex/WaitGroup methods the flow rules track
+// (Lock, Unlock, RLock, RUnlock, Done, Add), and the receiver type comes
+// from package sync. It returns the method name and the receiver's
+// rendered path ("recv.mu", "wg"), with recv normalized via ExprPath.
+func SyncMethodCall(call *ast.CallExpr, info *types.Info, recv types.Object) (name, path string, ok bool) {
+	sel, isSel := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !isSel {
+		return "", "", false
+	}
+	f, isFunc := info.Uses[sel.Sel].(*types.Func)
+	if !isFunc {
+		return "", "", false
+	}
+	switch f.Name() {
+	case "Lock", "Unlock", "RLock", "RUnlock", "Done", "Add":
+	default:
+		return "", "", false
+	}
+	sig, isSig := f.Type().(*types.Signature)
+	if !isSig || sig.Recv() == nil {
+		return "", "", false
+	}
+	rt := derefPtr(sig.Recv().Type())
+	named, isNamed := rt.(*types.Named)
+	if !isNamed || named.Obj().Pkg() == nil || named.Obj().Pkg().Path() != "sync" {
+		return "", "", false
+	}
+	p, pOK := ExprPath(sel.X, info, recv)
+	if !pOK {
+		return "", "", false
+	}
+	return f.Name(), p, true
+}
+
+func derefPtr(t types.Type) types.Type {
+	if p, ok := t.(*types.Pointer); ok {
+		return p.Elem()
+	}
+	return t
+}
+
+// ExprPath renders a selector chain rooted at an identifier as a dotted
+// path ("s.wg", "r.mu"). When the root identifier resolves to recv, it is
+// normalized to "recv" so paths compare across differently named
+// receivers. Chains rooted in calls, indexes or literals yield ok=false.
+func ExprPath(e ast.Expr, info *types.Info, recv types.Object) (string, bool) {
+	var parts []string
+	for {
+		switch x := ast.Unparen(e).(type) {
+		case *ast.Ident:
+			root := x.Name
+			if recv != nil {
+				if obj := info.Uses[x]; obj != nil && obj == recv {
+					root = "recv"
+				}
+			}
+			parts = append(parts, root)
+			for i, j := 0, len(parts)-1; i < j; i, j = i+1, j-1 {
+				parts[i], parts[j] = parts[j], parts[i]
+			}
+			return strings.Join(parts, "."), true
+		case *ast.SelectorExpr:
+			parts = append(parts, x.Sel.Name)
+			e = x.X
+		case *ast.StarExpr:
+			e = x.X
+		case *ast.UnaryExpr:
+			e = x.X
+		default:
+			return "", false
+		}
+	}
+}

@@ -1,0 +1,138 @@
+// Package controller is the boundaryexact golden fixture: it reproduces
+// the ChurnMinPlanner trim-and-grant shapes before and after the PR 7
+// ulp fix. Recomputing a capped bound as `lo + take` lands 1 ulp off the
+// exact endpoint the next range starts at; partitions are checked with
+// exact adjacency, so the capping path must assign the endpoint itself.
+package controller
+
+// OwnedRange mirrors the shim's partition range.
+type OwnedRange struct {
+	Lo, Hi float64
+	Node   int
+}
+
+// segment mirrors the planner's freed-sliver bookkeeping.
+type segment struct {
+	lo, hi float64
+	node   int
+}
+
+// trimBuggy is the pre-fix trim pass: when the keep consumes the whole
+// range, cut stays the recomputed r.Lo+keep instead of the exact r.Hi.
+func trimBuggy(old []OwnedRange, want []float64) []segment {
+	var segs []segment
+	for i, r := range old {
+		width := r.Hi - r.Lo
+		keep := want[i]
+		if keep > width {
+			keep = width
+		}
+		cut := r.Lo + keep
+		if keep > 0 {
+			segs = append(segs, segment{lo: r.Lo, hi: cut, node: r.Node}) // want `recomputed float arithmetic`
+		}
+		if keep < width {
+			segs = append(segs, segment{lo: cut, hi: r.Hi, node: r.Node}) // want `recomputed float arithmetic`
+		}
+	}
+	return segs
+}
+
+// trimFixed assigns the exact range bound on the capping path: one
+// reaching definition of cut is the endpoint itself, so the sink is
+// clean.
+func trimFixed(old []OwnedRange, want []float64) []segment {
+	var segs []segment
+	for i, r := range old {
+		width := r.Hi - r.Lo
+		keep := want[i]
+		cut := r.Lo + keep
+		if keep >= width {
+			keep = width
+			cut = r.Hi
+		}
+		if keep > 0 {
+			segs = append(segs, segment{lo: r.Lo, hi: cut, node: r.Node})
+		}
+		if keep < width {
+			segs = append(segs, segment{lo: cut, hi: r.Hi, node: r.Node})
+		}
+	}
+	return segs
+}
+
+// grantBuggy is the pre-fix grant pass: the capped take is derived from
+// free.hi, but hi is recomputed as lo+take on every path.
+func grantBuggy(free segment, needy []int, remaining []float64) []OwnedRange {
+	var out []OwnedRange
+	lo := free.lo
+	for i, n := range needy {
+		take := remaining[i]
+		if take > free.hi-lo {
+			take = free.hi - lo
+		}
+		hi := lo + take
+		out = append(out, OwnedRange{Lo: lo, Hi: hi, Node: n}) // want `recomputed float arithmetic`
+		lo = hi
+	}
+	return out
+}
+
+// grantFixed emits the exact segment end when the grant is capped.
+func grantFixed(free segment, needy []int, remaining []float64) []OwnedRange {
+	var out []OwnedRange
+	lo := free.lo
+	for i, n := range needy {
+		take := remaining[i]
+		hi := lo + take
+		if take >= free.hi-lo {
+			take = free.hi - lo
+			hi = free.hi
+		}
+		out = append(out, OwnedRange{Lo: lo, Hi: hi, Node: n})
+		lo = hi
+	}
+	return out
+}
+
+// capDirect recomputes the bound inline at the sink — derived straight
+// from the endpoint selector, flagged without any use-def hop.
+func capDirect(free segment, take float64) OwnedRange {
+	if take > free.hi-free.lo {
+		take = free.hi - free.lo
+	}
+	return OwnedRange{Lo: free.lo, Hi: free.lo + take} // want `can land 1 ulp off the exact endpoint`
+}
+
+// cumulative is the NaivePlanner/PartitionClass layout: bounds accumulate
+// from fractions, no endpoint is in scope, nothing to be exact against.
+func cumulative(fracs []float64, nodes []int) []OwnedRange {
+	var out []OwnedRange
+	acc := 0.0
+	for i, f := range fracs {
+		hi := acc + f
+		out = append(out, OwnedRange{Lo: acc, Hi: hi, Node: nodes[i]})
+		acc = hi
+	}
+	if len(out) > 0 {
+		out[0].Lo = 0
+		out[len(out)-1].Hi = 1
+	}
+	return out
+}
+
+// emitThrough exercises the call-argument sink: parameters named lo/hi
+// receive the bound, and the closure's own body is a separate unit whose
+// parameter uses stay clean.
+func emitThrough(free segment, take float64) []OwnedRange {
+	var out []OwnedRange
+	emit := func(lo, hi float64, node int) {
+		out = append(out, OwnedRange{Lo: lo, Hi: hi, Node: node})
+	}
+	if take > free.hi-free.lo {
+		take = free.hi - free.lo
+	}
+	hi := free.lo + take
+	emit(free.lo, hi, 0) // want `recomputed float arithmetic`
+	return out
+}

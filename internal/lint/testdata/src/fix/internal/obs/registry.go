@@ -1,0 +1,116 @@
+// registry.go is the lockguard golden fixture: guarded-by relations are
+// inferred per struct field from how its receiver-rooted accesses vote —
+// a field accessed under the mutex at most sites must be under it at
+// every site. Helpers only ever called with the lock held (the
+// fooLocked idiom) are analyzed with that entry state via the
+// caller-context pass, and lock/unlock wrapper methods are recognized
+// through per-function summaries.
+package obs
+
+import "sync"
+
+// Reg mirrors the telemetry registry's guarded-by structure: mu guards
+// clock and counts.
+type Reg struct {
+	mu     sync.Mutex
+	clock  Clock
+	counts int
+}
+
+// Bump accesses counts under the lock.
+func (r *Reg) Bump() {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.counts++
+}
+
+// Count reads counts under the lock.
+func (r *Reg) Count() int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.counts
+}
+
+// Peek skips the lock the other two access sites hold.
+func (r *Reg) Peek() int {
+	return r.counts // want `field counts accessed in Peek without Reg.mu held`
+}
+
+// Stamp reads clock under the lock.
+func (r *Reg) Stamp() Clock {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.clock
+}
+
+// Snapshot also reads clock under the lock.
+func (r *Reg) Snapshot() (int, Clock) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.counts, r.clock
+}
+
+// ClockRacy reads clock lock-free while the majority of sites lock.
+func (r *Reg) ClockRacy() Clock {
+	return r.clock // want `field clock accessed in ClockRacy without Reg.mu held`
+}
+
+// resetLocked touches counts lock-free, but every caller already holds
+// mu — the caller-context pass analyzes it with that entry state, so it
+// stays clean.
+func (r *Reg) resetLocked() {
+	r.counts = 0
+}
+
+// Reset is resetLocked's only caller and holds the lock across the call.
+func (r *Reg) Reset() {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.resetLocked()
+}
+
+// Guarded mirrors lock-wrapper indirection: lock/unlock helpers are
+// summarized, so Toggle's accesses count as guarded.
+type Guarded struct {
+	mu   sync.Mutex
+	open bool
+}
+
+func (g *Guarded) lock()   { g.mu.Lock() }
+func (g *Guarded) unlock() { g.mu.Unlock() }
+
+// Toggle holds the mutex through the wrapper helpers.
+func (g *Guarded) Toggle() {
+	g.lock()
+	g.open = !g.open
+	g.unlock()
+}
+
+// IsOpen reads under the direct lock.
+func (g *Guarded) IsOpen() bool {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	return g.open
+}
+
+// OpenRacy reads open without any lock while two sites guard it.
+func (g *Guarded) OpenRacy() bool {
+	return g.open // want `field open accessed in OpenRacy without Guarded.mu held`
+}
+
+// freeRider's name field is never read under the lock: zero guarded
+// sites, no guarded-by relation to infer, nothing to flag.
+type freeRider struct {
+	mu   sync.Mutex
+	hits int
+	name string
+}
+
+func (c *freeRider) Hit() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.hits++
+}
+
+func (c *freeRider) Name() string    { return c.name }
+func (c *freeRider) AltName() string { return c.name }

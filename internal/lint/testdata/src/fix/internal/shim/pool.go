@@ -1,0 +1,115 @@
+// Package shim is the goroexit golden fixture: every goroutine launched
+// after a wg.Add must complete the WaitGroup (or deliver a result) on
+// all paths, early returns and explicit panic edges included. Deferred
+// Done registered at the top of the body is the shape that covers panic
+// unwinding; method launches are credited through per-function call
+// summaries.
+package shim
+
+import "sync"
+
+// Server mirrors the tunnel server's accept/read goroutine pool.
+type Server struct {
+	wg   sync.WaitGroup
+	quit chan struct{}
+}
+
+// acceptLoop completes the pool with a deferred Done; its summary credits
+// the method launch in Start.
+func (s *Server) acceptLoop() {
+	defer s.wg.Done()
+	<-s.quit
+}
+
+// Start launches a summarized method: clean.
+func (s *Server) Start() {
+	s.wg.Add(1)
+	go s.acceptLoop()
+}
+
+// Serve launches without any Add in scope — not a pool goroutine.
+func (s *Server) Serve() {
+	go func() {
+		<-s.quit
+	}()
+}
+
+// leaky completes only on the non-empty path: the early return skips
+// Done and the pool never drains.
+func (s *Server) leaky(jobs []int) {
+	for range jobs {
+		s.wg.Add(1)
+		go func() { // want `can exit without completing`
+			if len(jobs) == 1 {
+				return
+			}
+			s.wg.Done()
+		}()
+	}
+}
+
+// panicky places Done after a possible panic: the panic edge reaches the
+// exit without passing it.
+func (s *Server) panicky(f func()) {
+	s.wg.Add(1)
+	go func() { // want `can exit without completing`
+		if f == nil {
+			panic("nil worker")
+		}
+		f()
+		s.wg.Done()
+	}()
+}
+
+// solid defers the Done before anything can fail: clean on every path,
+// panics included.
+func (s *Server) solid(f func()) {
+	s.wg.Add(1)
+	go func() {
+		defer s.wg.Done()
+		f()
+	}()
+}
+
+// branchDone completes on both branches without a defer: still covers
+// every path, so it is clean (though fragile against future edits).
+func (s *Server) branchDone(ok bool) {
+	s.wg.Add(1)
+	go func() {
+		if ok {
+			s.wg.Done()
+			return
+		}
+		s.wg.Done()
+	}()
+}
+
+// fanOut completes by unconditional result send: delivery is the
+// completion signal the collector waits on.
+func fanOut(xs []int) chan int {
+	out := make(chan int, len(xs))
+	var wg sync.WaitGroup
+	for _, x := range xs {
+		wg.Add(1)
+		go func(v int) {
+			out <- v
+		}(x)
+	}
+	return out
+}
+
+// condSend delivers only for positive values — the other paths exit
+// without completing the pool.
+func condSend(xs []int) chan int {
+	out := make(chan int, len(xs))
+	var wg sync.WaitGroup
+	for _, x := range xs {
+		wg.Add(1)
+		go func(v int) { // want `can exit without completing`
+			if v > 0 {
+				out <- v
+			}
+		}(x)
+	}
+	return out
+}

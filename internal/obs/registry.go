@@ -248,11 +248,15 @@ func NewRegistryWithClock(clock Clock) *Registry {
 	return &Registry{clock: clock}
 }
 
-// Clock returns the registry's clock; a nil registry reports Wall.
+// Clock returns the registry's clock; a nil registry reports Wall. The
+// read takes the lock like every other access to the clock field so a
+// concurrent instrument registration never races it.
 func (r *Registry) Clock() Clock {
 	if r == nil {
 		return Wall
 	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
 	return clockOrWall(r.clock)
 }
 
