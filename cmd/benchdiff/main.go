@@ -4,9 +4,13 @@
 //
 //	benchdiff BENCH_abc1234.json BENCH_def5678.json
 //	benchdiff BENCH_def5678.json        # baseline: newest other BENCH_*.json
+//	benchdiff -threshold 0.15 BENCH_a.json BENCH_b.json   # CI gate
 //
 // With a single argument, the previous artifact is the most recently
 // modified BENCH_*.json in the same directory other than the argument.
+// With -threshold, metrics whose direction is known (pps/gbps/speedup up;
+// ns_per_pkt/sec_per_op/allocs down) that move the wrong way by more than
+// the given fraction are reported and the exit status is 3.
 package main
 
 import (
@@ -19,8 +23,10 @@ import (
 )
 
 func main() {
+	threshold := flag.Float64("threshold", 0,
+		"fail (exit 3) when a direction-aware metric regresses by more than this fraction (0 disables)")
 	flag.Usage = func() {
-		fmt.Fprintln(os.Stderr, "usage: benchdiff [previous.json] current.json")
+		fmt.Fprintln(os.Stderr, "usage: benchdiff [-threshold frac] [previous.json] current.json")
 		flag.PrintDefaults()
 	}
 	flag.Parse()
@@ -55,6 +61,15 @@ func main() {
 	if err := obs.DiffBench(os.Stdout, prev, cur); err != nil {
 		fmt.Fprintln(os.Stderr, "benchdiff:", err)
 		os.Exit(1)
+	}
+	if *threshold > 0 {
+		if regs := obs.BenchRegressions(prev, cur, *threshold); len(regs) > 0 {
+			fmt.Fprintf(os.Stderr, "benchdiff: %d regression(s) beyond %.0f%%:\n", len(regs), *threshold*100)
+			for _, r := range regs {
+				fmt.Fprintln(os.Stderr, "  "+r)
+			}
+			os.Exit(3)
+		}
 	}
 }
 

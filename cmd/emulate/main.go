@@ -31,6 +31,8 @@ func main() {
 	dcCap := flag.Float64("dc", 8, "DC capacity multiple (0 = on-path only)")
 	mll := flag.Float64("mll", 0.4, "max allowed link load")
 	live := flag.Bool("live", false, "replicate over real TCP tunnels")
+	workers := flag.Int("workers", 1, "engine worker shards (<=1 runs inline; output is identical at any count)")
+	loadgen := flag.Bool("loadgen", false, "wall-clock the run and report pps/Gbps (records bench.packetpath.* gauges)")
 	seed := flag.Int64("seed", 1, "trace generation seed")
 	saveTrace := flag.String("save-trace", "", "also write the generated session trace to this file")
 	verbose := flag.Bool("v", false, "log progress (JSONL on stderr)")
@@ -86,16 +88,23 @@ func main() {
 	}
 	log.Debug("assignment solved", "iterations", a.Iterations, "max_load", a.MaxLoad())
 
-	res, err := emulation.Run(emulation.Config{
+	runCfg := emulation.Config{
 		Assignment:    a,
 		TotalSessions: *sessions,
 		GenSeed:       *seed,
 		Live:          *live,
+		Workers:       *workers,
 		Obs:           reg,
 		Log:           log,
 		Clock:         vc,
 		Trace:         tracer,
-	})
+	}
+	var res *emulation.Result
+	if *loadgen {
+		res, err = runLoadgen(runCfg, reg)
+	} else {
+		res, err = emulation.Run(runCfg)
+	}
 	if err != nil {
 		log.Error("emulation failed", "err", err.Error())
 		os.Exit(1)

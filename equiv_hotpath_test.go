@@ -1,0 +1,47 @@
+// Whole-run differential test between the zero-allocation hot path and the
+// seed-path replica the benchmarks compare against: same workload, same
+// assignment, and the observable analysis output — per-node alerts, flow
+// populations and scan-detector fan-out — must agree exactly. This is what
+// licenses reading BenchmarkPacketPath's fast/ref ratio as a speedup
+// rather than a shortcut.
+package nwids_test
+
+import (
+	"testing"
+
+	"nwids/internal/nids"
+)
+
+func TestFastPathMatchesSeedPath(t *testing.T) {
+	d := newPacketPathData(t, 300)
+
+	fast := d.fastEngines()
+	d.fastPass(fast)
+
+	seed := d.seedEngines(newSeedMatcher(nids.Patterns(nids.DefaultRules())))
+	d.refPass(seed)
+
+	for node := range fast {
+		fa, sa := fast[node].Alerts(), seed[node].alerts
+		if len(fa) != len(sa) {
+			t.Fatalf("node %d: %d alerts on fast path, %d on seed path", node, len(fa), len(sa))
+		}
+		for i := range fa {
+			if fa[i] != sa[i] {
+				t.Fatalf("node %d alert %d: fast %+v, seed %+v", node, i, fa[i], sa[i])
+			}
+		}
+		if got, want := fast[node].ActiveFlows(), len(seed[node].flows); got != want {
+			t.Fatalf("node %d: %d active flows on fast path, %d on seed path", node, got, want)
+		}
+		det := fast[node].ScanDetector()
+		for src, dsts := range seed[node].dests {
+			if got, want := det.Count(src), len(dsts); got != want {
+				t.Fatalf("node %d src %d: scan fan-out %d on fast path, %d on seed path", node, src, got, want)
+			}
+		}
+		if got, want := det.NumSources(), len(seed[node].dests); got != want {
+			t.Fatalf("node %d: %d scan sources on fast path, %d on seed path", node, got, want)
+		}
+	}
+}

@@ -415,6 +415,7 @@ func RunDrift(cfg DriftConfig) (*DriftResult, error) {
 	injected := 0
 	lastReconfig := -cfg.CooldownSessions
 	transitionLeft := 0
+	var decBuf []shim.Decision
 	detectedBy := func(e *nids.Engine) map[packet.FiveTuple]bool {
 		out := make(map[packet.FiveTuple]bool)
 		for _, al := range e.Alerts() {
@@ -453,7 +454,8 @@ func RunDrift(cfg DriftConfig) (*DriftResult, error) {
 						continue
 					}
 					vc.Advance(dispatchTick)
-					for _, d := range sh.DecideAll(p) {
+					decBuf = sh.DecideAllInto(p, decBuf[:0])
+					for _, d := range decBuf {
 						vc.Advance(actionTick)
 						switch d.Act {
 						case shim.Process:

@@ -46,6 +46,13 @@ type Config struct {
 	// Live replicates over real TCP tunnels on the loopback interface
 	// instead of direct in-process delivery.
 	Live bool
+	// Workers shards the engine work: values above 1 spread the per-node
+	// engines over min(Workers, nodes) worker goroutines fed with packet
+	// batches, while the driver keeps the virtual clock, spans and dispatch
+	// decisions sequential. 0 or 1 processes packets inline on the driver.
+	// Each node is pinned to one worker, so alerts, counters and timelines
+	// are byte-identical at any worker count.
+	Workers int
 	// Obs, when non-nil, receives run metrics: per-node work-unit
 	// histograms, shim dispatch counters, tunnel byte counters (see
 	// recordMetrics for the key schema) and the tick-granularity timeline
@@ -173,10 +180,19 @@ func Run(cfg Config) (*Result, error) {
 	}
 	engMu = make([]sync.Mutex, nNIDS)
 
+	// Engine feed: inline at Workers <= 1, per-node sharded worker
+	// goroutines with batched hand-off above that. stop is idempotent; the
+	// explicit call before final stats drains everything, the defer covers
+	// error returns.
+	feed := newEngineFeed(engines, engMu, cfg.Workers)
+	defer feed.stop()
+
 	// Optional live tunnels: one server per node, one dialed tunnel per
-	// (replicator, mirror) pair, created lazily.
+	// (replicator, mirror) pair, created lazily; replication is batched
+	// through SendBatch.
 	var servers []*shim.Server
 	var tunnels map[[2]int]*shim.Tunnel
+	var tb *tunnelBatcher
 	tunnelBytes := make([]uint64, nNIDS)
 	if cfg.Live {
 		servers = make([]*shim.Server, nNIDS)
@@ -193,6 +209,7 @@ func Run(cfg Config) (*Result, error) {
 			}
 			servers[j] = srv
 		}
+		tb = newTunnelBatcher(servers, tunnels)
 		defer func() {
 			for _, t := range tunnels {
 				//lint:ignore errdiscard best-effort teardown of an in-memory emulation; nothing to do with a close error
@@ -208,20 +225,10 @@ func Run(cfg Config) (*Result, error) {
 	deliver := func(from, to int, p packet.Packet) error {
 		tunnelBytes[from] += uint64(len(p.Payload))
 		if !cfg.Live {
-			engines[to].ProcessPacket(p)
+			feed.process(to, p)
 			return nil
 		}
-		key := [2]int{from, to}
-		t, ok := tunnels[key]
-		if !ok {
-			var err error
-			t, err = shim.Dial(servers[to].Addr())
-			if err != nil {
-				return err
-			}
-			tunnels[key] = t
-		}
-		return t.Send(p)
+		return tb.send(from, to, p)
 	}
 
 	sessions := GenerateWorkload(cfg)
@@ -245,6 +252,8 @@ func Run(cfg Config) (*Result, error) {
 
 	res := &Result{Sessions: len(sessions)}
 	preAlerts := make([]int, nNIDS)
+	owner := newOwnerSet(nNIDS)
+	var decBuf []shim.Decision
 
 	for si, sess := range sessions {
 		if sess.Malicious {
@@ -255,30 +264,49 @@ func Run(cfg Config) (*Result, error) {
 			sessSpan = runSpan.Child("session").
 				Arg("session", si).Arg("src", sess.SrcPoP).Arg("dst", sess.DstPoP)
 		}
-		owner := make(map[int]bool)
-		for _, p := range sess.Packets {
+		// Dispatch is per-flow by construction — class key and session hash
+		// are direction-independent — so each path node's decision is made
+		// once per session via DecideFlow (counters advance as if Decide ran
+		// per packet; they are only read at tick boundaries, between
+		// sessions, so the timeline is unchanged). The per-packet replay
+		// below consumes the per-node decisions in the seed path's exact
+		// order, keeping clock advances and spans identical. A session's
+		// packets all follow the same path; reverse-direction packets index
+		// the forward node list back to front rather than materializing a
+		// reversed path per packet.
+		path := sc.Routing.Path(sess.SrcPoP, sess.DstPoP)
+		nodes := path.Nodes
+		decBuf = decBuf[:0]
+		if len(sess.Packets) > 0 {
+			u := shim.HashTuple(sess.Tuple, cfg.HashSeed)
+			for _, node := range nodes {
+				decBuf = append(decBuf, shims[node].DecideFlow(sess.Packets[0], u, len(sess.Packets)))
+			}
+		}
+		owner.reset()
+		for pi := range sess.Packets {
+			p := sess.Packets[pi]
 			ingress := sessSpan.Child("ingress")
 			vc.Advance(packetTick)
 			ingress.End()
 			tel.addClassBytes(sess.SrcPoP, sess.DstPoP, uint64(len(p.Payload)))
-			path := sc.Routing.Path(sess.SrcPoP, sess.DstPoP)
-			if p.Dir == packet.Reverse {
-				path = path.Reverse()
-			}
-			for _, node := range path.Nodes {
+			for j := range nodes {
+				ni := j
+				if p.Dir == packet.Reverse {
+					ni = len(nodes) - 1 - j
+				}
+				node := nodes[ni]
 				dsp := sessSpan.Child("dispatch").Arg("node", node)
-				d := shims[node].Decide(p)
+				d := decBuf[ni]
 				vc.Advance(dispatchTick)
 				dsp.End()
 				switch d.Act {
 				case shim.Process:
 					an := sessSpan.Child("analysis").Arg("node", node)
 					vc.Advance(actionTick)
-					engMu[node].Lock()
-					engines[node].ProcessPacket(p)
-					engMu[node].Unlock()
+					feed.process(node, p)
 					an.End()
-					owner[node] = true
+					owner.add(node)
 				case shim.Replicate:
 					rp := sessSpan.Child("replicate").
 						Arg("node", node).Arg("mirror", d.Mirror)
@@ -288,19 +316,25 @@ func Run(cfg Config) (*Result, error) {
 					if err != nil {
 						return nil, err
 					}
-					owner[d.Mirror] = true
+					owner.add(d.Mirror)
 				}
 			}
 		}
 		sessSpan.End()
+		if tel.willTick(si) {
+			// The tick samples engine work counters; drain the shards first
+			// so the sampled values match the inline path's.
+			feed.drainAll()
+		}
 		tel.sessionDone(si)
-		if len(owner) != 1 {
+		if len(owner.list) != 1 {
 			res.OwnershipErrors++
 		}
 		// Detection check: the owning node's alert count must grow for a
 		// malicious session. In live mode this is checked after draining.
 		if !cfg.Live && sess.Malicious {
-			for node := range owner {
+			for _, node := range owner.list {
+				feed.drain(node)
 				engMu[node].Lock()
 				n := len(engines[node].Alerts())
 				engMu[node].Unlock()
@@ -313,10 +347,9 @@ func Run(cfg Config) (*Result, error) {
 	}
 
 	if cfg.Live {
-		for _, t := range tunnels {
-			if err := t.Flush(); err != nil {
-				return nil, err
-			}
+		feed.drainAll()
+		if err := tb.flushAll(); err != nil {
+			return nil, err
 		}
 		// Drain: wait for tunnel servers to deliver all sent packets.
 		var sent uint64
@@ -354,6 +387,9 @@ func Run(cfg Config) (*Result, error) {
 		}
 	}
 
+	// Every enqueued packet must be applied before the trailing tick and
+	// the final stats read.
+	feed.stop()
 	tel.finish(len(sessions))
 
 	agg := runSpan.Child("aggregation")

@@ -1,0 +1,77 @@
+package emulation
+
+import (
+	"reflect"
+	"testing"
+	"time"
+
+	"nwids/internal/obs"
+)
+
+// Equivalence tests for the sharded fast path: the worker count is a
+// throughput knob, never an observable one. Everything a run exports —
+// node stats, detection results, shim counters and the tick-granularity
+// telemetry timeline — must be byte-identical at any worker count.
+
+// runWithTelemetry executes one emulation run with the full telemetry
+// plane attached under a virtual clock and returns the result plus the
+// registry snapshot (timeline series included).
+func runWithTelemetry(t *testing.T, workers int) (*Result, obs.RegistrySnapshot) {
+	t.Helper()
+	_, rep := internet2Assignments(t)
+	vc := obs.NewVirtualClock(time.Unix(0, 0).UTC())
+	reg := obs.NewRegistryWithClock(vc)
+	res, err := Run(Config{
+		Assignment:    rep,
+		TotalSessions: 600,
+		GenSeed:       17,
+		Workers:       workers,
+		Obs:           reg,
+		Clock:         vc,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res, reg.Snapshot(nil)
+}
+
+func TestEmulationWorkersByteIdentical(t *testing.T) {
+	res1, snap1 := runWithTelemetry(t, 1)
+	for _, workers := range []int{2, 4} {
+		resN, snapN := runWithTelemetry(t, workers)
+		if !reflect.DeepEqual(res1, resN) {
+			t.Fatalf("workers=1 vs workers=%d: results differ:\n%+v\n%+v", workers, res1, resN)
+		}
+		if !reflect.DeepEqual(snap1, snapN) {
+			t.Fatalf("workers=1 vs workers=%d: telemetry snapshots differ", workers)
+		}
+	}
+	if res1.OwnershipErrors != 0 {
+		t.Fatalf("ownership errors = %d, want 0", res1.OwnershipErrors)
+	}
+}
+
+// TestEmulationShardedStress drives the sharded path with more workers
+// than cores and repeated runs. Its job under `go test -race` (the CI
+// stress gate) is to expose any unsynchronized access on the batching
+// worker/tunnel channels; the determinism assertion doubles as a check
+// that racing shards cannot reorder observable output.
+func TestEmulationShardedStress(t *testing.T) {
+	_, rep := internet2Assignments(t)
+	run := func() *Result {
+		res, err := Run(Config{Assignment: rep, TotalSessions: 400, GenSeed: 23, Workers: 8})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+	first := run()
+	if first.OwnershipErrors != 0 {
+		t.Fatalf("ownership errors = %d, want 0", first.OwnershipErrors)
+	}
+	for i := 0; i < 3; i++ {
+		if again := run(); !reflect.DeepEqual(first, again) {
+			t.Fatalf("sharded run %d diverged from first:\n%+v\n%+v", i, first, again)
+		}
+	}
+}

@@ -108,10 +108,15 @@ func (t *telemetry) addClassBytes(src, dst int, n uint64) {
 // sessionDone is called after each injected session; on a tick boundary it
 // records the per-node and per-class deltas and polls the drift watchers.
 func (t *telemetry) sessionDone(si int) {
-	if (si+1)%t.every == 0 {
+	if t.willTick(si) {
 		t.tick()
 	}
 }
+
+// willTick reports whether sessionDone(si) will record a tick. The sharded
+// driver drains its engine workers first, so the sampled counters match
+// the inline path's.
+func (t *telemetry) willTick(si int) bool { return (si+1)%t.every == 0 }
 
 // tick records one sample per series at the current virtual time.
 func (t *telemetry) tick() {

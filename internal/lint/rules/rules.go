@@ -19,6 +19,8 @@
 //	boundaryexact   floats flowing into partition bounds are the exact
 //	                endpoint when one is in scope, never recomputed
 //	                arithmetic that can land 1 ulp off
+//	hotalloc        no allocation shapes (make, copy-grow append,
+//	                capturing closures) in //nwids:hotpath functions
 package rules
 
 import (
@@ -44,6 +46,7 @@ func All() []*lint.Analyzer {
 		Lockguard,
 		Goroexit,
 		Boundaryexact,
+		Hotalloc,
 	}
 }
 

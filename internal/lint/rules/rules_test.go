@@ -53,6 +53,10 @@ func TestGoroexitFixture(t *testing.T) {
 	linttest.Run(t, fixtureRoot, []string{"fix/internal/shim"}, rules.ByName("goroexit"))
 }
 
+func TestHotallocFixture(t *testing.T) {
+	linttest.Run(t, fixtureRoot, []string{"fix/internal/nids"}, rules.ByName("hotalloc"))
+}
+
 func TestByName(t *testing.T) {
 	if got := rules.ByName("floatcmp,panicsafe"); len(got) != 2 {
 		t.Fatalf("ByName(floatcmp,panicsafe) = %d analyzers, want 2", len(got))
@@ -60,7 +64,7 @@ func TestByName(t *testing.T) {
 	if got := rules.ByName("nosuchrule"); got != nil {
 		t.Fatalf("ByName(nosuchrule) = %v, want nil", got)
 	}
-	if got, want := len(rules.All()), 10; got < want {
+	if got, want := len(rules.All()), 11; got < want {
 		t.Fatalf("All() = %d analyzers, want >= %d", got, want)
 	}
 }

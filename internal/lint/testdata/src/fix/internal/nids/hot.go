@@ -1,0 +1,79 @@
+// Package nids is the hotalloc golden fixture: functions annotated
+// //nwids:hotpath carry the per-packet zero-allocation contract, so make
+// calls, copy-grow appends and capturing closures are flagged there and
+// only there. In-place appends, explicit buf[:0] reuse, capture-free
+// literals and unannotated functions all pass.
+package nids
+
+// Match mirrors the engine's per-packet match record.
+type Match struct {
+	Pattern int
+	End     int
+}
+
+// Engine mirrors the detection engine: reused buffers live in fields.
+type Engine struct {
+	buf    []Match
+	alerts []Match
+	emit   func(Match)
+}
+
+// scanInPlace is the approved steady state: append feeds back into the
+// same destination and the scratch buffer is reused via buf[:0].
+//
+//nwids:hotpath
+func (e *Engine) scanInPlace(payload []byte) int {
+	matched := append(e.buf[:0], Match{Pattern: 0, End: len(payload)})
+	for _, m := range matched {
+		e.alerts = append(e.alerts, m)
+	}
+	e.buf = matched[:0]
+	return len(e.alerts)
+}
+
+// scanFresh allocates a fresh buffer per packet.
+//
+//nwids:hotpath
+func (e *Engine) scanFresh(payload []byte) []Match {
+	out := make([]Match, 0, 4) // want `make in //nwids:hotpath function scanFresh`
+	out = append(out, Match{Pattern: 1, End: len(payload)})
+	return out
+}
+
+// scanGrow copy-grows into a different variable: the old buffer's
+// capacity is abandoned and every call reallocates.
+//
+//nwids:hotpath
+func (e *Engine) scanGrow(extra Match) []Match {
+	grown := append(e.alerts, extra) // want `copy-grow append in //nwids:hotpath function scanGrow`
+	return grown
+}
+
+// scanClosure builds a capturing closure per packet: the capture forces
+// count to the heap and the closure value escapes through e.emit.
+//
+//nwids:hotpath
+func (e *Engine) scanClosure(payload []byte) int {
+	count := 0
+	e.emit = func(m Match) { // want `closure capturing count in //nwids:hotpath function scanClosure`
+		count += m.End
+	}
+	e.emit(Match{Pattern: 2, End: len(payload)})
+	return count
+}
+
+// scanStatic uses a capture-free literal (a static func value): clean.
+//
+//nwids:hotpath
+func (e *Engine) scanStatic(payload []byte) int {
+	f := func(m Match) int { return m.End }
+	return f(Match{Pattern: 3, End: len(payload)})
+}
+
+// rebuild is cold-path setup code: unannotated, so allocation shapes that
+// would be findings above are fine here.
+func (e *Engine) rebuild(n int) {
+	e.buf = make([]Match, 0, n)
+	fresh := append(e.alerts, Match{})
+	e.alerts = fresh
+}

@@ -1,0 +1,107 @@
+package nids
+
+import (
+	"testing"
+
+	"nwids/internal/packet"
+)
+
+// Alloc-regression tests for the engine's //nwids:hotpath entry points:
+// once warm (flow table sized, match buffer grown, scan sets populated)
+// the steady state must not allocate, and ResetEpoch must roll an epoch
+// over by clearing those structures in place, not by reallocating them.
+
+// benignWorkload returns a deterministic batch of benign sessions (no
+// planted signatures, so the alert backlog stays empty and every
+// allocation observed is hot-path overhead, not alert growth).
+func benignWorkload(n int) []packet.Session {
+	gen := packet.NewGenerator(packet.GeneratorConfig{MaliciousFraction: -1}, 31)
+	sessions := make([]packet.Session, n)
+	for i := range sessions {
+		sessions[i] = gen.Session(i%4, (i+1)%4)
+	}
+	return sessions
+}
+
+func TestProcessPacketSteadyStateAllocFree(t *testing.T) {
+	e := NewEngine(DefaultRules(), 100)
+	sessions := benignWorkload(64)
+	replay := func() {
+		e.ResetEpoch()
+		for _, s := range sessions {
+			for _, p := range s.Packets {
+				e.ProcessPacket(p)
+			}
+		}
+	}
+	replay() // warm: tables and buffers grow to workload size here
+	if allocs := testing.AllocsPerRun(10, replay); allocs != 0 {
+		t.Errorf("ProcessPacket steady state: %v allocs/run, want 0", allocs)
+	}
+}
+
+func TestResetEpochAllocFree(t *testing.T) {
+	e := NewEngine(DefaultRules(), 100)
+	for _, s := range benignWorkload(64) {
+		e.ProcessSession(s)
+	}
+	if allocs := testing.AllocsPerRun(10, e.ResetEpoch); allocs != 0 {
+		t.Errorf("ResetEpoch: %v allocs/run, want 0", allocs)
+	}
+}
+
+func TestResetEpochReusesFlowCapacity(t *testing.T) {
+	e := NewEngine(DefaultRules(), 100)
+	sessions := benignWorkload(64)
+	for _, s := range sessions {
+		e.ProcessSession(s)
+	}
+	capBefore := len(e.flows.entries)
+	e.ResetEpoch()
+	if e.ActiveFlows() != 0 {
+		t.Fatalf("ActiveFlows after reset = %d, want 0", e.ActiveFlows())
+	}
+	if got := len(e.flows.entries); got != capBefore {
+		t.Fatalf("flow table capacity changed across reset: %d -> %d (must be cleared in place)", capBefore, got)
+	}
+	// The same workload must fit back into the retained capacity.
+	if allocs := testing.AllocsPerRun(1, func() {
+		for _, s := range sessions {
+			for _, p := range s.Packets {
+				e.ProcessPacket(p)
+			}
+		}
+	}); allocs != 0 {
+		t.Errorf("replay into reset table: %v allocs/run, want 0", allocs)
+	}
+}
+
+func TestScanStreamIntoAllocFree(t *testing.T) {
+	m := NewMatcher([][]byte{[]byte("attack"), []byte("tac"), []byte("ck")})
+	data := []byte("benign traffic with one attack marker and more benign bytes")
+	buf := make([]Match, 0, 8)
+	scan := func() {
+		var state int32
+		state, buf = m.ScanStreamInto(state, data, buf[:0])
+		_ = state
+	}
+	scan() // warm buf to the match count
+	if allocs := testing.AllocsPerRun(100, scan); allocs != 0 {
+		t.Errorf("ScanStreamInto: %v allocs/run, want 0", allocs)
+	}
+}
+
+func TestScanDetectorSteadyStateAllocFree(t *testing.T) {
+	d := NewScanDetector(100)
+	for i := uint32(0); i < 512; i++ {
+		d.Observe(i%16, 1000+i)
+	}
+	// Re-observing known pairs is the steady state on a warm detector.
+	if allocs := testing.AllocsPerRun(10, func() {
+		for i := uint32(0); i < 512; i++ {
+			d.Observe(i%16, 1000+i)
+		}
+	}); allocs != 0 {
+		t.Errorf("ScanDetector.Observe steady state: %v allocs/run, want 0", allocs)
+	}
+}

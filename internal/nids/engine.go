@@ -34,10 +34,16 @@ func (s Stats) WorkUnits() uint64 {
 	return s.BytesScanned + PacketOverhead*s.Packets
 }
 
-// flowState tracks one bidirectional session.
+// flowState tracks one bidirectional session. It is stored inline in the
+// flow table (no per-flow heap pointer); live marks slot occupancy.
 type flowState struct {
 	fwdState, revState int32 // automaton states per direction
 	seenFwd, seenRev   bool
+	// scanObserved marks that the flow's (src, dst) pair has been handed to
+	// the scan detector; repeats would be set-insert no-ops, so they are
+	// skipped without touching the detector's tables.
+	scanObserved bool
+	live         bool
 }
 
 // Engine is a single NIDS instance: a signature matcher with streaming
@@ -45,12 +51,13 @@ type flowState struct {
 // the role of the unmodified Snort/Bro process running above the shim.
 // Engines are not safe for concurrent use; the emulation runs one per node.
 type Engine struct {
-	rules   []Rule
-	matcher *Matcher
-	scan    *ScanDetector
-	flows   map[packet.FiveTuple]*flowState
-	alerts  []Alert
-	stats   Stats
+	rules    []Rule
+	matcher  *Matcher
+	scan     *ScanDetector
+	flows    flowTable
+	alerts   []Alert
+	stats    Stats
+	matchBuf []Match
 }
 
 // NewEngine builds an engine with the given ruleset and scan threshold k.
@@ -59,20 +66,22 @@ func NewEngine(rules []Rule, scanK int) *Engine {
 		rules:   rules,
 		matcher: NewMatcher(Patterns(rules)),
 		scan:    NewScanDetector(scanK),
-		flows:   make(map[packet.FiveTuple]*flowState),
 	}
 }
 
-// ProcessPacket runs signature and scan analysis on one packet.
+// ProcessPacket runs signature and scan analysis on one packet. The steady
+// state allocates nothing: the flow table stores state inline, the match
+// buffer is reused across packets, and only a growing alert backlog or a
+// brand-new flow/scan pair can trigger amortized growth.
+//
+//nwids:hotpath
 func (e *Engine) ProcessPacket(p packet.Packet) {
 	e.stats.Packets++
 	e.stats.BytesScanned += uint64(len(p.Payload))
 
 	key := p.Tuple.Canonical()
-	fs, ok := e.flows[key]
-	if !ok {
-		fs = &flowState{}
-		e.flows[key] = fs
+	fs, inserted := e.flows.get(key)
+	if inserted {
 		e.stats.FlowsTotal++
 	}
 	// Direction relative to the canonical tuple keeps both halves of the
@@ -87,11 +96,10 @@ func (e *Engine) ProcessPacket(p packet.Packet) {
 		fs.seenRev = true
 	}
 	var matched []Match
-	*st, _ = e.matcher.ScanStream(*st, p.Payload, func(m Match) {
-		matched = append(matched, m)
-	})
+	*st, matched = e.matcher.ScanStreamInto(*st, p.Payload, e.matchBuf[:0])
+	e.matchBuf = matched[:0]
 	for _, m := range matched {
-		r := e.rules[m.Pattern]
+		r := &e.rules[m.Pattern]
 		// Snort-like header filter: the payload matched, but the rule may
 		// be scoped to a protocol/port the packet doesn't carry.
 		if !r.MatchesHeader(p.Tuple.Proto, p.Tuple.SrcPort, p.Tuple.DstPort) {
@@ -100,10 +108,15 @@ func (e *Engine) ProcessPacket(p packet.Packet) {
 		e.alerts = append(e.alerts, Alert{RuleID: r.ID, Name: r.Name, Severity: r.Severity, Tuple: p.Tuple})
 		e.stats.Alerts++
 	}
-	// Scan analysis counts initiator→responder contacts only.
+	// Scan analysis counts initiator→responder contacts only. Later forward
+	// packets of the same flow carry the same (src, dst) pair — a no-op
+	// insert — so only the first reaches the detector.
 	if p.Dir == packet.Forward {
-		e.scan.Observe(p.Tuple.SrcIP, p.Tuple.DstIP)
 		e.stats.ScanObservables++
+		if !fs.scanObserved {
+			fs.scanObserved = true
+			e.scan.Observe(p.Tuple.SrcIP, p.Tuple.DstIP)
+		}
 	}
 }
 
@@ -119,29 +132,34 @@ func (e *Engine) ProcessSession(s packet.Session) {
 func (e *Engine) Stats() Stats {
 	st := e.stats
 	st.FlowsBothDirs, st.FlowsOneSided = 0, 0
-	for _, fs := range e.flows {
+	e.flows.each(func(fs *flowState) {
 		if fs.seenFwd && fs.seenRev {
 			st.FlowsBothDirs++
 		} else {
 			st.FlowsOneSided++
 		}
-	}
+	})
 	return st
 }
 
-// Alerts returns the alerts raised so far (shared slice; do not modify).
+// Alerts returns the alerts raised so far (shared slice; do not modify —
+// and note ResetEpoch reuses its backing array, invalidating previously
+// returned slices).
 func (e *Engine) Alerts() []Alert { return e.alerts }
 
 // ScanDetector exposes the engine's scan module for report extraction.
 func (e *Engine) ScanDetector() *ScanDetector { return e.scan }
 
 // ActiveFlows returns the current flow-table size (the memory resource).
-func (e *Engine) ActiveFlows() int { return len(e.flows) }
+func (e *Engine) ActiveFlows() int { return e.flows.count }
 
 // ResetEpoch clears per-epoch analysis state (flows, alerts, scan counters)
-// while keeping cumulative work statistics.
+// while keeping cumulative work statistics. All buffers are cleared in
+// place and reused — flow-table slots, alert capacity and scan sets — so
+// an epoch rollover is not an allocation spike; callers that retained a
+// slice from Alerts must copy it before resetting.
 func (e *Engine) ResetEpoch() {
-	e.flows = make(map[packet.FiveTuple]*flowState)
-	e.alerts = nil
+	e.flows.reset()
+	e.alerts = e.alerts[:0]
 	e.scan.Reset()
 }

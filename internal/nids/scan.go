@@ -5,6 +5,13 @@ import "sort"
 // ScanDetector flags sources contacting more than K distinct destination
 // addresses within a measurement epoch (§2.1's Scan analysis). The zero
 // value is not usable; construct with NewScanDetector.
+//
+// The state is two open-addressing tables — a (src, dst)-pair presence set
+// and a per-source distinct-count table — instead of Go maps, so the
+// per-packet Observe is a short linear probe over contiguous slots with no
+// hashing interface or bucket pointers, and inserting allocates nothing in
+// the steady state. Reset clears both in place, keeping their capacity
+// across epochs.
 type ScanDetector struct {
 	// K is the alert threshold: sources with > K distinct destinations are
 	// reported. K = 0 makes the detector report every observed source,
@@ -12,30 +19,28 @@ type ScanDetector struct {
 	// (§7.3) so the aggregator alone applies the real threshold.
 	K int
 
-	dests map[uint32]map[uint32]struct{}
+	pairs  pairSet
+	counts srcCounts
 }
 
 // NewScanDetector returns a detector with threshold k.
 func NewScanDetector(k int) *ScanDetector {
-	return &ScanDetector{K: k, dests: make(map[uint32]map[uint32]struct{})}
+	return &ScanDetector{K: k}
 }
 
 // Observe records that src contacted dst. Repeated contacts to the same
-// destination count once.
+// destination count once (and cost one probe, no insertion).
 func (d *ScanDetector) Observe(src, dst uint32) {
-	m, ok := d.dests[src]
-	if !ok {
-		m = make(map[uint32]struct{})
-		d.dests[src] = m
+	if d.pairs.insert(uint64(src)<<32 | uint64(dst)) {
+		d.counts.inc(src)
 	}
-	m[dst] = struct{}{}
 }
 
 // Count returns the number of distinct destinations observed for src.
-func (d *ScanDetector) Count(src uint32) int { return len(d.dests[src]) }
+func (d *ScanDetector) Count(src uint32) int { return d.counts.get(src) }
 
 // NumSources returns the number of sources observed this epoch.
-func (d *ScanDetector) NumSources() int { return len(d.dests) }
+func (d *ScanDetector) NumSources() int { return d.counts.count }
 
 // SourceCount pairs a source with its distinct-destination count; the
 // per-source intermediate report row of the source-level split (§6).
@@ -48,11 +53,11 @@ type SourceCount struct {
 // sorted by source for determinism.
 func (d *ScanDetector) Report() []SourceCount {
 	var out []SourceCount
-	for src, m := range d.dests {
-		if len(m) > d.K {
-			out = append(out, SourceCount{Src: src, Count: len(m)})
+	d.counts.each(func(src uint32, n int) {
+		if n > d.K {
+			out = append(out, SourceCount{Src: src, Count: n})
 		}
-	}
+	})
 	sort.Slice(out, func(i, j int) bool { return out[i].Src < out[j].Src })
 	return out
 }
@@ -61,11 +66,9 @@ func (d *ScanDetector) Report() []SourceCount {
 // the flow-level split when exactness requires full tuples (§6).
 func (d *ScanDetector) Tuples() [][2]uint32 {
 	var out [][2]uint32
-	for src, m := range d.dests {
-		for dst := range m {
-			out = append(out, [2]uint32{src, dst})
-		}
-	}
+	d.pairs.each(func(pair uint64) {
+		out = append(out, [2]uint32{uint32(pair >> 32), uint32(pair)})
+	})
 	sort.Slice(out, func(i, j int) bool {
 		if out[i][0] != out[j][0] {
 			return out[i][0] < out[j][0]
@@ -75,7 +78,172 @@ func (d *ScanDetector) Tuples() [][2]uint32 {
 	return out
 }
 
-// Reset clears the epoch state.
+// Reset clears the epoch state in place, retaining table capacity.
 func (d *ScanDetector) Reset() {
-	d.dests = make(map[uint32]map[uint32]struct{})
+	d.pairs.reset()
+	d.counts.reset()
+}
+
+// scanTableMinSize is the initial slot count of both tables (power of two).
+const scanTableMinSize = 256
+
+// mix64 is the splitmix64 finalizer, the probe hash for both tables.
+func mix64(h uint64) uint64 {
+	h ^= h >> 30
+	h *= 0xbf58476d1ce4e5b9
+	h ^= h >> 27
+	h *= 0x94d049bb133111eb
+	h ^= h >> 31
+	return h
+}
+
+// pairSet is an open-addressing presence set of uint64 keys. Occupancy
+// lives in a separate bitset so the zero key is representable.
+type pairSet struct {
+	keys  []uint64
+	occ   []uint64
+	count int
+}
+
+func (s *pairSet) has(i uint64) bool { return s.occ[i>>6]&(1<<(i&63)) != 0 }
+func (s *pairSet) mark(i uint64)     { s.occ[i>>6] |= 1 << (i & 63) }
+
+// insert adds key, reporting whether it was absent. Load stays <= 3/4.
+func (s *pairSet) insert(key uint64) bool {
+	if s.count*4 >= len(s.keys)*3 {
+		s.grow()
+	}
+	mask := uint64(len(s.keys) - 1)
+	i := mix64(key) & mask
+	for s.has(i) {
+		if s.keys[i] == key {
+			return false
+		}
+		i = (i + 1) & mask
+	}
+	s.keys[i] = key
+	s.mark(i)
+	s.count++
+	return true
+}
+
+func (s *pairSet) grow() {
+	size := scanTableMinSize
+	if len(s.keys) > 0 {
+		size = len(s.keys) * 2
+	}
+	oldKeys, oldOcc := s.keys, s.occ
+	s.keys = make([]uint64, size)
+	s.occ = make([]uint64, size/64)
+	mask := uint64(size - 1)
+	for oi := range oldKeys {
+		if oldOcc[oi>>6]&(1<<(uint(oi)&63)) == 0 {
+			continue
+		}
+		i := mix64(oldKeys[oi]) & mask
+		for s.has(i) {
+			i = (i + 1) & mask
+		}
+		s.keys[i] = oldKeys[oi]
+		s.mark(i)
+	}
+}
+
+func (s *pairSet) each(fn func(key uint64)) {
+	for i := range s.keys {
+		if s.has(uint64(i)) {
+			fn(s.keys[i])
+		}
+	}
+}
+
+func (s *pairSet) reset() {
+	clear(s.keys)
+	clear(s.occ)
+	s.count = 0
+}
+
+// srcCounts is an open-addressing uint32 → count table.
+type srcCounts struct {
+	keys  []uint32
+	vals  []int32
+	occ   []uint64
+	count int
+}
+
+func (s *srcCounts) has(i uint64) bool { return s.occ[i>>6]&(1<<(i&63)) != 0 }
+func (s *srcCounts) mark(i uint64)     { s.occ[i>>6] |= 1 << (i & 63) }
+
+// inc bumps key's count, inserting it at 1 when absent.
+func (s *srcCounts) inc(key uint32) {
+	if s.count*4 >= len(s.keys)*3 {
+		s.grow()
+	}
+	mask := uint64(len(s.keys) - 1)
+	i := mix64(uint64(key)) & mask
+	for s.has(i) {
+		if s.keys[i] == key {
+			s.vals[i]++
+			return
+		}
+		i = (i + 1) & mask
+	}
+	s.keys[i] = key
+	s.vals[i] = 1
+	s.mark(i)
+	s.count++
+}
+
+func (s *srcCounts) get(key uint32) int {
+	if len(s.keys) == 0 {
+		return 0
+	}
+	mask := uint64(len(s.keys) - 1)
+	i := mix64(uint64(key)) & mask
+	for s.has(i) {
+		if s.keys[i] == key {
+			return int(s.vals[i])
+		}
+		i = (i + 1) & mask
+	}
+	return 0
+}
+
+func (s *srcCounts) grow() {
+	size := scanTableMinSize
+	if len(s.keys) > 0 {
+		size = len(s.keys) * 2
+	}
+	oldKeys, oldVals, oldOcc := s.keys, s.vals, s.occ
+	s.keys = make([]uint32, size)
+	s.vals = make([]int32, size)
+	s.occ = make([]uint64, size/64)
+	mask := uint64(size - 1)
+	for oi := range oldKeys {
+		if oldOcc[oi>>6]&(1<<(uint(oi)&63)) == 0 {
+			continue
+		}
+		i := mix64(uint64(oldKeys[oi])) & mask
+		for s.has(i) {
+			i = (i + 1) & mask
+		}
+		s.keys[i] = oldKeys[oi]
+		s.vals[i] = oldVals[oi]
+		s.mark(i)
+	}
+}
+
+func (s *srcCounts) each(fn func(key uint32, n int)) {
+	for i := range s.keys {
+		if s.has(uint64(i)) {
+			fn(s.keys[i], int(s.vals[i]))
+		}
+	}
+}
+
+func (s *srcCounts) reset() {
+	clear(s.keys)
+	clear(s.vals)
+	clear(s.occ)
+	s.count = 0
 }

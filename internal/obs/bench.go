@@ -120,3 +120,58 @@ func DiffBench(w io.Writer, prev, cur BenchArtifact) error {
 	_, err := io.WriteString(w, b.String())
 	return err
 }
+
+// benchDirection classifies a metric name by suffix: +1 when larger values
+// are better (throughput-like), −1 when smaller values are better
+// (latency/allocation-like), 0 when the direction is unknown and the metric
+// should not gate anything.
+func benchDirection(name string) int {
+	switch {
+	case strings.HasSuffix(name, ".pps"),
+		strings.HasSuffix(name, ".gbps"),
+		strings.HasSuffix(name, ".speedup"),
+		strings.HasSuffix(name, ".ops_per_sec"):
+		return 1
+	case strings.HasSuffix(name, ".ns_per_pkt"),
+		strings.HasSuffix(name, ".ns_per_op"),
+		strings.HasSuffix(name, ".sec_per_op"),
+		strings.HasSuffix(name, ".allocs_per_pkt"),
+		strings.HasSuffix(name, ".allocs_per_op"),
+		strings.HasSuffix(name, ".bytes_per_op"),
+		strings.HasSuffix(name, ".wall_ms"):
+		return -1
+	}
+	return 0
+}
+
+// BenchRegressions compares two artifacts direction-aware and returns a
+// description per metric that moved the wrong way by more than frac
+// (0.10 = 10%). Metrics with unknown direction, or present in only one
+// artifact, never count as regressions.
+func BenchRegressions(prev, cur BenchArtifact, frac float64) []string {
+	var out []string
+	keys := make([]string, 0, len(cur.Values))
+	for k := range cur.Values {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	for _, k := range keys {
+		ov, inOld := prev.Values[k]
+		if !inOld || ov == 0 {
+			continue
+		}
+		nv := cur.Values[k]
+		rel := (nv - ov) / ov
+		switch benchDirection(k) {
+		case 1:
+			if rel < -frac {
+				out = append(out, fmt.Sprintf("%s: %g -> %g (%.1f%%, more is better)", k, ov, nv, 100*rel))
+			}
+		case -1:
+			if rel > frac {
+				out = append(out, fmt.Sprintf("%s: %g -> %g (%+.1f%%, less is better)", k, ov, nv, 100*rel))
+			}
+		}
+	}
+	return out
+}

@@ -1,0 +1,296 @@
+package shim
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"nwids/internal/packet"
+)
+
+// These are the differential tests compile.go's doc comment promises: the
+// compiled integer-bound dispatch table must reproduce the seed path's
+// float hash-range semantics bit for bit, on every input — including the
+// 1-ulp neighborhoods around partition bounds where a rounding slip would
+// silently reassign sessions between nodes.
+
+// hashFrac64 replicates HashFraction's mapping for a raw hash value: the
+// exact power-of-two scaling of float64(u) into [0, 1].
+func hashFrac64(u uint64) float64 { return float64(u) / (1 << 63) / 2 }
+
+// checkBoundEquivalence asserts the compiled contract at one (frac, u)
+// point: the float comparison the seed path evaluated and the integer
+// comparison the dispatch table executes must agree.
+func checkBoundEquivalence(t *testing.T, frac float64, u uint64) {
+	t.Helper()
+	b := hashBound(frac)
+	if got, want := u >= b, hashFrac64(u) >= frac; got != want {
+		t.Fatalf("hashBound(%v) = %d: u=%d integer compare %v, float compare %v",
+			frac, b, u, got, want)
+	}
+}
+
+func TestHashBoundEdges(t *testing.T) {
+	if got := hashBound(0); got != 0 {
+		t.Fatalf("hashBound(0) = %d, want 0", got)
+	}
+	if got := hashBound(-0.25); got != 0 {
+		t.Fatalf("hashBound(-0.25) = %d, want 0", got)
+	}
+	// frac = 1: the returned bound is the first hash whose float64 image
+	// rounds up to 2^64 (and therefore compared equal to 1.0 on the seed
+	// path); everything below it must still compare < 1.
+	b := hashBound(1)
+	if float64(b) != 0x1p64 {
+		t.Fatalf("float64(hashBound(1)) = %g, want 2^64", float64(b))
+	}
+	if float64(b-1) >= 0x1p64 {
+		t.Fatalf("float64(hashBound(1)-1) = %g, want < 2^64", float64(b-1))
+	}
+	// Defensive clamp: out-of-range fractions behave like 1.
+	if hashBound(1.5) != b {
+		t.Fatalf("hashBound(1.5) = %d, want hashBound(1) = %d", hashBound(1.5), b)
+	}
+}
+
+// TestHashBoundMatchesFloatSweep probes the equivalence on a deterministic
+// grid of partition-like fractions (i/n cuts, their 1-ulp neighbors, and
+// seeded random fractions), at hash values bracketing each compiled bound
+// and at random hashes.
+func TestHashBoundMatchesFloatSweep(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	var fracs []float64
+	for _, n := range []int{1, 2, 3, 7, 10, 11, 64, 997} {
+		for i := 0; i <= n; i++ {
+			fracs = append(fracs, float64(i)/float64(n))
+		}
+	}
+	for i := 0; i < 200; i++ {
+		fracs = append(fracs, rng.Float64())
+	}
+	base := len(fracs)
+	for _, f := range fracs[:base] {
+		fracs = append(fracs, math.Nextafter(f, 0), math.Nextafter(f, 2))
+	}
+
+	for _, frac := range fracs {
+		if frac < 0 || frac > 1 {
+			continue
+		}
+		b := hashBound(frac)
+		// The bound itself must satisfy the defining property...
+		if b > 0 && hashFrac64(b-1) >= frac {
+			t.Fatalf("hashBound(%v) = %d not minimal: frac64(%d) = %v >= frac",
+				frac, b, b-1, hashFrac64(b-1))
+		}
+		if hashFrac64(b) < frac {
+			t.Fatalf("hashBound(%v) = %d too small: frac64 = %v < frac", frac, b, hashFrac64(b))
+		}
+		// ...and the comparison must agree in its neighborhood and at
+		// random hashes.
+		for d := uint64(0); d <= 2; d++ {
+			checkBoundEquivalence(t, frac, b+d)
+			if b >= d {
+				checkBoundEquivalence(t, frac, b-d)
+			}
+		}
+		for i := 0; i < 8; i++ {
+			checkBoundEquivalence(t, frac, rng.Uint64())
+		}
+	}
+}
+
+// FuzzHashBound lets the fuzzer search for a (fraction, hash) pair where
+// the integer and float comparisons disagree. `go test` runs the seed
+// corpus; `go test -fuzz=FuzzHashBound` explores.
+func FuzzHashBound(f *testing.F) {
+	f.Add(0.0, uint64(0))
+	f.Add(1.0, ^uint64(0))
+	f.Add(0.5, uint64(1)<<63)
+	f.Add(1.0/3, uint64(0x5555555555555555))
+	f.Add(math.Nextafter(0.25, 1), uint64(1)<<62)
+	f.Add(5e-324, uint64(1))
+	f.Fuzz(func(t *testing.T, frac float64, u uint64) {
+		if math.IsNaN(frac) || frac < 0 || frac > 1 {
+			t.Skip()
+		}
+		b := hashBound(frac)
+		if got, want := u >= b, hashFrac64(u) >= frac; got != want {
+			t.Fatalf("hashBound(%v) = %d: u=%d integer compare %v, float compare %v",
+				frac, b, u, got, want)
+		}
+	})
+}
+
+// randomConfig builds a config with nClasses classes, each carved into
+// random contiguous [Lo, Hi) rules — including boundary values lifted from
+// real packet hashes so exact-equality edges are exercised.
+func randomConfig(rng *rand.Rand, nClasses int, boundary []float64) *Config {
+	cfg := &Config{NodeID: 0, Seed: uint32(rng.Int31()), Rules: map[ClassKey][]RangeRule{}}
+	for c := 0; c < nClasses; c++ {
+		key := ClassKey{SrcPoP: uint8(rng.Intn(11)), DstPoP: uint8(rng.Intn(11))}
+		cuts := []float64{0, 1}
+		for i, n := 0, rng.Intn(5); i < n; i++ {
+			cuts = append(cuts, rng.Float64())
+		}
+		if len(boundary) > 0 && rng.Intn(2) == 0 {
+			cuts = append(cuts, boundary[rng.Intn(len(boundary))])
+		}
+		// Insertion-sort the cut points (tiny n).
+		for i := 1; i < len(cuts); i++ {
+			for j := i; j > 0 && cuts[j] < cuts[j-1]; j-- {
+				cuts[j], cuts[j-1] = cuts[j-1], cuts[j]
+			}
+		}
+		var rules []RangeRule
+		for i := 0; i+1 < len(cuts); i++ {
+			// Real configs carry only Process/Replicate rules; hash ranges
+			// owned by other nodes are gaps, so model skips by omission.
+			switch rng.Intn(3) {
+			case 0:
+				rules = append(rules, RangeRule{Lo: cuts[i], Hi: cuts[i+1], Act: Process})
+			case 1:
+				rules = append(rules, RangeRule{Lo: cuts[i], Hi: cuts[i+1], Act: Replicate, Mirror: rng.Intn(8)})
+			}
+		}
+		cfg.Rules[key] = rules
+	}
+	return cfg
+}
+
+// randomPacket builds a packet whose PoPs land in the class space
+// randomConfig draws from, in a random session direction.
+func randomPacket(rng *rand.Rand) packet.Packet {
+	tuple := packet.FiveTuple{
+		Proto:   packet.ProtoTCP,
+		SrcIP:   packet.PoPIP(rng.Intn(11), uint16(rng.Intn(1<<16))),
+		DstIP:   packet.PoPIP(rng.Intn(11), uint16(rng.Intn(1<<16))),
+		SrcPort: uint16(rng.Intn(1 << 16)),
+		DstPort: uint16(rng.Intn(1 << 16)),
+	}
+	p := packet.Packet{Tuple: tuple, Dir: packet.Forward}
+	if rng.Intn(2) == 1 {
+		p.Tuple = tuple.Reverse()
+		p.Dir = packet.Reverse
+	}
+	return p
+}
+
+// TestCompiledMatchesReferenceRandom differentially tests Shim.Decide
+// against ReferenceDecide (the executable float-path specification) over
+// random configs and packets. Rule bounds are seeded with exact packet
+// hash fractions so the >= Lo / < Hi equalities are hit, not just
+// straddled.
+func TestCompiledMatchesReferenceRandom(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 50; trial++ {
+		pkts := make([]packet.Packet, 64)
+		seed := uint32(rng.Int31())
+		boundary := make([]float64, 0, len(pkts))
+		for i := range pkts {
+			pkts[i] = randomPacket(rng)
+			boundary = append(boundary, HashFraction(pkts[i].Tuple, seed))
+		}
+		cfg := randomConfig(rng, 1+rng.Intn(6), boundary)
+		cfg.Seed = seed
+		s := New(cfg)
+		for _, p := range pkts {
+			got := s.Decide(p)
+			want := ReferenceDecide(cfg, p)
+			if got.Act != want.Act || (got.Act == Replicate && got.Mirror != want.Mirror) {
+				t.Fatalf("trial %d: Decide(%v) = %+v, ReferenceDecide = %+v (seed %d)",
+					trial, p.Tuple, got, want, seed)
+			}
+		}
+		if !s.Counters.Reconciled() {
+			t.Fatalf("trial %d: counters not reconciled: %+v", trial, s.Counters)
+		}
+	}
+}
+
+// TestDecideFlowMatchesPerPacketDecide checks the per-flow fast path: one
+// DecideFlow call for an n-packet session must return the same decision
+// and advance every counter exactly as n per-packet Decide calls, for
+// both directions' packets of the session.
+func TestDecideFlowMatchesPerPacketDecide(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	for trial := 0; trial < 50; trial++ {
+		cfg := randomConfig(rng, 1+rng.Intn(6), nil)
+		perPacket, flow := New(cfg), New(cfg)
+		for sess := 0; sess < 32; sess++ {
+			first := randomPacket(rng)
+			n := 1 + rng.Intn(7)
+			var dec Decision
+			for i := 0; i < n; i++ {
+				p := first
+				if i%2 == 1 {
+					p = packet.Packet{Tuple: first.Tuple.Reverse(), Dir: 1 - first.Dir}
+				}
+				d := perPacket.Decide(p)
+				if i == 0 {
+					dec = d
+				} else if d != dec {
+					t.Fatalf("trial %d: per-packet decision drifted within a session: %+v then %+v", trial, dec, d)
+				}
+			}
+			got := flow.DecideFlow(first, flow.Hash(first), n)
+			if got != dec {
+				t.Fatalf("trial %d: DecideFlow = %+v, per-packet Decide = %+v", trial, got, dec)
+			}
+		}
+		if perPacket.Counters != flow.Counters {
+			t.Fatalf("trial %d: counters diverged:\nper-packet %+v\nflow       %+v",
+				trial, perPacket.Counters, flow.Counters)
+		}
+	}
+}
+
+// TestHotPathAllocFree pins the zero-allocation contract of every
+// annotated //nwids:hotpath entry point with testing.AllocsPerRun — the
+// dynamic complement to the hotalloc lint rule.
+func TestHotPathAllocFree(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	cfg := randomConfig(rng, 8, nil)
+	s := New(cfg)
+	pkts := make([]packet.Packet, 32)
+	hashes := make([]uint64, len(pkts))
+	for i := range pkts {
+		pkts[i] = randomPacket(rng)
+		hashes[i] = s.Hash(pkts[i])
+	}
+	decBuf := make([]Decision, 0, len(pkts))
+
+	cases := []struct {
+		name string
+		fn   func()
+	}{
+		{"Decide", func() {
+			for _, p := range pkts {
+				s.Decide(p)
+			}
+		}},
+		{"DecideHashed", func() {
+			for i, p := range pkts {
+				s.DecideHashed(p, hashes[i])
+			}
+		}},
+		{"DecideFlow", func() {
+			for i, p := range pkts {
+				s.DecideFlow(p, hashes[i], 4)
+			}
+		}},
+		{"DecideBatch", func() { decBuf = s.DecideBatch(pkts, decBuf[:0]) }},
+		{"DecideBatchHashed", func() { decBuf = s.DecideBatchHashed(pkts, hashes, decBuf[:0]) }},
+		{"DecideAllInto", func() {
+			for _, p := range pkts {
+				decBuf = s.DecideAllInto(p, decBuf[:0])
+			}
+		}},
+	}
+	for _, tc := range cases {
+		tc.fn() // warm any lazily-sized buffer before measuring
+		if allocs := testing.AllocsPerRun(100, tc.fn); allocs != 0 {
+			t.Errorf("%s: %v allocs/run, want 0", tc.name, allocs)
+		}
+	}
+}

@@ -72,11 +72,12 @@ func (c Counters) Reconciled() bool {
 // race; the emulation uses one goroutine per shim.
 type Shim struct {
 	cfg      *Config
+	comp     *compiled
 	Counters Counters
 }
 
 // New returns a shim executing the given config.
-func New(cfg *Config) *Shim { return &Shim{cfg: cfg} }
+func New(cfg *Config) *Shim { return &Shim{cfg: cfg, comp: compileConfig(cfg)} }
 
 // NodeID returns the NIDS node this shim serves.
 func (s *Shim) NodeID() int { return s.cfg.NodeID }
@@ -95,6 +96,7 @@ func (s *Shim) SetConfig(cfg *Config) error {
 		return err
 	}
 	s.cfg = cfg
+	s.comp = compileConfig(cfg)
 	return nil
 }
 
@@ -117,28 +119,109 @@ func (s *Shim) CheckConfig(cfg *Config) error {
 
 // Decide classifies one packet. The hash is computed on the canonical
 // tuple, so both directions of a session always land in the same range and
-// are pinned to the same processing node.
+// are pinned to the same processing node. The lookup runs on the compiled
+// dispatch table — one index into a class-ID-addressed CSR array, then a
+// linear scan of exact uint64 bounds (rules are few per class; linear scan
+// beats binary search at this size) — and allocates nothing.
+//
+//nwids:hotpath
 func (s *Shim) Decide(p packet.Packet) Decision {
+	return s.DecideHashed(p, HashTuple(p.Tuple, s.comp.seed))
+}
+
+// Hash returns the dispatch hash Decide computes internally for p. A
+// driver replaying one packet through many shims that share a hash seed
+// (the normal fleet configuration) can compute it once and dispatch with
+// DecideHashed, instead of paying the tuple hash once per node.
+func (s *Shim) Hash(p packet.Packet) uint64 { return HashTuple(p.Tuple, s.comp.seed) }
+
+// DecideHashed classifies one packet given its precomputed dispatch hash
+// (u must equal Hash(p); anything else silently misdispatches). Counters
+// advance exactly as in Decide.
+//
+//nwids:hotpath
+func (s *Shim) DecideHashed(p packet.Packet, u uint64) Decision {
 	s.Counters.Seen++
-	rules, ok := s.cfg.Rules[KeyForPacket(p)]
-	if !ok {
+	c := s.comp
+	i := classIdx(KeyForPacket(p))
+	if i+1 >= len(c.off) || !c.hasClass(i) {
 		s.Counters.NoClass++
 		s.Counters.Skipped++
 		return Decision{Act: Skip}
 	}
-	h := HashFraction(p.Tuple, s.cfg.Seed)
-	// Rules are few per class; linear scan beats binary search at this size.
-	for _, r := range rules {
-		if h >= r.Lo && h < r.Hi {
-			switch r.Act {
+	for k := c.off[i]; k < c.off[i+1]; k++ {
+		r := &c.rules[k]
+		if u >= r.lo && u < r.hi {
+			switch r.act {
 			case Process:
 				s.Counters.Processed++
 			case Replicate:
 				s.Counters.Replicated++
 			}
-			return Decision{Act: r.Act, Mirror: r.Mirror}
+			return Decision{Act: r.act, Mirror: int(r.mirror)}
 		}
 	}
 	s.Counters.Skipped++
 	return Decision{Act: Skip}
+}
+
+// DecideBatch classifies a batch of packets, appending one Decision per
+// packet to out (pass a reused buffer, typically out[:0], for a
+// zero-allocation steady state). Counters advance exactly as if Decide had
+// been called per packet. The emulation's sharded driver and the tunnel
+// layer feed batches through this to amortize per-call overhead.
+//
+//nwids:hotpath
+func (s *Shim) DecideBatch(pkts []packet.Packet, out []Decision) []Decision {
+	for i := range pkts {
+		out = append(out, s.Decide(pkts[i]))
+	}
+	return out
+}
+
+// DecideFlow classifies an n-packet run of one flow with a single lookup.
+// Dispatch is per-flow by construction — the class key and the session hash
+// are both direction-independent — so the decision for a flow's first
+// packet holds for every packet of the flow. Counters advance exactly as if
+// Decide had been called once per packet (u must equal Hash(p)). The
+// emulation driver uses this to decide each session once per path node
+// instead of once per (node, packet).
+//
+//nwids:hotpath
+func (s *Shim) DecideFlow(p packet.Packet, u uint64, n int) Decision {
+	s.Counters.Seen += uint64(n)
+	c := s.comp
+	i := classIdx(KeyForPacket(p))
+	if i+1 >= len(c.off) || !c.hasClass(i) {
+		s.Counters.NoClass += uint64(n)
+		s.Counters.Skipped += uint64(n)
+		return Decision{Act: Skip}
+	}
+	for k := c.off[i]; k < c.off[i+1]; k++ {
+		r := &c.rules[k]
+		if u >= r.lo && u < r.hi {
+			switch r.act {
+			case Process:
+				s.Counters.Processed += uint64(n)
+			case Replicate:
+				s.Counters.Replicated += uint64(n)
+			}
+			return Decision{Act: r.act, Mirror: int(r.mirror)}
+		}
+	}
+	s.Counters.Skipped += uint64(n)
+	return Decision{Act: Skip}
+}
+
+// DecideBatchHashed is DecideBatch over precomputed dispatch hashes
+// (hashes[i] must equal Hash(pkts[i])). The emulation driver hashes each
+// session's packets once and replays them through every path node's shim,
+// cutting the per-(node, packet) hash to a per-packet one.
+//
+//nwids:hotpath
+func (s *Shim) DecideBatchHashed(pkts []packet.Packet, hashes []uint64, out []Decision) []Decision {
+	for i := range pkts {
+		out = append(out, s.DecideHashed(pkts[i], hashes[i]))
+	}
+	return out
 }

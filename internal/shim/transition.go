@@ -59,23 +59,35 @@ func MergeConfigs(prev, next *Config) (*Config, error) {
 // the Seen + Dual = Processed + Replicated + Skipped identity exact under
 // merged configurations (see Counters.Reconciled).
 func (s *Shim) DecideAll(p packet.Packet) []Decision {
+	return s.DecideAllInto(p, nil)
+}
+
+// DecideAllInto is DecideAll appending into a caller-provided buffer
+// (typically buf[:0] of a reused slice) so the transition-window packet
+// path allocates nothing in steady state. The returned slice aliases buf's
+// array when capacity suffices.
+//
+//nwids:hotpath
+func (s *Shim) DecideAllInto(p packet.Packet, out []Decision) []Decision {
 	s.Counters.Seen++
-	rules, ok := s.cfg.Rules[KeyForPacket(p)]
-	if !ok {
+	c := s.comp
+	i := classIdx(KeyForPacket(p))
+	if i+1 >= len(c.off) || !c.hasClass(i) {
 		s.Counters.NoClass++
 		s.Counters.Skipped++
-		return nil
+		return out
 	}
-	h := HashFraction(p.Tuple, s.cfg.Seed)
-	var out []Decision
-	for _, r := range rules {
-		if h >= r.Lo && h < r.Hi {
-			if r.Act != Process && r.Act != Replicate {
+	u := HashTuple(p.Tuple, c.seed)
+	base := len(out)
+	for k := c.off[i]; k < c.off[i+1]; k++ {
+		r := &c.rules[k]
+		if u >= r.lo && u < r.hi {
+			if r.act != Process && r.act != Replicate {
 				continue
 			}
-			d := Decision{Act: r.Act, Mirror: r.Mirror}
+			d := Decision{Act: r.act, Mirror: int(r.mirror)}
 			dup := false
-			for _, have := range out {
+			for _, have := range out[base:] {
 				if have == d {
 					dup = true
 					break
@@ -86,7 +98,8 @@ func (s *Shim) DecideAll(p packet.Packet) []Decision {
 			}
 		}
 	}
-	for _, d := range out {
+	emitted := out[base:]
+	for _, d := range emitted {
 		switch d.Act {
 		case Process:
 			s.Counters.Processed++
@@ -94,10 +107,10 @@ func (s *Shim) DecideAll(p packet.Packet) []Decision {
 			s.Counters.Replicated++
 		}
 	}
-	if len(out) == 0 {
+	if len(emitted) == 0 {
 		s.Counters.Skipped++
-	} else if len(out) > 1 {
-		s.Counters.Dual += uint64(len(out) - 1)
+	} else if len(emitted) > 1 {
+		s.Counters.Dual += uint64(len(emitted) - 1)
 	}
 	return out
 }

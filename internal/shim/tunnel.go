@@ -97,6 +97,22 @@ func (t *Tunnel) Send(p packet.Packet) error {
 	return nil
 }
 
+// SendBatch frames a batch of packets into the tunnel under one lock
+// acquisition — the batching entry point the emulation's sharded driver
+// uses so replicated packets pay the mutex and buffered-writer overhead
+// per batch, not per packet. Delivery order matches the slice order.
+func (t *Tunnel) SendBatch(pkts []packet.Packet) error {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	for i := range pkts {
+		if err := WritePacket(t.bw, pkts[i]); err != nil {
+			return err
+		}
+		t.sent++
+	}
+	return nil
+}
+
 // Sent returns the number of packets sent.
 func (t *Tunnel) Sent() uint64 {
 	t.mu.Lock()

@@ -286,6 +286,21 @@ func (g *Graph) ShortestPaths() *Routing {
 			r.paths[src][dst] = Path{Nodes: nodes, Links: links}
 		}
 	}
+	// Materialize the reverse direction once so Path never allocates: the
+	// emulation's per-packet path lookup sits on the hot path, and deriving
+	// Path(b, a) with Reverse() there would cost two slices per call.
+	for src := 0; src < n; src++ {
+		for dst := 0; dst < src; dst++ {
+			if len(r.paths[dst][src].Nodes) > 0 {
+				r.paths[src][dst] = r.paths[dst][src].Reverse()
+			}
+		}
+	}
+	// Self-paths are also preallocated (used when a class's endpoints share
+	// a PoP).
+	for v := 0; v < n; v++ {
+		r.paths[v][v] = Path{Nodes: []int{v}}
+	}
 	return r
 }
 
@@ -293,15 +308,11 @@ func (g *Graph) ShortestPaths() *Routing {
 func (r *Routing) Dist(a, b int) int { return r.dist[a][b] }
 
 // Path returns the routed path from src to dst. Path(b, a) is the exact
-// reverse of Path(a, b). A path from a node to itself has one node.
+// reverse of Path(a, b). A path from a node to itself has one node. Both
+// directions are precomputed, so the call never allocates; callers must
+// not modify the returned slices.
 func (r *Routing) Path(src, dst int) Path {
-	if src == dst {
-		return Path{Nodes: []int{src}}
-	}
-	if src < dst {
-		return r.paths[src][dst]
-	}
-	return r.paths[dst][src].Reverse()
+	return r.paths[src][dst]
 }
 
 // Graph returns the topology this routing was computed for.
